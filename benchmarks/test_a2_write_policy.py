@@ -1,0 +1,59 @@
+"""A2 — Ablation: write-back versus write-through DL1 (footnote 5).
+
+The paper's platform uses write-back caches and footnote 5 explains
+why: "If a write-through DL1 cache were used, LLC accesses would be
+much more frequent due to store instructions" — so either stores must
+not allocate in the LLC, or EFL stalls become frequent and hurt both
+WCET estimates and average performance.
+
+This ablation runs a word-granular store-intensive kernel both ways
+(our write-through model implements the footnote's no-allocate choice)
+and confirms the LLC sees far more traffic under write-through: the
+write-back DL1 absorbs the word-level store locality (several stores
+per line cost one line fill), while write-through forwards every
+single store to the LLC.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.trace import Trace, TraceBuilder
+from repro.sim.config import Scenario
+from repro.sim.simulator import run_isolation
+from repro.workloads.kernels import stream_pass
+
+
+def _store_heavy_trace(l1_size: int) -> Trace:
+    """Repeated word-granular read-modify-write sweeps over 2x the L1."""
+    builder = TraceBuilder("store-heavy", code_base=0x1000)
+    words = l1_size // 2  # 2x the L1 in bytes (4-byte words)
+    for _sweep in range(6):
+        stream_pass(builder, base=0x10_0000, num_words=words,
+                    alus_per_access=1, store_every=1)
+    return builder.build()
+
+
+def test_a2_write_policy(benchmark, pwcet_table):
+    scale = pwcet_table.scale
+    trace = _store_heavy_trace(scale.l1_size)
+    scenario = Scenario.efl(scale.mid_options[0])
+    config_wb = pwcet_table.config
+    config_wt = scale.system_config(dl1_write_back=False)
+
+    def run_both():
+        wb = run_isolation(trace, config_wb, scenario, seed=0xA2)
+        wt = run_isolation(trace, config_wt, scenario, seed=0xA2)
+        return wb, wt
+
+    wb, wt = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    wb_traffic = wb.llc_hits + wb.llc_misses
+    wt_traffic = wt.llc_hits + wt.llc_misses
+    print(
+        f"\nA2 write policy (word-granular stores): write-back LLC "
+        f"traffic={wb_traffic} cycles={wb.cores[0].cycles} | "
+        f"write-through LLC traffic={wt_traffic} "
+        f"cycles={wt.cores[0].cycles}"
+    )
+    # Write-through floods the LLC with store traffic...
+    assert wt_traffic > wb_traffic * 1.5
+    # ...and costs execution time on a store-heavy kernel.
+    assert wt.cores[0].cycles > wb.cores[0].cycles

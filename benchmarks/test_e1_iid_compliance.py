@@ -1,0 +1,32 @@
+"""E1 — MBPTA compliance (§4.2, first result).
+
+Paper claim: execution times of the EEMBC benchmarks on the EFL
+platform satisfy the i.i.d. hypotheses — every Wald-Wolfowitz
+statistic stays below 1.96 and every Kolmogorov-Smirnov outcome above
+0.05 at the 5% significance level, so MBPTA applies.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_iid_compliance
+from repro.analysis.reporting import render_iid
+from repro.pta.iid import WW_CRITICAL_5PCT
+
+
+def test_e1_iid_compliance(benchmark, pwcet_table):
+    result = benchmark.pedantic(
+        lambda: run_iid_compliance(pwcet_table), rounds=1, iterations=1
+    )
+    print()
+    print(render_iid(result))
+
+    for row in result.rows:
+        assert abs(row.ww_statistic) < WW_CRITICAL_5PCT, (
+            f"{row.bench_id}: WW statistic {row.ww_statistic:.2f} rejects "
+            f"independence"
+        )
+        assert row.ks_p_value > 0.05, (
+            f"{row.bench_id}: KS p-value {row.ks_p_value:.3f} rejects "
+            f"identical distribution"
+        )
+    assert result.all_passed

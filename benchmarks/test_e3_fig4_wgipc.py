@@ -1,0 +1,44 @@
+"""E3 — Figure 4, guaranteed performance (wgIPC).
+
+Paper claim: picking, per random 4-benchmark workload, the best CP way
+partition versus the best (shared) EFL MID by workload guaranteed IPC
+at cutoff 1e-15, EFL improves CP in 1,015/1,024 workloads with a 56%
+average improvement.
+
+Reproduction status: the *apparatus* (partition search over {1,2,4}^4
+within 8 ways, MID search over {250,500,1000}, wgIPC at 1e-15) is
+complete; at scaled trace lengths the guaranteed-performance sign is
+NOT reproduced (CP's 4-way partitions win more workloads than EFL),
+because analysis-time CRG interference at maximum rate costs more than
+partition capacity over short, cold-start-dominated traces — see
+EXPERIMENTS.md.  The bench therefore records the full S-curve and
+asserts only the apparatus-level invariants.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_fig4
+from repro.analysis.reporting import render_fig4
+
+
+def test_e3_fig4_wgipc(benchmark, pwcet_table):
+    fig4 = benchmark.pedantic(
+        lambda: run_fig4(pwcet_table, measure_average=False),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_fig4(fig4))
+
+    summary = fig4.wgipc_summary
+    assert summary["workloads"] == pwcet_table.scale.workload_count
+    # Both optimisers produced valid setups for every workload.
+    for comparison in fig4.comparisons:
+        assert sum(comparison.cp_partition) <= pwcet_table.config.llc_ways
+        assert comparison.efl_mid in pwcet_table.scale.mid_options
+        assert comparison.cp_wgipc > 0
+        assert comparison.efl_wgipc > 0
+    # The S-curve is sorted and consistent with the summary.
+    curve = fig4.wgipc_curve()
+    assert curve == sorted(curve, reverse=True)
+    assert summary["max_improvement"] == curve[0]

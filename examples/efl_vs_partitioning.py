@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""EFL versus hardware cache partitioning on one benchmark (mini Figure 3).
+
+For a cache-space-sensitive benchmark (the IIR filter ``II``), compare
+the pWCET estimates of:
+
+* EFL with MID 250/500/1000 (full shared LLC, eviction-rate limited);
+* hardware way-partitioning with 1/2/4 of the LLC's 8 ways.
+
+This is one row of the paper's Figure 3, normalised to CP2 — the
+configuration where each of the 4 cores owns exactly 2 ways.
+
+Run:  python examples/efl_vs_partitioning.py  [benchmark-id]
+"""
+
+import sys
+
+from repro import (
+    ExperimentScale,
+    Scenario,
+    build_benchmark,
+    collect_execution_times,
+    estimate_pwcet,
+)
+
+
+def pwcet_for(trace, config, scenario, runs, block_size) -> float:
+    sample = collect_execution_times(
+        trace, config, scenario, runs=runs, master_seed=7
+    )
+    estimate = estimate_pwcet(
+        sample.execution_times,
+        task=trace.name,
+        scenario_label=scenario.label(),
+        block_size=block_size,
+        check_iid=False,
+    )
+    return estimate.pwcet_at(1e-15)
+
+
+def main() -> None:
+    bench_id = sys.argv[1] if len(sys.argv) > 1 else "II"
+    scale = ExperimentScale.quick()
+    config = scale.system_config()
+    trace = build_benchmark(bench_id, scale=scale.trace_scale)
+    print(f"benchmark {bench_id}: {trace.instruction_count} instructions, "
+          f"{len(trace.data_footprint())} distinct data words")
+
+    scenarios = [Scenario.efl(mid) for mid in scale.mid_options]
+    scenarios += [Scenario.cache_partitioning(w) for w in (1, 2, 4)]
+
+    results = {}
+    for scenario in scenarios:
+        print(f"  analysing under {scenario.label()} "
+              f"({scale.analysis_runs} runs) ...")
+        results[scenario.label()] = pwcet_for(
+            trace, config, scenario, scale.analysis_runs, scale.block_size
+        )
+
+    baseline = results["CP2"]
+    print(f"\n{'setup':>8}  {'pWCET(1e-15)':>14}  {'vs CP2':>7}")
+    for label, value in results.items():
+        print(f"{label:>8}  {value:14,.0f}  {value / baseline:7.3f}")
+    print("\n(lower is better; the paper's Figure 3 plots these ratios "
+          "for all 10 benchmarks)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Equation 1: analytical miss probabilities versus the simulated cache.
+
+The paper's Equation 1 approximates the miss probability of a reused
+address in a time-randomised Evict-on-Miss cache.  This example
+evaluates, across reuse distances:
+
+* the published Equation 1 (exact in the fully-associative and
+  direct-mapped corners, loose in between);
+* the exact independent-collision model;
+* the simulated TR cache (ground truth).
+
+Run:  python examples/equation1_model.py
+"""
+
+from repro import Cache, CacheGeometry, EvictOnMissRandom, RandomPlacement
+from repro.pta.eq1 import miss_probability, miss_probability_exact
+from repro.utils.rng import MultiplyWithCarry
+
+SETS, WAYS = 64, 4
+TRIALS = 1500
+
+
+def simulate(reuse_distance: int) -> float:
+    """P(miss of the second access to A) with k distinct lines between."""
+    misses = 0
+    for seed in range(TRIALS):
+        geometry = CacheGeometry(
+            size_bytes=SETS * WAYS * 16, line_size=16, ways=WAYS
+        )
+        cache = Cache(
+            geometry,
+            RandomPlacement(SETS, rii=seed + 1),
+            EvictOnMissRandom(MultiplyWithCarry(seed)),
+        )
+        cache.access(0)
+        for line in range(1, reuse_distance + 1):
+            cache.access(line)
+        if not cache.access(0).hit:
+            misses += 1
+    return misses / TRIALS
+
+
+def main() -> None:
+    print(f"TR cache: {SETS} sets x {WAYS} ways, Evict-on-Miss random "
+          f"replacement, random placement\n")
+    print(f"{'k':>5}  {'simulated':>10}  {'exact model':>11}  {'paper Eq.1':>10}")
+    for k in (4, 16, 64, 128, 256):
+        probs = [1.0] * k  # cold distinct lines always miss
+        print(
+            f"{k:5d}  {simulate(k):10.4f}  "
+            f"{miss_probability_exact(SETS, WAYS, probs):11.4f}  "
+            f"{miss_probability(SETS, WAYS, probs):10.4f}"
+        )
+    print(
+        "\nThe exact model tracks the simulation; the published "
+        "Equation 1 over-approximates for set-associative shapes (its "
+        "product form charges every eviction against A's way even when "
+        "it lands in another set) — which, as the paper notes, is "
+        "irrelevant for MBPTA: only the *existence* of per-access "
+        "hit/miss probabilities matters."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The scheduling-flexibility argument of §2.2, quantified.
+
+The paper's motivating example: tasks A and B are memory-coloured into
+the same cache sets (software partitioning), so they may never run
+simultaneously; hardware partitioning lets them co-run but flushes
+partitions whenever a task is handed a partition holding another
+task's lines; EFL imposes neither constraint.
+
+This example schedules the same IMA-style task set under all three
+regimes with the cyclic executive and prints the cost of each: minor
+frames needed per major frame (makespan) and partition flushes.
+
+Run:  python examples/frame_scheduling.py
+"""
+
+from repro.rtos import CyclicExecutive, Task
+
+
+def main() -> None:
+    # Six periodic tasks for a 4-core platform; three of them are
+    # coloured into the same sets (they share a big lookup library,
+    # say), and every task releases twice per major frame.
+    tasks = [
+        Task("nav",   wcet_cycles=800, releases=2, colour_group="maps"),
+        Task("plan",  wcet_cycles=700, releases=2, colour_group="maps"),
+        Task("vision", wcet_cycles=900, releases=2, colour_group="maps"),
+        Task("ctrl",  wcet_cycles=400, releases=2),
+        Task("logs",  wcet_cycles=300, releases=2),
+        Task("comms", wcet_cycles=500, releases=2),
+    ]
+    executive = CyclicExecutive(num_cores=4, frame_budget_cycles=1000)
+
+    print(f"{'mechanism':>10}  {'MIFs/MAF':>9}  {'flushes':>8}  "
+          f"{'co-run conflicts avoided':>25}")
+    for mechanism in ("efl", "cp-hw", "cp-sw"):
+        result = executive.schedule(tasks, mechanism=mechanism)
+        print(f"{mechanism:>10}  {result.frames_used:9d}  "
+              f"{result.partition_flushes:8d}  "
+              f"{result.co_schedule_conflicts_avoided:25d}")
+
+    result = executive.schedule(tasks, mechanism="efl", rii_seed=7)
+    print("\nEFL schedule (task placements per minor frame):")
+    for frame in result.schedule.frames:
+        placement = ", ".join(
+            f"core{core}={name}" for core, name in sorted(frame.assignments.items())
+        )
+        print(f"  MIF {frame.index}: {placement}")
+    print(f"\nLLC RII for next major frame: {result.schedule.next_llc_rii():#010x} "
+          f"(drawn coordinately at the frame boundary, §3.5)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured in pyproject.toml; this file exists so that
+``pip install -e .`` also works on minimal environments whose pip/wheel
+combination cannot build PEP 660 editable wheels (legacy editable
+installs go through ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,157 @@
+"""repro — Time-Analysable Non-Partitioned Shared Caches (DAC 2014).
+
+A library-grade reproduction of Slijepcevic et al., "Time-Analysable
+Non-Partitioned Shared Caches for Real-Time Multicore Systems"
+(DAC 2014): the EFL eviction-frequency-limiting mechanism for shared
+time-randomised last-level caches, a probabilistically analysable
+4-core platform simulator, an MBPTA toolkit and the paper's full
+evaluation harness.
+
+Quick start::
+
+    from repro import (
+        SystemConfig, Scenario, build_benchmark,
+        collect_execution_times, estimate_pwcet,
+    )
+
+    config = SystemConfig()                      # the paper's platform
+    trace = build_benchmark("ID", scale=0.1)     # a small IDCT kernel
+    scenario = Scenario.efl(mid=500)             # EFL500, analysis mode
+    sample = collect_execution_times(trace, config, scenario, runs=80)
+    result = estimate_pwcet(sample.execution_times,
+                            task="ID", scenario_label="EFL500")
+    print(result.pwcet_at(1e-15))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every figure and table.
+"""
+
+from repro.errors import (
+    AnalysisError,
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from repro.core import (
+    AccessControlUnit,
+    CacheRequestGenerator,
+    EFLConfig,
+    EFLController,
+    OperationMode,
+)
+from repro.mem import (
+    Cache,
+    CacheGeometry,
+    EvictOnMissRandom,
+    LRUReplacement,
+    ModuloPlacement,
+    PartitionedLLC,
+    RandomPlacement,
+    SharedBus,
+    WayPartition,
+)
+from repro.cpu import InOrderPipeline, OpKind, Trace, TraceBuilder
+from repro.sim import (
+    CampaignResult,
+    RunResult,
+    Scenario,
+    SystemConfig,
+    collect_execution_times,
+    run_isolation,
+    run_workload,
+)
+from repro.pta import (
+    ExecutionTimeProfile,
+    GumbelFit,
+    MBPTAResult,
+    estimate_pwcet,
+    iid_test,
+    miss_probability,
+    pwcet_estimate,
+)
+from repro.workloads import (
+    BENCHMARK_IDS,
+    ExperimentScale,
+    build_all_benchmarks,
+    build_benchmark,
+    random_workloads,
+)
+from repro.analysis import (
+    PWCETTable,
+    best_mid,
+    best_partition,
+    guaranteed_ipc,
+    run_fig3,
+    run_fig4,
+    run_iid_compliance,
+)
+from repro.rtos import CyclicExecutive, FrameSchedule, MinorFrame, Task
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "AnalysisError",
+    "TraceError",
+    # EFL (the paper's contribution)
+    "EFLConfig",
+    "EFLController",
+    "AccessControlUnit",
+    "CacheRequestGenerator",
+    "OperationMode",
+    # memory hierarchy
+    "Cache",
+    "CacheGeometry",
+    "RandomPlacement",
+    "ModuloPlacement",
+    "EvictOnMissRandom",
+    "LRUReplacement",
+    "PartitionedLLC",
+    "WayPartition",
+    "SharedBus",
+    # cpu
+    "OpKind",
+    "Trace",
+    "TraceBuilder",
+    "InOrderPipeline",
+    # simulation
+    "SystemConfig",
+    "Scenario",
+    "RunResult",
+    "CampaignResult",
+    "run_isolation",
+    "run_workload",
+    "collect_execution_times",
+    # PTA
+    "ExecutionTimeProfile",
+    "GumbelFit",
+    "MBPTAResult",
+    "miss_probability",
+    "pwcet_estimate",
+    "estimate_pwcet",
+    "iid_test",
+    # workloads
+    "BENCHMARK_IDS",
+    "ExperimentScale",
+    "build_benchmark",
+    "build_all_benchmarks",
+    "random_workloads",
+    # analysis
+    "PWCETTable",
+    "guaranteed_ipc",
+    "best_partition",
+    "best_mid",
+    "run_iid_compliance",
+    "run_fig3",
+    "run_fig4",
+    # RTOS layer
+    "Task",
+    "CyclicExecutive",
+    "FrameSchedule",
+    "MinorFrame",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Evaluation-layer machinery: metrics, optimisers and experiment drivers.
+
+* :mod:`repro.analysis.metrics` — guaranteed/average IPC metrics
+  (gIPC, wgIPC, waIPC) as defined in §4.2 of the paper;
+* :mod:`repro.analysis.partitions` — the CP way-partition search and
+  the EFL MID selection that Figure 4's per-workload comparison needs;
+* :mod:`repro.analysis.experiments` — drivers that regenerate every
+  table and figure of the evaluation section;
+* :mod:`repro.analysis.reporting` — plain-text rendering of results.
+"""
+
+from repro.analysis.metrics import guaranteed_ipc, workload_guaranteed_ipc
+from repro.analysis.partitions import (
+    enumerate_partitions,
+    best_partition,
+    best_mid,
+)
+from repro.analysis.experiments import (
+    PWCETTable,
+    run_iid_compliance,
+    run_fig3,
+    run_fig4,
+)
+from repro.analysis.export import write_fig3_csv, write_fig4_csv, write_iid_csv
+
+__all__ = [
+    "write_iid_csv",
+    "write_fig3_csv",
+    "write_fig4_csv",
+    "guaranteed_ipc",
+    "workload_guaranteed_ipc",
+    "enumerate_partitions",
+    "best_partition",
+    "best_mid",
+    "PWCETTable",
+    "run_iid_compliance",
+    "run_fig3",
+    "run_fig4",
+]

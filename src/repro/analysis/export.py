@@ -1,0 +1,75 @@
+"""CSV export of experiment results.
+
+The text tables in :mod:`repro.analysis.reporting` are for humans;
+these writers emit the same data as CSV for plotting pipelines
+(matplotlib/pgfplots reproduce the paper's figures directly from
+them).  All writers accept any text file object and return the number
+of data rows written.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import TextIO
+
+from repro.analysis.experiments import (
+    Fig3Result,
+    Fig4Result,
+    IIDComplianceResult,
+)
+
+
+def write_iid_csv(result: IIDComplianceResult, stream: TextIO) -> int:
+    """E1 rows: benchmark, runs, WW statistic, KS p-value, verdict."""
+    writer = csv.writer(stream)
+    writer.writerow(["benchmark", "runs", "ww_statistic", "ks_p_value", "passed"])
+    for row in result.rows:
+        writer.writerow(
+            [row.bench_id, row.runs, f"{row.ww_statistic:.6f}",
+             f"{row.ks_p_value:.6f}", int(row.passed)]
+        )
+    return len(result.rows)
+
+
+def write_fig3_csv(result: Fig3Result, stream: TextIO) -> int:
+    """E2 rows: benchmark x setup, raw and normalised pWCET.
+
+    One row per (benchmark, setup) pair — the long format plotting
+    tools prefer.
+    """
+    writer = csv.writer(stream)
+    writer.writerow(
+        ["benchmark", "setup", "pwcet_cycles", f"normalised_to_{result.baseline_label}"]
+    )
+    rows = 0
+    for bench in result.bench_ids:
+        for setup in result.setups:
+            writer.writerow(
+                [bench, setup, f"{result.pwcet[bench][setup]:.1f}",
+                 f"{result.normalised[bench][setup]:.6f}"]
+            )
+            rows += 1
+    return rows
+
+
+def write_fig4_csv(result: Fig4Result, stream: TextIO) -> int:
+    """E3/E4 rows: one per workload, both setups and both improvements."""
+    writer = csv.writer(stream)
+    writer.writerow(
+        ["workload", "cp_partition", "cp_wgipc", "efl_mid", "efl_wgipc",
+         "wgipc_improvement", "cp_waipc", "efl_waipc", "waipc_improvement"]
+    )
+    for comparison in result.comparisons:
+        writer.writerow([
+            "+".join(comparison.workload),
+            "-".join(str(w) for w in comparison.cp_partition),
+            f"{comparison.cp_wgipc:.6f}",
+            comparison.efl_mid,
+            f"{comparison.efl_wgipc:.6f}",
+            f"{comparison.wgipc_improvement:.6f}",
+            "" if comparison.cp_waipc is None else f"{comparison.cp_waipc:.6f}",
+            "" if comparison.efl_waipc is None else f"{comparison.efl_waipc:.6f}",
+            "" if comparison.waipc_improvement is None
+            else f"{comparison.waipc_improvement:.6f}",
+        ])
+    return len(result.comparisons)

@@ -1,0 +1,98 @@
+"""Guaranteed and average performance metrics (§4.2 of the paper).
+
+* **gIPC** — guaranteed instructions per cycle of one benchmark under
+  one setup: committed instructions divided by the pWCET estimate at a
+  cutoff probability (the paper uses 1e-15 per run).
+* **wgIPC** — workload guaranteed IPC: the sum of the gIPC of the
+  benchmarks composing a workload.
+* **waIPC** — workload average IPC: the sum of per-task IPCs observed
+  when the workload actually co-runs (measured by the simulator, not
+  derived from pWCET).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import AnalysisError
+
+
+def guaranteed_ipc(instructions: int, pwcet: float) -> float:
+    """gIPC of one benchmark: ``instructions / pWCET``.
+
+    >>> guaranteed_ipc(1000, 4000.0)
+    0.25
+    """
+    if instructions <= 0:
+        raise AnalysisError(f"instructions must be positive, got {instructions}")
+    if pwcet <= 0:
+        raise AnalysisError(f"pWCET must be positive, got {pwcet}")
+    return instructions / pwcet
+
+
+def workload_guaranteed_ipc(
+    workload: Sequence[str],
+    instructions_of: Callable[[str], int],
+    pwcet_of: Callable[[str, int], float],
+    allocation: Sequence[int],
+) -> float:
+    """wgIPC of a workload under a per-task resource allocation.
+
+    ``allocation[i]`` is the resource parameter of task ``i`` — a way
+    count for CP or a MID value for EFL — and ``pwcet_of(bench, alloc)``
+    returns the pWCET of that benchmark under that per-task setup.
+
+    >>> workload_guaranteed_ipc(
+    ...     ["X", "Y"],
+    ...     instructions_of=lambda b: 100,
+    ...     pwcet_of=lambda b, a: 400.0,
+    ...     allocation=[2, 2],
+    ... )
+    0.5
+    """
+    if len(workload) != len(allocation):
+        raise AnalysisError(
+            f"workload of {len(workload)} tasks but allocation of "
+            f"{len(allocation)} entries"
+        )
+    return sum(
+        guaranteed_ipc(instructions_of(bench), pwcet_of(bench, alloc))
+        for bench, alloc in zip(workload, allocation)
+    )
+
+
+def improvement(new: float, baseline: float) -> float:
+    """Relative improvement of ``new`` over ``baseline``.
+
+    Positive when ``new`` is better; e.g. ``0.56`` is the paper's "56%
+    improvement".
+    """
+    if baseline <= 0:
+        raise AnalysisError(f"baseline must be positive, got {baseline}")
+    return (new - baseline) / baseline
+
+
+def summarise_improvements(improvements: Sequence[float]) -> dict:
+    """Summary statistics in the form the paper quotes for Figure 4.
+
+    Returns a dict with: the number/fraction of workloads where EFL
+    wins, quartile and median improvements, the mean improvement, the
+    maximum, and the mean/max degradation over the losing workloads.
+    """
+    if not improvements:
+        raise AnalysisError("no improvements to summarise")
+    ordered = sorted(improvements, reverse=True)
+    n = len(ordered)
+    wins = [value for value in ordered if value > 0]
+    losses = [-value for value in ordered if value < 0]
+    return {
+        "workloads": n,
+        "wins": len(wins),
+        "win_fraction": len(wins) / n,
+        "top_quartile_improvement": ordered[max(n // 4 - 1, 0)],
+        "median_improvement": ordered[max(n // 2 - 1, 0)],
+        "mean_improvement": sum(ordered) / n,
+        "max_improvement": ordered[0],
+        "mean_degradation": sum(losses) / len(losses) if losses else 0.0,
+        "max_degradation": max(losses) if losses else 0.0,
+    }

@@ -1,0 +1,113 @@
+"""Per-workload setup optimisation: CP partitions and EFL MIDs.
+
+Figure 4 of the paper compares, per workload, "the highest wgIPC that
+CP and EFL can provide under any setup": for CP that means searching
+the way partitions of the LLC across the four tasks; for EFL it means
+picking the (single, shared) MID value that maximises wgIPC.  Both
+searches work purely on the per-benchmark pWCET table — no additional
+simulation — because analysis under both mechanisms is
+time-composable.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, List, Sequence, Tuple
+
+from repro.analysis.metrics import workload_guaranteed_ipc
+from repro.errors import AnalysisError, ConfigurationError
+
+#: The per-task way counts the paper studies (CP1, CP2, CP4).
+DEFAULT_WAY_OPTIONS = (1, 2, 4)
+
+#: The MID values the paper studies (EFL250, EFL500, EFL1000).
+DEFAULT_MID_OPTIONS = (250, 500, 1000)
+
+
+def enumerate_partitions(
+    num_tasks: int,
+    total_ways: int,
+    way_options: Sequence[int] = DEFAULT_WAY_OPTIONS,
+) -> List[Tuple[int, ...]]:
+    """All per-task way assignments drawn from ``way_options`` that fit.
+
+    An assignment fits when its counts sum to at most ``total_ways``
+    (unused ways are legal — they simply idle, as when four tasks get
+    one way each of an 8-way cache).
+
+    >>> (2, 2, 2, 2) in enumerate_partitions(4, 8)
+    True
+    >>> (4, 4, 2, 1) in enumerate_partitions(4, 8)
+    False
+    """
+    if num_tasks <= 0:
+        raise ConfigurationError(f"num_tasks must be positive, got {num_tasks}")
+    if total_ways <= 0:
+        raise ConfigurationError(f"total_ways must be positive, got {total_ways}")
+    if any(w <= 0 for w in way_options):
+        raise ConfigurationError("way options must all be positive")
+    fits = [
+        combo
+        for combo in product(sorted(set(way_options)), repeat=num_tasks)
+        if sum(combo) <= total_ways
+    ]
+    if not fits:
+        raise AnalysisError(
+            f"no assignment of {way_options} ways to {num_tasks} tasks fits "
+            f"in {total_ways} ways"
+        )
+    return fits
+
+
+def best_partition(
+    workload: Sequence[str],
+    instructions_of: Callable[[str], int],
+    pwcet_of_ways: Callable[[str, int], float],
+    total_ways: int,
+    way_options: Sequence[int] = DEFAULT_WAY_OPTIONS,
+) -> Tuple[Tuple[int, ...], float]:
+    """Exhaustive CP partition search maximising wgIPC.
+
+    Returns ``(per-task way counts, wgIPC)``.  The search space is
+    ``len(way_options) ** len(workload)`` (81 for the paper's setup) so
+    exhaustive enumeration is exact and cheap.
+    """
+    best_counts = None
+    best_value = -1.0
+    for counts in enumerate_partitions(len(workload), total_ways, way_options):
+        value = workload_guaranteed_ipc(
+            workload, instructions_of, pwcet_of_ways, counts
+        )
+        if value > best_value:
+            best_value = value
+            best_counts = counts
+    assert best_counts is not None  # enumerate_partitions raised otherwise
+    return best_counts, best_value
+
+
+def best_mid(
+    workload: Sequence[str],
+    instructions_of: Callable[[str], int],
+    pwcet_of_mid: Callable[[str, int], float],
+    mid_options: Sequence[int] = DEFAULT_MID_OPTIONS,
+) -> Tuple[int, float]:
+    """EFL MID selection maximising wgIPC (one MID shared by all tasks).
+
+    Returns ``(mid, wgIPC)``.  The paper's search uses the same MID on
+    every core, which preserves time composability trivially: any
+    task's pWCET for MID ``m`` is valid whenever every co-runner is
+    throttled at least as hard.
+    """
+    if not mid_options:
+        raise ConfigurationError("mid_options is empty")
+    best_value = -1.0
+    best = None
+    for mid in mid_options:
+        value = workload_guaranteed_ipc(
+            workload, instructions_of, pwcet_of_mid, [mid] * len(workload)
+        )
+        if value > best_value:
+            best_value = value
+            best = mid
+    assert best is not None
+    return best, best_value

@@ -1,0 +1,110 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment driver returns a structured result; these helpers
+turn them into the tables and curve summaries that the benchmark
+harness and CLI print, shaped after the paper's Figures 3 and 4 and
+its MBPTA-compliance paragraph.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.analysis.experiments import (
+    Fig3Result,
+    Fig4Result,
+    IIDComplianceResult,
+)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render a list of rows as an aligned monospace table."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+    lines = [render_row(headers), render_row(["-" * width for width in widths])]
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_iid(result: IIDComplianceResult) -> str:
+    """E1: the MBPTA-compliance table."""
+    rows = [
+        [
+            row.bench_id,
+            str(row.runs),
+            f"{row.ww_statistic:+.3f}",
+            f"{row.ks_p_value:.3f}",
+            "pass" if row.passed else "FAIL",
+        ]
+        for row in result.rows
+    ]
+    table = format_table(
+        ["bench", "runs", "WW stat (<1.96)", "KS p (>0.05)", "i.i.d."], rows
+    )
+    verdict = (
+        "all benchmarks MBPTA-compliant"
+        if result.all_passed
+        else "SOME BENCHMARKS REJECTED the i.i.d. hypotheses"
+    )
+    return (
+        f"E1 - MBPTA compliance under EFL{result.mid} (alpha = 0.05)\n"
+        f"{table}\n=> {verdict}"
+    )
+
+
+def render_fig3(result: Fig3Result) -> str:
+    """E2: Figure 3 as a table (rows: benchmarks, cols: setups)."""
+    headers = ["bench"] + list(result.setups)
+    rows: List[List[str]] = []
+    for bench in result.bench_ids:
+        rows.append(
+            [bench]
+            + [f"{result.normalised[bench][setup]:.3f}" for setup in result.setups]
+        )
+    rows.append(
+        ["geomean"]
+        + [f"{result.geometric_mean_normalised(setup):.3f}" for setup in result.setups]
+    )
+    return (
+        f"E2 - Figure 3: pWCET normalised to {result.baseline_label} "
+        f"(lower is better)\n" + format_table(headers, rows)
+    )
+
+
+def _render_summary(summary: dict) -> List[str]:
+    return [
+        f"  EFL wins in {summary['wins']}/{summary['workloads']} workloads "
+        f"({summary['win_fraction']:.1%})",
+        f"  top-quartile improvement > {summary['top_quartile_improvement']:.1%}",
+        f"  median improvement       > {summary['median_improvement']:.1%}",
+        f"  average improvement        {summary['mean_improvement']:.1%}",
+        f"  maximum improvement        {summary['max_improvement']:.1%}",
+        f"  avg degradation (losses)   {summary['mean_degradation']:.1%}",
+        f"  max degradation (losses)   {summary['max_degradation']:.1%}",
+    ]
+
+
+def render_fig4(result: Fig4Result) -> str:
+    """E3/E4: Figure 4 summary plus a coarse textual S-curve."""
+    lines = ["E3 - Figure 4 (wgIPC): EFL improvement over CP"]
+    lines.extend(_render_summary(result.wgipc_summary))
+    lines.append("  S-curve deciles: " + _deciles(result.wgipc_curve()))
+    if result.waipc_summary is not None:
+        lines.append("E4 - Figure 4 (waIPC): EFL improvement over CP")
+        lines.extend(_render_summary(result.waipc_summary))
+        lines.append("  S-curve deciles: " + _deciles(result.waipc_curve()))
+    return "\n".join(lines)
+
+
+def _deciles(curve: Sequence[float]) -> str:
+    if not curve:
+        return "(empty)"
+    picks = [curve[min(int(len(curve) * frac), len(curve) - 1)]
+             for frac in (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)]
+    # The final element of the sorted-descending curve is the minimum.
+    picks[-1] = curve[-1]
+    return " ".join(f"{value:+.0%}" for value in picks)

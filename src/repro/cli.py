@@ -1,0 +1,149 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage (after ``pip install -e .``)::
+
+    repro-efl iid  --scale quick          # E1: MBPTA compliance table
+    repro-efl fig3 --scale quick          # E2: normalised pWCET table
+    repro-efl fig4 --scale quick          # E3/E4: S-curve summaries
+    repro-efl all  --scale tiny           # everything, smoke scale
+
+Every command accepts ``--scale {tiny,quick,default,paper}`` and
+``--seed`` for reproducibility; results print as plain-text tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.analysis.experiments import (
+    PWCETTable,
+    run_fig3,
+    run_fig4,
+    run_iid_compliance,
+)
+from repro.analysis.export import write_fig3_csv, write_fig4_csv, write_iid_csv
+from repro.analysis.reporting import render_fig3, render_fig4, render_iid
+from repro.sim.config import SystemConfig
+from repro.workloads.scale import ExperimentScale
+
+
+def _build_table(args: argparse.Namespace) -> PWCETTable:
+    scale = ExperimentScale.from_name(args.scale)
+    progress = (lambda msg: print(f"  [{msg}]", file=sys.stderr)) if args.verbose else None
+    return PWCETTable(
+        config=SystemConfig(),
+        scale=scale,
+        seed=args.seed,
+        progress=progress,
+    )
+
+
+def _maybe_csv(args: argparse.Namespace, name: str, writer, result) -> None:
+    """Write ``result`` to ``<prefix><name>.csv`` when --csv was given."""
+    if getattr(args, "csv", None):
+        path = f"{args.csv}{name}.csv"
+        with open(path, "w", newline="") as stream:
+            writer(result, stream)
+        print(f"(wrote {path})", file=sys.stderr)
+
+
+def _cmd_iid(args: argparse.Namespace) -> int:
+    table = _build_table(args)
+    result = run_iid_compliance(table, mid=args.mid)
+    print(render_iid(result))
+    _maybe_csv(args, "iid", write_iid_csv, result)
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    table = _build_table(args)
+    result = run_fig3(table)
+    print(render_fig3(result))
+    _maybe_csv(args, "fig3", write_fig3_csv, result)
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    table = _build_table(args)
+    result = run_fig4(table, measure_average=not args.no_average)
+    print(render_fig4(result))
+    _maybe_csv(args, "fig4", write_fig4_csv, result)
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    table = _build_table(args)
+    started = time.time()
+    print(render_iid(run_iid_compliance(table, mid=args.mid)))
+    print()
+    print(render_fig3(run_fig3(table)))
+    print()
+    print(render_fig4(run_fig4(table, measure_average=not args.no_average)))
+    print(f"\n(total {time.time() - started:.1f}s at scale {args.scale!r})")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-efl",
+        description=(
+            "Regenerate the experiments of 'Time-Analysable Non-Partitioned "
+            "Shared Caches for Real-Time Multicore Systems' (DAC 2014)."
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        default="quick",
+        choices=("tiny", "quick", "default", "paper"),
+        help="experiment scale preset (default: quick)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--verbose", action="store_true", help="print per-campaign progress"
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="PREFIX",
+        default=None,
+        help="also write results as CSV files named PREFIX<experiment>.csv",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sub_iid = subparsers.add_parser("iid", help="E1: MBPTA compliance (WW/KS tests)")
+    sub_iid.add_argument("--mid", type=int, default=None,
+                         help="EFL MID in cycles (default: the scale's EFL500 equivalent)")
+    sub_iid.set_defaults(func=_cmd_iid)
+
+    sub_fig3 = subparsers.add_parser("fig3", help="E2: normalised pWCET per setup")
+    sub_fig3.set_defaults(func=_cmd_fig3)
+
+    sub_fig4 = subparsers.add_parser("fig4", help="E3/E4: wgIPC/waIPC S-curves")
+    sub_fig4.add_argument(
+        "--no-average",
+        action="store_true",
+        help="skip the deployment co-runs (wgIPC curve only)",
+    )
+    sub_fig4.set_defaults(func=_cmd_fig4)
+
+    sub_all = subparsers.add_parser("all", help="run every experiment")
+    sub_all.add_argument("--mid", type=int, default=None, help="EFL MID for E1")
+    sub_all.add_argument(
+        "--no-average", action="store_true", help="skip deployment co-runs"
+    )
+    sub_all.set_defaults(func=_cmd_all)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

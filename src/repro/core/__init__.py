@@ -1,0 +1,28 @@
+"""EFL — the paper's primary contribution.
+
+The Eviction Frequency Limiting mechanism (§3 of the paper) is a small
+per-core access-control unit sitting between each core and the shared
+time-randomised LLC:
+
+* :class:`~repro.core.config.EFLConfig` — the rMID/rmode software
+  interface (desired Minimum Inter-eviction Delay and knobs);
+* :class:`~repro.core.acu.AccessControlUnit` — the count-down counter
+  (cdc), eviction-allowed bit (EAB) and MWC PRNG of one core;
+* :class:`~repro.core.crg.CacheRequestGenerator` — the analysis-time
+  artificial eviction source of one core;
+* :class:`~repro.core.efl.EFLController` — the unit tying the per-core
+  pieces to one LLC, in analysis or deployment mode.
+"""
+
+from repro.core.config import EFLConfig, OperationMode
+from repro.core.acu import AccessControlUnit
+from repro.core.crg import CacheRequestGenerator
+from repro.core.efl import EFLController
+
+__all__ = [
+    "EFLConfig",
+    "OperationMode",
+    "AccessControlUnit",
+    "CacheRequestGenerator",
+    "EFLController",
+]

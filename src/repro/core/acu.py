@@ -1,0 +1,117 @@
+"""The per-core Access Control Unit: cdc, EAB and PRNG.
+
+Hardware behaviour being modelled (§3.5, Figure 2 of the paper): on
+every LLC eviction performed by a core, the core's Multiply-With-Carry
+PRNG produces a value uniform in ``[0, 2*MID_desired]`` that is loaded
+into a count-down counter (cdc).  The cdc decrements once per cycle;
+the eviction-allowed bit (EAB) of the core's LLC port is 1 exactly when
+the cdc has reached zero.  A request that misses in the LLC while
+``EAB == 0`` is *stalled* (the port is held busy) until the cdc
+expires; LLC hits proceed regardless because Evict-on-Miss hits do not
+change cache state.
+
+This model is event-driven rather than cycle-ticked: instead of
+decrementing a counter every cycle it records the absolute cycle at
+which the cdc will reach zero, which is timing-equivalent and lets the
+simulator jump across idle periods.
+
+Every LLC **miss** is treated as an eviction event for throttling
+purposes, including misses that happen to fill an invalid way: the
+hardware gates the miss *before* knowing whether the victim way holds
+valid data, which is also the conservative choice for analysis.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import EFLConfig
+from repro.errors import SimulationError
+from repro.utils.rng import MultiplyWithCarry
+
+
+class AccessControlUnit:
+    """EFL gate logic for one core.
+
+    Parameters
+    ----------
+    config:
+        The core's :class:`~repro.core.config.EFLConfig` (rMID value
+        and randomisation knob).
+    rng:
+        The core's hardware PRNG.  The paper notes this can reuse the
+        32-bit-per-cycle MWC PRNG already present for the L1s' random
+        replacement.
+    """
+
+    def __init__(self, config: EFLConfig, rng: MultiplyWithCarry) -> None:
+        self.config = config
+        self._rng = rng
+        #: absolute cycle at which the cdc reaches zero (EAB turns 1).
+        self._eab_time = 0
+        #: monotonicity guard: evictions must be recorded in time order.
+        self._last_event_time = 0
+        self.evictions = 0
+        self.stall_cycles = 0
+
+    # ------------------------------------------------------------------
+    # EAB queries
+    # ------------------------------------------------------------------
+    def eviction_allowed(self, now: int) -> bool:
+        """Return the EAB value at cycle ``now``."""
+        return now >= self._eab_time
+
+    def eviction_grant_time(self, now: int) -> int:
+        """Earliest cycle >= ``now`` at which an eviction may proceed.
+
+        This is where the stall happens: a miss arriving at ``now``
+        with ``EAB == 0`` waits until the cdc expires.  The stall
+        length is recorded in :attr:`stall_cycles`.
+        """
+        if now < 0:
+            raise SimulationError(f"negative time {now}")
+        if not self.config.enabled:
+            return now
+        grant = self._eab_time if self._eab_time > now else now
+        self.stall_cycles += grant - now
+        return grant
+
+    # ------------------------------------------------------------------
+    # eviction bookkeeping
+    # ------------------------------------------------------------------
+    def record_eviction(self, time: int) -> None:
+        """Note that the core evicted an LLC line at cycle ``time``.
+
+        Reloads the cdc from the PRNG: the next eviction of this core
+        becomes allowed ``U[0, 2*MID]`` cycles later (or exactly
+        ``MID`` later with randomisation disabled).
+        """
+        if time < self._last_event_time:
+            raise SimulationError(
+                f"eviction recorded at {time}, before previous event at "
+                f"{self._last_event_time}"
+            )
+        self._last_event_time = time
+        self.evictions += 1
+        if not self.config.enabled:
+            return
+        if self.config.randomise_mid:
+            delay = self._rng.randint_inclusive(0, 2 * self.config.mid)
+        else:
+            delay = self.config.mid
+        self._eab_time = time + delay
+
+    def next_allowed_time(self) -> int:
+        """Absolute cycle of the pending EAB expiry (for the CRG)."""
+        return self._eab_time
+
+    def reset(self) -> None:
+        """Return to the power-on state (new run).  Counters cleared."""
+        self._eab_time = 0
+        self._last_event_time = 0
+        self.evictions = 0
+        self.stall_cycles = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessControlUnit(mid={self.config.mid}, "
+            f"eab_time={self._eab_time}, evictions={self.evictions})"
+        )

@@ -1,0 +1,78 @@
+"""Software-visible EFL configuration: the rMID and rmode registers.
+
+The paper gives system software two registers per core (§3.5): ``rMID``
+holds the desired Minimum Inter-eviction Delay, and ``rmode`` selects
+analysis-time or deployment-time operation.  This module models that
+interface as plain configuration objects consumed by the hardware
+models in :mod:`repro.core.acu` and :mod:`repro.core.efl`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class OperationMode(enum.Enum):
+    """The rmode register: which stage the platform is operating in.
+
+    * ``ANALYSIS``: the task under analysis runs alone on one core; the
+      CRGs of every other core inject force-miss eviction requests at
+      the maximum frequency EFL allows, and all shared-resource
+      latencies are charged their composable upper bounds.
+    * ``DEPLOYMENT``: all cores run real tasks; CRGs are off and every
+      core's real misses are rate-limited by its ACU.
+    """
+
+    ANALYSIS = "analysis"
+    DEPLOYMENT = "deployment"
+
+
+@dataclass(frozen=True)
+class EFLConfig:
+    """Per-core EFL parameters (the rMID register plus model knobs).
+
+    Parameters
+    ----------
+    mid:
+        Desired Minimum Inter-eviction Delay in cycles.  After each
+        eviction the core draws its next inter-eviction delay uniformly
+        from ``[0, 2*mid]``, so delays *average* ``mid``.  ``mid == 0``
+        disables throttling (every eviction allowed immediately), which
+        models a plain shared TR LLC.
+    randomise_mid:
+        ``True`` (paper behaviour): each delay is drawn uniformly from
+        ``[0, 2*mid]`` so interfering accesses interleave randomly and
+        the effect is MBPTA-capturable (§3.4 "Interleave").  ``False``
+        uses the deterministic value ``mid`` every time — the strawman
+        the paper rejects, kept for the A1 ablation.
+
+    >>> EFLConfig(mid=500).mid
+    500
+    """
+
+    mid: int
+    randomise_mid: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.mid, int) or isinstance(self.mid, bool) or self.mid < 0:
+            raise ConfigurationError(
+                f"MID must be a non-negative integer number of cycles, got {self.mid!r}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether eviction throttling is active (``mid > 0``)."""
+        return self.mid > 0
+
+    @property
+    def max_delay(self) -> int:
+        """Largest single inter-eviction delay the ACU can draw."""
+        return 2 * self.mid if self.randomise_mid else self.mid
+
+    @classmethod
+    def disabled(cls) -> "EFLConfig":
+        """An EFL configuration that never throttles (plain TR LLC)."""
+        return cls(mid=0)

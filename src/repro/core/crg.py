@@ -1,0 +1,103 @@
+"""Cache Request Generator: the analysis-time artificial co-runner.
+
+At analysis time the task under analysis runs alone on one core while
+the CRG of *every other* core issues eviction requests to the LLC "at
+the maximum allowed frequency" (§3.4): each request is flagged
+force-miss, so it evicts a line no matter what, and consecutive
+requests are spaced by the same ``U[0, 2*MID]`` draws the ACU enforces.
+This realises the worst inter-task interference the deployment-time
+mechanism permits — co-runners that miss on every access and evict as
+fast as EFL lets them — so analysis-time observations upper-bound
+deployment probabilistically.
+
+Each artificial request targets a set drawn uniformly at random, which
+is exactly how a random-placement LLC spreads a co-runner's (unknown)
+addresses across sets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.config import EFLConfig
+from repro.errors import ConfigurationError, SimulationError
+from repro.utils.rng import MultiplyWithCarry
+
+
+class CacheRequestGenerator:
+    """Artificial eviction source for one interfering core.
+
+    Parameters
+    ----------
+    config:
+        The interfering core's EFL configuration; the CRG fires one
+        forced eviction per ACU window, i.e. with inter-arrival times
+        ``U[0, 2*MID]`` (mean MID).
+    rng:
+        The core's hardware PRNG, used both for the inter-arrival
+        draws and for choosing the victim set.
+    num_sets:
+        Number of LLC sets to spread forced evictions over.
+    """
+
+    def __init__(
+        self, config: EFLConfig, rng: MultiplyWithCarry, num_sets: int
+    ) -> None:
+        if not config.enabled:
+            raise ConfigurationError(
+                "a CRG needs a positive MID; with MID == 0 the artificial "
+                "co-runner would evict every cycle and analysis time would "
+                "be unbounded"
+            )
+        if num_sets <= 0:
+            raise ConfigurationError(f"num_sets must be positive, got {num_sets}")
+        self.config = config
+        self._rng = rng
+        self.num_sets = num_sets
+        self._next_time = self._draw_gap()
+        self.fired = 0
+
+    def _draw_gap(self) -> int:
+        if self.config.randomise_mid:
+            return self._rng.randint_inclusive(0, 2 * self.config.mid)
+        return self.config.mid
+
+    def peek_next_time(self) -> int:
+        """Absolute cycle of the next pending forced eviction."""
+        return self._next_time
+
+    def fire_until(self, now: int, evict: Callable[[int], None]) -> int:
+        """Replay every forced eviction scheduled at or before ``now``.
+
+        ``evict(set_index)`` is called once per artificial request, in
+        time order.  Returns the number of evictions fired.  The
+        simulator calls this lazily right before the analysed task
+        touches the LLC, which is timing-equivalent to firing them
+        eagerly because forced evictions only matter through the LLC
+        state they leave behind.
+        """
+        if now < 0:
+            raise SimulationError(f"negative time {now}")
+        count = 0
+        while self._next_time <= now:
+            evict(self._rng.randrange(self.num_sets))
+            self.fired += 1
+            count += 1
+            gap = self._draw_gap()
+            # A zero gap is a legal draw (the ACU can grant back-to-back
+            # evictions across two windows) but must still advance time
+            # to keep this loop finite: hardware serves at most one
+            # forced eviction per cycle per core.
+            self._next_time += gap if gap > 0 else 1
+        return count
+
+    def reset(self) -> None:
+        """Restart the arrival process from cycle 0 (new run)."""
+        self._next_time = self._draw_gap()
+        self.fired = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheRequestGenerator(mid={self.config.mid}, "
+            f"next={self._next_time}, fired={self.fired})"
+        )

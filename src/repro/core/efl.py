@@ -1,0 +1,147 @@
+"""EFL controller: per-core ACUs and CRGs wired to one shared LLC.
+
+This is the "Access Control Unit" block of Figure 2 at system level:
+one ACU per core, one CRG per core (active only at analysis time on
+the cores the task under analysis does *not* occupy), the rmode
+register, and the force-miss plumbing into the LLC.
+
+The simulator interacts with EFL at exactly two points per LLC
+transaction of a real task:
+
+1. before serving a *miss*, it asks :meth:`EFLController.grant_eviction`
+   for the cycle at which the eviction may proceed (the EAB stall);
+2. in analysis mode, before *any* LLC access of the analysed task, it
+   calls :meth:`EFLController.inject_interference` so the artificial
+   co-runner evictions that happened since the previous access are
+   applied to the LLC state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.acu import AccessControlUnit
+from repro.core.config import EFLConfig, OperationMode
+from repro.core.crg import CacheRequestGenerator
+from repro.errors import ConfigurationError
+from repro.mem.cache import Cache
+from repro.utils.rng import MultiplyWithCarry, SplitMix64
+
+
+class EFLController:
+    """System-level EFL mechanism for an ``num_cores``-core platform.
+
+    Parameters
+    ----------
+    llc:
+        The shared time-randomised LLC being protected.
+    configs:
+        One :class:`~repro.core.config.EFLConfig` per core (the rMID
+        registers).  The paper always programs the same MID in every
+        core; heterogeneous values are supported because nothing in the
+        mechanism requires homogeneity.
+    mode:
+        The rmode register value.
+    analysed_core:
+        In analysis mode, the core the task under analysis runs on
+        (core 0 in the paper's Figure 1); every *other* core's CRG is
+        switched on.  Ignored in deployment mode.
+    seed:
+        Master seed from which every per-core hardware PRNG is derived.
+    """
+
+    def __init__(
+        self,
+        llc: Cache,
+        configs: List[EFLConfig],
+        mode: OperationMode = OperationMode.DEPLOYMENT,
+        analysed_core: int = 0,
+        seed: int = 0,
+    ) -> None:
+        if not configs:
+            raise ConfigurationError("EFLController needs at least one core config")
+        if mode is OperationMode.ANALYSIS and not 0 <= analysed_core < len(configs):
+            raise ConfigurationError(
+                f"analysed_core {analysed_core} out of range for "
+                f"{len(configs)} cores"
+            )
+        self.llc = llc
+        self.configs = list(configs)
+        self.mode = mode
+        self.analysed_core = analysed_core
+        seeds = SplitMix64(seed)
+        self.acus: List[AccessControlUnit] = [
+            AccessControlUnit(cfg, MultiplyWithCarry(seeds.next_u64()))
+            for cfg in self.configs
+        ]
+        self._crgs: Dict[int, CacheRequestGenerator] = {}
+        if mode is OperationMode.ANALYSIS:
+            for core, cfg in enumerate(self.configs):
+                if core == analysed_core:
+                    continue
+                if not cfg.enabled:
+                    raise ConfigurationError(
+                        f"analysis mode requires a positive MID on interfering "
+                        f"core {core} (got MID=0)"
+                    )
+                self._crgs[core] = CacheRequestGenerator(
+                    cfg, MultiplyWithCarry(seeds.next_u64()), llc.geometry.num_sets
+                )
+
+    @property
+    def num_cores(self) -> int:
+        """Number of cores this controller manages."""
+        return len(self.configs)
+
+    # ------------------------------------------------------------------
+    # deployment + analysis: eviction gating
+    # ------------------------------------------------------------------
+    def grant_eviction(self, core: int, now: int) -> int:
+        """Return the cycle at which ``core`` may perform an eviction.
+
+        Equals ``now`` when the core's EAB is already set; otherwise
+        the EAB expiry time.  The caller must follow up with
+        :meth:`record_eviction` at the granted time.
+        """
+        return self.acus[core].eviction_grant_time(now)
+
+    def record_eviction(self, core: int, time: int) -> None:
+        """Reload ``core``'s cdc after it evicted at ``time``."""
+        self.acus[core].record_eviction(time)
+
+    # ------------------------------------------------------------------
+    # analysis mode: artificial interference
+    # ------------------------------------------------------------------
+    def inject_interference(self, now: int) -> int:
+        """Apply all pending CRG evictions up to cycle ``now``.
+
+        Returns the number of forced evictions applied.  A no-op in
+        deployment mode (CRGs are off) — callers may invoke it
+        unconditionally.
+        """
+        total = 0
+        for crg in self._crgs.values():
+            total += crg.fire_until(now, self.llc.force_eviction)
+        return total
+
+    def interference_evictions(self) -> int:
+        """Total artificial evictions fired so far (all CRGs)."""
+        return sum(crg.fired for crg in self._crgs.values())
+
+    def stall_cycles(self, core: int) -> int:
+        """Cycles ``core`` spent stalled on a clear EAB so far."""
+        return self.acus[core].stall_cycles
+
+    def reset(self) -> None:
+        """Reset every ACU and CRG to the power-on state (new run)."""
+        for acu in self.acus:
+            acu.reset()
+        for crg in self._crgs.values():
+            crg.reset()
+
+    def __repr__(self) -> str:
+        mids = [cfg.mid for cfg in self.configs]
+        return (
+            f"EFLController(mode={self.mode.value}, mids={mids}, "
+            f"analysed_core={self.analysed_core})"
+        )

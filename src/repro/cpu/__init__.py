@@ -1,0 +1,20 @@
+"""Core-side models: instruction traces and the in-order pipeline.
+
+The paper's cores are simple 4-stage in-order machines (§4.1).  We
+model them trace-driven: a workload kernel produces a deterministic
+dynamic instruction stream (:mod:`repro.cpu.trace`), and the pipeline
+model (:mod:`repro.cpu.pipeline`) accounts cycles for it, calling back
+into the memory hierarchy for fetch and data access latencies.
+"""
+
+from repro.cpu.isa import OpKind, EXEC_LATENCY
+from repro.cpu.trace import Trace, TraceBuilder
+from repro.cpu.pipeline import InOrderPipeline
+
+__all__ = [
+    "OpKind",
+    "EXEC_LATENCY",
+    "Trace",
+    "TraceBuilder",
+    "InOrderPipeline",
+]

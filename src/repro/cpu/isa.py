@@ -1,0 +1,57 @@
+"""Minimal ISA for trace-driven timing simulation.
+
+Timing analysis does not need instruction semantics, only the latency
+class of each dynamic instruction and the addresses it touches.  Five
+operation kinds cover the paper's platform:
+
+* ``ALU`` — single-cycle integer operation (the paper: "integer
+  additions take 1 cycle");
+* ``MUL`` — a longer fixed-latency arithmetic operation, giving
+  kernels a way to model compute-heavy loops;
+* ``BRANCH`` — control flow; the in-order, non-speculative 4-stage
+  pipeline resolves branches in the execute stage with no penalty
+  beyond its fixed latency;
+* ``LOAD``/``STORE`` — data-memory operations that access the DL1 and,
+  on a miss, the shared memory path.
+
+All instruction fetches access the IL1 regardless of kind.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpKind(enum.IntEnum):
+    """Latency class of a dynamic instruction."""
+
+    ALU = 0
+    MUL = 1
+    BRANCH = 2
+    LOAD = 3
+    STORE = 4
+
+
+#: Fixed execute-stage latency (cycles) of the non-memory kinds.
+#: LOAD/STORE latency is dynamic (cache-dependent) and resolved by the
+#: memory hierarchy, so they do not appear here.
+EXEC_LATENCY = {
+    OpKind.ALU: 1,
+    OpKind.MUL: 4,
+    OpKind.BRANCH: 1,
+}
+
+#: Size of one instruction in bytes (RISC-style fixed width); used to
+#: lay consecutive instructions out in the instruction address space.
+INSTRUCTION_BYTES = 4
+
+
+def is_memory_op(kind: int) -> bool:
+    """Whether ``kind`` accesses the data cache.
+
+    >>> is_memory_op(OpKind.LOAD)
+    True
+    >>> is_memory_op(OpKind.ALU)
+    False
+    """
+    return kind == OpKind.LOAD or kind == OpKind.STORE

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers
+can catch everything raised by this package with a single handler while
+still being able to discriminate configuration problems from runtime
+simulation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is invalid or inconsistent.
+
+    Raised eagerly at object-construction time (e.g. a cache whose size
+    is not divisible by its line size, an EFL MID that is negative, a
+    partition that assigns more ways than the LLC has).
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state.
+
+    This indicates a bug in the simulator or a misuse of its stepping
+    API (e.g. running a core past the end of its trace), never a
+    property of the simulated program.
+    """
+
+
+class AnalysisError(ReproError):
+    """A statistical analysis cannot be carried out.
+
+    Raised by the PTA layer when inputs are unusable, e.g. fitting an
+    EVT tail to fewer observations than the block size, or running an
+    i.i.d. test on a constant sample.
+    """
+
+
+class TraceError(ReproError):
+    """An instruction trace is malformed or exhausted unexpectedly."""

@@ -1,0 +1,43 @@
+"""Memory-hierarchy models.
+
+This subpackage provides every storage-side substrate the paper's
+evaluation platform needs:
+
+* time-randomised (TR) and time-deterministic (TD) set-associative
+  caches built from pluggable placement and replacement policies
+  (:mod:`repro.mem.cache`, :mod:`repro.mem.placement`,
+  :mod:`repro.mem.replacement`);
+* a hardware way-partitioned shared LLC — the CP baseline
+  (:mod:`repro.mem.partition`);
+* a shared bus with random arbitration (:mod:`repro.mem.bus`);
+* an analysable memory controller and main-memory model
+  (:mod:`repro.mem.memctrl`, :mod:`repro.mem.mainmemory`).
+"""
+
+from repro.mem.address import line_address, block_offset, bytes_to_lines
+from repro.mem.placement import ModuloPlacement, RandomPlacement
+from repro.mem.replacement import EvictOnMissRandom, LRUReplacement
+from repro.mem.cache import Cache, CacheGeometry, AccessResult, Eviction
+from repro.mem.partition import PartitionedLLC, WayPartition
+from repro.mem.bus import SharedBus
+from repro.mem.mainmemory import MainMemory
+from repro.mem.memctrl import AnalysableMemoryController
+
+__all__ = [
+    "line_address",
+    "block_offset",
+    "bytes_to_lines",
+    "ModuloPlacement",
+    "RandomPlacement",
+    "EvictOnMissRandom",
+    "LRUReplacement",
+    "Cache",
+    "CacheGeometry",
+    "AccessResult",
+    "Eviction",
+    "PartitionedLLC",
+    "WayPartition",
+    "SharedBus",
+    "MainMemory",
+    "AnalysableMemoryController",
+]

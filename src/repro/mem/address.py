@@ -1,0 +1,42 @@
+"""Byte-address to cache-line address arithmetic.
+
+All caches in this library index by *line address* (the byte address
+divided by the line size).  Keeping the conversion in one place avoids
+scattering shift arithmetic — and subtle off-by-one bugs — through the
+cache and trace code.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import require_non_negative_int, require_power_of_two
+
+
+def line_address(byte_address: int, line_size: int) -> int:
+    """Return the cache-line address containing ``byte_address``.
+
+    >>> line_address(0x1234, 16)
+    291
+    """
+    require_non_negative_int("byte_address", byte_address)
+    require_power_of_two("line_size", line_size)
+    return byte_address >> (line_size.bit_length() - 1)
+
+
+def block_offset(byte_address: int, line_size: int) -> int:
+    """Return the offset of ``byte_address`` within its cache line."""
+    require_non_negative_int("byte_address", byte_address)
+    require_power_of_two("line_size", line_size)
+    return byte_address & (line_size - 1)
+
+
+def bytes_to_lines(num_bytes: int, line_size: int) -> int:
+    """Return how many cache lines are needed to hold ``num_bytes``.
+
+    Rounds up; used by workload kernels to size their footprints.
+
+    >>> bytes_to_lines(100, 16)
+    7
+    """
+    require_non_negative_int("num_bytes", num_bytes)
+    require_power_of_two("line_size", line_size)
+    return (num_bytes + line_size - 1) // line_size

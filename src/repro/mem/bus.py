@@ -1,0 +1,142 @@
+"""Shared bus with random arbitration between the cores and the LLC.
+
+The paper's platform (§4.1) connects the cores to the shared LLC over a
+bus with a 2-cycle access latency and a *random* arbitration policy
+(Jalle et al., DATE 2014 — reference [13]).  Random arbitration is the
+bus-side analogue of time-randomised caches: which core wins a
+contended cycle is a random event, so the delay a request suffers is a
+random variable that MBPTA can capture, and at analysis time it can be
+upper-bounded per-request for time composability.
+
+Three entry points, matching how the bus is exercised:
+
+* :meth:`SharedBus.request` — deployment-mode service of one request.
+  The simulator steps cores in time order, so requests reach the bus
+  (almost) in arrival order and service is first-come-first-served;
+  genuinely simultaneous arrivals are tie-broken by the lottery.
+* :meth:`SharedBus.arbitrate` — the hardware lottery itself: given a
+  batch of simultaneous requests, grant them in a random order.  This
+  is the primitive :meth:`request` falls back on for ties, exposed for
+  direct use and testing.
+* :meth:`SharedBus.worst_case_completion` — analysis mode: the
+  time-composable upper bound of [13], losing one round to every other
+  core (``(num_cores - 1) * latency`` extra cycles).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.utils.rng import MultiplyWithCarry
+from repro.utils.validation import require_positive_int
+
+
+class SharedBus:
+    """Core-to-LLC bus with lottery arbitration.
+
+    Parameters
+    ----------
+    num_cores:
+        Number of requestors.
+    latency:
+        Cycles one transfer occupies the bus (2 in the paper).
+    rng:
+        Hardware PRNG used for lottery draws.
+    """
+
+    def __init__(self, num_cores: int, latency: int, rng: MultiplyWithCarry) -> None:
+        self.num_cores = require_positive_int("num_cores", num_cores)
+        self.latency = require_positive_int("latency", latency)
+        self._rng = rng
+        self._busy_until = 0
+        #: pending same-cycle arrivals: (arrival_time, core) — only
+        #: populated transiently inside arbitrate().
+        self.granted = 0
+        self.contended = 0
+
+    def _check(self, core: int, time: int) -> None:
+        if not 0 <= core < self.num_cores:
+            raise SimulationError(f"bus request from unknown core {core}")
+        if time < 0:
+            raise SimulationError(f"bus request at negative time {time}")
+
+    # ------------------------------------------------------------------
+    # deployment mode
+    # ------------------------------------------------------------------
+    def request(self, core: int, time: int) -> int:
+        """Serve one transfer for ``core`` arriving at ``time``.
+
+        Returns the completion cycle.  If the bus is busy the request
+        waits for it (first-come-first-served — the simulator delivers
+        requests in near-arrival order, so FCFS and lottery coincide
+        except for exact ties, which callers with genuinely
+        simultaneous requests should resolve via :meth:`arbitrate`).
+        """
+        self._check(core, time)
+        self.granted += 1
+        start = time if time >= self._busy_until else self._busy_until
+        if start > time:
+            self.contended += 1
+        self._busy_until = start + self.latency
+        return self._busy_until
+
+    def arbitrate(self, requests: Sequence[Tuple[int, int]]) -> Dict[int, int]:
+        """Lottery-arbitrate a batch of requests.
+
+        ``requests`` is a sequence of ``(core, arrival_time)`` pairs.
+        In every round, one of the requests that have already arrived
+        (and not yet been served) wins a uniform lottery draw and
+        occupies the bus for one transfer; the rest wait.  Returns a
+        map ``core -> completion cycle``.  A core may appear only once
+        per batch.
+        """
+        pending: List[Tuple[int, int]] = []
+        seen = set()
+        for core, time in requests:
+            self._check(core, time)
+            if core in seen:
+                raise SimulationError(f"core {core} appears twice in one batch")
+            seen.add(core)
+            pending.append((time, core))
+        completions: Dict[int, int] = {}
+        while pending:
+            # The next round starts when the bus is free AND at least
+            # one request has arrived; requests tied at that instant
+            # enter the lottery together.
+            earliest = min(t for t, _c in pending)
+            round_start = max(self._busy_until, earliest)
+            eligible = [i for i, (t, _c) in enumerate(pending) if t <= round_start]
+            if len(eligible) == 1:
+                winner = eligible[0]
+            else:
+                winner = eligible[self._rng.randrange(len(eligible))]
+                self.contended += len(eligible) - 1
+            _arrival, core = pending.pop(winner)
+            self._busy_until = round_start + self.latency
+            completions[core] = self._busy_until
+            self.granted += 1
+        return completions
+
+    # ------------------------------------------------------------------
+    # analysis mode
+    # ------------------------------------------------------------------
+    def worst_case_completion(self, time: int) -> int:
+        """Analysis-time upper bound: lose one round to every other core.
+
+        The request waits ``(num_cores - 1) * latency`` cycles (every
+        competitor is served once) and then occupies the bus for
+        ``latency`` cycles.
+        """
+        if time < 0:
+            raise SimulationError(f"bus request at negative time {time}")
+        return time + self.num_cores * self.latency
+
+    def reset(self) -> None:
+        """Clear occupancy and counters (new run)."""
+        self._busy_until = 0
+        self.granted = 0
+        self.contended = 0
+
+    def __repr__(self) -> str:
+        return f"SharedBus(num_cores={self.num_cores}, latency={self.latency})"

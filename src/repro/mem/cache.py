@@ -1,0 +1,383 @@
+"""Set-associative cache model with pluggable placement and replacement.
+
+One :class:`Cache` class models every cache in the paper's platform:
+
+* the per-core IL1/DL1 (4KB, 4-way, 16B lines, random placement +
+  Evict-on-Miss random replacement);
+* the shared LLC (64KB, 8-way, same policies);
+* time-deterministic variants (modulo placement + LRU) for the TD
+  baseline and ablations.
+
+The model is *content-free*: it tracks which line addresses are
+resident and whether they are dirty, which is everything timing
+analysis needs.  All caches are write-back and write-allocate (the
+paper's setup); a write-through mode is provided for the A2 ablation
+(footnote 5 of the paper).
+
+Two-phase access
+----------------
+EFL must know whether an LLC request would miss *before* allowing the
+eviction to happen (misses stall until the eviction-allowed bit is
+set, hits proceed immediately).  The cache therefore exposes
+:meth:`Cache.probe` — a pure query with no side effects — alongside
+:meth:`Cache.access`, which performs the full hit/miss/evict/fill
+transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.utils.validation import require_power_of_two
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Size/shape of a cache.
+
+    Parameters mirror the paper's tables: total size in bytes,
+    line size in bytes and associativity (ways).  The number of sets is
+    derived and must come out to a positive power of two.
+
+    >>> CacheGeometry(size_bytes=4096, line_size=16, ways=4).num_sets
+    64
+    >>> CacheGeometry(size_bytes=65536, line_size=16, ways=8).num_sets
+    512
+    """
+
+    size_bytes: int
+    line_size: int
+    ways: int
+
+    def __post_init__(self) -> None:
+        require_power_of_two("size_bytes", self.size_bytes)
+        require_power_of_two("line_size", self.line_size)
+        require_power_of_two("ways", self.ways)
+        if self.size_bytes < self.line_size * self.ways:
+            raise ConfigurationError(
+                f"cache of {self.size_bytes}B cannot hold {self.ways} ways "
+                f"of {self.line_size}B lines"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (size / (line_size * ways))."""
+        return self.size_bytes // (self.line_size * self.ways)
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of line frames in the cache."""
+        return self.size_bytes // self.line_size
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """A line evicted from a cache.
+
+    ``dirty`` evictions cost a write-back on the memory path; clean
+    evictions are silent.  ``line`` is ``None`` for *forced* evictions
+    that hit an empty way (the CRG's artificial requests always consume
+    the core's eviction budget even then, but produce no write-back).
+    """
+
+    line: Optional[int]
+    dirty: bool
+
+
+class AccessResult:
+    """Outcome of one cache access.
+
+    A plain slotted class (not a dataclass): one instance is created
+    per demand access on the simulator's hottest path.
+
+    Attributes
+    ----------
+    hit:
+        Whether the requested line was resident.
+    set_index:
+        The set the request mapped to.
+    eviction:
+        The displaced line if the fill replaced a valid line, else
+        ``None``.  Misses into an invalid way evict nothing.
+    """
+
+    __slots__ = ("hit", "set_index", "eviction")
+
+    def __init__(self, hit: bool, set_index: int, eviction: Optional[Eviction]) -> None:
+        self.hit = hit
+        self.set_index = set_index
+        self.eviction = eviction
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessResult(hit={self.hit}, set_index={self.set_index}, "
+            f"eviction={self.eviction})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AccessResult):
+            return NotImplemented
+        return (
+            self.hit == other.hit
+            and self.set_index == other.set_index
+            and self.eviction == other.eviction
+        )
+
+
+class CacheStats:
+    """Running counters for one cache instance."""
+
+    __slots__ = ("hits", "misses", "evictions", "writebacks", "forced_evictions")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+        self.forced_evictions = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total demand accesses (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        """Miss ratio over demand accesses (0.0 if no accesses yet)."""
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, writebacks={self.writebacks})"
+        )
+
+
+class Cache:
+    """A set-associative, write-back, write-allocate cache.
+
+    Parameters
+    ----------
+    geometry:
+        The cache shape (:class:`CacheGeometry`).
+    placement:
+        A placement policy (:class:`~repro.mem.placement.ModuloPlacement`
+        or :class:`~repro.mem.placement.RandomPlacement`); its
+        ``num_sets`` must match the geometry.
+    replacement:
+        A replacement policy (:class:`~repro.mem.replacement.EvictOnMissRandom`
+        or :class:`~repro.mem.replacement.LRUReplacement`).
+    name:
+        Label used in reprs and error messages (e.g. ``"DL1[2]"``).
+    write_back:
+        ``True`` (default) for write-back as in the paper; ``False``
+        models a write-through cache for the A2 ablation, in which case
+        stores never mark lines dirty (every store is forwarded to the
+        next level by the caller).
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        placement,
+        replacement,
+        name: str = "cache",
+        write_back: bool = True,
+    ) -> None:
+        if placement.num_sets != geometry.num_sets:
+            raise ConfigurationError(
+                f"{name}: placement covers {placement.num_sets} sets but the "
+                f"geometry has {geometry.num_sets}"
+            )
+        self.geometry = geometry
+        self.placement = placement
+        self.replacement = replacement
+        self.name = name
+        self.write_back = write_back
+        self.stats = CacheStats()
+        replacement.attach(geometry.num_sets, geometry.ways)
+        ways = geometry.ways
+        self._tags = [[None] * ways for _ in range(geometry.num_sets)]
+        self._dirty = [[False] * ways for _ in range(geometry.num_sets)]
+        self._all_ways: Tuple[int, ...] = tuple(range(ways))
+        # EoM replacement is stateless: hits and fills need no policy
+        # callback, which the hot access path exploits.
+        self._stateless_repl = bool(getattr(replacement, "is_randomised", False))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def set_of(self, line: int) -> int:
+        """Return the set index ``line`` maps to under the current RII."""
+        return self.placement.set_index(line)
+
+    def probe(self, line: int, ways: Optional[Sequence[int]] = None) -> bool:
+        """Return whether ``line`` is resident, without side effects.
+
+        ``ways`` optionally restricts the search to a subset of ways
+        (used by the way-partitioned LLC).  No statistics or
+        replacement metadata are updated.
+        """
+        set_index = self.placement.set_index(line)
+        tags = self._tags[set_index]
+        for way in (ways if ways is not None else self._all_ways):
+            if tags[way] == line:
+                return True
+        return False
+
+    def resident_lines(self) -> set:
+        """Return the set of all line addresses currently resident."""
+        return {
+            tag
+            for set_tags in self._tags
+            for tag in set_tags
+            if tag is not None
+        }
+
+    def occupancy(self) -> int:
+        """Return the number of valid lines currently held."""
+        return sum(
+            1 for set_tags in self._tags for tag in set_tags if tag is not None
+        )
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        line: int,
+        write: bool = False,
+        ways: Optional[Sequence[int]] = None,
+    ) -> AccessResult:
+        """Perform a demand access for ``line``.
+
+        On a hit the replacement policy is notified (a no-op for EoM)
+        and, for write-back caches, a write marks the line dirty.  On a
+        miss the line is allocated (write-allocate), displacing a
+        victim chosen by the replacement policy among ``ways`` (all
+        ways when ``None``).
+
+        Returns an :class:`AccessResult`; the caller charges latencies
+        and propagates the eviction's write-back.
+        """
+        set_index = self.placement.set_index(line)
+        tags = self._tags[set_index]
+        candidates = tuple(ways) if ways is not None else self._all_ways
+        for way in candidates:
+            if tags[way] == line:
+                self.stats.hits += 1
+                if not self._stateless_repl:
+                    self.replacement.on_hit(set_index, way)
+                if write and self.write_back:
+                    self._dirty[set_index][way] = True
+                return AccessResult(True, set_index, None)
+
+        # Miss path: the replacement policy picks the victim way.  EoM
+        # random replacement draws uniformly over the candidate ways
+        # *regardless of validity* — real TR hardware does not special-
+        # case invalid frames, and Equation 1's derivation assumes
+        # every miss performs a victim draw.  (LRU naturally returns
+        # invalid ways first because invalidation demotes them.)
+        self.stats.misses += 1
+        eviction = None
+        target_way = self.replacement.choose_victim(set_index, candidates)
+        victim_line = tags[target_way]
+        if victim_line is not None:
+            victim_dirty = self._dirty[set_index][target_way]
+            eviction = Eviction(line=victim_line, dirty=victim_dirty)
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.writebacks += 1
+        tags[target_way] = line
+        self._dirty[set_index][target_way] = bool(write and self.write_back)
+        if not self._stateless_repl:
+            self.replacement.on_fill(set_index, target_way)
+        return AccessResult(False, set_index, eviction)
+
+    def force_eviction(self, set_index: int, ways: Optional[Sequence[int]] = None) -> Eviction:
+        """Evict the replacement policy's victim from ``set_index``.
+
+        This implements the CRG's artificial force-miss requests
+        (§3.5): the request behaves like a miss — it consumes an
+        eviction slot and displaces a line — but allocates nothing
+        (there is no real data behind it, the line frame is simply
+        invalidated).  If the chosen way is invalid the eviction is
+        recorded but displaces nothing.
+        """
+        if not 0 <= set_index < self.geometry.num_sets:
+            raise SimulationError(
+                f"{self.name}: set index {set_index} out of range"
+            )
+        candidates = tuple(ways) if ways is not None else self._all_ways
+        way = self.replacement.choose_victim(set_index, candidates)
+        victim_line = self._tags[set_index][way]
+        victim_dirty = self._dirty[set_index][way]
+        self.stats.forced_evictions += 1
+        if victim_line is not None:
+            self._tags[set_index][way] = None
+            self._dirty[set_index][way] = False
+            self.replacement.on_invalidate(set_index, way)
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.writebacks += 1
+        return Eviction(line=victim_line, dirty=victim_dirty)
+
+    def invalidate(self, line: int) -> Optional[Eviction]:
+        """Remove ``line`` if resident; return its eviction record."""
+        set_index = self.placement.set_index(line)
+        tags = self._tags[set_index]
+        for way in self._all_ways:
+            if tags[way] == line:
+                dirty = self._dirty[set_index][way]
+                tags[way] = None
+                self._dirty[set_index][way] = False
+                self.replacement.on_invalidate(set_index, way)
+                if dirty:
+                    self.stats.writebacks += 1
+                return Eviction(line=line, dirty=dirty)
+        return None
+
+    def flush(self) -> list:
+        """Invalidate everything; return the dirty lines written back."""
+        written_back = []
+        for set_index in range(self.geometry.num_sets):
+            tags = self._tags[set_index]
+            dirties = self._dirty[set_index]
+            for way in self._all_ways:
+                if tags[way] is not None:
+                    if dirties[way]:
+                        written_back.append(Eviction(line=tags[way], dirty=True))
+                        self.stats.writebacks += 1
+                    tags[way] = None
+                    dirties[way] = False
+                    self.replacement.on_invalidate(set_index, way)
+        return written_back
+
+    def new_rii(self, rii: int) -> list:
+        """Install a new RII on a random-placement cache and flush.
+
+        Returns the write-backs produced by the flush.  Raises
+        :class:`~repro.errors.ConfigurationError` when called on a
+        modulo-placement cache, which has no RII.
+        """
+        if not getattr(self.placement, "is_randomised", False):
+            raise ConfigurationError(
+                f"{self.name}: new_rii() on non-randomised placement"
+            )
+        written_back = self.flush()
+        self.placement.set_rii(rii)
+        return written_back
+
+    def __repr__(self) -> str:
+        g = self.geometry
+        return (
+            f"Cache({self.name!r}, {g.size_bytes}B, {g.ways}-way, "
+            f"{g.line_size}B lines, {self.placement!r}, {self.replacement!r})"
+        )

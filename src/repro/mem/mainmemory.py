@@ -1,0 +1,47 @@
+"""Main-memory model: a fixed-latency backing store.
+
+The paper's platform uses a 100-cycle memory latency behind an
+analysable memory controller.  The memory itself is timing-wise a
+constant-latency device; all the interesting contention behaviour
+lives in :mod:`repro.mem.memctrl`.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import require_positive_int
+
+
+class MainMemory:
+    """Constant-latency main memory.
+
+    Tracks demand-read and write-back counts so experiments can report
+    memory traffic.
+    """
+
+    def __init__(self, latency: int = 100) -> None:
+        self.latency = require_positive_int("latency", latency)
+        self.reads = 0
+        self.writes = 0
+
+    def read(self) -> int:
+        """Serve a line fill; returns the access latency in cycles."""
+        self.reads += 1
+        return self.latency
+
+    def write(self) -> int:
+        """Absorb a write-back; returns the access latency in cycles.
+
+        Write-backs are posted (they do not stall the requesting core)
+        but they occupy the memory controller, which is accounted for
+        by the controller model.
+        """
+        self.writes += 1
+        return self.latency
+
+    def reset(self) -> None:
+        """Zero the traffic counters (new run)."""
+        self.reads = 0
+        self.writes = 0
+
+    def __repr__(self) -> str:
+        return f"MainMemory(latency={self.latency})"

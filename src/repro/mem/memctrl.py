@@ -1,0 +1,138 @@
+"""Analysable memory controller (after Paolieri et al., ESL 2009).
+
+Reference [25] of the paper proposes a memory controller for hard
+real-time CMPs whose key property is a *per-request upper bound* on the
+delay that requests from other cores can inflict: with ``N`` cores and
+a worst-case memory service time ``L``, a demand request waits at most
+``(N - 1) * L`` cycles before being served (round-robin among the
+cores, one outstanding request each).  This makes memory-side
+interference time-composable: the bound holds whatever the co-runners
+do, so it can be charged at analysis time once and for all.
+
+The deployment model here keeps that contract:
+
+* **demand reads** queue on the channel, but their queueing delay is
+  capped at the round-robin bound ``(N - 1) * L`` — the fairness the
+  real controller enforces in hardware (our single ``busy_until``
+  serialisation is otherwise FCFS, which would let backlog from a
+  memory-hog co-runner accumulate unboundedly and break the bound);
+* **write-backs** are posted into a write buffer and drain
+  opportunistically with read priority, as real-time controllers do —
+  they never delay demand reads.  (If they shared the channel
+  naively, a streaming co-runner's write-backs would saturate it and,
+  again, break the composable bound.)
+
+Analysis mode charges every read the full worst case
+``(N - 1) * L + L`` (see :mod:`repro.sim.memorypath`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.mem.mainmemory import MainMemory
+from repro.utils.validation import require_positive_int
+
+
+class AnalysableMemoryController:
+    """Single-channel memory controller with a composable WCD bound.
+
+    Parameters
+    ----------
+    num_cores:
+        Number of requestors sharing the channel.
+    memory:
+        The backing :class:`~repro.mem.mainmemory.MainMemory`.
+    """
+
+    def __init__(self, num_cores: int, memory: MainMemory) -> None:
+        self.num_cores = require_positive_int("num_cores", num_cores)
+        self.memory = memory
+        self._busy_until = 0
+        self.requests = 0
+        self.queued = 0
+        self.posted_writes = 0
+
+    @property
+    def worst_case_wait(self) -> int:
+        """The round-robin interference bound: (N - 1) * L cycles."""
+        return (self.num_cores - 1) * self.memory.latency
+
+    # ------------------------------------------------------------------
+    # deployment mode
+    # ------------------------------------------------------------------
+    def read(self, core: int, time: int) -> int:
+        """Serve a demand fill arriving at ``time``; return completion cycle.
+
+        The start is delayed by current channel occupancy but never by
+        more than the round-robin bound — each other core can have at
+        most one request in front of this one.
+        """
+        self._check(core, time)
+        self.requests += 1
+        start = time if time >= self._busy_until else self._busy_until
+        capped = time + self.worst_case_wait
+        if start > capped:
+            start = capped
+        if start > time:
+            self.queued += 1
+        service = self.memory.read()
+        self._busy_until = start + service
+        return self._busy_until
+
+    def write_back(self, core: int, time: int) -> int:
+        """Post a write-back arriving at ``time``; return its drain cycle.
+
+        Posted writes park in the write buffer and drain behind the
+        current channel occupancy; they do **not** extend the occupancy
+        demand reads see (read priority).  The requesting core never
+        waits for the returned completion.
+        """
+        self._check(core, time)
+        self.requests += 1
+        self.posted_writes += 1
+        service = self.memory.write()
+        start = time if time >= self._busy_until else self._busy_until
+        return start + service
+
+    def _check(self, core: int, time: int) -> None:
+        if not 0 <= core < self.num_cores:
+            raise SimulationError(f"memory request from unknown core {core}")
+        if time < 0:
+            raise SimulationError(f"memory request at negative time {time}")
+
+    # ------------------------------------------------------------------
+    # analysis mode
+    # ------------------------------------------------------------------
+    def worst_case_completion(self, time: int) -> int:
+        """Charge the composable worst case: wait for N-1 rounds, then serve.
+
+        The returned completion time is ``time + N * L`` where ``L`` is
+        the memory latency — the bound of [25] that deployment-mode
+        :meth:`read` respects by construction.
+        """
+        self.requests += 1
+        self.memory.reads += 1
+        return time + self.num_cores * self.memory.latency
+
+    def worst_case_writeback(self, time: int) -> int:
+        """Analysis-time accounting for a posted write-back.
+
+        Posted writes do not stall the analysed core, and with read
+        priority they do not delay its demand reads either, so they
+        add no latency at analysis time.
+        """
+        self.memory.writes += 1
+        return time
+
+    def reset(self) -> None:
+        """Clear occupancy and counters (new run)."""
+        self._busy_until = 0
+        self.requests = 0
+        self.queued = 0
+        self.posted_writes = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"AnalysableMemoryController(num_cores={self.num_cores}, "
+            f"memory={self.memory!r})"
+        )

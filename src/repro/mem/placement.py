@@ -1,0 +1,98 @@
+"""Cache placement policies: modulo (TD) and random parametric hash (TR).
+
+Placement decides the *set* an address maps to.  The distinction
+between the two policies is the heart of the paper:
+
+* **Modulo placement** (time-deterministic): the set is a fixed
+  function of the address bits.  Two tasks interfere only if their
+  addresses collide in a set — which depends on memory layout, making
+  inter-task interference layout-dependent and hard to bound.
+* **Random placement** (time-randomised, after Kosmidis et al. [15]):
+  a parametric hash of the address and a per-execution random index
+  identifier (RII) picks the set.  Changing the RII re-randomises the
+  whole layout, which removes the dependence between addresses and
+  sets; interference then depends only on *how often* co-runners evict,
+  which is exactly what EFL controls.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.utils.hashing import ParametricHash
+from repro.utils.validation import require_non_negative_int, require_positive_int
+
+
+class ModuloPlacement:
+    """Time-deterministic placement: ``set = line_address mod num_sets``."""
+
+    is_randomised = False
+
+    def __init__(self, num_sets: int) -> None:
+        self.num_sets = require_positive_int("num_sets", num_sets)
+
+    def set_index(self, line_addr: int) -> int:
+        """Return the set for ``line_addr``."""
+        return line_addr % self.num_sets
+
+    def __repr__(self) -> str:
+        return f"ModuloPlacement(num_sets={self.num_sets})"
+
+
+class RandomPlacement:
+    """Time-randomised placement via a parametric hash and an RII.
+
+    The RII is expected to change at execution boundaries (per run); the
+    cache owning this policy must be flushed when that happens, which
+    :meth:`repro.mem.cache.Cache.new_rii` takes care of.
+
+    >>> p = RandomPlacement(64, rii=12345)
+    >>> p.set_index(100) == p.set_index(100)
+    True
+    """
+
+    is_randomised = True
+
+    def __init__(self, num_sets: int, rii: int = 0) -> None:
+        self._hash = ParametricHash(require_positive_int("num_sets", num_sets))
+        self.num_sets = num_sets
+        self.rii = require_non_negative_int("rii", rii)
+
+    def set_index(self, line_addr: int) -> int:
+        """Return the set for ``line_addr`` under the current RII.
+
+        The parametric-hash computation is inlined here (identical to
+        :meth:`repro.utils.hashing.ParametricHash.set_index`, which the
+        tests assert) because this is the hottest function in the whole
+        simulator.
+        """
+        key = (line_addr * 0x9E3779B97F4A7C15 + self.rii * 0xC2B2AE3D27D4EB4F) \
+            & 0xFFFFFFFFFFFFFFFF
+        z = (key ^ (key >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+        return ((z ^ (z >> 31)) * self.num_sets) >> 64
+
+    def set_rii(self, rii: int) -> None:
+        """Install a new random index identifier.
+
+        The owning cache is responsible for flushing its contents: after
+        an RII change the old contents sit in sets the new mapping will
+        never look in, so keeping them would break consistency (the
+        scenario §3.2 of the paper calls out).
+        """
+        self.rii = require_non_negative_int("rii", rii)
+
+    def __repr__(self) -> str:
+        return f"RandomPlacement(num_sets={self.num_sets}, rii={self.rii})"
+
+
+def make_placement(kind: str, num_sets: int, rii: int = 0):
+    """Factory mapping a policy name to a placement instance.
+
+    ``kind`` is ``"modulo"`` or ``"random"``; anything else raises
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    if kind == "modulo":
+        return ModuloPlacement(num_sets)
+    if kind == "random":
+        return RandomPlacement(num_sets, rii)
+    raise ConfigurationError(f"unknown placement kind {kind!r}")

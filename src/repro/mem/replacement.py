@@ -1,0 +1,140 @@
+"""Cache replacement policies: Evict-on-Miss random (TR) and LRU (TD).
+
+Replacement decides the *way* a new line occupies within its set.
+
+* **Evict-on-Miss (EoM) random replacement** is the policy the paper's
+  analysis depends on.  It is *stateless*: a hit changes nothing, and
+  on a miss the victim way is drawn uniformly at random.  Statelessness
+  is what makes eviction *frequency* the only channel through which
+  co-runners can disturb a task (§3.3), which in turn is what EFL
+  throttles.
+* **LRU** is the conventional time-deterministic policy, provided as a
+  substrate for the TD baseline discussions and the A3 ablation.  Hits
+  *do* mutate its recency stack, so co-runner hits already perturb
+  state — one reason TD shared caches are so hard to analyse.
+
+A policy instance manages the metadata for every set of one cache; the
+cache calls ``on_fill``/``on_hit``/``choose_victim`` with the set index
+and way, restricted to an explicit tuple of candidate ways so the same
+policies serve way-partitioned caches unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.utils.rng import MultiplyWithCarry
+from repro.utils.validation import require_positive_int
+
+
+class EvictOnMissRandom:
+    """Stateless random replacement (Evict-on-Miss).
+
+    Parameters
+    ----------
+    rng:
+        The hardware PRNG to draw victims from.  Real TR caches embed
+        an MWC PRNG for exactly this purpose (§3.5).
+    """
+
+    is_randomised = True
+
+    def __init__(self, rng: MultiplyWithCarry) -> None:
+        self._rng = rng
+
+    def attach(self, num_sets: int, num_ways: int) -> None:
+        """Called by the owning cache; EoM keeps no per-set state."""
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        """Hits do not alter any replacement state under EoM."""
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        """Fills do not create replacement state under EoM."""
+
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        """Invalidations do not alter replacement state under EoM."""
+
+    def choose_victim(self, set_index: int, candidate_ways: Sequence[int]) -> int:
+        """Return a victim way drawn uniformly from ``candidate_ways``."""
+        if not candidate_ways:
+            raise SimulationError("choose_victim called with no candidate ways")
+        if len(candidate_ways) == 1:
+            return candidate_ways[0]
+        return candidate_ways[self._rng.randrange(len(candidate_ways))]
+
+    def __repr__(self) -> str:
+        return "EvictOnMissRandom()"
+
+
+class LRUReplacement:
+    """Least-recently-used replacement (time-deterministic baseline).
+
+    Keeps, per set, a list of ways ordered from most- to
+    least-recently used.  ``choose_victim`` returns the least recently
+    used way among the candidates.
+    """
+
+    is_randomised = False
+
+    def __init__(self) -> None:
+        self._recency = None  # type: list | None
+
+    def attach(self, num_sets: int, num_ways: int) -> None:
+        """Allocate the per-set recency stacks."""
+        require_positive_int("num_sets", num_sets)
+        require_positive_int("num_ways", num_ways)
+        self._recency = [list(range(num_ways)) for _ in range(num_sets)]
+
+    def _stack(self, set_index: int) -> list:
+        if self._recency is None:
+            raise SimulationError("LRUReplacement used before attach()")
+        return self._recency[set_index]
+
+    def _touch(self, set_index: int, way: int) -> None:
+        stack = self._stack(set_index)
+        stack.remove(way)
+        stack.insert(0, way)
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        """Move the hit way to the most-recently-used position."""
+        self._touch(set_index, way)
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        """A freshly filled line becomes the most recently used."""
+        self._touch(set_index, way)
+
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        """Demote an invalidated way to least-recently-used."""
+        stack = self._stack(set_index)
+        stack.remove(way)
+        stack.append(way)
+
+    def choose_victim(self, set_index: int, candidate_ways: Sequence[int]) -> int:
+        """Return the least-recently-used way among ``candidate_ways``."""
+        if not candidate_ways:
+            raise SimulationError("choose_victim called with no candidate ways")
+        allowed = set(candidate_ways)
+        for way in reversed(self._stack(set_index)):
+            if way in allowed:
+                return way
+        raise SimulationError(
+            f"candidate ways {candidate_ways!r} not present in set {set_index}"
+        )
+
+    def __repr__(self) -> str:
+        return "LRUReplacement()"
+
+
+def make_replacement(kind: str, rng: MultiplyWithCarry = None):
+    """Factory mapping a policy name to a replacement instance.
+
+    ``kind`` is ``"eom"`` (requires ``rng``) or ``"lru"``.
+    """
+    if kind == "eom":
+        if rng is None:
+            raise ConfigurationError("EoM random replacement requires a PRNG")
+        return EvictOnMissRandom(rng)
+    if kind == "lru":
+        return LRUReplacement()
+    raise ConfigurationError(f"unknown replacement kind {kind!r}")

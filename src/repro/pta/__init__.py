@@ -1,0 +1,53 @@
+"""Probabilistic Timing Analysis toolkit.
+
+Implements the measurement-based PTA (MBPTA) machinery of §2.1 of the
+paper:
+
+* :mod:`repro.pta.etp` — Execution Time Profiles: the discrete
+  latency/probability distributions PTA attaches to instructions;
+* :mod:`repro.pta.eq1` — the paper's Equation 1: the analytical miss
+  probability of an access in a time-randomised EoM cache;
+* :mod:`repro.pta.evt` — Extreme Value Theory: Gumbel tail fitting and
+  pWCET estimation at arbitrarily low exceedance probabilities;
+* :mod:`repro.pta.iid` — Wald-Wolfowitz and Kolmogorov-Smirnov tests
+  for the i.i.d. hypotheses MBPTA requires;
+* :mod:`repro.pta.mbpta` — the end-to-end MBPTA procedure tying the
+  above together over a sample of execution times.
+"""
+
+from repro.pta.etp import ExecutionTimeProfile
+from repro.pta.eq1 import (
+    miss_probability,
+    miss_probability_exact,
+    sequence_miss_probabilities,
+    steady_state_miss_ratio,
+)
+from repro.pta.evt import GumbelFit, block_maxima, fit_gumbel_pwm, pwcet_estimate
+from repro.pta.iid import IIDResult, kolmogorov_smirnov_test, wald_wolfowitz_test, iid_test
+from repro.pta.mbpta import MBPTAResult, estimate_pwcet
+from repro.pta.spta import (
+    access_miss_probabilities,
+    reuse_distances,
+    static_pwcet,
+)
+
+__all__ = [
+    "ExecutionTimeProfile",
+    "miss_probability",
+    "miss_probability_exact",
+    "sequence_miss_probabilities",
+    "steady_state_miss_ratio",
+    "GumbelFit",
+    "block_maxima",
+    "fit_gumbel_pwm",
+    "pwcet_estimate",
+    "IIDResult",
+    "wald_wolfowitz_test",
+    "kolmogorov_smirnov_test",
+    "iid_test",
+    "MBPTAResult",
+    "estimate_pwcet",
+    "reuse_distances",
+    "access_miss_probabilities",
+    "static_pwcet",
+]

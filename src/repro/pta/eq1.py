@@ -1,0 +1,178 @@
+"""Analytical miss-probability models for TR Evict-on-Miss caches.
+
+Three models of increasing fidelity, all for random-placement,
+random-replacement (Evict-on-Miss) caches with ``S`` sets and ``W``
+ways:
+
+1. :func:`miss_probability` — **the paper's Equation 1 as published**::
+
+       P_miss(A_j) = (1 - ((W-1)/W) ** sum_l P_miss(B_l))
+                     * (1 - ((S-1)/S) ** k)
+
+   for the sequence ``<A_i, B_1..B_k, A_j>`` from an empty cache with
+   distinct ``B_l``.  Exact for the fully-associative (``S == 1``) and
+   direct-mapped (``W == 1``) corners, but — as the paper itself notes
+   — an *approximation* in general; the product form double-counts
+   (the first factor charges every eviction against A's way even when
+   it lands in a different set), so it over-predicts for set-associative
+   shapes.  The E5 benchmark quantifies this against simulation.
+
+2. :func:`miss_probability_exact` — the exact value for the same
+   scenario under independent uniform placement: each interfering miss
+   evicts ``A`` with probability ``p_l / (S * W)`` (it must land in
+   A's set *and* the random victim must be A's way)::
+
+       P_miss(A_j) = 1 - prod_l (1 - P_miss(B_l) / (S * W))
+
+   This reduces to the same corner cases and matches simulation.
+
+3. :func:`steady_state_miss_ratio` — the long-run miss ratio of a
+   repeatedly swept working set, from the Poisson-overflow view of
+   random placement: with ``n`` lines hashed into ``S`` sets the
+   per-set occupancy is ~Poisson(``n/S``); lines in sets holding more
+   than ``W`` lines churn every sweep, the rest settle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.errors import AnalysisError
+from repro.utils.validation import require_positive_int
+
+
+def _validated(num_sets: int, num_ways: int, probs: Sequence[float]) -> float:
+    require_positive_int("num_sets", num_sets)
+    require_positive_int("num_ways", num_ways)
+    total = 0.0
+    for prob in probs:
+        if not 0.0 <= prob <= 1.0:
+            raise AnalysisError(f"miss probability {prob} not in [0, 1]")
+        total += prob
+    return total
+
+
+def miss_probability(
+    num_sets: int, num_ways: int, interfering_miss_probs: Sequence[float]
+) -> float:
+    """The paper's Equation 1, exactly as published.
+
+    Parameters
+    ----------
+    num_sets, num_ways:
+        Cache organisation ``S`` and ``W``.
+    interfering_miss_probs:
+        ``P_miss(B_l)`` for each of the ``k`` distinct lines accessed
+        between the two accesses to A (the reuse distance is ``k``).
+
+    >>> round(miss_probability(1, 4, [1.0, 1.0]), 4)  # fully associative
+    0.4375
+    >>> miss_probability(64, 8, [])  # immediate reuse never misses
+    0.0
+    """
+    expected_evictions = _validated(num_sets, num_ways, interfering_miss_probs)
+    k = len(interfering_miss_probs)
+
+    if num_ways == 1:
+        replacement_term = 0.0 if expected_evictions == 0 else 1.0
+    else:
+        replacement_term = 1.0 - ((num_ways - 1) / num_ways) ** expected_evictions
+    if num_sets == 1:
+        placement_term = 0.0 if k == 0 else 1.0
+    else:
+        placement_term = 1.0 - ((num_sets - 1) / num_sets) ** k
+    return replacement_term * placement_term
+
+
+def miss_probability_exact(
+    num_sets: int, num_ways: int, interfering_miss_probs: Sequence[float]
+) -> float:
+    """Exact miss probability for Equation 1's scenario.
+
+    Each interfering access, when it misses (probability ``p_l``),
+    picks A's set with probability ``1/S`` (independent uniform
+    placement) and then the EoM victim draw picks A's way with
+    probability ``1/W``; survival events are independent across the
+    distinct ``B_l``.
+
+    >>> miss_probability_exact(1, 4, [1.0, 1.0]) == 1 - (3/4) ** 2
+    True
+    """
+    _validated(num_sets, num_ways, interfering_miss_probs)
+    survive = 1.0
+    kill = 1.0 / (num_sets * num_ways)
+    for prob in interfering_miss_probs:
+        survive *= 1.0 - prob * kill
+    return 1.0 - survive
+
+
+def poisson_overflow_fraction(load: float, ways: int) -> float:
+    """Expected overflowing-line fraction of a random-placement cache.
+
+    With per-set occupancy ``X ~ Poisson(load)`` and ``ways`` frames
+    per set, the expected number of lines beyond capacity in one set is
+    ``E[max(X - ways, 0)]``; dividing by ``load`` gives the fraction of
+    the working set that cannot settle.  This is the quantity that
+    makes low-associativity partitions (CP1/CP2) churn under random
+    placement even when nominal capacity suffices.
+    """
+    if load < 0:
+        raise AnalysisError(f"load must be non-negative, got {load}")
+    require_positive_int("ways", ways)
+    if load == 0.0:
+        return 0.0
+    # E[max(X - W, 0)] = load - W + sum_{k<W} (W - k) P(X = k).
+    term = 0.0
+    p_k = math.exp(-load)
+    for k in range(ways):
+        term += (ways - k) * p_k
+        p_k *= load / (k + 1)
+    expected_overflow = load - ways + term
+    return max(expected_overflow, 0.0) / load
+
+
+def steady_state_miss_ratio(
+    num_sets: int, num_ways: int, working_set: int
+) -> float:
+    """Long-run per-sweep miss ratio of a cyclically swept working set.
+
+    Lines in overflowing sets (Poisson model) churn once per sweep;
+    settled lines hit.  A good predictor of the simulator's measured
+    steady-state miss ratios (asserted by the tests and bench E5).
+    """
+    require_positive_int("num_sets", num_sets)
+    require_positive_int("num_ways", num_ways)
+    require_positive_int("working_set", working_set)
+    load = working_set / num_sets
+    return poisson_overflow_fraction(load, num_ways)
+
+
+def sequence_miss_probabilities(
+    num_sets: int,
+    num_ways: int,
+    working_set: int,
+    sweeps: int,
+) -> List[float]:
+    """Per-sweep miss probability for round-robin reuse of a working set.
+
+    Sweep 0 is cold (probability 1); later sweeps miss at the
+    steady-state churn rate of :func:`steady_state_miss_ratio`.
+
+    Returns a list of ``sweeps`` probabilities (sweep 0 first).
+    """
+    require_positive_int("sweeps", sweeps)
+    steady = steady_state_miss_ratio(num_sets, num_ways, working_set)
+    return [1.0] + [steady] * (sweeps - 1)
+
+
+def expected_miss_ratio(
+    num_sets: int, num_ways: int, working_set: int, sweeps: int
+) -> float:
+    """Average miss ratio over ``sweeps`` round-robin sweeps.
+
+    Cold first sweep plus steady-state churn afterwards; the E5
+    benchmark compares this against the simulated TR cache.
+    """
+    probs = sequence_miss_probabilities(num_sets, num_ways, working_set, sweeps)
+    return sum(probs) / len(probs)

@@ -1,0 +1,183 @@
+"""Execution Time Profiles (ETPs).
+
+PTA represents the probabilistic timing of one dynamic instruction as
+an ETP — a pair of vectors ``(latencies, probabilities)`` describing a
+discrete random variable (§2.1 of the paper).  ETPs compose:
+
+* the ETP of a *sequence* of independent instructions is the
+  convolution of their ETPs;
+* a probabilistic choice between behaviours (e.g. hit vs miss) is a
+  mixture.
+
+These operations let tests verify the simulator's timing distributions
+against closed-form expectations, and make the Equation 1 model
+(:mod:`repro.pta.eq1`) executable end-to-end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.errors import AnalysisError
+
+_PROB_TOLERANCE = 1e-9
+
+
+class ExecutionTimeProfile:
+    """A discrete latency distribution ``{latency: probability}``.
+
+    Probabilities must sum to 1 (within tolerance).  Instances are
+    immutable; all operations return new profiles.
+
+    >>> hit_or_miss = ExecutionTimeProfile({1: 0.9, 100: 0.1})
+    >>> round(hit_or_miss.mean(), 2)
+    10.9
+    """
+
+    __slots__ = ("_dist",)
+
+    def __init__(self, distribution: Dict[int, float]) -> None:
+        if not distribution:
+            raise AnalysisError("an ETP needs at least one latency")
+        total = 0.0
+        clean: Dict[int, float] = {}
+        for latency, prob in distribution.items():
+            if latency < 0:
+                raise AnalysisError(f"negative latency {latency}")
+            if prob < -_PROB_TOLERANCE:
+                raise AnalysisError(f"negative probability {prob} for latency {latency}")
+            if prob <= 0.0:
+                continue
+            clean[latency] = clean.get(latency, 0.0) + prob
+            total += prob
+        if abs(total - 1.0) > 1e-6:
+            raise AnalysisError(f"ETP probabilities sum to {total}, expected 1")
+        # Renormalise away accumulated float error.
+        self._dist = {lat: prob / total for lat, prob in sorted(clean.items())}
+
+    @classmethod
+    def deterministic(cls, latency: int) -> "ExecutionTimeProfile":
+        """ETP of a fixed-latency instruction."""
+        return cls({latency: 1.0})
+
+    @classmethod
+    def hit_miss(
+        cls, hit_latency: int, miss_latency: int, miss_probability: float
+    ) -> "ExecutionTimeProfile":
+        """ETP of a cache access with the given miss probability."""
+        if not 0.0 <= miss_probability <= 1.0:
+            raise AnalysisError(f"miss probability {miss_probability} not in [0, 1]")
+        if miss_probability == 0.0:
+            return cls.deterministic(hit_latency)
+        if miss_probability == 1.0:
+            return cls.deterministic(miss_latency)
+        return cls(
+            {hit_latency: 1.0 - miss_probability, miss_latency: miss_probability}
+        )
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def latencies(self) -> Tuple[int, ...]:
+        """Sorted support of the distribution."""
+        return tuple(self._dist.keys())
+
+    @property
+    def probabilities(self) -> Tuple[float, ...]:
+        """Probabilities aligned with :attr:`latencies`."""
+        return tuple(self._dist.values())
+
+    def probability_of(self, latency: int) -> float:
+        """P(X == latency)."""
+        return self._dist.get(latency, 0.0)
+
+    def mean(self) -> float:
+        """Expected latency."""
+        return sum(lat * prob for lat, prob in self._dist.items())
+
+    def variance(self) -> float:
+        """Variance of the latency."""
+        mean = self.mean()
+        return sum(prob * (lat - mean) ** 2 for lat, prob in self._dist.items())
+
+    def exceedance(self, threshold: float) -> float:
+        """P(X > threshold) — one point of the CCDF."""
+        return sum(prob for lat, prob in self._dist.items() if lat > threshold)
+
+    def quantile(self, p: float) -> int:
+        """Smallest latency ``x`` with ``P(X <= x) >= p``."""
+        if not 0.0 <= p <= 1.0:
+            raise AnalysisError(f"quantile level {p} not in [0, 1]")
+        cumulative = 0.0
+        last = 0
+        for lat, prob in self._dist.items():
+            cumulative += prob
+            last = lat
+            if cumulative >= p - _PROB_TOLERANCE:
+                return lat
+        return last
+
+    # ------------------------------------------------------------------
+    # composition
+    # ------------------------------------------------------------------
+    def convolve(self, other: "ExecutionTimeProfile") -> "ExecutionTimeProfile":
+        """ETP of this instruction followed by an independent ``other``."""
+        result: Dict[int, float] = {}
+        for lat_a, p_a in self._dist.items():
+            for lat_b, p_b in other._dist.items():
+                key = lat_a + lat_b
+                result[key] = result.get(key, 0.0) + p_a * p_b
+        return ExecutionTimeProfile(result)
+
+    def __add__(self, other: "ExecutionTimeProfile") -> "ExecutionTimeProfile":
+        return self.convolve(other)
+
+    @staticmethod
+    def sequence(profiles: Iterable["ExecutionTimeProfile"]) -> "ExecutionTimeProfile":
+        """Convolution of a whole instruction sequence."""
+        result = None
+        for profile in profiles:
+            result = profile if result is None else result.convolve(profile)
+        if result is None:
+            raise AnalysisError("cannot compose an empty sequence of ETPs")
+        return result
+
+    @staticmethod
+    def mixture(
+        branches: Sequence[Tuple[float, "ExecutionTimeProfile"]]
+    ) -> "ExecutionTimeProfile":
+        """Probabilistic choice: ``branches`` are (weight, profile) pairs.
+
+        Weights must sum to 1; models control-flow divergence or any
+        discrete random selection between timing behaviours.
+        """
+        if not branches:
+            raise AnalysisError("mixture needs at least one branch")
+        total_weight = sum(weight for weight, _profile in branches)
+        if abs(total_weight - 1.0) > 1e-6:
+            raise AnalysisError(f"mixture weights sum to {total_weight}, expected 1")
+        result: Dict[int, float] = {}
+        for weight, profile in branches:
+            if weight < 0:
+                raise AnalysisError(f"negative mixture weight {weight}")
+            for lat, prob in profile._dist.items():
+                result[lat] = result.get(lat, 0.0) + weight * prob
+        return ExecutionTimeProfile(result)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExecutionTimeProfile):
+            return NotImplemented
+        if self.latencies != other.latencies:
+            return False
+        return all(
+            abs(a - b) <= 1e-9
+            for a, b in zip(self.probabilities, other.probabilities)
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.latencies)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{lat}: {prob:.4g}" for lat, prob in self._dist.items())
+        return f"ExecutionTimeProfile({{{pairs}}})"

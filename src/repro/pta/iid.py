@@ -1,0 +1,157 @@
+"""Statistical tests for MBPTA's i.i.d. hypotheses.
+
+MBPTA requires the collected execution times to behave as independent,
+identically distributed random variables.  The paper (§4.2) checks this
+with two standard tests at a 5% significance level:
+
+* the **Wald-Wolfowitz runs test** for independence — the absolute
+  test statistic must stay below 1.96 (the two-sided 5% normal
+  critical value);
+* the **Kolmogorov-Smirnov two-sample test** for identical
+  distribution — the p-value must stay above 0.05.
+
+Both are implemented from first principles (no scipy dependency) with
+the same conventions the MBPTA literature uses: the runs test
+dichotomises about the median (dropping ties), and the KS test compares
+the first and second halves of the observation sequence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.utils.stats_utils import as_sample
+
+#: Two-sided 5% critical value of the standard normal distribution,
+#: the threshold the paper quotes for the WW statistic.
+WW_CRITICAL_5PCT = 1.96
+
+
+@dataclass(frozen=True)
+class RunsTestResult:
+    """Outcome of a Wald-Wolfowitz runs test."""
+
+    statistic: float
+    runs: int
+    n_above: int
+    n_below: int
+
+    def passes(self, critical: float = WW_CRITICAL_5PCT) -> bool:
+        """Independence not rejected at the given critical value."""
+        return abs(self.statistic) < critical
+
+
+@dataclass(frozen=True)
+class KSTestResult:
+    """Outcome of a two-sample Kolmogorov-Smirnov test."""
+
+    statistic: float
+    p_value: float
+
+    def passes(self, alpha: float = 0.05) -> bool:
+        """Identical distribution not rejected at significance ``alpha``."""
+        return self.p_value > alpha
+
+
+@dataclass(frozen=True)
+class IIDResult:
+    """Combined verdict of both tests, as the paper reports them."""
+
+    ww: RunsTestResult
+    ks: KSTestResult
+
+    @property
+    def passed(self) -> bool:
+        """True when neither i.i.d. hypothesis is rejected at 5%."""
+        return self.ww.passes() and self.ks.passes()
+
+
+def wald_wolfowitz_test(sample: Sequence[float]) -> RunsTestResult:
+    """Runs test for independence, dichotomised about the median.
+
+    Observations equal to the median are dropped (the standard
+    treatment of ties).  The statistic is the number of runs,
+    standardised by its null mean and variance; under independence it
+    is asymptotically standard normal.
+    """
+    arr = as_sample(sample)
+    median = float(np.median(arr))
+    signs = [1 if x > median else 0 for x in arr if x != median]
+    n1 = sum(signs)
+    n0 = len(signs) - n1
+    if n1 == 0 or n0 == 0:
+        # Degenerate sample: (nearly) constant execution times, so the
+        # runs statistic is undefined — and a constant sample carries
+        # no evidence against independence.  Report a passing zero
+        # statistic, which is what a perfectly deterministic program
+        # deserves.
+        return RunsTestResult(statistic=0.0, runs=0, n_above=n1, n_below=n0)
+    runs = 1 + sum(1 for a, b in zip(signs, signs[1:]) if a != b)
+    n = n0 + n1
+    mean_runs = 2.0 * n0 * n1 / n + 1.0
+    var_runs = 2.0 * n0 * n1 * (2.0 * n0 * n1 - n) / (n * n * (n - 1.0))
+    if var_runs <= 0.0:
+        raise AnalysisError("runs test variance non-positive (sample too small)")
+    statistic = (runs - mean_runs) / math.sqrt(var_runs)
+    return RunsTestResult(statistic=statistic, runs=runs, n_above=n1, n_below=n0)
+
+
+def _ks_p_value(lam: float) -> float:
+    """Asymptotic Kolmogorov distribution tail ``Q_KS(lambda)``."""
+    if lam <= 0.0:
+        return 1.0
+    total = 0.0
+    for j in range(1, 101):
+        term = 2.0 * (-1.0) ** (j - 1) * math.exp(-2.0 * j * j * lam * lam)
+        total += term
+        if abs(term) < 1e-12:
+            break
+    return min(max(total, 0.0), 1.0)
+
+
+def kolmogorov_smirnov_test(
+    first: Sequence[float], second: Sequence[float]
+) -> KSTestResult:
+    """Two-sample KS test with the asymptotic p-value.
+
+    The statistic is the maximum distance between the two empirical
+    CDFs; the p-value uses the Stephens small-sample correction of the
+    Kolmogorov distribution.
+    """
+    a = np.sort(as_sample(first))
+    b = np.sort(as_sample(second))
+    n1, n2 = a.size, b.size
+    if n1 < 2 or n2 < 2:
+        raise AnalysisError("KS test needs at least 2 observations per sample")
+    values = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, values, side="right") / n1
+    cdf_b = np.searchsorted(b, values, side="right") / n2
+    statistic = float(np.max(np.abs(cdf_a - cdf_b)))
+    n_eff = n1 * n2 / (n1 + n2)
+    lam = (math.sqrt(n_eff) + 0.12 + 0.11 / math.sqrt(n_eff)) * statistic
+    return KSTestResult(statistic=statistic, p_value=_ks_p_value(lam))
+
+
+def iid_test(sample: Sequence[float]) -> IIDResult:
+    """Run both i.i.d. checks on one execution-time sample.
+
+    Independence: WW runs test on the sample in collection order.
+    Identical distribution: KS test between the first and second halves
+    of the collection sequence — if the platform drifted between early
+    and late runs, the halves' distributions would differ.
+    """
+    arr = as_sample(sample)
+    if arr.size < 20:
+        raise AnalysisError(
+            f"i.i.d. testing on {arr.size} observations is meaningless; "
+            f"collect at least 20"
+        )
+    half = arr.size // 2
+    ww = wald_wolfowitz_test(arr)
+    ks = kolmogorov_smirnov_test(arr[:half], arr[half:])
+    return IIDResult(ww=ww, ks=ks)

@@ -1,0 +1,190 @@
+"""Static probabilistic timing analysis (SPTA) for TR caches.
+
+MBPTA (the paper's method) measures; *static* PTA derives the same
+kind of probabilistic guarantees analytically from the reference
+stream.  For time-randomised caches this is tractable precisely
+because of the property §3.2 establishes: every access has a hit/miss
+*probability* determined by its reuse distance and the cache shape —
+not by concrete addresses.
+
+This module implements the standard SPTA pipeline for one
+set-associative TR cache level:
+
+1. :func:`reuse_distances` — per access, the number of distinct lines
+   touched since its previous access to the same line;
+2. :func:`access_miss_probabilities` — a fixed-point iteration of the
+   exact Equation 1 model (:func:`repro.pta.eq1.miss_probability_exact`)
+   over the stream: each access's miss probability depends on the miss
+   probabilities of the distinct lines in its reuse window;
+3. :func:`execution_time_distribution` — the exact Poisson-binomial
+   distribution of total access time under per-access independence,
+   as an :class:`~repro.pta.etp.ExecutionTimeProfile`;
+4. :func:`static_pwcet` — its quantile at an exceedance probability.
+
+The per-access independence assumption makes 3-4 an approximation of
+the simulated cache (dependencies exist through shared victims); the
+tests quantify the gap on sweep workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import AnalysisError
+from repro.pta.eq1 import miss_probability_exact
+from repro.pta.etp import ExecutionTimeProfile
+from repro.utils.validation import require_positive_int
+
+
+def reuse_distances(lines: Sequence[int]) -> List[Optional[int]]:
+    """Per-access reuse distance of a line-address stream.
+
+    The reuse distance of an access is the number of *distinct* lines
+    referenced since the previous access to the same line; ``None``
+    marks cold (first) accesses.
+
+    >>> reuse_distances([1, 2, 3, 1, 1])
+    [None, None, None, 2, 0]
+    """
+    last_position = {}
+    distances: List[Optional[int]] = []
+    for index, line in enumerate(lines):
+        previous = last_position.get(line)
+        if previous is None:
+            distances.append(None)
+        else:
+            window = set(lines[previous + 1:index])
+            window.discard(line)
+            distances.append(len(window))
+        last_position[line] = index
+    return distances
+
+
+def access_miss_probabilities(
+    lines: Sequence[int],
+    num_sets: int,
+    num_ways: int,
+    iterations: int = 3,
+) -> List[float]:
+    """Fixed-point per-access miss probabilities for a TR cache.
+
+    Every access's miss probability is computed from the exact
+    collision model applied to the miss probabilities of the distinct
+    lines inside its reuse window; the mutual dependence is resolved by
+    iterating from the all-miss starting point (which makes every
+    intermediate iterate an upper bound on the next).
+
+    Cold accesses have probability 1 (the analysis assumes an empty
+    cache at start, like the paper's end-to-end runs).
+    """
+    require_positive_int("num_sets", num_sets)
+    require_positive_int("num_ways", num_ways)
+    require_positive_int("iterations", iterations)
+    if not lines:
+        raise AnalysisError("empty access stream")
+
+    last_position = {}
+    windows: List[Optional[List[int]]] = []
+    for index, line in enumerate(lines):
+        previous = last_position.get(line)
+        if previous is None:
+            windows.append(None)
+        else:
+            # Indices of the *latest* access to each distinct line in
+            # the window (that access decides whether the line missed
+            # and hence evicted something).
+            seen = {}
+            for j in range(previous + 1, index):
+                if lines[j] != line:
+                    seen[lines[j]] = j
+            windows.append(list(seen.values()))
+        last_position[line] = index
+
+    probs = [1.0] * len(lines)
+    for _round in range(iterations):
+        updated = list(probs)
+        for index, window in enumerate(windows):
+            if window is None:
+                updated[index] = 1.0
+            else:
+                updated[index] = miss_probability_exact(
+                    num_sets, num_ways, [probs[j] for j in window]
+                )
+        probs = updated
+    return probs
+
+
+def expected_misses(
+    lines: Sequence[int], num_sets: int, num_ways: int, iterations: int = 3
+) -> float:
+    """Expected miss count of the stream (sum of per-access probabilities)."""
+    return sum(access_miss_probabilities(lines, num_sets, num_ways, iterations))
+
+
+def miss_count_distribution(miss_probs: Sequence[float]) -> List[float]:
+    """Poisson-binomial PMF of the total miss count.
+
+    ``result[j]`` is the probability of exactly ``j`` misses, under
+    per-access independence.  O(n^2), fine for the trace sizes SPTA is
+    used on here.
+    """
+    pmf = [1.0]
+    for p in miss_probs:
+        if not 0.0 <= p <= 1.0:
+            raise AnalysisError(f"miss probability {p} not in [0, 1]")
+        nxt = [0.0] * (len(pmf) + 1)
+        for j, mass in enumerate(pmf):
+            nxt[j] += mass * (1.0 - p)
+            nxt[j + 1] += mass * p
+        pmf = nxt
+    return pmf
+
+
+def execution_time_distribution(
+    lines: Sequence[int],
+    num_sets: int,
+    num_ways: int,
+    hit_latency: int,
+    miss_latency: int,
+    iterations: int = 3,
+) -> ExecutionTimeProfile:
+    """Analytical distribution of the stream's total access time.
+
+    Total time = ``n*hit + j*(miss - hit)`` where ``j`` follows the
+    Poisson-binomial miss-count distribution.
+    """
+    require_positive_int("hit_latency", hit_latency)
+    require_positive_int("miss_latency", miss_latency)
+    if miss_latency < hit_latency:
+        raise AnalysisError("miss latency below hit latency")
+    probs = access_miss_probabilities(lines, num_sets, num_ways, iterations)
+    pmf = miss_count_distribution(probs)
+    base = len(lines) * hit_latency
+    delta = miss_latency - hit_latency
+    return ExecutionTimeProfile(
+        {base + j * delta: mass for j, mass in enumerate(pmf) if mass > 0.0}
+    )
+
+
+def static_pwcet(
+    lines: Sequence[int],
+    num_sets: int,
+    num_ways: int,
+    hit_latency: int,
+    miss_latency: int,
+    exceedance_prob: float = 1e-15,
+    iterations: int = 3,
+) -> int:
+    """Static pWCET of the stream at the given exceedance probability.
+
+    The smallest time ``t`` with ``P(total time > t) <= prob`` under
+    the analytical distribution — the SPTA counterpart of the MBPTA
+    estimate :func:`repro.pta.evt.pwcet_estimate` produces from
+    measurements.
+    """
+    if not 0.0 < exceedance_prob < 1.0:
+        raise AnalysisError(f"exceedance probability {exceedance_prob} not in (0, 1)")
+    etp = execution_time_distribution(
+        lines, num_sets, num_ways, hit_latency, miss_latency, iterations
+    )
+    return etp.quantile(1.0 - exceedance_prob)

@@ -1,0 +1,35 @@
+"""Frame-based RTOS substrate: IMA-style scheduling on the platform.
+
+§3.5 of the paper grounds EFL's RII management in Integrated Modular
+Avionics (IMA) and AUTOSAR practice: execution time is split into
+fixed-size frames (MInor Frames grouped into a MAjor Frame), the OS
+schedules tasks into frames, and the LLC's random index identifier is
+updated coordinately at frame boundaries.  §2.2 argues the scheduling
+side of the comparison: cache partitioning constrains which tasks may
+co-run (software partitioning) or forces partition flushes on
+reassignment (hardware partitioning), while EFL imposes no such
+constraints.
+
+This subpackage models that layer:
+
+* :mod:`repro.rtos.frames` — minor/major frame schedules and the RII
+  update protocol;
+* :mod:`repro.rtos.scheduler` — a static cyclic executive placing a
+  task set into frames under either mechanism's constraints, with the
+  partition-flush accounting hardware CP requires.
+"""
+
+from repro.rtos.frames import FrameSchedule, MinorFrame
+from repro.rtos.scheduler import (
+    CyclicExecutive,
+    ScheduleResult,
+    Task,
+)
+
+__all__ = [
+    "MinorFrame",
+    "FrameSchedule",
+    "Task",
+    "CyclicExecutive",
+    "ScheduleResult",
+]

@@ -1,0 +1,132 @@
+"""Minor/major frames and the coordinated RII update protocol.
+
+The paper (§3.5): "Updating the RII of the LLC must occur coordinately
+at program execution boundaries ... Temporal partitioning is achieved
+by splitting execution time into fixed-size time frames ... the OS can
+easily change the RII of the LLC at MIF boundaries, which occur
+coordinately across all cores."
+
+:class:`MinorFrame` is one such time window; :class:`FrameSchedule`
+strings minor frames into a major frame and drives the RII protocol:
+at every minor-frame boundary each core's private caches may take a
+fresh RII independently, while the shared LLC takes one fresh RII for
+everyone (and is flushed, as consistency requires).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import SplitMix64
+from repro.utils.validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class MinorFrame:
+    """One MIF: a fixed time budget and the tasks placed on each core.
+
+    ``assignments`` maps core id -> task name (idle cores absent).
+    """
+
+    index: int
+    budget_cycles: int
+    assignments: Dict[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        require_positive_int("budget_cycles", self.budget_cycles)
+        if self.index < 0:
+            raise ConfigurationError(f"negative frame index {self.index}")
+        for core in self.assignments:
+            if core < 0:
+                raise ConfigurationError(f"negative core id {core}")
+
+    @property
+    def tasks(self) -> Tuple[str, ...]:
+        """Task names running in this frame, by core order."""
+        return tuple(self.assignments[c] for c in sorted(self.assignments))
+
+    def core_of(self, task: str) -> int:
+        """Core the named task runs on in this frame."""
+        for core, name in self.assignments.items():
+            if name == task:
+                return core
+        raise ConfigurationError(f"task {task!r} not scheduled in frame {self.index}")
+
+
+class FrameSchedule:
+    """A major frame: an ordered sequence of minor frames plus RII plumbing.
+
+    Parameters
+    ----------
+    frames:
+        The minor frames, in execution order.
+    rii_seed:
+        Seed of the RII generator the OS uses at frame boundaries.
+    """
+
+    def __init__(self, frames: Sequence[MinorFrame], rii_seed: int = 0) -> None:
+        if not frames:
+            raise ConfigurationError("a major frame needs at least one MIF")
+        for expected, frame in enumerate(frames):
+            if frame.index != expected:
+                raise ConfigurationError(
+                    f"frame indices must be consecutive from 0; frame "
+                    f"{expected} has index {frame.index}"
+                )
+        self.frames: List[MinorFrame] = list(frames)
+        self._rii_stream = SplitMix64(rii_seed)
+        self.rii_updates = 0
+
+    @property
+    def major_frame_cycles(self) -> int:
+        """Total budget of the major frame."""
+        return sum(frame.budget_cycles for frame in self.frames)
+
+    def next_llc_rii(self) -> int:
+        """Draw the coordinated LLC RII for the next minor frame.
+
+        One value per boundary, shared by all cores — the coordination
+        §3.5 requires (a per-core LLC RII would break coherence of the
+        placement function).
+        """
+        self.rii_updates += 1
+        return self._rii_stream.next_u64() & 0xFFFFFFFF
+
+    def concurrent_pairs(self) -> List[Tuple[str, str]]:
+        """All pairs of task names that ever run simultaneously.
+
+        Software cache partitioning must keep same-partition tasks out
+        of this list; EFL places no constraint on it (§2.2).
+        """
+        pairs = []
+        for frame in self.frames:
+            tasks = frame.tasks
+            for i, a in enumerate(tasks):
+                for b in tasks[i + 1:]:
+                    pairs.append((a, b))
+        return pairs
+
+    def core_history(self, task: str) -> List[int]:
+        """Cores the named task occupies across the major frame.
+
+        Hardware cache partitioning needs this: when a task's frame
+        placement gives it a different partition than it last used, the
+        old partition must be flushed (§2.2).
+        """
+        return [
+            core
+            for frame in self.frames
+            for core, name in frame.assignments.items()
+            if name == task
+        ]
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __repr__(self) -> str:
+        return (
+            f"FrameSchedule({len(self.frames)} MIFs, "
+            f"{self.major_frame_cycles} cycles/MAF)"
+        )

@@ -1,0 +1,37 @@
+"""System-level simulation: configuration, wiring and engines.
+
+* :mod:`repro.sim.config` — :class:`SystemConfig` (the paper's §4.1
+  platform parameters) and :class:`Scenario` (which mechanism — EFL,
+  CP or a plain shared LLC — and which operation mode to simulate);
+* :mod:`repro.sim.platform` — builds the hardware instances for one
+  run from a config, a scenario and a run seed;
+* :mod:`repro.sim.memorypath` — the shared bus→LLC→memory transaction
+  engine, including EFL gating and analysis-mode upper-bounding;
+* :mod:`repro.sim.simulator` — isolation (analysis) and multicore
+  (deployment) execution engines;
+* :mod:`repro.sim.campaign` — multi-run measurement campaigns with
+  per-run RII/seed refresh, feeding the MBPTA layer.
+"""
+
+from repro.sim.config import Scenario, SystemConfig
+from repro.sim.platform import Platform, build_platform
+from repro.sim.simulator import (
+    CoreResult,
+    RunResult,
+    run_isolation,
+    run_workload,
+)
+from repro.sim.campaign import collect_execution_times, CampaignResult
+
+__all__ = [
+    "SystemConfig",
+    "Scenario",
+    "Platform",
+    "build_platform",
+    "CoreResult",
+    "RunResult",
+    "run_isolation",
+    "run_workload",
+    "collect_execution_times",
+    "CampaignResult",
+]

@@ -1,0 +1,85 @@
+"""Measurement campaigns: many runs, fresh randomisation each.
+
+MBPTA collects end-to-end execution times over repeated runs of the
+program on the time-randomised platform, regenerating the RII (and all
+PRNG streams) between runs (§3.3: "In each run, a new RII is
+generated").  :func:`collect_execution_times` implements that protocol:
+it derives one seed per run from a master seed and performs independent
+isolation runs, returning the execution-time sample the PTA layer
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.cpu.trace import Trace
+from repro.errors import ConfigurationError
+from repro.sim.config import Scenario, SystemConfig
+from repro.sim.simulator import RunResult, run_isolation
+from repro.utils.rng import derive_seeds
+
+
+@dataclass
+class CampaignResult:
+    """Execution-time sample of one (task, scenario) campaign."""
+
+    task: str
+    scenario_label: str
+    execution_times: List[int]
+    instructions: int
+    runs: int
+
+    @property
+    def min_time(self) -> int:
+        """Fastest observed run."""
+        return min(self.execution_times)
+
+    @property
+    def max_time(self) -> int:
+        """High-water mark of the observations (HWM)."""
+        return max(self.execution_times)
+
+    @property
+    def mean_time(self) -> float:
+        """Mean observed execution time."""
+        return sum(self.execution_times) / len(self.execution_times)
+
+
+def collect_execution_times(
+    trace: Trace,
+    config: SystemConfig,
+    scenario: Scenario,
+    runs: int,
+    master_seed: int = 0,
+    on_run: Optional[Callable[[int, RunResult], None]] = None,
+) -> CampaignResult:
+    """Collect ``runs`` end-to-end execution times of ``trace``.
+
+    Each run uses a platform freshly randomised from its own derived
+    seed.  ``on_run(index, result)`` is invoked after each run when
+    provided (progress reporting, debugging).
+
+    Returns a :class:`CampaignResult` whose ``execution_times`` are the
+    MBPTA input sample.
+    """
+    if runs <= 0:
+        raise ConfigurationError(f"a campaign needs at least one run, got {runs}")
+    seeds = derive_seeds(master_seed, runs)
+    times: List[int] = []
+    instructions = 0
+    for index, seed in enumerate(seeds):
+        result = run_isolation(trace, config, scenario, seed)
+        core = result.cores[0]
+        times.append(core.cycles)
+        instructions = core.instructions
+        if on_run is not None:
+            on_run(index, result)
+    return CampaignResult(
+        task=trace.name,
+        scenario_label=scenario.label(),
+        execution_times=times,
+        instructions=instructions,
+        runs=runs,
+    )

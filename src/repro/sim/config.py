@@ -1,0 +1,197 @@
+"""System configuration and experiment scenarios.
+
+:class:`SystemConfig` captures the paper's experimental platform
+(§4.1): a 4-core processor with per-core 4KB/4-way/16B-line IL1 and
+DL1, a shared 64KB/8-way non-inclusive LLC, 1/10/100-cycle
+L1/LLC/memory latencies and a 2-cycle random-arbitration bus.  All
+caches are write-back; random placement and Evict-on-Miss random
+replacement make the platform MBPTA-compliant.
+
+:class:`Scenario` selects the inter-task interference mechanism under
+evaluation — EFL with some MID, hardware way-partitioning (CP) with
+some per-core way count, or an uncontrolled shared LLC — plus the
+operation mode (analysis vs deployment, Figure 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.config import EFLConfig, OperationMode
+from repro.errors import ConfigurationError
+from repro.mem.cache import CacheGeometry
+from repro.utils.validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Hardware parameters of the simulated platform.
+
+    Defaults reproduce the paper's setup exactly.
+    """
+
+    num_cores: int = 4
+    line_size: int = 16
+    l1_size: int = 4096
+    l1_ways: int = 4
+    llc_size: int = 65536
+    llc_ways: int = 8
+    l1_hit_latency: int = 1
+    llc_hit_latency: int = 10
+    memory_latency: int = 100
+    bus_latency: int = 2
+    #: "random" (TR, the paper's platform) or "modulo" (TD substrate).
+    placement: str = "random"
+    #: "eom" (TR) or "lru" (TD substrate / A3 ablation).
+    replacement: str = "eom"
+    #: write-back DL1 (paper default); False = write-through (A2 ablation).
+    dl1_write_back: bool = True
+    #: Extra cycles charged per bus transfer at analysis time — the
+    #: composable upper bound of the random-arbitration bus [13].
+    #: ``None`` selects the full worst round, (num_cores - 1) * bus_latency.
+    analysis_bus_penalty: Optional[int] = None
+    #: Extra cycles charged per memory read at analysis time — the
+    #: per-request interference bound of the analysable memory
+    #: controller [25].  ``None`` selects the full worst round,
+    #: (num_cores - 1) * memory_latency.
+    analysis_memory_penalty: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        require_positive_int("num_cores", self.num_cores)
+        require_positive_int("l1_hit_latency", self.l1_hit_latency)
+        require_positive_int("llc_hit_latency", self.llc_hit_latency)
+        require_positive_int("memory_latency", self.memory_latency)
+        require_positive_int("bus_latency", self.bus_latency)
+        if self.placement not in ("random", "modulo"):
+            raise ConfigurationError(f"unknown placement {self.placement!r}")
+        if self.replacement not in ("eom", "lru"):
+            raise ConfigurationError(f"unknown replacement {self.replacement!r}")
+        for name in ("analysis_bus_penalty", "analysis_memory_penalty"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ConfigurationError(f"{name} must be non-negative, got {value}")
+        # Trigger geometry validation early.
+        self.l1_geometry
+        self.llc_geometry
+
+    @property
+    def l1_geometry(self) -> CacheGeometry:
+        """Geometry shared by every IL1 and DL1."""
+        return CacheGeometry(
+            size_bytes=self.l1_size, line_size=self.line_size, ways=self.l1_ways
+        )
+
+    @property
+    def llc_geometry(self) -> CacheGeometry:
+        """Geometry of the shared LLC."""
+        return CacheGeometry(
+            size_bytes=self.llc_size, line_size=self.line_size, ways=self.llc_ways
+        )
+
+    @property
+    def is_time_randomised(self) -> bool:
+        """Whether the cache policies are the MBPTA-compliant TR pair."""
+        return self.placement == "random" and self.replacement == "eom"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Which interference-control mechanism and stage to simulate.
+
+    Use the constructors :meth:`efl`, :meth:`cache_partitioning` and
+    :meth:`uncontrolled` rather than filling fields by hand.
+
+    Attributes
+    ----------
+    mechanism:
+        ``"efl"``, ``"cp"`` or ``"none"``.
+    mode:
+        Analysis (isolation + worst-case interference injection /
+        upper-bounds) or deployment (real co-running).
+    mid:
+        The MID value for EFL scenarios (cycles).
+    randomise_mid:
+        EFL MID randomisation knob (A1 ablation sets it False).
+    ways_per_core:
+        For CP scenarios: how many LLC ways each core owns.  A single
+        int gives every core that many ways; a tuple gives per-core
+        counts (deployment-time partitions found by the optimiser).
+    """
+
+    mechanism: str
+    mode: OperationMode
+    mid: int = 0
+    randomise_mid: bool = True
+    ways_per_core: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.mechanism not in ("efl", "cp", "none"):
+            raise ConfigurationError(f"unknown mechanism {self.mechanism!r}")
+        if self.mechanism == "efl" and self.mid <= 0:
+            raise ConfigurationError("EFL scenarios need a positive MID")
+        if self.mechanism == "cp":
+            if not self.ways_per_core:
+                raise ConfigurationError("CP scenarios need ways_per_core")
+            if any(w <= 0 for w in self.ways_per_core):
+                raise ConfigurationError("every CP partition needs >= 1 way")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def efl(
+        cls,
+        mid: int,
+        mode: OperationMode = OperationMode.ANALYSIS,
+        randomise_mid: bool = True,
+    ) -> "Scenario":
+        """EFL with the given MID — the paper's EFLmid configurations."""
+        return cls(mechanism="efl", mode=mode, mid=mid, randomise_mid=randomise_mid)
+
+    @classmethod
+    def cache_partitioning(
+        cls,
+        ways,
+        num_cores: int = 4,
+        mode: OperationMode = OperationMode.ANALYSIS,
+    ) -> "Scenario":
+        """Hardware way-partitioning — the paper's CPways configurations.
+
+        ``ways`` may be an int (uniform per-core count, e.g. CP2) or a
+        per-core tuple (an optimiser-chosen deployment partition).
+        """
+        if isinstance(ways, int):
+            counts = tuple([ways] * num_cores)
+        else:
+            counts = tuple(ways)
+        return cls(mechanism="cp", mode=mode, ways_per_core=counts)
+
+    @classmethod
+    def uncontrolled(
+        cls, mode: OperationMode = OperationMode.DEPLOYMENT
+    ) -> "Scenario":
+        """A fully shared LLC with no interference control.
+
+        Not analysable (deployment misses can exceed anything seen at
+        analysis), but useful as an average-performance reference.
+        """
+        return cls(mechanism="none", mode=mode)
+
+    # ------------------------------------------------------------------
+    def efl_config(self) -> EFLConfig:
+        """The per-core EFL register file implied by this scenario."""
+        if self.mechanism != "efl":
+            return EFLConfig.disabled()
+        return EFLConfig(mid=self.mid, randomise_mid=self.randomise_mid)
+
+    def label(self) -> str:
+        """Short human-readable tag, e.g. ``EFL500`` or ``CP2``."""
+        if self.mechanism == "efl":
+            return f"EFL{self.mid}"
+        if self.mechanism == "cp":
+            counts = set(self.ways_per_core)
+            if len(counts) == 1:
+                return f"CP{next(iter(counts))}"
+            return "CP" + "-".join(str(w) for w in self.ways_per_core)
+        return "SHARED"

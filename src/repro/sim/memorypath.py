@@ -1,0 +1,162 @@
+"""The shared memory path: bus → LLC → memory controller, with EFL.
+
+Every L1 miss (and every write-through store) travels this path.  One
+:class:`MemoryPath` instance is shared by all cores of a platform; it
+owns the transaction choreography:
+
+Deployment mode (real timing):
+
+1. bus transfer with lottery arbitration (2 cycles + contention);
+2. LLC lookup (10 cycles);
+3. on an LLC miss: the core's EFL eviction grant (EAB stall, if EFL is
+   active), then the memory controller serves the fill (100 cycles +
+   channel occupancy); LLC victim write-backs are posted to memory.
+
+Analysis mode (time-composable upper bounds, Figure 1 of the paper):
+
+1. the bus charges the worst arbitration round (lose once to every
+   other core — the bound of Jalle et al. [13]);
+2. with EFL, the CRGs' artificial force-miss evictions accumulated
+   since the analysed task's last access are applied to the LLC first,
+   so the task under analysis observes maximum-rate eviction
+   interference (§3.4);
+3. on an LLC miss: the EFL grant, then the memory controller's
+   composable worst case (wait for every other core once — Paolieri et
+   al. [25]).
+
+Design simplification (documented in DESIGN.md): L1 dirty-victim
+write-backs are *posted* and treated as write-no-allocate at the LLC —
+they update the line if it is resident, otherwise they forward to
+memory.  They therefore never trigger LLC evictions and never interact
+with EFL, keeping the paper's "one eviction per demand miss" accounting
+exact while avoiding recursive eviction cascades.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import OperationMode
+from repro.errors import SimulationError
+from repro.sim.platform import Platform
+
+
+class MemoryPath:
+    """Transaction engine for the shared levels of one platform."""
+
+    def __init__(self, platform: Platform) -> None:
+        self.platform = platform
+        self._analysis = platform.mode is OperationMode.ANALYSIS
+        self.llc_hits = 0
+        self.llc_misses = 0
+        config = platform.config
+        bus_penalty = config.analysis_bus_penalty
+        if bus_penalty is None:
+            bus_penalty = (config.num_cores - 1) * config.bus_latency
+        #: total analysis-time bus transfer charge (transfer + UB).
+        self._analysis_bus_cycles = config.bus_latency + bus_penalty
+        memory_penalty = config.analysis_memory_penalty
+        if memory_penalty is None:
+            memory_penalty = (config.num_cores - 1) * config.memory_latency
+        #: total analysis-time memory read charge (service + UB).
+        self._analysis_memory_cycles = config.memory_latency + memory_penalty
+
+    # ------------------------------------------------------------------
+    # internal legs
+    # ------------------------------------------------------------------
+    def _bus_done(self, core: int, time: int) -> int:
+        """Completion cycle of the core→LLC bus transfer."""
+        if self._analysis:
+            return time + self._analysis_bus_cycles
+        return self.platform.bus.request(core, time)
+
+    def _memory_read_done(self, core: int, time: int) -> int:
+        """Completion cycle of a demand line fill from memory."""
+        memctrl = self.platform.memctrl
+        if self._analysis:
+            memctrl.requests += 1
+            memctrl.memory.reads += 1
+            return time + self._analysis_memory_cycles
+        return memctrl.read(core, time)
+
+    def _post_memory_write(self, core: int, time: int) -> None:
+        """Post a write-back toward memory (never stalls the core)."""
+        memctrl = self.platform.memctrl
+        if self._analysis:
+            memctrl.worst_case_writeback(time)
+        else:
+            memctrl.write_back(core, time)
+
+    # ------------------------------------------------------------------
+    # public transactions
+    # ------------------------------------------------------------------
+    def fill(self, core: int, line: int, time: int, write: bool = False) -> int:
+        """Serve an L1 demand miss for ``line`` issued at ``time``.
+
+        Returns the cycle at which the line is available to the L1.
+        ``write`` marks the LLC line dirty when the miss came from a
+        store (write-allocate propagation).
+        """
+        if time < 0:
+            raise SimulationError(f"fill at negative time {time}")
+        platform = self.platform
+        arrival = self._bus_done(core, time)
+        if platform.efl is not None:
+            # Analysis mode: the artificial co-runners evicted at
+            # maximum rate while this core computed locally; apply
+            # their effect before looking up.  No-op in deployment.
+            platform.efl.inject_interference(arrival)
+
+        lookup_done = arrival + platform.config.llc_hit_latency
+        if platform.llc_view.probe(core, line):
+            platform.llc_view.access(core, line, write=write)
+            self.llc_hits += 1
+            return lookup_done
+
+        # LLC miss: the eviction is gated by the core's EAB.
+        self.llc_misses += 1
+        if platform.efl is not None:
+            grant = platform.efl.grant_eviction(core, lookup_done)
+            platform.efl.record_eviction(core, grant)
+        else:
+            grant = lookup_done
+        done = self._memory_read_done(core, grant)
+        result = platform.llc_view.access(core, line, write=write)
+        if result.eviction is not None and result.eviction.dirty:
+            self._post_memory_write(core, done)
+        return done
+
+    def l1_writeback(self, core: int, line: int, time: int) -> None:
+        """Post a dirty L1 victim toward the LLC (write-no-allocate).
+
+        If the line is still resident in the (non-inclusive) LLC it is
+        updated and marked dirty; otherwise the write-back forwards to
+        memory.  Posted: the core never waits for it.
+        """
+        platform = self.platform
+        if platform.llc_view.probe(core, line):
+            platform.llc_view.access(core, line, write=True)
+        else:
+            self._post_memory_write(core, time)
+
+    def store_through(self, core: int, line: int, time: int) -> int:
+        """Write-through store (A2 ablation): bus + LLC write.
+
+        The store updates the LLC if the line is resident (hit) and
+        otherwise forwards to memory without allocating — the paper's
+        footnote 5 notes that letting write-through stores allocate
+        (and hence evict) in the LLC would make EFL stalls pervasive.
+        Returns the cycle at which the store leaves the core's port.
+        """
+        if time < 0:
+            raise SimulationError(f"store at negative time {time}")
+        platform = self.platform
+        arrival = self._bus_done(core, time)
+        if platform.efl is not None:
+            platform.efl.inject_interference(arrival)
+        lookup_done = arrival + platform.config.llc_hit_latency
+        if platform.llc_view.probe(core, line):
+            platform.llc_view.access(core, line, write=True)
+            self.llc_hits += 1
+        else:
+            self.llc_misses += 1
+            self._post_memory_write(core, lookup_done)
+        return lookup_done

@@ -1,0 +1,319 @@
+"""Execution engines: isolation (analysis) and multicore (deployment).
+
+:func:`run_isolation` reproduces the paper's analysis stage: the task
+under analysis runs alone on core 0 of a freshly randomised platform;
+interference from the other cores arrives either as CRG force-miss
+evictions (EFL scenarios) or not at all (CP partitions isolate), and
+bus/memory interference is charged its composable upper bound.
+
+:func:`run_workload` reproduces the deployment stage: up to
+``num_cores`` tasks run simultaneously, sharing the bus, the LLC
+(partitioned or EFL-throttled) and the memory controller with real
+contention.
+
+Cross-core event ordering in deployment mode is kept approximately
+time-ordered by always stepping the core whose next fetch would start
+earliest; reordering is bounded by one instruction's latency.  The
+analysis engine has no such approximation (a single active core; CRG
+evictions are replayed in exact time order), so the trust-critical
+side of the paper — analysis-time bounds — is modelled exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import OperationMode
+from repro.cpu.pipeline import InOrderPipeline
+from repro.cpu.trace import Trace
+from repro.errors import ConfigurationError, SimulationError
+from repro.mem.address import line_address
+from repro.mem.cache import Cache
+from repro.sim.config import Scenario, SystemConfig
+from repro.sim.memorypath import MemoryPath
+from repro.sim.platform import Platform, build_platform
+
+
+@dataclass
+class CoreResult:
+    """Outcome of one task on one core in one run."""
+
+    core: int
+    task: str
+    cycles: int
+    instructions: int
+    il1_misses: int
+    il1_accesses: int
+    dl1_misses: int
+    dl1_accesses: int
+    efl_stall_cycles: int = 0
+    efl_evictions: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle of this task."""
+        if self.cycles <= 0:
+            raise SimulationError(f"task {self.task!r} retired in {self.cycles} cycles")
+        return self.instructions / self.cycles
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated run (one or more cores)."""
+
+    scenario_label: str
+    mode: OperationMode
+    cores: List[CoreResult]
+    llc_hits: int
+    llc_misses: int
+    llc_forced_evictions: int
+    memory_reads: int
+    memory_writes: int
+
+    @property
+    def cycles(self) -> int:
+        """Makespan: cycles until the last task finished."""
+        return max(core.cycles for core in self.cores)
+
+    def core(self, index: int) -> CoreResult:
+        """Result of the task on core ``index``."""
+        for result in self.cores:
+            if result.core == index:
+                return result
+        raise SimulationError(f"no result for core {index}")
+
+    @property
+    def total_ipc(self) -> float:
+        """Sum of per-task IPCs (the paper's workload IPC aggregate)."""
+        return sum(core.ipc for core in self.cores)
+
+
+class CoreRunner:
+    """Drives one trace through one core's pipeline and private caches."""
+
+    def __init__(
+        self,
+        core_id: int,
+        trace: Trace,
+        il1: Cache,
+        dl1: Cache,
+        path: MemoryPath,
+        config: SystemConfig,
+    ) -> None:
+        self.core_id = core_id
+        self.trace = trace
+        self.il1 = il1
+        self.dl1 = dl1
+        self.path = path
+        self.config = config
+        self._line_shift = config.line_size.bit_length() - 1
+        self._wb_dl1 = config.dl1_write_back
+        self.pipeline = InOrderPipeline(self._fetch_latency, self._mem_latency)
+        self._iter = iter(trace)
+        self._remaining = len(trace)
+        # Hot-line shortcuts, sound for stateless (EoM) replacement
+        # only: a resident line stays resident until the next fill of
+        # the same cache, and hits mutate nothing — so re-probing the
+        # line we just touched is pure overhead.  LRU caches must take
+        # the full path because their hits update recency state.
+        self._shortcut_il1 = il1._stateless_repl
+        self._shortcut_dl1 = dl1._stateless_repl and config.dl1_write_back
+        self._last_iline = -1
+        self._last_dline = -1
+        self._fast_ihits = 0
+        self._fast_dhits = 0
+        # The core has a single port towards the shared levels and
+        # blocking miss handling (one outstanding miss), standard for
+        # simple in-order real-time cores: a fetch miss issued while a
+        # data miss is in flight waits for the port.  This also
+        # guarantees the shared resources (bus, memory controller, EFL
+        # ACU) see this core's requests in non-decreasing time order.
+        self._port_free = 0
+
+    # ------------------------------------------------------------------
+    # latency callbacks
+    # ------------------------------------------------------------------
+    def _fetch_latency(self, pc: int, time: int) -> int:
+        line = pc >> self._line_shift
+        if line == self._last_iline:
+            # Sequential fetches within one line: resident by
+            # construction (EoM hits mutate nothing, and only this
+            # core's IL1 fills could evict it, which reset the latch).
+            self._fast_ihits += 1
+            return self.config.l1_hit_latency
+        result = self.il1.access(line)
+        if result.hit:
+            if self._shortcut_il1:
+                self._last_iline = line
+            return self.config.l1_hit_latency
+        if self._shortcut_il1:
+            self._last_iline = line  # just filled, now resident
+        # Instruction lines are never dirty; the victim (if any) is
+        # silently dropped.
+        issue = time if time >= self._port_free else self._port_free
+        done = self.path.fill(self.core_id, line, issue)
+        self._port_free = done
+        return done - time
+
+    def _mem_latency(self, address: int, is_store: bool, time: int) -> int:
+        line = address >> self._line_shift
+        if not is_store and line == self._last_dline:
+            self._fast_dhits += 1
+            return self.config.l1_hit_latency
+        if is_store and not self._wb_dl1:
+            # Write-through DL1 (A2 ablation): update the DL1 copy if
+            # present (no allocation on miss), write through to the LLC.
+            if self.dl1.probe(line):
+                self.dl1.access(line)
+            issue = time if time >= self._port_free else self._port_free
+            done = self.path.store_through(self.core_id, line, issue)
+            self._port_free = done
+            return done - time
+        result = self.dl1.access(line, write=is_store)
+        if result.hit:
+            if self._shortcut_dl1:
+                self._last_dline = line
+            return self.config.l1_hit_latency
+        if self._shortcut_dl1:
+            self._last_dline = line  # just filled, now resident
+        issue = time if time >= self._port_free else self._port_free
+        done = self.path.fill(self.core_id, line, issue)
+        self._port_free = done
+        if result.eviction is not None and result.eviction.dirty:
+            self.path.l1_writeback(self.core_id, result.eviction.line, done)
+        return done - time
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """Whether the whole trace has retired."""
+        return self._remaining == 0
+
+    @property
+    def frontier(self) -> int:
+        """Earliest cycle the next instruction could start fetching."""
+        return self.pipeline.frontier
+
+    @property
+    def schedule_key(self) -> int:
+        """Lower bound on this core's next shared-resource access time.
+
+        The multicore scheduler steps the core with the lowest key.
+        The fetch frontier alone is not enough: while a long miss is in
+        flight the fetch of the next instruction has already happened,
+        but the core's next bus/LLC/memory request cannot issue before
+        the miss completes (``_port_free``).  Ordering by the maximum
+        of both keeps cross-core shared-resource requests near
+        time-order, which the FCFS resource models rely on.
+        """
+        frontier = self.pipeline.frontier
+        return frontier if frontier >= self._port_free else self._port_free
+
+    def step(self) -> None:
+        """Execute one dynamic instruction."""
+        if self.finished:
+            raise SimulationError(
+                f"core {self.core_id} stepped past the end of {self.trace.name!r}"
+            )
+        pc, kind, address = next(self._iter)
+        self.pipeline.step(pc, kind, address)
+        self._remaining -= 1
+
+    def run_to_completion(self) -> None:
+        """Execute the remaining trace without interleaving."""
+        pipeline_step = self.pipeline.step
+        for pc, kind, address in self._iter:
+            pipeline_step(pc, kind, address)
+        self._remaining = 0
+
+    def result(self, platform: Platform) -> CoreResult:
+        """Snapshot this core's outcome."""
+        efl = platform.efl
+        return CoreResult(
+            core=self.core_id,
+            task=self.trace.name,
+            cycles=self.pipeline.time,
+            instructions=self.pipeline.instructions,
+            il1_misses=self.il1.stats.misses,
+            il1_accesses=self.il1.stats.accesses + self._fast_ihits,
+            dl1_misses=self.dl1.stats.misses,
+            dl1_accesses=self.dl1.stats.accesses + self._fast_dhits,
+            efl_stall_cycles=efl.stall_cycles(self.core_id) if efl else 0,
+            efl_evictions=efl.acus[self.core_id].evictions if efl else 0,
+        )
+
+
+def _finalise(platform: Platform, path: MemoryPath, cores: List[CoreResult]) -> RunResult:
+    return RunResult(
+        scenario_label=platform.scenario.label(),
+        mode=platform.mode,
+        cores=cores,
+        llc_hits=path.llc_hits,
+        llc_misses=path.llc_misses,
+        llc_forced_evictions=platform.llc.stats.forced_evictions,
+        memory_reads=platform.memory.reads,
+        memory_writes=platform.memory.writes,
+    )
+
+
+def run_isolation(
+    trace: Trace,
+    config: SystemConfig,
+    scenario: Scenario,
+    seed: int,
+    core_id: int = 0,
+) -> RunResult:
+    """Run one task alone on ``core_id`` (the paper's analysis stage).
+
+    The scenario's mode decides whether composable upper bounds and CRG
+    interference apply (``ANALYSIS``) or the task simply enjoys an
+    otherwise idle machine (``DEPLOYMENT``, useful as a best case).
+    """
+    platform = build_platform(config, scenario, seed, analysed_core=core_id)
+    if not 0 <= core_id < config.num_cores:
+        raise ConfigurationError(f"core_id {core_id} out of range")
+    path = MemoryPath(platform)
+    runner = CoreRunner(
+        core_id, trace, platform.il1s[core_id], platform.dl1s[core_id], path, config
+    )
+    runner.run_to_completion()
+    return _finalise(platform, path, [runner.result(platform)])
+
+
+def run_workload(
+    traces: Sequence[Trace],
+    config: SystemConfig,
+    scenario: Scenario,
+    seed: int,
+) -> RunResult:
+    """Co-run up to ``num_cores`` tasks (the paper's deployment stage).
+
+    ``traces[i]`` runs on core ``i``.  Tasks retire independently; a
+    finished task stops contending for shared resources.
+    """
+    if scenario.mode is not OperationMode.DEPLOYMENT:
+        raise ConfigurationError("run_workload requires a deployment-mode scenario")
+    if not traces:
+        raise ConfigurationError("run_workload needs at least one trace")
+    if len(traces) > config.num_cores:
+        raise ConfigurationError(
+            f"{len(traces)} tasks exceed the {config.num_cores}-core platform"
+        )
+    platform = build_platform(config, scenario, seed)
+    path = MemoryPath(platform)
+    runners = [
+        CoreRunner(i, trace, platform.il1s[i], platform.dl1s[i], path, config)
+        for i, trace in enumerate(traces)
+    ]
+    active = list(runners)
+    while active:
+        # Step the core whose next shared-resource access can happen
+        # earliest, keeping cross-core requests near time-order.
+        runner = min(active, key=lambda r: r.schedule_key)
+        runner.step()
+        if runner.finished:
+            active.remove(runner)
+    return _finalise(platform, path, [runner.result(platform) for runner in runners])

@@ -1,0 +1,17 @@
+"""Low-level utilities shared across the library.
+
+This subpackage contains the pieces that model the *randomness
+substrate* of a time-randomised architecture — the hardware
+pseudo-random number generator and the parametric placement hash — plus
+small statistics and validation helpers used throughout.
+"""
+
+from repro.utils.rng import MultiplyWithCarry, SplitMix64, derive_seeds
+from repro.utils.hashing import ParametricHash
+
+__all__ = [
+    "MultiplyWithCarry",
+    "SplitMix64",
+    "derive_seeds",
+    "ParametricHash",
+]

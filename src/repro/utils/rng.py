@@ -1,0 +1,157 @@
+"""Pseudo-random number generators used by the simulated hardware.
+
+The paper's EFL access control unit uses a Multiply-With-Carry (MWC)
+PRNG (Marsaglia & Zaman, 1991) because it is cheap in hardware, has a
+huge period and good statistical quality.  We implement the classic
+32-bit lag-1 MWC here and use it for *every* random decision the
+simulated hardware takes: random replacement victims, random placement
+RIIs, random bus arbitration and the EFL count-down counter draws.
+
+For deriving independent seeds for the many PRNG instances in a system
+(one per cache, per ACU, per bus...) we use SplitMix64, a standard
+seed-sequence generator; it is part of the *simulation harness*, not of
+the modelled hardware.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+_MASK32 = 0xFFFFFFFF
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+#: Marsaglia's multiplier for the 32-bit MWC generator.  With this
+#: multiplier the generator has period a*2^31 - 1 ~ 1.5e18, far beyond
+#: anything a simulation campaign consumes.
+MWC_MULTIPLIER = 698769069
+
+
+class MultiplyWithCarry:
+    """32-bit lag-1 Multiply-With-Carry PRNG.
+
+    State is a pair ``(x, c)`` of 32-bit value and carry.  Each step
+    computes ``t = a*x + c``; the new value is ``t mod 2**32`` and the
+    new carry is ``t >> 32``.  This is exactly the construction the
+    paper cites ([21]) and notes can produce 32 random bits per cycle in
+    hardware.
+
+    Parameters
+    ----------
+    seed:
+        Any non-negative integer.  It is whitened through SplitMix64 so
+        that consecutive small seeds yield uncorrelated streams.
+
+    Examples
+    --------
+    >>> rng = MultiplyWithCarry(42)
+    >>> 0 <= rng.next_u32() <= 0xFFFFFFFF
+    True
+    >>> rng2 = MultiplyWithCarry(42)
+    >>> [rng2.next_u32() for _ in range(3)] == [MultiplyWithCarry(42).next_u32() for _ in range(3)]
+    False
+    """
+
+    __slots__ = ("_x", "_c")
+
+    def __init__(self, seed: int) -> None:
+        if seed < 0:
+            raise ConfigurationError(f"PRNG seed must be non-negative, got {seed}")
+        mixer = SplitMix64(seed)
+        # Both halves of the state must be non-degenerate: x == 0 with
+        # c == 0 is the fixed point of the recurrence.
+        x = mixer.next_u64() & _MASK32
+        c = mixer.next_u64() % (MWC_MULTIPLIER - 1)
+        if x == 0 and c == 0:
+            x = 1
+        self._x = x
+        self._c = c
+
+    def next_u32(self) -> int:
+        """Return the next 32-bit unsigned random value."""
+        t = MWC_MULTIPLIER * self._x + self._c
+        self._x = t & _MASK32
+        self._c = t >> 32
+        return self._x
+
+    def randrange(self, n: int) -> int:
+        """Return a uniform integer in ``[0, n)``.
+
+        Uses rejection sampling to avoid modulo bias; the rejection
+        probability is below 2**-16 for every ``n`` this library uses,
+        so the expected cost is a single draw.
+        """
+        if n <= 0:
+            raise ConfigurationError(f"randrange() bound must be positive, got {n}")
+        limit = (0x100000000 // n) * n
+        while True:
+            v = self.next_u32()
+            if v < limit:
+                return v % n
+
+    def randint_inclusive(self, lo: int, hi: int) -> int:
+        """Return a uniform integer in ``[lo, hi]`` (both inclusive).
+
+        This is the draw EFL's count-down counter performs: a value in
+        ``[0, 2*MID]`` inclusive, so that the *average* inter-eviction
+        delay equals the desired MID.
+        """
+        if hi < lo:
+            raise ConfigurationError(f"empty range [{lo}, {hi}]")
+        return lo + self.randrange(hi - lo + 1)
+
+    def random(self) -> float:
+        """Return a uniform float in ``[0, 1)`` with 32 bits of entropy."""
+        return self.next_u32() / 4294967296.0
+
+    def state(self) -> tuple:
+        """Return the internal ``(x, carry)`` state (for tests)."""
+        return (self._x, self._c)
+
+
+class SplitMix64:
+    """SplitMix64 sequence generator used to derive independent seeds.
+
+    This is the standard seed-expansion function from Steele et al.;
+    two SplitMix64 streams started from different 64-bit seeds are, for
+    practical purposes, independent.  It is used by the simulation
+    harness to give every hardware PRNG instance its own seed and to
+    derive per-run seeds in campaigns.
+    """
+
+    __slots__ = ("_state",)
+
+    GOLDEN_GAMMA = 0x9E3779B97F4A7C15
+
+    def __init__(self, seed: int) -> None:
+        if seed < 0:
+            raise ConfigurationError(f"PRNG seed must be non-negative, got {seed}")
+        self._state = seed & _MASK64
+
+    def next_u64(self) -> int:
+        """Return the next 64-bit unsigned random value."""
+        self._state = (self._state + self.GOLDEN_GAMMA) & _MASK64
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return z ^ (z >> 31)
+
+    def next_u32(self) -> int:
+        """Return the next 32-bit unsigned random value."""
+        return self.next_u64() >> 32
+
+
+def derive_seeds(master_seed: int, count: int) -> list:
+    """Derive ``count`` independent 64-bit seeds from ``master_seed``.
+
+    Campaigns use this to give every run, and within a run every
+    hardware PRNG, a distinct reproducible seed.
+
+    >>> derive_seeds(7, 3) == derive_seeds(7, 3)
+    True
+    >>> derive_seeds(7, 3) != derive_seeds(8, 3)
+    True
+    """
+    if count < 0:
+        raise ConfigurationError(f"seed count must be non-negative, got {count}")
+    mixer = SplitMix64(master_seed)
+    return [mixer.next_u64() for _ in range(count)]

@@ -1,0 +1,69 @@
+"""Plain statistics helpers used by the PTA layer and reporting.
+
+These are intentionally dependency-light (numpy only) and operate on
+1-D samples of execution times.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+def as_sample(values: Sequence[float]) -> np.ndarray:
+    """Validate and convert a sequence of observations to a float array.
+
+    Raises :class:`AnalysisError` on empty input or non-finite values,
+    which would otherwise silently poison every downstream statistic.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise AnalysisError("sample is empty")
+    if not np.all(np.isfinite(arr)):
+        raise AnalysisError("sample contains non-finite values")
+    return arr
+
+
+def ecdf(values: Sequence[float]) -> tuple:
+    """Return the empirical CDF of ``values`` as ``(xs, probs)`` arrays.
+
+    ``xs`` is the sorted sample; ``probs[i]`` is the fraction of
+    observations ``<= xs[i]``.
+    """
+    arr = np.sort(as_sample(values))
+    probs = np.arange(1, arr.size + 1, dtype=float) / arr.size
+    return arr, probs
+
+
+def ccdf(values: Sequence[float]) -> tuple:
+    """Return the complementary CDF ``P(X > x)`` as ``(xs, probs)``.
+
+    This is the curve MBPTA's EVT step upper-bounds: the exceedance
+    probability of each observed execution time.
+    """
+    xs, probs = ecdf(values)
+    return xs, 1.0 - probs
+
+
+def empirical_quantile(values: Sequence[float], q: float) -> float:
+    """Return the ``q``-quantile of the sample (linear interpolation)."""
+    if not 0.0 <= q <= 1.0:
+        raise AnalysisError(f"quantile must be in [0, 1], got {q}")
+    return float(np.quantile(as_sample(values), q))
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Return std/mean of the sample (0 for a constant positive sample).
+
+    Used by the MBPTA convergence criterion: the estimate is considered
+    stable once adding more runs no longer moves the tail quantiles,
+    which for well-behaved samples tracks the CV stabilising.
+    """
+    arr = as_sample(values)
+    mean = float(np.mean(arr))
+    if mean == 0.0:
+        raise AnalysisError("cannot compute CV of a zero-mean sample")
+    return float(np.std(arr) / mean)

@@ -1,0 +1,40 @@
+"""Small argument-validation helpers.
+
+Hardware configuration errors should surface at construction time with
+a message naming the offending parameter, not as an index error three
+layers deep in the simulator.  These helpers keep those checks terse at
+the call sites.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def require_positive_int(name: str, value: int) -> int:
+    """Return ``value`` if it is a positive integer, else raise."""
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise ConfigurationError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def require_non_negative_int(name: str, value: int) -> int:
+    """Return ``value`` if it is a non-negative integer, else raise."""
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ConfigurationError(f"{name} must be a non-negative integer, got {value!r}")
+    return value
+
+
+def require_power_of_two(name: str, value: int) -> int:
+    """Return ``value`` if it is a positive power of two, else raise."""
+    require_positive_int(name, value)
+    if value & (value - 1):
+        raise ConfigurationError(f"{name} must be a power of two, got {value}")
+    return value
+
+
+def require_probability(name: str, value: float) -> float:
+    """Return ``value`` if it lies in ``[0, 1]``, else raise."""
+    if not (0.0 <= value <= 1.0):
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return float(value)

@@ -1,0 +1,27 @@
+"""Workloads: benchmark kernels and workload composition.
+
+The paper evaluates on 10 EEMBC Autobench benchmarks.  EEMBC is a
+proprietary suite, so this package provides 10 synthetic kernels with
+the cache/memory characteristics the paper describes for each
+benchmark id (see DESIGN.md, substitution 1), plus the machinery to
+compose random multi-task workloads from them.
+"""
+
+from repro.workloads.scale import ExperimentScale
+from repro.workloads.suite import (
+    BENCHMARK_IDS,
+    BENCHMARK_NAMES,
+    build_benchmark,
+    build_all_benchmarks,
+)
+from repro.workloads.generator import random_workloads, relocate_trace
+
+__all__ = [
+    "ExperimentScale",
+    "BENCHMARK_IDS",
+    "BENCHMARK_NAMES",
+    "build_benchmark",
+    "build_all_benchmarks",
+    "random_workloads",
+    "relocate_trace",
+]

@@ -1,0 +1,230 @@
+"""The 10 EEMBC-Autobench-like benchmark kernels.
+
+The paper evaluates 10 benchmarks from EEMBC Autobench, identified by
+two-letter ids: ``ID, MA, CN, AI, CA, PU, RS, II, PN, A2`` (§4.2).
+EEMBC is proprietary, so these kernels are synthetic reconstructions
+that reproduce the *cache behaviour classes* the paper reports:
+
+* ``ID, CN, AI, CA, PU, RS`` — "relatively insensitive to cache space
+  as long as they are given at least 2 ways" (1/4 of the LLC):
+  working sets of ~4-16% of the LLC, comfortably inside a 2-way
+  partition but suffering in a 1-way one;
+* ``MA`` — "a benchmark most of whose input set does not fit in LLC":
+  a footprint of 2x the LLC, so most LLC accesses miss and EFL's
+  eviction delays land on nearly every access (low MID mitigates);
+* ``II, PN, A2`` — "more sensitive to cache space": working sets of
+  ~20% of the LLC that churn a 2-way partition hard (capacity *and*
+  2-way associativity against random placement), need a 4-way one,
+  and are most comfortable in the full 8-way (EFL) LLC.
+
+Footprints are expressed at the paper's platform scale (64KB LLC) and
+multiply by the :class:`~repro.workloads.scale.ExperimentScale` trace
+factor, which shrinks the platform by the same factor — so the
+footprint/capacity ratios above hold at every scale.  Iteration
+(sweep) counts are scale-independent: they set the cold-start versus
+steady-state balance, which must not change with scale.
+
+Each kernel's data region and code region are disjoint from every
+other kernel's, as separate binaries' address spaces would be.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.trace import Trace, TraceBuilder
+from repro.workloads import kernels as k
+
+#: bytes between consecutive kernels' code regions.
+_CODE_REGION = 0x0010_0000
+#: first data address; kernels are spaced _DATA_REGION apart.
+_DATA_BASE = 0x1000_0000
+_DATA_REGION = 0x0100_0000
+
+
+def _bases(index: int) -> tuple:
+    """Code and data base addresses of kernel number ``index``."""
+    return index * _CODE_REGION + 0x1000, _DATA_BASE + index * _DATA_REGION
+
+
+def build_idctrn(scale: float = 1.0) -> Trace:
+    """``ID`` — inverse DCT: tiled 8x8 blocks with intra-block reuse.
+
+    12KB footprint (~19% of the LLC) in 256B tiles, each swept twice
+    per visit, three visits overall.  Insensitive beyond 2 ways.
+    """
+    code, data = _bases(0)
+    builder = TraceBuilder("ID", code_base=code)
+    num_blocks = k.scaled_count(48, scale, minimum=4)  # 12KB of 256B tiles
+    k.compute_block(builder, alus=12, muls=2)
+    for _visit in range(3):
+        k.blocked_pass(
+            builder,
+            base=data,
+            block_words=64,
+            num_blocks=num_blocks,
+            reuse=2,
+            alus_per_access=1,
+            store_last_sweep=True,
+        )
+    return builder.build()
+
+
+def build_matrix(scale: float = 1.0) -> Trace:
+    """``MA`` — matrix arithmetic whose input does not fit in the LLC.
+
+    A 128KB matrix (2x the LLC) walked row-wise then column-wise at
+    line stride, twice: nearly every access misses the L1 and most
+    miss the LLC, so EFL's inter-eviction delays land on almost every
+    access (the paper notes low MID values mitigate this).
+    """
+    code, data = _bases(1)
+    builder = TraceBuilder("MA", code_base=code)
+    lines = k.scaled_count(8192, scale, minimum=64)  # 128KB at paper scale
+    for _round in range(2):
+        k.strided_pass(builder, base=data, num_accesses=lines, stride_bytes=16,
+                       alus_per_access=1)
+        k.strided_pass(builder, base=data, num_accesses=lines // 2,
+                       stride_bytes=32, alus_per_access=1, store=True)
+    return builder.build()
+
+
+def build_canrdr(scale: float = 1.0) -> Trace:
+    """``CN`` — CAN message processing over an 8KB circular buffer.
+
+    Ten streaming sweeps (~12% of the LLC) with moderate compute;
+    insensitive beyond 2 ways.
+    """
+    code, data = _bases(2)
+    builder = TraceBuilder("CN", code_base=code)
+    words = k.scaled_count(2048, scale, minimum=64)  # 8KB at paper scale
+    for _sweep in range(10):
+        k.stream_pass(builder, base=data, num_words=words, alus_per_access=2,
+                      store_every=8)
+        k.compute_block(builder, alus=24)
+    return builder.build()
+
+
+def build_aifftr(scale: float = 1.0) -> Trace:
+    """``AI`` — FFT-style passes over 12KB with doubling strides.
+
+    Four rounds of butterfly-like reference patterns (~19% of the
+    LLC): one sequential pass plus strided passes at 2/4/8 words.
+    Insensitive beyond 2 ways.
+    """
+    code, data = _bases(3)
+    builder = TraceBuilder("AI", code_base=code)
+    words = k.scaled_count(3072, scale, minimum=64)  # 12KB at paper scale
+    for _round in range(4):
+        k.stream_pass(builder, base=data, num_words=words, alus_per_access=1)
+        for stride_words in (2, 4, 8):
+            k.strided_pass(
+                builder,
+                base=data,
+                num_accesses=max(words // stride_words, 1),
+                stride_bytes=stride_words * k.WORD_BYTES,
+                alus_per_access=2,
+            )
+    return builder.build()
+
+
+def build_cacheb(scale: float = 1.0) -> Trace:
+    """``CA`` — cache buster: line-strided store walks over 12KB.
+
+    Sixteen line-granular passes alternating loads and stores over
+    ~19% of the LLC: low compute, store-heavy (the A2 ablation's
+    write-back workhorse).  Insensitive beyond 2 ways.
+    """
+    code, data = _bases(4)
+    builder = TraceBuilder("CA", code_base=code)
+    lines = k.scaled_count(768, scale, minimum=32)  # 12KB at paper scale
+    for sweep in range(16):
+        k.strided_pass(builder, base=data, num_accesses=lines, stride_bytes=16,
+                       alus_per_access=1, store=sweep % 2 == 1)
+    return builder.build()
+
+
+def build_puwmod(scale: float = 1.0) -> Trace:
+    """``PU`` — pulse-width modulation: 1KB of state, compute-heavy.
+
+    Fits a quarter of the L1 after warm-up; nearly LLC-insensitive
+    altogether.
+    """
+    code, data = _bases(5)
+    builder = TraceBuilder("PU", code_base=code)
+    words = k.scaled_count(256, scale, minimum=32)  # 1KB at paper scale
+    for _sweep in range(24):
+        k.stream_pass(builder, base=data, num_words=words, alus_per_access=1,
+                      store_every=4)
+        k.compute_block(builder, alus=16, muls=8)
+    return builder.build()
+
+
+def build_rspeed(scale: float = 1.0) -> Trace:
+    """``RS`` — road-speed calculation: 1KB, L1-resident.
+
+    The least memory-bound kernel; insensitive to everything the LLC
+    does.
+    """
+    code, data = _bases(6)
+    builder = TraceBuilder("RS", code_base=code)
+    words = k.scaled_count(256, scale, minimum=32)  # 1KB at paper scale
+    for _sweep in range(28):
+        k.stream_pass(builder, base=data, num_words=words, alus_per_access=2)
+    return builder.build()
+
+
+def build_iirflt(scale: float = 1.0) -> Trace:
+    """``II`` — IIR filter: 14KB working set (8KB coefficients + 6KB state).
+
+    The coefficient array is re-swept for every sample block, so the
+    kernel is fast only when the whole working set stays cached.  At
+    ~0.9x the size of a 2-way partition (and only 2-way associative
+    against random placement) CP2 churns hard on it; a 4-way
+    partition copes; EFL's full 8-way LLC holds it comfortably.
+    """
+    code, data = _bases(7)
+    builder = TraceBuilder("II", code_base=code)
+    coeff_words = k.scaled_count(2048, scale, minimum=64)  # 8KB at paper scale
+    state_words = k.scaled_count(1536, scale, minimum=64)  # 6KB at paper scale
+    state_base = data + 0x8_0000
+    for _block in range(5):
+        k.stream_pass(builder, base=data, num_words=coeff_words, alus_per_access=1)
+        k.stream_pass(builder, base=state_base, num_words=state_words,
+                      alus_per_access=1, store_every=4)
+    return builder.build()
+
+
+def build_pntrch(scale: float = 1.0) -> Trace:
+    """``PN`` — pointer chase through a 13KB shuffled ring.
+
+    Dependent loads, one line per node, no spatial locality: the
+    classic capacity/associativity-sensitive kernel.  Ten laps of a
+    ring ~0.8x the size of a 2-way partition: CP2 churns on it
+    (random placement leaves a fifth of the nodes in overflowing
+    sets), CP1 thrashes outright, and EFL's full 8-way LLC holds it.
+    """
+    code, data = _bases(8)
+    builder = TraceBuilder("PN", code_base=code)
+    nodes = k.scaled_count(832, scale, minimum=32)  # 13KB of 16B nodes
+    steps = k.scaled_count(8320, scale, minimum=64)  # ten laps of the ring
+    k.pointer_chase(builder, base=data, num_nodes=nodes, node_bytes=16,
+                    steps=steps, seed=0x504E, alus_per_step=1)
+    return builder.build()
+
+
+def build_a2time(scale: float = 1.0) -> Trace:
+    """``A2`` — angle-to-time conversion: random lookups in a 14KB table.
+
+    Data-dependent table indices spread across ~22% of the LLC; the
+    table churns a 2-way partition badly (capacity and associativity)
+    and keeps only a precarious foothold in a 1-way one, while EFL's
+    full shared LLC serves it well — the paper singles out A2 as a
+    benchmark where EFL's gIPC is a multiple of CP's.
+    """
+    code, data = _bases(9)
+    builder = TraceBuilder("A2", code_base=code)
+    table_words = k.scaled_count(3584, scale, minimum=64)  # 14KB at paper scale
+    lookups = k.scaled_count(10752, scale, minimum=64)  # ~12 touches per line
+    k.table_lookup_pass(builder, table_base=data, table_words=table_words,
+                        lookups=lookups, seed=0xA2, alus_per_lookup=1,
+                        muls_per_lookup=0)
+    return builder.build()

@@ -1,0 +1,105 @@
+"""Random workload composition (the paper's 1,024 4-benchmark workloads).
+
+For the Figure 4 experiments the paper runs "1,024 4-benchmark
+workloads composed of randomly selected Autobench benchmarks".  This
+module generates such workloads reproducibly and relocates duplicate
+benchmark instances so that two copies of the same program on
+different cores own distinct data regions (separate processes have
+separate physical pages).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cpu.trace import Trace
+from repro.errors import ConfigurationError
+from repro.utils.rng import SplitMix64
+from repro.workloads.suite import BENCHMARK_IDS, build_benchmark
+
+#: relocation distance applied per duplicate copy: far beyond any
+#: kernel's own data region.
+_RELOCATION_STRIDE = 0x4000_0000
+
+
+def random_workloads(
+    count: int,
+    tasks_per_workload: int = 4,
+    seed: int = 0,
+    bench_ids: Optional[Sequence[str]] = None,
+) -> List[Tuple[str, ...]]:
+    """Generate ``count`` workloads of ``tasks_per_workload`` benchmark ids.
+
+    Sampling is uniform with replacement (a workload may contain the
+    same benchmark twice, as the paper's random selection allows);
+    duplicated instances are relocated by :func:`build_workload_traces`.
+
+    >>> random_workloads(2, seed=1) == random_workloads(2, seed=1)
+    True
+    """
+    if count <= 0:
+        raise ConfigurationError(f"count must be positive, got {count}")
+    if tasks_per_workload <= 0:
+        raise ConfigurationError(
+            f"tasks_per_workload must be positive, got {tasks_per_workload}"
+        )
+    pool = tuple(bench_ids) if bench_ids is not None else BENCHMARK_IDS
+    if not pool:
+        raise ConfigurationError("benchmark pool is empty")
+    rng = SplitMix64(seed)
+    return [
+        tuple(pool[rng.next_u64() % len(pool)] for _ in range(tasks_per_workload))
+        for _ in range(count)
+    ]
+
+
+def relocate_trace(trace: Trace, offset: int, copy_tag: str = "") -> Trace:
+    """Return a copy of ``trace`` with code and data shifted by ``offset``.
+
+    Models a second process image of the same binary loaded at a
+    different physical location.  The dynamic behaviour (reuse
+    distances, footprint sizes) is untouched.
+    """
+    if offset < 0:
+        raise ConfigurationError(f"relocation offset must be non-negative, got {offset}")
+    name = f"{trace.name}{copy_tag}" if copy_tag else trace.name
+    return Trace(
+        name,
+        [pc + offset for pc in trace.pcs],
+        list(trace.kinds),
+        [addr + offset if addr is not None else None for addr in trace.addresses],
+    )
+
+
+def build_workload_traces(
+    workload: Sequence[str],
+    scale: float = 1.0,
+    trace_cache: Optional[dict] = None,
+) -> List[Trace]:
+    """Materialise the traces of one workload, relocating duplicates.
+
+    ``trace_cache`` (id -> Trace) avoids rebuilding kernels across the
+    hundreds of workloads of a Figure 4 campaign; pass a shared dict.
+    """
+    if not workload:
+        raise ConfigurationError("workload is empty")
+    traces: List[Trace] = []
+    seen: dict = {}
+    for bench_id in workload:
+        if trace_cache is not None and bench_id in trace_cache:
+            base = trace_cache[bench_id]
+        else:
+            base = build_benchmark(bench_id, scale)
+            if trace_cache is not None:
+                trace_cache[bench_id] = base
+        copy_index = seen.get(bench_id, 0)
+        seen[bench_id] = copy_index + 1
+        if copy_index == 0:
+            traces.append(base)
+        else:
+            traces.append(
+                relocate_trace(
+                    base, copy_index * _RELOCATION_STRIDE, copy_tag=f"#{copy_index}"
+                )
+            )
+    return traces

@@ -1,0 +1,215 @@
+"""Reusable access-pattern primitives for building benchmark kernels.
+
+Each primitive emits a loop nest into a :class:`~repro.cpu.trace.TraceBuilder`
+with a realistic PC structure (the loop body re-executes at the same
+addresses) and a characteristic data-reference pattern:
+
+* :func:`stream_pass` — sequential word-granular sweep (spatial
+  locality: several accesses per cache line);
+* :func:`strided_pass` — line-granular strided walk (defeats spatial
+  locality; the classic column-walk of matrix code);
+* :func:`blocked_pass` — tiled reuse (temporal locality within a
+  block, as in IDCT/FFT butterflies);
+* :func:`pointer_chase` — a permutation-cycle walk (dependent loads,
+  no spatial locality at all);
+* :func:`table_lookup_pass` — data-dependent indexed reads into a
+  lookup table (angle-to-time style);
+* :func:`compute_block` — pure arithmetic filler.
+
+All index randomisation inside kernels is *program* behaviour, so it
+uses a fixed-seed :class:`~repro.utils.rng.SplitMix64` — the same
+"random" indices every run, exactly like a real benchmark binary.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cpu.trace import TraceBuilder
+from repro.errors import ConfigurationError
+from repro.utils.rng import SplitMix64
+
+#: word size used for element-granular accesses (bytes).
+WORD_BYTES = 4
+
+
+def scaled_count(count: int, scale: float, minimum: int = 1) -> int:
+    """Scale an iteration count, never below ``minimum``."""
+    if count <= 0:
+        raise ConfigurationError(f"count must be positive, got {count}")
+    return max(int(round(count * scale)), minimum)
+
+
+def compute_block(builder: TraceBuilder, alus: int = 0, muls: int = 0) -> None:
+    """Emit a pure-compute stretch (no memory traffic)."""
+    if alus:
+        builder.alu(alus)
+    if muls:
+        builder.mul(muls)
+
+
+def stream_pass(
+    builder: TraceBuilder,
+    base: int,
+    num_words: int,
+    alus_per_access: int = 1,
+    store_every: int = 0,
+    word_stride: int = 1,
+) -> None:
+    """Sweep ``num_words`` consecutive words starting at ``base``.
+
+    Each iteration loads one word, does ``alus_per_access`` ALU ops and
+    branches back; every ``store_every``-th iteration also stores to
+    the same word (0 disables stores).  With 16B lines and
+    ``word_stride == 1`` this produces the ~75% spatial-hit pattern of
+    real array code.
+    """
+    if num_words <= 0:
+        raise ConfigurationError(f"num_words must be positive, got {num_words}")
+    body = builder.loop_start()
+    for index in range(num_words):
+        address = base + index * WORD_BYTES * word_stride
+        builder.load(address)
+        if alus_per_access:
+            builder.alu(alus_per_access)
+        if store_every and index % store_every == store_every - 1:
+            builder.store(address)
+        builder.branch(back_to=body if index < num_words - 1 else None)
+
+
+def strided_pass(
+    builder: TraceBuilder,
+    base: int,
+    num_accesses: int,
+    stride_bytes: int,
+    alus_per_access: int = 1,
+    store: bool = False,
+) -> None:
+    """Walk ``num_accesses`` addresses ``stride_bytes`` apart.
+
+    With a stride of one line or more, every access touches a new
+    line — the pattern that exposes cache capacity and associativity.
+    """
+    if num_accesses <= 0:
+        raise ConfigurationError(f"num_accesses must be positive, got {num_accesses}")
+    if stride_bytes <= 0:
+        raise ConfigurationError(f"stride_bytes must be positive, got {stride_bytes}")
+    body = builder.loop_start()
+    for index in range(num_accesses):
+        address = base + index * stride_bytes
+        if store:
+            builder.store(address)
+        else:
+            builder.load(address)
+        if alus_per_access:
+            builder.alu(alus_per_access)
+        builder.branch(back_to=body if index < num_accesses - 1 else None)
+
+
+def blocked_pass(
+    builder: TraceBuilder,
+    base: int,
+    block_words: int,
+    num_blocks: int,
+    reuse: int,
+    alus_per_access: int = 1,
+    store_last_sweep: bool = False,
+) -> None:
+    """Process ``num_blocks`` tiles, sweeping each tile ``reuse`` times.
+
+    Models tiled algorithms (IDCT blocks, FFT butterfly groups): high
+    temporal locality inside a tile, streaming across tiles.
+    """
+    if min(block_words, num_blocks, reuse) <= 0:
+        raise ConfigurationError("block_words, num_blocks and reuse must be positive")
+    block_bytes = block_words * WORD_BYTES
+    for block in range(num_blocks):
+        block_base = base + block * block_bytes
+        for sweep in range(reuse):
+            is_last = sweep == reuse - 1
+            body = builder.loop_start()
+            for index in range(block_words):
+                address = block_base + index * WORD_BYTES
+                if store_last_sweep and is_last:
+                    builder.store(address)
+                else:
+                    builder.load(address)
+                if alus_per_access:
+                    builder.alu(alus_per_access)
+                builder.branch(back_to=body if index < block_words - 1 else None)
+
+
+def make_permutation(length: int, seed: int) -> List[int]:
+    """Deterministic pseudo-random permutation (Fisher-Yates).
+
+    One full cycle is forced (the permutation is built over a shuffled
+    ring), so a pointer chase visits every element before repeating.
+    """
+    if length <= 0:
+        raise ConfigurationError(f"length must be positive, got {length}")
+    order = list(range(length))
+    rng = SplitMix64(seed)
+    for i in range(length - 1, 0, -1):
+        j = rng.next_u64() % (i + 1)
+        order[i], order[j] = order[j], order[i]
+    successor = [0] * length
+    for position in range(length):
+        successor[order[position]] = order[(position + 1) % length]
+    return successor
+
+
+def pointer_chase(
+    builder: TraceBuilder,
+    base: int,
+    num_nodes: int,
+    node_bytes: int,
+    steps: int,
+    seed: int,
+    alus_per_step: int = 1,
+) -> None:
+    """Chase ``steps`` pointers through a ``num_nodes``-node shuffled ring.
+
+    Every step loads a different node (no spatial locality, reuse
+    distance ~ ``num_nodes``); the canonical cache-capacity-sensitive
+    pattern.
+    """
+    if min(num_nodes, node_bytes, steps) <= 0:
+        raise ConfigurationError("num_nodes, node_bytes and steps must be positive")
+    successor = make_permutation(num_nodes, seed)
+    node = 0
+    body = builder.loop_start()
+    for step in range(steps):
+        builder.load(base + node * node_bytes)
+        if alus_per_step:
+            builder.alu(alus_per_step)
+        builder.branch(back_to=body if step < steps - 1 else None)
+        node = successor[node]
+
+
+def table_lookup_pass(
+    builder: TraceBuilder,
+    table_base: int,
+    table_words: int,
+    lookups: int,
+    seed: int,
+    alus_per_lookup: int = 2,
+    muls_per_lookup: int = 0,
+) -> None:
+    """Perform ``lookups`` data-dependent reads into a lookup table.
+
+    Indices are a fixed pseudo-random sequence (program-deterministic),
+    modelling trigonometric/calibration table lookups whose index
+    depends on sensor input.
+    """
+    if min(table_words, lookups) <= 0:
+        raise ConfigurationError("table_words and lookups must be positive")
+    rng = SplitMix64(seed)
+    body = builder.loop_start()
+    for lookup in range(lookups):
+        index = rng.next_u64() % table_words
+        builder.load(table_base + index * WORD_BYTES)
+        if alus_per_lookup:
+            builder.alu(alus_per_lookup)
+        if muls_per_lookup:
+            builder.mul(muls_per_lookup)
+        builder.branch(back_to=body if lookup < lookups - 1 else None)

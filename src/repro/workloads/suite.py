@@ -1,0 +1,70 @@
+"""Benchmark registry: ids, names and constructors.
+
+Maps the paper's two-letter benchmark ids to the kernel constructors
+in :mod:`repro.workloads.eembc` and provides the lookup helpers every
+experiment driver uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.cpu.trace import Trace
+from repro.errors import ConfigurationError
+from repro.workloads import eembc
+
+#: id -> (EEMBC-style name, constructor) in the paper's Figure 3 order.
+_REGISTRY: Dict[str, tuple] = {
+    "ID": ("idctrn", eembc.build_idctrn),
+    "MA": ("matrix", eembc.build_matrix),
+    "CN": ("canrdr", eembc.build_canrdr),
+    "AI": ("aifftr", eembc.build_aifftr),
+    "CA": ("cacheb", eembc.build_cacheb),
+    "PU": ("puwmod", eembc.build_puwmod),
+    "RS": ("rspeed", eembc.build_rspeed),
+    "II": ("iirflt", eembc.build_iirflt),
+    "PN": ("pntrch", eembc.build_pntrch),
+    "A2": ("a2time", eembc.build_a2time),
+}
+
+#: The ten benchmark ids, in registry order.
+BENCHMARK_IDS = tuple(_REGISTRY.keys())
+
+#: id -> EEMBC-style benchmark name.
+BENCHMARK_NAMES = {bench_id: name for bench_id, (name, _fn) in _REGISTRY.items()}
+
+#: The ids the paper classes as cache-space sensitive.
+SENSITIVE_IDS = ("II", "PN", "A2")
+
+#: The id whose input set does not fit in the LLC.
+LLC_OVERFLOW_IDS = ("MA",)
+
+
+def build_benchmark(bench_id: str, scale: float = 1.0) -> Trace:
+    """Build the trace of one benchmark by id.
+
+    >>> build_benchmark("RS", scale=0.1).name
+    'RS'
+    """
+    try:
+        _name, constructor = _REGISTRY[bench_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown benchmark id {bench_id!r}; choose from {BENCHMARK_IDS}"
+        ) from None
+    return constructor(scale)
+
+
+def build_all_benchmarks(scale: float = 1.0) -> Dict[str, Trace]:
+    """Build all ten benchmark traces at the given scale."""
+    return {bench_id: build_benchmark(bench_id, scale) for bench_id in BENCHMARK_IDS}
+
+
+def builder_for(bench_id: str) -> Callable[[float], Trace]:
+    """Return the constructor of one benchmark (for lazy building)."""
+    try:
+        return _REGISTRY[bench_id][1]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown benchmark id {bench_id!r}; choose from {BENCHMARK_IDS}"
+        ) from None

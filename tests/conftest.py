@@ -1,0 +1,64 @@
+"""Shared fixtures: small platforms and traces that keep tests fast.
+
+Tests never need the paper-scale platform; a 1/16-scale system with a
+few-hundred-instruction trace exercises every code path in
+milliseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.trace import Trace, TraceBuilder
+from repro.sim.config import SystemConfig
+from repro.workloads.scale import ExperimentScale
+
+
+@pytest.fixture
+def tiny_scale() -> ExperimentScale:
+    """The smallest preset (1/16 platform)."""
+    return ExperimentScale.tiny()
+
+
+@pytest.fixture
+def tiny_config(tiny_scale) -> SystemConfig:
+    """A 1/16-scale platform (256B L1s, 4KB LLC)."""
+    return tiny_scale.system_config()
+
+
+@pytest.fixture
+def paper_config() -> SystemConfig:
+    """The paper's exact platform (4KB L1s, 64KB LLC)."""
+    return SystemConfig()
+
+
+def make_stream_trace(
+    name: str = "stream",
+    words: int = 64,
+    sweeps: int = 3,
+    base: int = 0x10_0000,
+    store_every: int = 0,
+) -> Trace:
+    """A small sweeping-loads trace for simulator tests."""
+    builder = TraceBuilder(name, code_base=0x1000)
+    for _sweep in range(sweeps):
+        body = builder.loop_start()
+        for index in range(words):
+            address = base + 4 * index
+            builder.load(address)
+            if store_every and index % store_every == store_every - 1:
+                builder.store(address)
+            builder.branch(back_to=body if index < words - 1 else None)
+    return builder.build()
+
+
+@pytest.fixture
+def stream_trace() -> Trace:
+    """A ~400-instruction streaming trace."""
+    return make_stream_trace()
+
+
+@pytest.fixture
+def store_trace() -> Trace:
+    """A streaming trace with stores (exercises write-backs)."""
+    return make_stream_trace(name="stores", store_every=2)

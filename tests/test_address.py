@@ -1,0 +1,63 @@
+"""Tests for byte-address / line-address arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.mem.address import block_offset, bytes_to_lines, line_address
+
+
+class TestLineAddress:
+    def test_basic(self):
+        assert line_address(0, 16) == 0
+        assert line_address(15, 16) == 0
+        assert line_address(16, 16) == 1
+        assert line_address(0x1234, 16) == 0x123
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigurationError):
+            line_address(0x100, 12)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ConfigurationError):
+            line_address(-1, 16)
+
+    @given(
+        addr=st.integers(min_value=0, max_value=2**40),
+        shift=st.integers(min_value=1, max_value=8),
+    )
+    def test_consistent_with_division(self, addr, shift):
+        line_size = 1 << shift
+        assert line_address(addr, line_size) == addr // line_size
+
+
+class TestBlockOffset:
+    def test_basic(self):
+        assert block_offset(0x13, 16) == 3
+        assert block_offset(0x10, 16) == 0
+
+    @given(
+        addr=st.integers(min_value=0, max_value=2**40),
+        shift=st.integers(min_value=1, max_value=8),
+    )
+    def test_reconstruction(self, addr, shift):
+        line_size = 1 << shift
+        reconstructed = line_address(addr, line_size) * line_size + block_offset(
+            addr, line_size
+        )
+        assert reconstructed == addr
+
+
+class TestBytesToLines:
+    def test_exact(self):
+        assert bytes_to_lines(64, 16) == 4
+
+    def test_rounds_up(self):
+        assert bytes_to_lines(65, 16) == 5
+        assert bytes_to_lines(1, 16) == 1
+
+    def test_zero(self):
+        assert bytes_to_lines(0, 16) == 0

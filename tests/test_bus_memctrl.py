@@ -1,0 +1,187 @@
+"""Tests for the shared bus, memory controller and main memory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.mem.bus import SharedBus
+from repro.mem.mainmemory import MainMemory
+from repro.mem.memctrl import AnalysableMemoryController
+from repro.utils.rng import MultiplyWithCarry
+
+
+def make_bus(num_cores=4, latency=2, seed=1):
+    return SharedBus(num_cores, latency, MultiplyWithCarry(seed))
+
+
+class TestSharedBus:
+    def test_uncontended_latency(self):
+        bus = make_bus()
+        assert bus.request(0, 100) == 102
+
+    def test_back_to_back_same_core(self):
+        bus = make_bus()
+        assert bus.request(0, 0) == 2
+        assert bus.request(0, 2) == 4
+
+    def test_contention_serialises(self):
+        bus = make_bus()
+        done0 = bus.request(0, 10)
+        done1 = bus.request(1, 10)
+        assert done0 == 12
+        assert done1 == 14
+        assert bus.contended == 1
+
+    def test_three_way_contention(self):
+        bus = make_bus()
+        completions = sorted(
+            [bus.request(0, 0), bus.request(1, 0), bus.request(2, 0)]
+        )
+        assert completions == [2, 4, 6]
+
+    def test_idle_gap_resets(self):
+        bus = make_bus()
+        bus.request(0, 0)
+        assert bus.request(1, 50) == 52
+
+    def test_worst_case_completion(self):
+        bus = make_bus(num_cores=4, latency=2)
+        # Lose one round to each of the 3 other cores, then transfer.
+        assert bus.worst_case_completion(100) == 108
+
+    def test_lottery_is_fair_ish(self):
+        """Over many 2-way ties, each core wins a fair share."""
+        wins = {0: 0, 1: 0}
+        for seed in range(200):
+            bus = make_bus(num_cores=2, seed=seed)
+            completions = bus.arbitrate([(0, 5), (1, 5)])
+            wins[0 if completions[0] < completions[1] else 1] += 1
+        assert 40 < wins[0] < 160
+
+    def test_arbitrate_serialises_all(self):
+        bus = make_bus()
+        completions = bus.arbitrate([(0, 0), (1, 0), (2, 0), (3, 0)])
+        assert sorted(completions.values()) == [2, 4, 6, 8]
+        assert set(completions) == {0, 1, 2, 3}
+
+    def test_arbitrate_idle_gap(self):
+        bus = make_bus()
+        completions = bus.arbitrate([(0, 0), (1, 100)])
+        assert completions[0] == 2
+        assert completions[1] == 102
+
+    def test_arbitrate_rejects_duplicate_core(self):
+        bus = make_bus()
+        with pytest.raises(SimulationError):
+            bus.arbitrate([(0, 0), (0, 1)])
+
+    def test_arbitrate_respects_prior_occupancy(self):
+        bus = make_bus()
+        bus.request(0, 0)  # busy until 2
+        completions = bus.arbitrate([(1, 0)])
+        assert completions[1] == 4
+
+    def test_unknown_core_rejected(self):
+        bus = make_bus()
+        with pytest.raises(SimulationError):
+            bus.request(7, 0)
+
+    def test_negative_time_rejected(self):
+        bus = make_bus()
+        with pytest.raises(SimulationError):
+            bus.request(0, -1)
+
+    def test_reset(self):
+        bus = make_bus()
+        bus.request(0, 0)
+        bus.reset()
+        assert bus.granted == 0
+        assert bus.request(0, 0) == 2
+
+
+class TestMainMemory:
+    def test_latency(self):
+        memory = MainMemory(latency=100)
+        assert memory.read() == 100
+        assert memory.write() == 100
+        assert memory.reads == 1
+        assert memory.writes == 1
+
+    def test_reset(self):
+        memory = MainMemory()
+        memory.read()
+        memory.reset()
+        assert memory.reads == 0
+
+    def test_rejects_bad_latency(self):
+        with pytest.raises(ConfigurationError):
+            MainMemory(latency=0)
+
+
+class TestMemoryController:
+    def make(self, num_cores=4, latency=100):
+        return AnalysableMemoryController(num_cores, MainMemory(latency))
+
+    def test_unloaded_read(self):
+        ctrl = self.make()
+        assert ctrl.read(0, 50) == 150
+
+    def test_channel_occupancy_delays(self):
+        ctrl = self.make()
+        assert ctrl.read(0, 0) == 100
+        assert ctrl.read(1, 10) == 200
+        assert ctrl.queued == 1
+
+    def test_writeback_never_delays_reads(self):
+        """Posted writes drain with read priority (the [25] contract)."""
+        ctrl = self.make()
+        ctrl.write_back(0, 0)
+        assert ctrl.read(1, 0) == 100
+
+    def test_writeback_drains_behind_reads(self):
+        ctrl = self.make()
+        ctrl.read(0, 0)  # channel busy until 100
+        assert ctrl.write_back(1, 10) == 200
+        assert ctrl.posted_writes == 1
+
+    def test_worst_case_bound(self):
+        ctrl = self.make(num_cores=4, latency=100)
+        # (N-1) * L interference + L service = 400.
+        assert ctrl.worst_case_completion(0) == 400
+        assert ctrl.worst_case_wait == 300
+
+    def test_worst_case_writeback_is_posted(self):
+        ctrl = self.make()
+        assert ctrl.worst_case_writeback(123) == 123
+        assert ctrl.memory.writes == 1
+
+    def test_deployment_never_exceeds_bound_in_isolation(self):
+        """A single core's request latency never beats the WCD bound."""
+        ctrl = self.make()
+        time = 0
+        for _ in range(50):
+            done = ctrl.read(0, time)
+            assert done - time <= 4 * 100
+            time = done
+
+    def test_read_wait_capped_at_round_robin_bound(self):
+        """Even under saturation, a read waits at most (N-1)*L."""
+        ctrl = self.make()
+        # Saturate the channel with a backlog of reads at time 0.
+        for core in range(4):
+            ctrl.read(core, 0)
+        done = ctrl.read(0, 0)
+        assert done <= 0 + 3 * 100 + 100
+
+    def test_unknown_core_rejected(self):
+        ctrl = self.make()
+        with pytest.raises(SimulationError):
+            ctrl.read(9, 0)
+
+    def test_reset(self):
+        ctrl = self.make()
+        ctrl.read(0, 0)
+        ctrl.reset()
+        assert ctrl.requests == 0
+        assert ctrl.read(0, 0) == 100

@@ -1,0 +1,290 @@
+"""Tests for the set-associative cache model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.mem.cache import Cache, CacheGeometry, Eviction
+from repro.mem.placement import ModuloPlacement, RandomPlacement
+from repro.mem.replacement import EvictOnMissRandom, LRUReplacement
+from repro.utils.rng import MultiplyWithCarry
+
+
+def make_cache(
+    size=256,
+    line=16,
+    ways=4,
+    placement_kind="modulo",
+    replacement_kind="eom",
+    seed=1,
+    write_back=True,
+    rii=0,
+):
+    geometry = CacheGeometry(size_bytes=size, line_size=line, ways=ways)
+    if placement_kind == "modulo":
+        placement = ModuloPlacement(geometry.num_sets)
+    else:
+        placement = RandomPlacement(geometry.num_sets, rii=rii)
+    if replacement_kind == "eom":
+        replacement = EvictOnMissRandom(MultiplyWithCarry(seed))
+    else:
+        replacement = LRUReplacement()
+    return Cache(geometry, placement, replacement, name="test", write_back=write_back)
+
+
+class TestGeometry:
+    def test_paper_llc(self):
+        g = CacheGeometry(size_bytes=65536, line_size=16, ways=8)
+        assert g.num_sets == 512
+        assert g.num_lines == 4096
+
+    def test_paper_l1(self):
+        g = CacheGeometry(size_bytes=4096, line_size=16, ways=4)
+        assert g.num_sets == 64
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size_bytes=3000, line_size=16, ways=4)
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size_bytes=32, line_size=16, ways=4)
+
+    def test_mismatched_placement_rejected(self):
+        geometry = CacheGeometry(size_bytes=256, line_size=16, ways=4)
+        with pytest.raises(ConfigurationError):
+            Cache(geometry, ModuloPlacement(99), LRUReplacement())
+
+
+class TestBasicBehaviour:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.access(5).hit is False
+        assert cache.access(5).hit is True
+
+    def test_probe_has_no_side_effects(self):
+        cache = make_cache()
+        assert cache.probe(5) is False
+        assert cache.stats.accesses == 0
+        cache.access(5)
+        assert cache.probe(5) is True
+        assert cache.stats.accesses == 1
+
+    def test_occupancy_grows_to_capacity(self):
+        cache = make_cache(size=256, ways=4)  # 16 lines
+        for line in range(100):
+            cache.access(line)
+        assert cache.occupancy() == 16
+
+    def test_eviction_reported(self):
+        # Direct-mapped single set: second distinct line evicts first.
+        cache = make_cache(size=16, ways=1)
+        cache.access(0)
+        result = cache.access(1)  # same set (1 set only)
+        assert result.hit is False
+        assert result.eviction == Eviction(line=0, dirty=False)
+
+    def test_dirty_eviction_after_store(self):
+        cache = make_cache(size=16, ways=1)
+        cache.access(0, write=True)
+        result = cache.access(1)
+        assert result.eviction.dirty is True
+        assert cache.stats.writebacks == 1
+
+    def test_write_through_never_dirty(self):
+        cache = make_cache(size=16, ways=1, write_back=False)
+        cache.access(0, write=True)
+        result = cache.access(1)
+        assert result.eviction.dirty is False
+
+    def test_stats_counting(self):
+        cache = make_cache()
+        cache.access(1)
+        cache.access(1)
+        cache.access(2)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.accesses == 3
+        assert cache.stats.miss_ratio == pytest.approx(2 / 3)
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.access(7, write=True)
+        eviction = cache.invalidate(7)
+        assert eviction.dirty is True
+        assert cache.probe(7) is False
+        assert cache.invalidate(7) is None
+
+    def test_flush_returns_dirty_lines(self):
+        cache = make_cache(size=256, ways=4)
+        cache.access(1, write=True)
+        cache.access(2)
+        cache.access(3, write=True)
+        written = cache.flush()
+        assert {e.line for e in written} == {1, 3}
+        assert cache.occupancy() == 0
+
+
+class TestEoMSemantics:
+    def test_hits_do_not_change_state(self):
+        """The paper's key property: EoM hits leave the cache unchanged."""
+        cache = make_cache(placement_kind="random", replacement_kind="eom")
+        for line in range(10):
+            cache.access(line)
+        before = cache.resident_lines()
+        for line in list(before):
+            cache.access(line)
+        assert cache.resident_lines() == before
+
+    def test_random_victims_vary(self):
+        """With EoM, the same overflow scenario evicts different ways."""
+        victims = set()
+        for seed in range(20):
+            cache = make_cache(size=64, ways=4, seed=seed)  # 1 set
+            for line in range(4):
+                cache.access(line)
+            result = cache.access(99)
+            # EoM may draw a way that a cold self-eviction left invalid;
+            # only filled victims carry a line.
+            if result.eviction is not None:
+                victims.add(result.eviction.line)
+        assert len(victims) > 1
+
+    def test_miss_can_fill_invalid_way_without_eviction(self):
+        """EoM draws over all ways: a miss whose victim draw lands on an
+        invalid frame evicts nothing (and Equation 1 still counts it as
+        an eviction opportunity)."""
+        results = []
+        for seed in range(50):
+            cache = make_cache(size=64, ways=4, seed=seed)  # 1 set, empty
+            cache.access(1)
+            results.append(cache.access(2).eviction)
+        # From a nearly-empty set most victim draws hit invalid ways...
+        assert sum(1 for e in results if e is None) > 25
+        # ...but sometimes the draw lands on the one valid line.
+        assert sum(1 for e in results if e is not None) > 0
+
+
+class TestLRUSemantics:
+    def test_lru_victim_order(self):
+        cache = make_cache(size=64, ways=4, replacement_kind="lru")  # 1 set
+        for line in range(4):
+            cache.access(line)
+        cache.access(0)  # refresh 0
+        result = cache.access(99)
+        assert result.eviction.line == 1  # 1 is now LRU
+
+
+class TestForcedEvictions:
+    def test_forced_eviction_invalidates(self):
+        cache = make_cache(size=16, ways=1)
+        cache.access(3)
+        eviction = cache.force_eviction(cache.set_of(3))
+        assert eviction.line == 3
+        assert cache.probe(3) is False
+        assert cache.stats.forced_evictions == 1
+
+    def test_forced_eviction_on_empty_way(self):
+        cache = make_cache(size=16, ways=1)
+        eviction = cache.force_eviction(0)
+        assert eviction.line is None
+        assert cache.stats.forced_evictions == 1
+        assert cache.stats.evictions == 0
+
+    def test_forced_eviction_writes_back_dirty(self):
+        cache = make_cache(size=16, ways=1)
+        cache.access(3, write=True)
+        eviction = cache.force_eviction(cache.set_of(3))
+        assert eviction.dirty is True
+        assert cache.stats.writebacks == 1
+
+    def test_out_of_range_set_rejected(self):
+        cache = make_cache()
+        with pytest.raises(SimulationError):
+            cache.force_eviction(9999)
+
+
+class TestRII:
+    def test_new_rii_flushes(self):
+        cache = make_cache(placement_kind="random")
+        cache.access(1, write=True)
+        written = cache.new_rii(42)
+        assert [e.line for e in written] == [1]
+        assert cache.occupancy() == 0
+        assert cache.placement.rii == 42
+
+    def test_new_rii_on_modulo_rejected(self):
+        cache = make_cache(placement_kind="modulo")
+        with pytest.raises(ConfigurationError):
+            cache.new_rii(1)
+
+    def test_rii_changes_set_mapping(self):
+        cache_a = make_cache(size=1024, placement_kind="random", rii=1)
+        cache_b = make_cache(size=1024, placement_kind="random", rii=2)
+        moved = sum(
+            1 for line in range(100) if cache_a.set_of(line) != cache_b.set_of(line)
+        )
+        assert moved > 80
+
+
+class TestWaySubsets:
+    def test_access_confined_to_ways(self):
+        cache = make_cache(size=64, ways=4)  # 1 set
+        cache.access(1, ways=(0, 1))
+        cache.access(2, ways=(0, 1))
+        cache.access(3, ways=(0, 1))  # must evict within {0,1}
+        assert cache.occupancy() == 2
+
+    def test_probe_respects_ways(self):
+        cache = make_cache(size=64, ways=4)
+        cache.access(1, ways=(0,))
+        assert cache.probe(1, ways=(0,)) is True
+        assert cache.probe(1, ways=(1, 2, 3)) is False
+
+
+class TestPropertyBased:
+    @given(
+        lines=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=300),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=40)
+    def test_occupancy_never_exceeds_capacity(self, lines, seed):
+        cache = make_cache(size=256, ways=4, placement_kind="random", seed=seed)
+        for line in lines:
+            cache.access(line)
+        assert cache.occupancy() <= cache.geometry.num_lines
+        assert cache.occupancy() <= len(set(lines))
+
+    @given(
+        lines=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=100),
+    )
+    @settings(max_examples=40)
+    def test_last_access_always_resident(self, lines):
+        cache = make_cache(size=256, ways=4, placement_kind="random")
+        for line in lines:
+            cache.access(line)
+        assert cache.probe(lines[-1]) is True
+
+    @given(
+        lines=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=200),
+    )
+    @settings(max_examples=40)
+    def test_hits_plus_misses_equals_accesses(self, lines):
+        cache = make_cache(size=128, ways=2, placement_kind="random")
+        for line in lines:
+            cache.access(line)
+        assert cache.stats.hits + cache.stats.misses == len(lines)
+
+    @given(
+        lines=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=200),
+        seed=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=40)
+    def test_resident_lines_subset_of_accessed(self, lines, seed):
+        cache = make_cache(size=128, ways=2, placement_kind="random", seed=seed)
+        for line in lines:
+            cache.access(line)
+        assert cache.resident_lines() <= set(lines)

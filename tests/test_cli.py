@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main, make_parser
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_defaults(self):
+        args = make_parser().parse_args(["fig3"])
+        assert args.scale == "quick"
+        assert args.seed == 0
+        assert args.verbose is False
+
+    def test_iid_options(self):
+        args = make_parser().parse_args(["--scale", "tiny", "iid", "--mid", "123"])
+        assert args.scale == "tiny"
+        assert args.mid == 123
+
+    def test_fig4_no_average(self):
+        args = make_parser().parse_args(["fig4", "--no-average"])
+        assert args.no_average is True
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["--scale", "huge", "fig3"])
+
+
+class TestExecution:
+    """End-to-end CLI runs at tiny scale (slow-ish but real)."""
+
+    def test_iid_command(self, capsys):
+        code = main(["--scale", "tiny", "--seed", "3", "iid"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MBPTA compliance" in out
+        assert "ID" in out
+
+    def test_fig4_no_average_command(self, capsys):
+        code = main(["--scale", "tiny", "--seed", "3", "fig4", "--no-average"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wgIPC" in out
+        assert "S-curve deciles" in out
+
+
+class TestCsvExport:
+    def test_iid_csv_written(self, tmp_path, capsys):
+        prefix = str(tmp_path / "out-")
+        code = main(["--scale", "tiny", "--seed", "3", "--csv", prefix, "iid"])
+        assert code == 0
+        csv_path = tmp_path / "out-iid.csv"
+        assert csv_path.exists()
+        content = csv_path.read_text().splitlines()
+        assert content[0].startswith("benchmark,")
+        assert len(content) == 11  # header + 10 benchmarks

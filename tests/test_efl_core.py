@@ -1,0 +1,246 @@
+"""Tests for the EFL hardware models: config, ACU, CRG, controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.acu import AccessControlUnit
+from repro.core.config import EFLConfig, OperationMode
+from repro.core.crg import CacheRequestGenerator
+from repro.core.efl import EFLController
+from repro.errors import ConfigurationError, SimulationError
+from repro.mem.cache import Cache, CacheGeometry
+from repro.mem.placement import RandomPlacement
+from repro.mem.replacement import EvictOnMissRandom
+from repro.utils.rng import MultiplyWithCarry
+
+
+def make_llc(size=1024, ways=8, seed=1):
+    geometry = CacheGeometry(size_bytes=size, line_size=16, ways=ways)
+    return Cache(
+        geometry,
+        RandomPlacement(geometry.num_sets, rii=3),
+        EvictOnMissRandom(MultiplyWithCarry(seed)),
+        name="LLC",
+    )
+
+
+class TestEFLConfig:
+    def test_basic(self):
+        cfg = EFLConfig(mid=500)
+        assert cfg.enabled is True
+        assert cfg.max_delay == 1000
+
+    def test_disabled(self):
+        cfg = EFLConfig.disabled()
+        assert cfg.enabled is False
+        assert cfg.mid == 0
+
+    def test_deterministic_max_delay(self):
+        assert EFLConfig(mid=500, randomise_mid=False).max_delay == 500
+
+    @pytest.mark.parametrize("bad", [-1, 2.5, "500", True])
+    def test_rejects_bad_mid(self, bad):
+        with pytest.raises(ConfigurationError):
+            EFLConfig(mid=bad)
+
+
+class TestACU:
+    def make(self, mid=250, seed=1, randomise=True):
+        return AccessControlUnit(
+            EFLConfig(mid=mid, randomise_mid=randomise), MultiplyWithCarry(seed)
+        )
+
+    def test_initially_allowed(self):
+        acu = self.make()
+        assert acu.eviction_allowed(0) is True
+        assert acu.eviction_grant_time(0) == 0
+
+    def test_eviction_loads_cdc(self):
+        acu = self.make()
+        acu.record_eviction(100)
+        expiry = acu.next_allowed_time()
+        assert 100 <= expiry <= 100 + 500  # U[0, 2*MID]
+
+    def test_stall_until_expiry(self):
+        acu = self.make(randomise=False, mid=250)
+        acu.record_eviction(100)
+        assert acu.next_allowed_time() == 350
+        assert acu.eviction_grant_time(200) == 350
+        assert acu.stall_cycles == 150
+
+    def test_no_stall_after_expiry(self):
+        acu = self.make(randomise=False, mid=250)
+        acu.record_eviction(100)
+        assert acu.eviction_grant_time(400) == 400
+
+    def test_draws_average_mid(self):
+        """Random delays must average the desired MID (paper §3.4)."""
+        acu = self.make(mid=250, seed=5)
+        delays = []
+        time = 0
+        for _ in range(2000):
+            acu.record_eviction(time)
+            delays.append(acu.next_allowed_time() - time)
+            time = acu.next_allowed_time() + 1
+        mean = sum(delays) / len(delays)
+        assert abs(mean - 250) < 15
+
+    def test_delays_bounded(self):
+        acu = self.make(mid=100, seed=9)
+        time = 0
+        for _ in range(500):
+            acu.record_eviction(time)
+            delay = acu.next_allowed_time() - time
+            assert 0 <= delay <= 200
+            time = acu.next_allowed_time() + 1
+
+    def test_disabled_never_stalls(self):
+        acu = AccessControlUnit(EFLConfig.disabled(), MultiplyWithCarry(1))
+        acu.record_eviction(10)
+        assert acu.eviction_grant_time(11) == 11
+        assert acu.stall_cycles == 0
+
+    def test_time_going_backwards_rejected(self):
+        acu = self.make()
+        acu.record_eviction(100)
+        with pytest.raises(SimulationError):
+            acu.record_eviction(50)
+
+    def test_eviction_counter(self):
+        acu = self.make()
+        times = [0, 600, 1300, 2500]
+        for t in times:
+            acu.record_eviction(max(t, acu.next_allowed_time()))
+        assert acu.evictions == len(times)
+
+    def test_reset(self):
+        acu = self.make()
+        acu.record_eviction(100)
+        acu.reset()
+        assert acu.eviction_allowed(0) is True
+        assert acu.evictions == 0
+        assert acu.stall_cycles == 0
+
+
+class TestCRG:
+    def make(self, mid=250, seed=2, num_sets=64, randomise=True):
+        return CacheRequestGenerator(
+            EFLConfig(mid=mid, randomise_mid=randomise),
+            MultiplyWithCarry(seed),
+            num_sets,
+        )
+
+    def test_requires_positive_mid(self):
+        with pytest.raises(ConfigurationError):
+            CacheRequestGenerator(
+                EFLConfig.disabled(), MultiplyWithCarry(1), 64
+            )
+
+    def test_fires_in_time_order(self):
+        crg = self.make()
+        fired_sets = []
+        count = crg.fire_until(10_000, fired_sets.append)
+        assert count == len(fired_sets)
+        assert count == crg.fired
+
+    def test_rate_matches_mid(self):
+        """~1 eviction per MID cycles on average."""
+        crg = self.make(mid=250, seed=7)
+        count = crg.fire_until(1_000_000, lambda s: None)
+        assert abs(count - 4000) < 400
+
+    def test_deterministic_gap_mode(self):
+        crg = self.make(mid=100, randomise=False)
+        count = crg.fire_until(1000, lambda s: None)
+        assert count == 10
+
+    def test_sets_uniform(self):
+        crg = self.make(mid=10, num_sets=8, seed=3)
+        counts = [0] * 8
+        crg.fire_until(200_000, lambda s: counts.__setitem__(s, counts[s] + 1))
+        total = sum(counts)
+        for count in counts:
+            assert abs(count - total / 8) < total / 8 * 0.2
+
+    def test_idempotent_for_same_time(self):
+        crg = self.make()
+        first = crg.fire_until(5000, lambda s: None)
+        assert crg.fire_until(5000, lambda s: None) == 0
+        assert crg.fired == first
+
+    def test_negative_time_rejected(self):
+        crg = self.make()
+        with pytest.raises(SimulationError):
+            crg.fire_until(-1, lambda s: None)
+
+    def test_reset(self):
+        crg = self.make()
+        crg.fire_until(10_000, lambda s: None)
+        crg.reset()
+        assert crg.fired == 0
+
+
+class TestEFLController:
+    def make(self, mode=OperationMode.DEPLOYMENT, mid=250, cores=4):
+        llc = make_llc()
+        configs = [EFLConfig(mid=mid)] * cores
+        return EFLController(llc, configs, mode=mode, analysed_core=0, seed=9), llc
+
+    def test_deployment_has_no_crgs(self):
+        efl, llc = self.make(OperationMode.DEPLOYMENT)
+        assert efl.inject_interference(100_000) == 0
+        assert llc.stats.forced_evictions == 0
+
+    def test_analysis_injects_interference(self):
+        efl, llc = self.make(OperationMode.ANALYSIS)
+        fired = efl.inject_interference(100_000)
+        assert fired > 0
+        assert llc.stats.forced_evictions == fired
+        # 3 interfering cores, one eviction per ~MID cycles each.
+        assert abs(fired - 3 * 100_000 / 250) < 3 * 100_000 / 250 * 0.25
+
+    def test_analysed_core_has_no_crg(self):
+        """Interference comes from num_cores - 1 CRGs only."""
+        efl, _llc = self.make(OperationMode.ANALYSIS, cores=2)
+        fired = efl.inject_interference(100_000)
+        assert abs(fired - 100_000 / 250) < 100_000 / 250 * 0.3
+
+    def test_grant_and_record(self):
+        efl, _llc = self.make()
+        grant = efl.grant_eviction(0, 50)
+        assert grant == 50
+        efl.record_eviction(0, grant)
+        assert efl.acus[0].evictions == 1
+
+    def test_per_core_independence(self):
+        efl, _llc = self.make()
+        efl.record_eviction(0, 100)
+        # Core 1 is unaffected by core 0's cdc.
+        assert efl.grant_eviction(1, 101) == 101
+
+    def test_analysis_requires_positive_interfering_mid(self):
+        llc = make_llc()
+        configs = [EFLConfig(mid=250), EFLConfig.disabled()]
+        with pytest.raises(ConfigurationError):
+            EFLController(llc, configs, mode=OperationMode.ANALYSIS)
+
+    def test_requires_some_core(self):
+        with pytest.raises(ConfigurationError):
+            EFLController(make_llc(), [], mode=OperationMode.DEPLOYMENT)
+
+    def test_bad_analysed_core(self):
+        llc = make_llc()
+        with pytest.raises(ConfigurationError):
+            EFLController(
+                llc, [EFLConfig(mid=1)] * 2, mode=OperationMode.ANALYSIS,
+                analysed_core=5,
+            )
+
+    def test_reset(self):
+        efl, _llc = self.make(OperationMode.ANALYSIS)
+        efl.inject_interference(10_000)
+        efl.record_eviction(0, 5)
+        efl.reset()
+        assert efl.interference_evictions() == 0
+        assert efl.acus[0].evictions == 0

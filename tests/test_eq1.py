@@ -1,0 +1,157 @@
+"""Tests for the analytical TR-cache miss-probability models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.mem.cache import Cache, CacheGeometry
+from repro.mem.placement import RandomPlacement
+from repro.mem.replacement import EvictOnMissRandom
+from repro.pta.eq1 import (
+    expected_miss_ratio,
+    miss_probability,
+    miss_probability_exact,
+    poisson_overflow_fraction,
+    sequence_miss_probabilities,
+    steady_state_miss_ratio,
+)
+from repro.utils.rng import MultiplyWithCarry
+
+
+class TestPaperEquation1:
+    def test_zero_interference_never_misses(self):
+        assert miss_probability(64, 8, []) == 0.0
+
+    def test_fully_associative_term_exact(self):
+        """S=1: Equation 1 reduces to 1 - ((W-1)/W)^k, which is exact."""
+        p = miss_probability(1, 4, [1.0, 1.0])
+        assert p == pytest.approx(1 - (3 / 4) ** 2)
+        assert p == pytest.approx(miss_probability_exact(1, 4, [1.0, 1.0]))
+
+    def test_direct_mapped_term_exact(self):
+        """W=1: only placement saves A; exact again."""
+        p = miss_probability(64, 1, [1.0])
+        assert p == pytest.approx(1 - (63 / 64))
+        assert p == pytest.approx(miss_probability_exact(64, 1, [1.0]))
+
+    def test_single_set_single_way(self):
+        assert miss_probability(1, 1, [1.0]) == 1.0
+        assert miss_probability(1, 1, []) == 0.0
+
+    def test_monotone_in_interference(self):
+        probs = [miss_probability(64, 8, [1.0] * k) for k in range(0, 50, 5)]
+        assert probs == sorted(probs)
+
+    def test_more_ways_reduce_miss(self):
+        k = [1.0] * 8
+        assert miss_probability(64, 8, k) < miss_probability(64, 2, k)
+
+    def test_overapproximates_exact_for_set_associative(self):
+        """The published product form double-counts: it upper-bounds the
+        exact independent-collision value for set-associative shapes."""
+        for k in (4, 16, 64, 256):
+            probs = [1.0] * k
+            assert miss_probability(64, 4, probs) >= miss_probability_exact(
+                64, 4, probs
+            )
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(AnalysisError):
+            miss_probability(64, 8, [1.5])
+
+    @given(
+        sets=st.sampled_from([1, 8, 64, 512]),
+        ways=st.sampled_from([1, 2, 4, 8]),
+        probs=st.lists(st.floats(min_value=0, max_value=1), max_size=30),
+    )
+    @settings(max_examples=100)
+    def test_result_is_probability(self, sets, ways, probs):
+        assert 0.0 <= miss_probability(sets, ways, probs) <= 1.0
+        assert 0.0 <= miss_probability_exact(sets, ways, probs) <= 1.0
+
+
+class TestExactModelAgainstSimulation:
+    """The exact model must match simulation in Equation 1's scenario:
+    empty cache, access A, then k distinct lines, then A again."""
+
+    @pytest.mark.parametrize("k", [8, 32, 128])
+    def test_single_reuse(self, k):
+        sets, ways = 64, 4
+        predicted = miss_probability_exact(sets, ways, [1.0] * k)
+        trials = 3000
+        misses = 0
+        for seed in range(trials):
+            geometry = CacheGeometry(size_bytes=sets * ways * 16, line_size=16,
+                                     ways=ways)
+            cache = Cache(
+                geometry,
+                RandomPlacement(sets, rii=seed + 1),
+                EvictOnMissRandom(MultiplyWithCarry(seed)),
+            )
+            cache.access(0)
+            for line in range(1, k + 1):
+                cache.access(line)
+            if not cache.access(0).hit:
+                misses += 1
+        measured = misses / trials
+        assert measured == pytest.approx(predicted, abs=0.03)
+
+
+class TestPoissonOverflow:
+    def test_zero_load(self):
+        assert poisson_overflow_fraction(0.0, 4) == 0.0
+
+    def test_monotone_in_load(self):
+        fractions = [poisson_overflow_fraction(l, 2) for l in (0.5, 1.0, 2.0, 4.0)]
+        assert fractions == sorted(fractions)
+
+    def test_monotone_in_ways(self):
+        assert poisson_overflow_fraction(2.0, 8) < poisson_overflow_fraction(2.0, 1)
+
+    def test_heavy_load_approaches_one(self):
+        assert poisson_overflow_fraction(100.0, 1) > 0.95
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(AnalysisError):
+            poisson_overflow_fraction(-1.0, 2)
+
+
+class TestSteadyStateModel:
+    def test_first_sweep_cold(self):
+        probs = sequence_miss_probabilities(64, 4, working_set=16, sweeps=5)
+        assert probs[0] == 1.0
+
+    def test_small_working_set_converges_low(self):
+        probs = sequence_miss_probabilities(512, 8, working_set=32, sweeps=30)
+        assert probs[-1] < 0.01
+
+    def test_oversized_working_set_stays_high(self):
+        assert steady_state_miss_ratio(8, 2, working_set=64) > 0.5
+
+    def test_length(self):
+        assert len(sequence_miss_probabilities(64, 4, 16, 12)) == 12
+
+    @pytest.mark.parametrize("working_set,tolerance", [(16, 0.04), (32, 0.04),
+                                                       (96, 0.08)])
+    def test_against_simulated_sweeps(self, working_set, tolerance):
+        sets, ways, sweeps = 64, 4, 40
+        predicted = expected_miss_ratio(sets, ways, working_set, sweeps)
+        measured = []
+        for seed in range(30):
+            geometry = CacheGeometry(
+                size_bytes=sets * ways * 16, line_size=16, ways=ways
+            )
+            cache = Cache(
+                geometry,
+                RandomPlacement(sets, rii=seed * 31 + 1),
+                EvictOnMissRandom(MultiplyWithCarry(seed)),
+            )
+            for _sweep in range(sweeps):
+                for line in range(working_set):
+                    cache.access(line)
+            measured.append(cache.stats.miss_ratio)
+        mean_measured = sum(measured) / len(measured)
+        assert mean_measured == pytest.approx(predicted, abs=tolerance)

@@ -1,0 +1,125 @@
+"""Tests for Execution Time Profiles."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.pta.etp import ExecutionTimeProfile as ETP
+
+
+class TestConstruction:
+    def test_deterministic(self):
+        etp = ETP.deterministic(5)
+        assert etp.latencies == (5,)
+        assert etp.mean() == 5.0
+        assert etp.variance() == 0.0
+
+    def test_hit_miss(self):
+        etp = ETP.hit_miss(1, 101, 0.1)
+        assert etp.probability_of(1) == pytest.approx(0.9)
+        assert etp.probability_of(101) == pytest.approx(0.1)
+        assert etp.mean() == pytest.approx(11.0)
+
+    def test_hit_miss_degenerate(self):
+        assert ETP.hit_miss(1, 100, 0.0) == ETP.deterministic(1)
+        assert ETP.hit_miss(1, 100, 1.0) == ETP.deterministic(100)
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(AnalysisError):
+            ETP({1: 0.5, 2: 0.4})
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(AnalysisError):
+            ETP({-1: 1.0})
+
+    def test_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            ETP({})
+
+    def test_merges_duplicate_latencies(self):
+        etp = ETP.mixture([(0.5, ETP.deterministic(3)), (0.5, ETP.deterministic(3))])
+        assert etp.latencies == (3,)
+        assert etp.probability_of(3) == pytest.approx(1.0)
+
+
+class TestQueries:
+    def test_exceedance(self):
+        etp = ETP({1: 0.7, 10: 0.2, 100: 0.1})
+        assert etp.exceedance(0) == pytest.approx(1.0)
+        assert etp.exceedance(1) == pytest.approx(0.3)
+        assert etp.exceedance(10) == pytest.approx(0.1)
+        assert etp.exceedance(100) == pytest.approx(0.0)
+
+    def test_quantile(self):
+        etp = ETP({1: 0.7, 10: 0.2, 100: 0.1})
+        assert etp.quantile(0.5) == 1
+        assert etp.quantile(0.8) == 10
+        assert etp.quantile(0.95) == 100
+        assert etp.quantile(1.0) == 100
+
+    def test_quantile_bounds(self):
+        with pytest.raises(AnalysisError):
+            ETP.deterministic(1).quantile(1.5)
+
+
+class TestComposition:
+    def test_convolution_of_deterministics(self):
+        total = ETP.deterministic(3) + ETP.deterministic(4)
+        assert total == ETP.deterministic(7)
+
+    def test_convolution_mean_adds(self):
+        a = ETP.hit_miss(1, 100, 0.25)
+        b = ETP.hit_miss(2, 50, 0.5)
+        assert (a + b).mean() == pytest.approx(a.mean() + b.mean())
+
+    def test_convolution_variance_adds(self):
+        a = ETP.hit_miss(1, 100, 0.25)
+        b = ETP.hit_miss(2, 50, 0.5)
+        assert (a + b).variance() == pytest.approx(a.variance() + b.variance())
+
+    def test_sequence(self):
+        seq = ETP.sequence([ETP.deterministic(1)] * 10)
+        assert seq == ETP.deterministic(10)
+
+    def test_sequence_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            ETP.sequence([])
+
+    def test_mixture(self):
+        etp = ETP.mixture(
+            [(0.5, ETP.deterministic(1)), (0.5, ETP.deterministic(3))]
+        )
+        assert etp.mean() == pytest.approx(2.0)
+
+    def test_mixture_weights_must_sum(self):
+        with pytest.raises(AnalysisError):
+            ETP.mixture([(0.5, ETP.deterministic(1))])
+
+    def test_two_coin_flips(self):
+        """Convolving two hit/miss ETPs enumerates all four outcomes."""
+        access = ETP.hit_miss(1, 11, 0.5)
+        two = access + access
+        assert two.probability_of(2) == pytest.approx(0.25)
+        assert two.probability_of(12) == pytest.approx(0.5)
+        assert two.probability_of(22) == pytest.approx(0.25)
+
+    @given(
+        latencies=st.lists(
+            st.integers(min_value=0, max_value=50), min_size=1, max_size=5, unique=True
+        ),
+        seed=st.integers(min_value=1, max_value=1000),
+    )
+    @settings(max_examples=50)
+    def test_probabilities_always_sum_to_one(self, latencies, seed):
+        import random
+
+        rng = random.Random(seed)
+        weights = [rng.random() + 0.01 for _ in latencies]
+        total = sum(weights)
+        etp = ETP({lat: w / total for lat, w in zip(latencies, weights)})
+        assert sum(etp.probabilities) == pytest.approx(1.0)
+        convolved = etp + etp
+        assert sum(convolved.probabilities) == pytest.approx(1.0)

@@ -1,0 +1,134 @@
+"""Tests for the EVT layer: Gumbel fitting and pWCET estimation."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.pta.evt import (
+    GumbelFit,
+    block_maxima,
+    fit_gumbel_pwm,
+    pwcet_curve,
+    pwcet_estimate,
+    pwcet_estimate_pot,
+)
+
+
+def gumbel_sample(mu, beta, n, seed=0):
+    rng = random.Random(seed)
+    return [mu - beta * math.log(-math.log(rng.random())) for _ in range(n)]
+
+
+class TestGumbelFit:
+    def test_recovers_parameters(self):
+        sample = gumbel_sample(mu=1000.0, beta=25.0, n=5000, seed=1)
+        fit = fit_gumbel_pwm(sample)
+        assert fit.location == pytest.approx(1000.0, rel=0.02)
+        assert fit.scale == pytest.approx(25.0, rel=0.10)
+
+    def test_constant_sample_degenerates(self):
+        fit = fit_gumbel_pwm([42.0] * 100)
+        assert fit.scale == 0.0
+        assert fit.location == pytest.approx(42.0)
+
+    def test_cdf_quantile_roundtrip(self):
+        fit = GumbelFit(location=100.0, scale=10.0)
+        for prob in (0.5, 1e-3, 1e-9, 1e-15, 1e-19):
+            x = fit.quantile_of_exceedance(prob)
+            assert fit.exceedance(x) == pytest.approx(prob, rel=1e-6)
+
+    def test_quantile_monotone_in_probability(self):
+        fit = GumbelFit(location=0.0, scale=1.0)
+        quantiles = [
+            fit.quantile_of_exceedance(p) for p in (1e-3, 1e-6, 1e-9, 1e-15)
+        ]
+        assert quantiles == sorted(quantiles)
+
+    def test_mean(self):
+        fit = GumbelFit(location=10.0, scale=2.0)
+        assert fit.mean() == pytest.approx(10.0 + 0.5772156649 * 2.0)
+
+    def test_rejects_bad_probability(self):
+        fit = GumbelFit(location=0.0, scale=1.0)
+        with pytest.raises(AnalysisError):
+            fit.quantile_of_exceedance(0.0)
+        with pytest.raises(AnalysisError):
+            fit.quantile_of_exceedance(1.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(AnalysisError):
+            fit_gumbel_pwm([1.0])
+
+
+class TestBlockMaxima:
+    def test_basic(self):
+        assert block_maxima([1, 5, 2, 7, 3, 4], 2) == [5, 7, 4]
+
+    def test_partial_block_discarded(self):
+        assert block_maxima([1, 5, 2, 7, 99], 2) == [5, 7]
+
+    def test_too_few_blocks_rejected(self):
+        with pytest.raises(AnalysisError):
+            block_maxima([1, 2, 3], 3)
+
+    def test_bad_block_size(self):
+        with pytest.raises(AnalysisError):
+            block_maxima([1, 2, 3, 4], 0)
+
+
+class TestPwcetEstimate:
+    def test_never_below_observed_max(self):
+        sample = gumbel_sample(1000, 5, 500, seed=3)
+        estimate = pwcet_estimate(sample, 1e-15, block_size=25)
+        assert estimate >= max(sample)
+
+    def test_monotone_in_probability(self):
+        sample = gumbel_sample(1000, 5, 500, seed=4)
+        e15 = pwcet_estimate(sample, 1e-15, block_size=25)
+        e19 = pwcet_estimate(sample, 1e-19, block_size=25)
+        assert e19 >= e15
+
+    def test_exceedance_rate_upper_bounded(self):
+        """Fresh observations must practically never exceed the pWCET."""
+        estimate = pwcet_estimate(
+            gumbel_sample(1000, 10, 1000, seed=5), 1e-9, block_size=25
+        )
+        fresh = gumbel_sample(1000, 10, 20_000, seed=6)
+        exceedances = sum(1 for x in fresh if x > estimate)
+        assert exceedances == 0
+
+    def test_constant_sample(self):
+        assert pwcet_estimate([7.0] * 100, 1e-15, block_size=10) == 7.0
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(AnalysisError):
+            pwcet_estimate([1.0] * 100, 0.0)
+
+    def test_curve_consistent_with_single_estimates(self):
+        sample = gumbel_sample(500, 8, 500, seed=7)
+        curve = pwcet_curve(sample, [1e-15, 1e-17], block_size=25)
+        assert curve[1e-15] == pytest.approx(
+            pwcet_estimate(sample, 1e-15, block_size=25)
+        )
+        assert curve[1e-17] >= curve[1e-15]
+
+
+class TestPoT:
+    def test_close_to_block_maxima_on_gumbel_data(self):
+        sample = gumbel_sample(1000, 10, 2000, seed=8)
+        bm = pwcet_estimate(sample, 1e-12, block_size=40)
+        pot = pwcet_estimate_pot(sample, 1e-12)
+        assert pot == pytest.approx(bm, rel=0.15)
+
+    def test_needs_enough_exceedances(self):
+        with pytest.raises(AnalysisError):
+            pwcet_estimate_pot([1.0] * 20, 1e-9, threshold_quantile=0.99)
+
+    def test_never_below_observed_max(self):
+        sample = gumbel_sample(100, 3, 400, seed=9)
+        assert pwcet_estimate_pot(sample, 1e-15) >= max(sample)

@@ -1,0 +1,115 @@
+"""Tests for the experiment drivers and text reporting (tiny scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    PWCETTable,
+    run_fig3,
+    run_fig4,
+    run_iid_compliance,
+)
+from repro.analysis.reporting import (
+    format_table,
+    render_fig3,
+    render_fig4,
+    render_iid,
+)
+from repro.workloads.scale import ExperimentScale
+
+BENCHES = ("RS", "PU", "CN")  # three cheap kernels keep driver tests fast
+
+
+@pytest.fixture(scope="module")
+def table():
+    return PWCETTable(scale=ExperimentScale.tiny(), seed=7)
+
+
+class TestPWCETTable:
+    def test_lazy_and_cached(self, table):
+        first = table.pwcet("RS", "efl", 250)
+        again = table.pwcet("RS", "efl", 250)
+        assert first == again
+        assert ("RS", "EFL250") in table._estimates
+
+    def test_instructions(self, table):
+        assert table.instructions("RS") > 0
+
+    def test_cp_and_efl_keys_distinct(self, table):
+        efl = table.pwcet("RS", "efl", 250)
+        cp = table.pwcet("RS", "cp", 2)
+        assert ("RS", "CP2") in table._estimates
+        assert efl > 0 and cp > 0
+
+    def test_unknown_kind(self, table):
+        with pytest.raises(Exception):
+            table.pwcet("RS", "static", 1)
+
+    def test_default_config_comes_from_scale(self, table):
+        assert table.config.llc_size == table.scale.llc_size
+
+
+class TestIIDDriver:
+    def test_rows_and_render(self, table):
+        result = run_iid_compliance(table, bench_ids=BENCHES)
+        assert [row.bench_id for row in result.rows] == list(BENCHES)
+        assert result.mid == 500  # middle option of (250, 500, 1000)
+        text = render_iid(result)
+        for bench in BENCHES:
+            assert bench in text
+        assert "WW stat" in text
+
+
+class TestFig3Driver:
+    def test_structure(self, table):
+        fig3 = run_fig3(table, mids=(250,), ways=(1, 2), bench_ids=BENCHES)
+        assert fig3.baseline_label == "CP2"
+        assert fig3.setups == ["EFL250", "CP1", "CP2"]
+        for bench in BENCHES:
+            assert fig3.normalised[bench]["CP2"] == pytest.approx(1.0)
+            for setup in fig3.setups:
+                assert fig3.pwcet[bench][setup] > 0
+
+    def test_geomean(self, table):
+        fig3 = run_fig3(table, mids=(250,), ways=(2,), bench_ids=BENCHES)
+        assert fig3.geometric_mean_normalised("CP2") == pytest.approx(1.0)
+
+    def test_render(self, table):
+        fig3 = run_fig3(table, mids=(250,), ways=(2,), bench_ids=BENCHES)
+        text = render_fig3(fig3)
+        assert "geomean" in text
+        assert "EFL250" in text
+
+
+class TestFig4Driver:
+    def test_wgipc_only(self, table):
+        fig4 = run_fig4(table, measure_average=False)
+        assert len(fig4.comparisons) == table.scale.workload_count
+        assert fig4.waipc_summary is None
+        for comparison in fig4.comparisons:
+            assert comparison.waipc_improvement is None
+            assert sum(comparison.cp_partition) <= table.config.llc_ways
+        curve = fig4.wgipc_curve()
+        assert curve == sorted(curve, reverse=True)
+
+    def test_render_without_average(self, table):
+        fig4 = run_fig4(table, measure_average=False)
+        text = render_fig4(fig4)
+        assert "wgIPC" in text
+        assert "waIPC" not in text
+
+    def test_deterministic_given_seed(self, table):
+        a = run_fig4(table, measure_average=False, workload_seed=5)
+        b = run_fig4(table, measure_average=False, workload_seed=5)
+        assert [c.wgipc_improvement for c in a.comparisons] == [
+            c.wgipc_improvement for c in b.comparisons
+        ]
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1

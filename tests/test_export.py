@@ -1,0 +1,122 @@
+"""Tests for CSV export of experiment results."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.experiments import (
+    Fig3Result,
+    Fig4Result,
+    IIDComplianceResult,
+    IIDRow,
+    WorkloadComparison,
+)
+from repro.analysis.export import write_fig3_csv, write_fig4_csv, write_iid_csv
+from repro.analysis.metrics import summarise_improvements
+
+
+@pytest.fixture
+def iid_result():
+    return IIDComplianceResult(
+        mid=500,
+        rows=[
+            IIDRow("ID", 100, -0.5, 0.7, True),
+            IIDRow("MA", 100, 1.2, 0.3, True),
+        ],
+    )
+
+
+@pytest.fixture
+def fig3_result():
+    return Fig3Result(
+        baseline_label="CP2",
+        setups=["EFL250", "CP2"],
+        bench_ids=["ID", "MA"],
+        pwcet={
+            "ID": {"EFL250": 900.0, "CP2": 1000.0},
+            "MA": {"EFL250": 2100.0, "CP2": 2000.0},
+        },
+        normalised={
+            "ID": {"EFL250": 0.9, "CP2": 1.0},
+            "MA": {"EFL250": 1.05, "CP2": 1.0},
+        },
+    )
+
+
+@pytest.fixture
+def fig4_result():
+    comparisons = [
+        WorkloadComparison(
+            workload=("ID", "MA", "CN", "AI"),
+            cp_partition=(2, 2, 2, 2),
+            cp_wgipc=0.1,
+            efl_mid=250,
+            efl_wgipc=0.12,
+            wgipc_improvement=0.2,
+            cp_waipc=0.5,
+            efl_waipc=0.6,
+            waipc_improvement=0.2,
+        ),
+        WorkloadComparison(
+            workload=("RS", "RS", "PU", "A2"),
+            cp_partition=(4, 2, 1, 1),
+            cp_wgipc=0.2,
+            efl_mid=500,
+            efl_wgipc=0.18,
+            wgipc_improvement=-0.1,
+        ),
+    ]
+    return Fig4Result(
+        comparisons=comparisons,
+        wgipc_summary=summarise_improvements([0.2, -0.1]),
+        waipc_summary=None,
+    )
+
+
+class TestIIDExport:
+    def test_rows_and_header(self, iid_result):
+        stream = io.StringIO()
+        assert write_iid_csv(iid_result, stream) == 2
+        rows = list(csv.reader(io.StringIO(stream.getvalue())))
+        assert rows[0][0] == "benchmark"
+        assert rows[1][0] == "ID"
+        assert rows[2][0] == "MA"
+        assert rows[1][4] == "1"  # passed
+
+
+class TestFig3Export:
+    def test_long_format(self, fig3_result):
+        stream = io.StringIO()
+        assert write_fig3_csv(fig3_result, stream) == 4
+        rows = list(csv.reader(io.StringIO(stream.getvalue())))
+        assert rows[0][3] == "normalised_to_CP2"
+        assert ["ID", "EFL250", "900.0", "0.900000"] == rows[1]
+
+    def test_round_trips_through_csv_reader(self, fig3_result):
+        stream = io.StringIO()
+        write_fig3_csv(fig3_result, stream)
+        rows = list(csv.DictReader(io.StringIO(stream.getvalue())))
+        normalised = {
+            (r["benchmark"], r["setup"]): float(r["normalised_to_CP2"])
+            for r in rows
+        }
+        assert normalised[("MA", "EFL250")] == pytest.approx(1.05)
+
+
+class TestFig4Export:
+    def test_rows(self, fig4_result):
+        stream = io.StringIO()
+        assert write_fig4_csv(fig4_result, stream) == 2
+        rows = list(csv.reader(io.StringIO(stream.getvalue())))
+        assert rows[1][0] == "ID+MA+CN+AI"
+        assert rows[1][1] == "2-2-2-2"
+        assert rows[1][3] == "250"
+
+    def test_missing_average_fields_empty(self, fig4_result):
+        stream = io.StringIO()
+        write_fig4_csv(fig4_result, stream)
+        rows = list(csv.reader(io.StringIO(stream.getvalue())))
+        assert rows[2][6] == "" and rows[2][7] == "" and rows[2][8] == ""

@@ -1,0 +1,83 @@
+"""Tests for the parametric placement hash."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.utils.hashing import ParametricHash
+
+
+class TestParametricHash:
+    def test_deterministic(self):
+        h = ParametricHash(64)
+        assert h.set_index(0x1234, 7) == h.set_index(0x1234, 7)
+
+    def test_in_range(self):
+        h = ParametricHash(64)
+        for addr in range(0, 4096, 13):
+            for rii in (0, 1, 99, 2**31):
+                assert 0 <= h.set_index(addr, rii) < 64
+
+    def test_rii_changes_mapping_for_most_addresses(self):
+        h = ParametricHash(64)
+        addresses = range(0, 2048, 16)
+        moved = sum(
+            1 for a in addresses if h.set_index(a, 1) != h.set_index(a, 2)
+        )
+        total = len(list(addresses))
+        # P(same set) = 1/64 per address; nearly all should move.
+        assert moved / total > 0.9
+
+    def test_uniform_over_sets_for_fixed_address(self):
+        """For a fixed address over many RIIs, every set is ~equally likely.
+
+        This is the contract Equation 1's placement term relies on.
+        """
+        num_sets = 16
+        h = ParametricHash(num_sets)
+        counts = [0] * num_sets
+        draws = 8000
+        for rii in range(draws):
+            counts[h.set_index(0xABCD, rii)] += 1
+        expected = draws / num_sets
+        for count in counts:
+            assert abs(count - expected) < expected * 0.2
+
+    def test_uniform_over_sets_for_fixed_rii(self):
+        """For a fixed RII over many addresses, sets are balanced."""
+        num_sets = 16
+        h = ParametricHash(num_sets)
+        counts = [0] * num_sets
+        draws = 8000
+        for i in range(draws):
+            counts[h.set_index(0x1000 + i, rii=12345)] += 1
+        expected = draws / num_sets
+        for count in counts:
+            assert abs(count - expected) < expected * 0.2
+
+    def test_non_power_of_two_sets(self):
+        h = ParametricHash(10)
+        values = {h.set_index(a, 3) for a in range(1000)}
+        assert values == set(range(10))
+
+    def test_single_set(self):
+        h = ParametricHash(1)
+        assert h.set_index(123, 456) == 0
+
+    def test_rejects_non_positive_sets(self):
+        with pytest.raises(ConfigurationError):
+            ParametricHash(0)
+        with pytest.raises(ConfigurationError):
+            ParametricHash(-4)
+
+    @given(
+        addr=st.integers(min_value=0, max_value=2**48),
+        rii=st.integers(min_value=0, max_value=2**32),
+        sets=st.sampled_from([1, 2, 8, 64, 512, 1000]),
+    )
+    @settings(max_examples=200)
+    def test_always_in_range(self, addr, rii, sets):
+        assert 0 <= ParametricHash(sets).set_index(addr, rii) < sets

@@ -1,0 +1,107 @@
+"""Tests for the Wald-Wolfowitz and Kolmogorov-Smirnov i.i.d. tests."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.pta.iid import (
+    WW_CRITICAL_5PCT,
+    iid_test,
+    kolmogorov_smirnov_test,
+    wald_wolfowitz_test,
+)
+
+
+def iid_sample(n, seed=0):
+    rng = random.Random(seed)
+    return [rng.gauss(100, 10) for _ in range(n)]
+
+
+class TestWaldWolfowitz:
+    def test_iid_sample_passes(self):
+        passes = sum(
+            wald_wolfowitz_test(iid_sample(300, seed=s)).passes()
+            for s in range(40)
+        )
+        # At the 5% level ~95% of i.i.d. samples must pass.
+        assert passes >= 34
+
+    def test_alternating_sequence_rejected(self):
+        """A strictly alternating sequence has far too many runs."""
+        sample = [1.0, 2.0] * 150
+        result = wald_wolfowitz_test(sample)
+        assert result.statistic > WW_CRITICAL_5PCT
+        assert not result.passes()
+
+    def test_trending_sequence_rejected(self):
+        """A monotone drift has far too few runs."""
+        sample = [float(i) for i in range(300)]
+        result = wald_wolfowitz_test(sample)
+        assert result.statistic < -WW_CRITICAL_5PCT
+        assert not result.passes()
+
+    def test_constant_sample_passes_trivially(self):
+        result = wald_wolfowitz_test([5.0] * 100)
+        assert result.statistic == 0.0
+        assert result.passes()
+
+    def test_run_count(self):
+        result = wald_wolfowitz_test([1, 9, 1, 9, 1, 9, 1, 9])
+        assert result.runs == 8
+        assert result.n_above == result.n_below == 4
+
+
+class TestKolmogorovSmirnov:
+    def test_identical_distributions_pass(self):
+        passes = sum(
+            kolmogorov_smirnov_test(
+                iid_sample(200, seed=s), iid_sample(200, seed=1000 + s)
+            ).passes()
+            for s in range(40)
+        )
+        assert passes >= 34
+
+    def test_shifted_distributions_rejected(self):
+        a = iid_sample(300, seed=1)
+        b = [x + 20 for x in iid_sample(300, seed=2)]
+        result = kolmogorov_smirnov_test(a, b)
+        assert result.p_value < 0.05
+
+    def test_statistic_bounds(self):
+        result = kolmogorov_smirnov_test([1, 2, 3], [100, 200, 300])
+        assert result.statistic == pytest.approx(1.0)
+        assert result.p_value < 0.05
+
+    def test_identical_samples(self):
+        sample = iid_sample(100, seed=3)
+        result = kolmogorov_smirnov_test(sample, list(sample))
+        assert result.statistic == pytest.approx(0.0)
+        assert result.p_value == pytest.approx(1.0)
+
+    def test_needs_two_observations(self):
+        with pytest.raises(AnalysisError):
+            kolmogorov_smirnov_test([1.0], [1.0, 2.0])
+
+
+class TestCombined:
+    def test_iid_data_passes_both(self):
+        result = iid_test(iid_sample(400, seed=7))
+        assert result.passed
+        assert abs(result.ww.statistic) < WW_CRITICAL_5PCT
+        assert result.ks.p_value > 0.05
+
+    def test_drifting_data_fails(self):
+        """A platform drifting between early and late runs must fail KS."""
+        rng = random.Random(5)
+        sample = [rng.gauss(100, 5) for _ in range(200)]
+        sample += [rng.gauss(130, 5) for _ in range(200)]
+        result = iid_test(sample)
+        assert not result.passed
+
+    def test_too_small_sample_rejected(self):
+        with pytest.raises(AnalysisError):
+            iid_test([1.0] * 10)

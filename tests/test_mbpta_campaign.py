@@ -1,0 +1,118 @@
+"""Tests for the MBPTA pipeline and the measurement campaign layer."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.pta.mbpta import (
+    DEFAULT_EXCEEDANCE_PROBS,
+    convergence_check,
+    estimate_pwcet,
+)
+from repro.sim.campaign import collect_execution_times
+from repro.sim.config import Scenario, SystemConfig
+from tests.conftest import make_stream_trace
+
+
+def gumbel_sample(mu, beta, n, seed=0):
+    rng = random.Random(seed)
+    return [mu - beta * math.log(-math.log(rng.random())) for _ in range(n)]
+
+
+class TestEstimatePwcet:
+    def test_full_pipeline(self):
+        sample = gumbel_sample(1000, 10, 400, seed=1)
+        result = estimate_pwcet(sample, task="t", scenario_label="EFL500",
+                                block_size=20)
+        assert result.runs == 400
+        assert result.task == "t"
+        assert result.iid is not None and result.iid.passed
+        assert set(result.pwcet) == set(DEFAULT_EXCEEDANCE_PROBS)
+        assert result.min_time <= result.mean_time <= result.max_time
+        assert result.pwcet_at(1e-15) >= result.max_time
+
+    def test_pwcet_ordering_across_probs(self):
+        sample = gumbel_sample(1000, 10, 400, seed=2)
+        result = estimate_pwcet(sample, block_size=20)
+        assert (
+            result.pwcet_at(1e-15)
+            <= result.pwcet_at(1e-17)
+            <= result.pwcet_at(1e-19)
+        )
+
+    def test_skip_iid(self):
+        result = estimate_pwcet(gumbel_sample(10, 1, 60, seed=3),
+                                block_size=10, check_iid=False)
+        assert result.iid is None
+
+    def test_missing_prob_raises(self):
+        result = estimate_pwcet(gumbel_sample(10, 1, 100, seed=4),
+                                block_size=10)
+        with pytest.raises(AnalysisError):
+            result.pwcet_at(0.5)
+
+    def test_convergence_on_large_stable_sample(self):
+        sample = gumbel_sample(1000, 5, 2000, seed=5)
+        converged, delta = convergence_check(sample, 1e-15, block_size=25)
+        assert converged
+        assert delta < 0.02
+
+    def test_convergence_undecidable_on_tiny_sample(self):
+        """Too few observations to form a partial estimate: the check
+        must report not-converged rather than guessing."""
+        converged, delta = convergence_check(
+            gumbel_sample(1000, 5, 49, seed=6), 1e-15, block_size=25
+        )
+        assert not converged
+        assert delta == float("inf")
+
+
+class TestCampaign:
+    CONFIG = SystemConfig(l1_size=256, llc_size=2048)
+
+    def test_collects_requested_runs(self, stream_trace):
+        result = collect_execution_times(
+            stream_trace, self.CONFIG, Scenario.efl(250), runs=7, master_seed=1
+        )
+        assert result.runs == 7
+        assert len(result.execution_times) == 7
+        assert result.task == stream_trace.name
+        assert result.scenario_label == "EFL250"
+        assert result.instructions == len(stream_trace)
+
+    def test_summary_stats(self, stream_trace):
+        result = collect_execution_times(
+            stream_trace, self.CONFIG, Scenario.efl(250), runs=9, master_seed=1
+        )
+        assert result.min_time <= result.mean_time <= result.max_time
+
+    def test_runs_are_randomised(self, stream_trace):
+        result = collect_execution_times(
+            stream_trace, self.CONFIG, Scenario.efl(250), runs=16, master_seed=3
+        )
+        assert len(set(result.execution_times)) > 1
+
+    def test_on_run_callback(self, stream_trace):
+        seen = []
+        collect_execution_times(
+            stream_trace, self.CONFIG, Scenario.efl(250), runs=3,
+            master_seed=1, on_run=lambda i, r: seen.append(i),
+        )
+        assert seen == [0, 1, 2]
+
+    def test_zero_runs_rejected(self, stream_trace):
+        with pytest.raises(ConfigurationError):
+            collect_execution_times(
+                stream_trace, self.CONFIG, Scenario.efl(250), runs=0
+            )
+
+    def test_reproducible(self, stream_trace):
+        a = collect_execution_times(stream_trace, self.CONFIG,
+                                    Scenario.efl(250), runs=5, master_seed=9)
+        b = collect_execution_times(stream_trace, self.CONFIG,
+                                    Scenario.efl(250), runs=5, master_seed=9)
+        assert a.execution_times == b.execution_times

@@ -1,0 +1,166 @@
+"""Tests for gIPC metrics and the CP/EFL setup optimisers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import (
+    guaranteed_ipc,
+    improvement,
+    summarise_improvements,
+    workload_guaranteed_ipc,
+)
+from repro.analysis.partitions import (
+    DEFAULT_MID_OPTIONS,
+    DEFAULT_WAY_OPTIONS,
+    best_mid,
+    best_partition,
+    enumerate_partitions,
+)
+from repro.errors import AnalysisError, ConfigurationError
+
+
+class TestMetrics:
+    def test_gipc(self):
+        assert guaranteed_ipc(1000, 4000.0) == 0.25
+
+    def test_gipc_rejects_bad_inputs(self):
+        with pytest.raises(AnalysisError):
+            guaranteed_ipc(0, 100.0)
+        with pytest.raises(AnalysisError):
+            guaranteed_ipc(100, 0.0)
+
+    def test_wgipc_sums(self):
+        value = workload_guaranteed_ipc(
+            ["A", "B"],
+            instructions_of=lambda b: {"A": 100, "B": 200}[b],
+            pwcet_of=lambda b, alloc: 1000.0,
+            allocation=[1, 2],
+        )
+        assert value == pytest.approx(0.3)
+
+    def test_wgipc_length_mismatch(self):
+        with pytest.raises(AnalysisError):
+            workload_guaranteed_ipc(
+                ["A"], lambda b: 1, lambda b, a: 1.0, allocation=[1, 2]
+            )
+
+    def test_improvement(self):
+        assert improvement(1.56, 1.0) == pytest.approx(0.56)
+        assert improvement(0.9, 1.0) == pytest.approx(-0.1)
+        with pytest.raises(AnalysisError):
+            improvement(1.0, 0.0)
+
+    def test_summary_fields(self):
+        summary = summarise_improvements([0.7, 0.5, 0.1, -0.05])
+        assert summary["workloads"] == 4
+        assert summary["wins"] == 3
+        assert summary["win_fraction"] == pytest.approx(0.75)
+        assert summary["max_improvement"] == pytest.approx(0.7)
+        assert summary["max_degradation"] == pytest.approx(0.05)
+        assert summary["mean_degradation"] == pytest.approx(0.05)
+
+    def test_summary_all_wins(self):
+        summary = summarise_improvements([0.1, 0.2])
+        assert summary["mean_degradation"] == 0.0
+        assert summary["max_degradation"] == 0.0
+
+    def test_summary_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            summarise_improvements([])
+
+
+class TestEnumeratePartitions:
+    def test_paper_setup(self):
+        partitions = enumerate_partitions(4, 8)
+        assert (2, 2, 2, 2) in partitions
+        assert (4, 2, 1, 1) in partitions
+        assert (1, 1, 1, 1) in partitions
+        assert (4, 4, 1, 1) not in partitions  # sums to 10
+        assert all(sum(p) <= 8 for p in partitions)
+
+    def test_all_from_options(self):
+        for partition in enumerate_partitions(4, 8):
+            assert set(partition) <= set(DEFAULT_WAY_OPTIONS)
+
+    def test_impossible_rejected(self):
+        with pytest.raises(AnalysisError):
+            enumerate_partitions(4, 2, way_options=(4,))
+
+    def test_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            enumerate_partitions(0, 8)
+        with pytest.raises(ConfigurationError):
+            enumerate_partitions(4, 8, way_options=(0, 2))
+
+    @given(
+        num_tasks=st.integers(min_value=1, max_value=4),
+        total_ways=st.integers(min_value=4, max_value=16),
+    )
+    @settings(max_examples=30)
+    def test_every_partition_fits(self, num_tasks, total_ways):
+        for partition in enumerate_partitions(num_tasks, total_ways):
+            assert sum(partition) <= total_ways
+            assert len(partition) == num_tasks
+
+
+class TestBestPartition:
+    @staticmethod
+    def pwcet_table(bench, ways):
+        """Synthetic pWCETs: more ways strictly better, benchmark 'HOG'
+        benefits dramatically from 4 ways."""
+        base = {"HOG": 8000.0, "MEH": 1000.0}[bench]
+        factor = {1: 1.2, 2: 1.0, 4: 0.1 if bench == "HOG" else 0.95}[ways]
+        return base * factor
+
+    def test_gives_ways_to_the_hog(self):
+        counts, value = best_partition(
+            ["HOG", "MEH", "MEH", "MEH"],
+            instructions_of=lambda b: 1000,
+            pwcet_of_ways=self.pwcet_table,
+            total_ways=8,
+        )
+        assert counts[0] == 4
+        assert value > 0
+
+    def test_never_worse_than_even_split(self):
+        workload = ["HOG", "MEH", "HOG", "MEH"]
+        counts, value = best_partition(
+            workload,
+            instructions_of=lambda b: 1000,
+            pwcet_of_ways=self.pwcet_table,
+            total_ways=8,
+        )
+        even = workload_guaranteed_ipc(
+            workload, lambda b: 1000, self.pwcet_table, [2, 2, 2, 2]
+        )
+        assert value >= even
+
+
+class TestBestMid:
+    def test_picks_minimising_mid(self):
+        def pwcet(bench, mid):
+            return 1000.0 * {250: 1.0, 500: 1.2, 1000: 2.0}[mid]
+
+        mid, value = best_mid(
+            ["A", "B", "C", "D"], lambda b: 100, pwcet, DEFAULT_MID_OPTIONS
+        )
+        assert mid == 250
+        assert value == pytest.approx(4 * 100 / 1000.0)
+
+    def test_single_shared_mid(self):
+        """Tasks cannot get different MIDs: the best single compromise
+        wins even when tasks disagree."""
+        def pwcet(bench, mid):
+            if bench == "LOW":
+                return {250: 100.0, 500: 150.0, 1000: 900.0}[mid]
+            return {250: 900.0, 500: 150.0, 1000: 100.0}[mid]
+
+        mid, _value = best_mid(["LOW", "HIGH"], lambda b: 100, pwcet)
+        assert mid == 500
+
+    def test_empty_options_rejected(self):
+        with pytest.raises(ConfigurationError):
+            best_mid(["A"], lambda b: 1, lambda b, m: 1.0, mid_options=())

@@ -1,0 +1,126 @@
+"""Tests for the 4-stage in-order pipeline timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.isa import OpKind
+from repro.cpu.pipeline import InOrderPipeline
+from repro.errors import SimulationError
+
+
+def constant_fetch(latency=1):
+    return lambda pc, time: latency
+
+
+def constant_mem(latency=1):
+    return lambda addr, store, time: latency
+
+
+class TestSteadyState:
+    def test_ipc_one_for_alu_stream(self):
+        """With all-hit latencies the pipeline retires 1 instr/cycle."""
+        pipe = InOrderPipeline(constant_fetch(), constant_mem())
+        last = 0
+        for i in range(100):
+            last = pipe.step(4 * i, OpKind.ALU, None)
+        # Fill (4 stages) + 99 more cycles.
+        assert last == 4 + 99
+
+    def test_load_stream_all_hits(self):
+        pipe = InOrderPipeline(constant_fetch(), constant_mem(1))
+        last = 0
+        for i in range(50):
+            last = pipe.step(4 * i, OpKind.LOAD, 16 * i)
+        assert last == 4 + 49
+
+    def test_mul_bound_by_execute_stage(self):
+        """MUL (4-cycle execute) limits throughput to 1 per 4 cycles."""
+        pipe = InOrderPipeline(constant_fetch(), constant_mem())
+        times = [pipe.step(4 * i, OpKind.MUL, None) for i in range(10)]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(gap == 4 for gap in gaps[2:])
+
+
+class TestStalls:
+    def test_fetch_miss_stalls_pipeline(self):
+        latencies = iter([100] + [1] * 9)
+        pipe = InOrderPipeline(lambda pc, t: next(latencies), constant_mem())
+        first = pipe.step(0, OpKind.ALU, None)
+        assert first == 103  # 100 fetch + decode + exec + wb
+
+    def test_mem_miss_blocks_younger_instructions(self):
+        mem_lat = iter([100])
+        pipe = InOrderPipeline(
+            constant_fetch(), lambda a, s, t: next(mem_lat, 1)
+        )
+        miss_done = pipe.step(0, OpKind.LOAD, 0)
+        next_done = pipe.step(4, OpKind.ALU, None)
+        assert miss_done == 103
+        # The ALU retires right behind the load.
+        assert next_done == 104
+
+    def test_fetch_cannot_run_unboundedly_ahead(self):
+        """Single-entry latches: fetch of i+2 waits for the stalled
+        memory stage to drain, so fetch times stay close to the
+        memory-stage frontier."""
+        observed_fetch_times = []
+
+        def fetch(pc, time):
+            observed_fetch_times.append(time)
+            return 1
+
+        def mem(addr, store, time):
+            return 200  # every load misses badly
+
+        pipe = InOrderPipeline(fetch, mem)
+        for i in range(6):
+            pipe.step(4 * i, OpKind.LOAD, 16 * i)
+        gaps = [
+            b - a for a, b in zip(observed_fetch_times, observed_fetch_times[1:])
+        ]
+        # After the pipeline fills, fetches are spaced by the memory
+        # stall (~200), not back-to-back.
+        assert all(gap >= 190 for gap in gaps[2:])
+
+    def test_time_monotone_per_stream(self):
+        """Memory-access callback times never decrease (the property
+        the shared-resource models rely on)."""
+        times = []
+
+        def mem(addr, store, time):
+            times.append(time)
+            return 50 if addr % 32 == 0 else 1
+
+        pipe = InOrderPipeline(constant_fetch(), mem)
+        for i in range(50):
+            pipe.step(4 * i, OpKind.LOAD, 16 * i)
+        assert times == sorted(times)
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        pipe = InOrderPipeline(constant_fetch(), constant_mem())
+        with pytest.raises(SimulationError):
+            pipe.step(0, 99, None)
+
+    def test_zero_latency_rejected(self):
+        pipe = InOrderPipeline(constant_fetch(), constant_mem(0))
+        with pytest.raises(SimulationError):
+            pipe.step(0, OpKind.LOAD, 0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            InOrderPipeline(constant_fetch(), constant_mem(), start_time=-1)
+
+    def test_instruction_counter(self):
+        pipe = InOrderPipeline(constant_fetch(), constant_mem())
+        for i in range(7):
+            pipe.step(4 * i, OpKind.ALU, None)
+        assert pipe.instructions == 7
+
+    def test_frontier_tracks_next_fetch(self):
+        pipe = InOrderPipeline(constant_fetch(), constant_mem())
+        assert pipe.frontier == 0
+        pipe.step(0, OpKind.ALU, None)
+        assert pipe.frontier >= 1

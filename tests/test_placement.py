@@ -1,0 +1,75 @@
+"""Tests for modulo and random placement policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.placement import ModuloPlacement, RandomPlacement, make_placement
+from repro.utils.hashing import ParametricHash
+
+
+class TestModuloPlacement:
+    def test_modulo(self):
+        p = ModuloPlacement(64)
+        assert p.set_index(0) == 0
+        assert p.set_index(63) == 63
+        assert p.set_index(64) == 0
+        assert p.set_index(130) == 2
+
+    def test_not_randomised(self):
+        assert ModuloPlacement(4).is_randomised is False
+
+    def test_rejects_bad_sets(self):
+        with pytest.raises(ConfigurationError):
+            ModuloPlacement(0)
+
+
+class TestRandomPlacement:
+    def test_randomised_flag(self):
+        assert RandomPlacement(4).is_randomised is True
+
+    def test_deterministic_under_fixed_rii(self):
+        p = RandomPlacement(64, rii=5)
+        assert p.set_index(1000) == p.set_index(1000)
+
+    def test_matches_parametric_hash(self):
+        """The inlined hash must equal the reference implementation."""
+        p = RandomPlacement(64, rii=1234)
+        h = ParametricHash(64)
+        for line in range(0, 5000, 7):
+            assert p.set_index(line) == h.set_index(line, 1234)
+
+    def test_set_rii_changes_mapping(self):
+        p = RandomPlacement(256, rii=1)
+        before = [p.set_index(line) for line in range(200)]
+        p.set_rii(2)
+        after = [p.set_index(line) for line in range(200)]
+        moved = sum(1 for x, y in zip(before, after) if x != y)
+        assert moved > 150
+
+    def test_in_range(self):
+        p = RandomPlacement(32, rii=9)
+        for line in range(1000):
+            assert 0 <= p.set_index(line) < 32
+
+    def test_rejects_negative_rii(self):
+        with pytest.raises(ConfigurationError):
+            RandomPlacement(4, rii=-1)
+        p = RandomPlacement(4)
+        with pytest.raises(ConfigurationError):
+            p.set_rii(-3)
+
+
+class TestFactory:
+    def test_modulo(self):
+        assert isinstance(make_placement("modulo", 8), ModuloPlacement)
+
+    def test_random(self):
+        p = make_placement("random", 8, rii=3)
+        assert isinstance(p, RandomPlacement)
+        assert p.rii == 3
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_placement("hash", 8)

@@ -1,0 +1,122 @@
+"""Tests for EoM random and LRU replacement policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.mem.replacement import EvictOnMissRandom, LRUReplacement, make_replacement
+from repro.utils.rng import MultiplyWithCarry
+
+
+class TestEvictOnMissRandom:
+    def test_chooses_among_candidates(self):
+        policy = EvictOnMissRandom(MultiplyWithCarry(1))
+        policy.attach(4, 4)
+        for _ in range(200):
+            assert policy.choose_victim(0, (1, 3)) in (1, 3)
+
+    def test_single_candidate_needs_no_draw(self):
+        rng = MultiplyWithCarry(1)
+        policy = EvictOnMissRandom(rng)
+        state_before = rng.state()
+        assert policy.choose_victim(0, (2,)) == 2
+        assert rng.state() == state_before
+
+    def test_uniform_victims(self):
+        policy = EvictOnMissRandom(MultiplyWithCarry(7))
+        policy.attach(1, 8)
+        counts = [0] * 8
+        draws = 8000
+        for _ in range(draws):
+            counts[policy.choose_victim(0, tuple(range(8)))] += 1
+        for count in counts:
+            assert abs(count - draws / 8) < draws / 8 * 0.15
+
+    def test_stateless_hooks_are_noops(self):
+        policy = EvictOnMissRandom(MultiplyWithCarry(1))
+        policy.attach(2, 2)
+        policy.on_hit(0, 1)
+        policy.on_fill(1, 0)
+        policy.on_invalidate(0, 0)  # must not raise
+
+    def test_empty_candidates_rejected(self):
+        policy = EvictOnMissRandom(MultiplyWithCarry(1))
+        with pytest.raises(SimulationError):
+            policy.choose_victim(0, ())
+
+    def test_is_randomised(self):
+        assert EvictOnMissRandom(MultiplyWithCarry(1)).is_randomised is True
+
+
+class TestLRU:
+    def make(self, sets=2, ways=4):
+        policy = LRUReplacement()
+        policy.attach(sets, ways)
+        return policy
+
+    def test_victim_is_least_recent(self):
+        policy = self.make()
+        for way in (0, 1, 2, 3):
+            policy.on_fill(0, way)
+        # way 0 is now least recently used.
+        assert policy.choose_victim(0, (0, 1, 2, 3)) == 0
+
+    def test_hit_refreshes(self):
+        policy = self.make()
+        for way in (0, 1, 2, 3):
+            policy.on_fill(0, way)
+        policy.on_hit(0, 0)
+        assert policy.choose_victim(0, (0, 1, 2, 3)) == 1
+
+    def test_candidate_restriction(self):
+        policy = self.make()
+        for way in (0, 1, 2, 3):
+            policy.on_fill(0, way)
+        # Restricted to {2, 3}: 2 is older than 3.
+        assert policy.choose_victim(0, (2, 3)) == 2
+
+    def test_sets_are_independent(self):
+        policy = self.make()
+        policy.on_fill(0, 3)
+        assert policy.choose_victim(1, (0, 1, 2, 3)) != 3 or True
+        # set 1 untouched: victim is its initial LRU order (way 3 last).
+        assert policy.choose_victim(1, (0, 1, 2, 3)) == 3
+
+    def test_invalidate_demotes(self):
+        policy = self.make()
+        for way in (0, 1, 2, 3):
+            policy.on_fill(0, way)
+        policy.on_invalidate(0, 3)
+        assert policy.choose_victim(0, (0, 1, 2, 3)) == 3
+
+    def test_use_before_attach_rejected(self):
+        policy = LRUReplacement()
+        with pytest.raises(SimulationError):
+            policy.choose_victim(0, (0,))
+
+    def test_unknown_candidates_rejected(self):
+        policy = self.make(ways=2)
+        with pytest.raises(SimulationError):
+            policy.choose_victim(0, (7,))
+
+    def test_not_randomised(self):
+        assert LRUReplacement().is_randomised is False
+
+
+class TestFactory:
+    def test_eom_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            make_replacement("eom")
+
+    def test_eom(self):
+        assert isinstance(
+            make_replacement("eom", MultiplyWithCarry(1)), EvictOnMissRandom
+        )
+
+    def test_lru(self):
+        assert isinstance(make_replacement("lru"), LRUReplacement)
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_replacement("fifo")

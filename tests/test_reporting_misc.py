@@ -1,0 +1,85 @@
+"""Edge-case tests: reporting helpers and result-container accessors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import _deciles, format_table
+from repro.core.config import OperationMode
+from repro.errors import SimulationError
+from repro.sim.simulator import CoreResult, RunResult
+
+
+def make_core(core=0, cycles=100, instructions=50):
+    return CoreResult(
+        core=core,
+        task=f"t{core}",
+        cycles=cycles,
+        instructions=instructions,
+        il1_misses=1,
+        il1_accesses=instructions,
+        dl1_misses=2,
+        dl1_accesses=10,
+    )
+
+
+class TestCoreResult:
+    def test_ipc(self):
+        assert make_core(cycles=100, instructions=50).ipc == 0.5
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(SimulationError):
+            make_core(cycles=0).ipc
+
+
+class TestRunResult:
+    def make(self):
+        return RunResult(
+            scenario_label="EFL250",
+            mode=OperationMode.DEPLOYMENT,
+            cores=[make_core(0, cycles=100), make_core(1, cycles=300)],
+            llc_hits=5,
+            llc_misses=3,
+            llc_forced_evictions=0,
+            memory_reads=3,
+            memory_writes=1,
+        )
+
+    def test_makespan(self):
+        assert self.make().cycles == 300
+
+    def test_core_lookup(self):
+        result = self.make()
+        assert result.core(1).cycles == 300
+        with pytest.raises(SimulationError):
+            result.core(7)
+
+    def test_total_ipc_sums(self):
+        result = self.make()
+        assert result.total_ipc == pytest.approx(50 / 100 + 50 / 300)
+
+
+class TestDeciles:
+    def test_empty(self):
+        assert _deciles([]) == "(empty)"
+
+    def test_single_value(self):
+        text = _deciles([0.5])
+        assert "+50%" in text
+
+    def test_endpoints(self):
+        curve = sorted([0.9, 0.5, 0.1, -0.2], reverse=True)
+        text = _deciles(curve)
+        assert text.startswith("+90%")
+        assert text.endswith("-20%")
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+    def test_wide_cells_expand_columns(self):
+        text = format_table(["x"], [["wide-cell-content"]])
+        header, rule, row = text.splitlines()
+        assert len(header) == len(row)

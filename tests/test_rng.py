@@ -1,0 +1,179 @@
+"""Tests for the MWC PRNG and SplitMix64 seed derivation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import (
+    MWC_MULTIPLIER,
+    MultiplyWithCarry,
+    SplitMix64,
+    derive_seeds,
+)
+
+
+class TestMultiplyWithCarry:
+    def test_deterministic_for_seed(self):
+        a = MultiplyWithCarry(123)
+        b = MultiplyWithCarry(123)
+        assert [a.next_u32() for _ in range(100)] == [b.next_u32() for _ in range(100)]
+
+    def test_different_seeds_differ(self):
+        a = MultiplyWithCarry(1)
+        b = MultiplyWithCarry(2)
+        assert [a.next_u32() for _ in range(10)] != [b.next_u32() for _ in range(10)]
+
+    def test_values_are_32_bit(self):
+        rng = MultiplyWithCarry(7)
+        for _ in range(1000):
+            assert 0 <= rng.next_u32() <= 0xFFFFFFFF
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiplyWithCarry(-1)
+
+    def test_recurrence_matches_definition(self):
+        rng = MultiplyWithCarry(42)
+        x, c = rng.state()
+        expected = (MWC_MULTIPLIER * x + c) & 0xFFFFFFFF
+        assert rng.next_u32() == expected
+
+    def test_carry_matches_definition(self):
+        rng = MultiplyWithCarry(42)
+        x, c = rng.state()
+        t = MWC_MULTIPLIER * x + c
+        rng.next_u32()
+        assert rng.state() == (t & 0xFFFFFFFF, t >> 32)
+
+    def test_mean_is_near_half_range(self):
+        rng = MultiplyWithCarry(3)
+        n = 20_000
+        mean = sum(rng.next_u32() for _ in range(n)) / n
+        assert abs(mean - 2**31) < 2**31 * 0.02
+
+    def test_bit_balance(self):
+        """Every bit position should be ~50% ones."""
+        rng = MultiplyWithCarry(9)
+        counts = [0] * 32
+        n = 4000
+        for _ in range(n):
+            value = rng.next_u32()
+            for bit in range(32):
+                counts[bit] += (value >> bit) & 1
+        for bit, count in enumerate(counts):
+            assert abs(count / n - 0.5) < 0.05, f"bit {bit} unbalanced: {count}/{n}"
+
+    def test_no_short_cycle(self):
+        rng = MultiplyWithCarry(5)
+        seen = {rng.state()}
+        for _ in range(10_000):
+            rng.next_u32()
+            state = rng.state()
+            assert state not in seen, "PRNG state repeated within 10k steps"
+            seen.add(state)
+
+    def test_randrange_bounds(self):
+        rng = MultiplyWithCarry(11)
+        for n in (1, 2, 3, 17, 1024, 4097):
+            for _ in range(200):
+                assert 0 <= rng.randrange(n) < n
+
+    def test_randrange_uniformity(self):
+        rng = MultiplyWithCarry(13)
+        n = 8
+        counts = [0] * n
+        draws = 16_000
+        for _ in range(draws):
+            counts[rng.randrange(n)] += 1
+        for count in counts:
+            assert abs(count - draws / n) < draws / n * 0.15
+
+    def test_randrange_rejects_non_positive(self):
+        rng = MultiplyWithCarry(1)
+        with pytest.raises(ConfigurationError):
+            rng.randrange(0)
+        with pytest.raises(ConfigurationError):
+            rng.randrange(-5)
+
+    def test_randint_inclusive_hits_both_ends(self):
+        rng = MultiplyWithCarry(17)
+        values = {rng.randint_inclusive(0, 3) for _ in range(500)}
+        assert values == {0, 1, 2, 3}
+
+    def test_randint_inclusive_single_point(self):
+        rng = MultiplyWithCarry(17)
+        assert rng.randint_inclusive(5, 5) == 5
+
+    def test_randint_inclusive_rejects_empty_range(self):
+        rng = MultiplyWithCarry(17)
+        with pytest.raises(ConfigurationError):
+            rng.randint_inclusive(3, 2)
+
+    def test_random_in_unit_interval(self):
+        rng = MultiplyWithCarry(19)
+        for _ in range(1000):
+            value = rng.random()
+            assert 0.0 <= value < 1.0
+
+    @given(seed=st.integers(min_value=0, max_value=2**64 - 1))
+    @settings(max_examples=50)
+    def test_any_seed_produces_valid_stream(self, seed):
+        rng = MultiplyWithCarry(seed)
+        for _ in range(20):
+            assert 0 <= rng.next_u32() <= 0xFFFFFFFF
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        n=st.integers(min_value=1, max_value=10_000),
+    )
+    @settings(max_examples=50)
+    def test_randrange_always_in_bounds(self, seed, n):
+        rng = MultiplyWithCarry(seed)
+        assert 0 <= rng.randrange(n) < n
+
+
+class TestSplitMix64:
+    def test_deterministic(self):
+        assert SplitMix64(5).next_u64() == SplitMix64(5).next_u64()
+
+    def test_64_bit_range(self):
+        rng = SplitMix64(1)
+        for _ in range(100):
+            assert 0 <= rng.next_u64() < 2**64
+
+    def test_next_u32_is_high_bits(self):
+        a, b = SplitMix64(9), SplitMix64(9)
+        assert a.next_u32() == b.next_u64() >> 32
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(ConfigurationError):
+            SplitMix64(-2)
+
+
+class TestDeriveSeeds:
+    def test_reproducible(self):
+        assert derive_seeds(1, 10) == derive_seeds(1, 10)
+
+    def test_master_seed_changes_everything(self):
+        a = derive_seeds(1, 10)
+        b = derive_seeds(2, 10)
+        assert all(x != y for x, y in zip(a, b))
+
+    def test_count(self):
+        assert len(derive_seeds(0, 7)) == 7
+        assert derive_seeds(0, 0) == []
+
+    def test_all_distinct(self):
+        seeds = derive_seeds(42, 1000)
+        assert len(set(seeds)) == 1000
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            derive_seeds(1, -1)
+
+    def test_prefix_property(self):
+        """Requesting more seeds extends, not reshuffles, the sequence."""
+        assert derive_seeds(3, 5) == derive_seeds(3, 10)[:5]

@@ -1,0 +1,168 @@
+"""Tests for the IMA-style frame schedule and cyclic executive."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rtos.frames import FrameSchedule, MinorFrame
+from repro.rtos.scheduler import CyclicExecutive, Task
+
+
+class TestMinorFrame:
+    def test_basic(self):
+        frame = MinorFrame(index=0, budget_cycles=1000,
+                           assignments={0: "a", 2: "b"})
+        assert frame.tasks == ("a", "b")
+        assert frame.core_of("b") == 2
+
+    def test_missing_task(self):
+        frame = MinorFrame(index=0, budget_cycles=1000, assignments={0: "a"})
+        with pytest.raises(ConfigurationError):
+            frame.core_of("zz")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MinorFrame(index=-1, budget_cycles=10)
+        with pytest.raises(ConfigurationError):
+            MinorFrame(index=0, budget_cycles=0)
+        with pytest.raises(ConfigurationError):
+            MinorFrame(index=0, budget_cycles=10, assignments={-1: "a"})
+
+
+class TestFrameSchedule:
+    def make(self, assignments_list):
+        frames = [
+            MinorFrame(index=i, budget_cycles=100, assignments=a)
+            for i, a in enumerate(assignments_list)
+        ]
+        return FrameSchedule(frames, rii_seed=3)
+
+    def test_major_frame_cycles(self):
+        schedule = self.make([{0: "a"}, {0: "b"}])
+        assert schedule.major_frame_cycles == 200
+        assert len(schedule) == 2
+
+    def test_needs_consecutive_indices(self):
+        frames = [MinorFrame(index=1, budget_cycles=10, assignments={})]
+        with pytest.raises(ConfigurationError):
+            FrameSchedule(frames)
+
+    def test_needs_frames(self):
+        with pytest.raises(ConfigurationError):
+            FrameSchedule([])
+
+    def test_rii_stream(self):
+        schedule = self.make([{0: "a"}])
+        first = schedule.next_llc_rii()
+        second = schedule.next_llc_rii()
+        assert first != second
+        assert schedule.rii_updates == 2
+        assert 0 <= first <= 0xFFFFFFFF
+
+    def test_rii_reproducible(self):
+        a = self.make([{0: "x"}])
+        b = self.make([{0: "x"}])
+        assert a.next_llc_rii() == b.next_llc_rii()
+
+    def test_concurrent_pairs(self):
+        schedule = self.make([{0: "a", 1: "b"}, {0: "a", 1: "c"}])
+        pairs = schedule.concurrent_pairs()
+        assert ("a", "b") in pairs
+        assert ("a", "c") in pairs
+        assert ("b", "c") not in pairs
+
+    def test_core_history(self):
+        schedule = self.make([{0: "a"}, {2: "a"}, {1: "b"}])
+        assert schedule.core_history("a") == [0, 2]
+
+
+class TestCyclicExecutive:
+    def tasks(self, n, colour=None, releases=1):
+        return [
+            Task(name=f"t{i}", wcet_cycles=100, releases=releases,
+                 colour_group=colour)
+            for i in range(n)
+        ]
+
+    def test_efl_packs_densely(self):
+        """With no co-scheduling constraints, 4 tasks share one frame."""
+        executive = CyclicExecutive(num_cores=4, frame_budget_cycles=1000)
+        result = executive.schedule(self.tasks(4), mechanism="efl")
+        assert result.frames_used == 1
+        assert result.partition_flushes == 0
+        assert result.co_schedule_conflicts_avoided == 0
+
+    def test_software_partitioning_serialises_colour_groups(self):
+        """Tasks coloured into the same sets cannot co-run (§2.2), so a
+        colour-conflicting set needs one frame per task."""
+        executive = CyclicExecutive(num_cores=4, frame_budget_cycles=1000)
+        result = executive.schedule(
+            self.tasks(4, colour="shared"), mechanism="cp-sw"
+        )
+        assert result.frames_used == 4
+        assert result.co_schedule_conflicts_avoided > 0
+
+    def test_software_partitioning_without_conflicts_matches_efl(self):
+        executive = CyclicExecutive(num_cores=4, frame_budget_cycles=1000)
+        result = executive.schedule(self.tasks(4), mechanism="cp-sw")
+        assert result.frames_used == 1
+
+    def test_hardware_partitioning_charges_flushes(self):
+        """5 tasks rotating over 4 cores: partitions get reused by
+        different tasks, each reuse costing a flush (§2.2)."""
+        executive = CyclicExecutive(num_cores=4, frame_budget_cycles=1000)
+        result = executive.schedule(
+            self.tasks(5, releases=3), mechanism="cp-hw"
+        )
+        assert result.partition_flushes > 0
+
+    def test_hardware_partitioning_stable_placement_no_flushes(self):
+        """4 tasks re-running on the same cores never flush."""
+        executive = CyclicExecutive(num_cores=4, frame_budget_cycles=1000)
+        result = executive.schedule(
+            self.tasks(4, releases=3), mechanism="cp-hw"
+        )
+        assert result.partition_flushes == 0
+
+    def test_efl_never_counts_flushes(self):
+        executive = CyclicExecutive(num_cores=4, frame_budget_cycles=1000)
+        result = executive.schedule(self.tasks(5, releases=3), mechanism="efl")
+        assert result.partition_flushes == 0
+
+    def test_all_releases_scheduled(self):
+        executive = CyclicExecutive(num_cores=2, frame_budget_cycles=1000)
+        result = executive.schedule(self.tasks(3, releases=2), mechanism="efl")
+        placed = [
+            name
+            for frame in result.schedule.frames
+            for name in frame.assignments.values()
+        ]
+        assert sorted(placed) == sorted(["t0", "t1", "t2"] * 2)
+
+    def test_rejects_oversized_task(self):
+        executive = CyclicExecutive(num_cores=4, frame_budget_cycles=50)
+        with pytest.raises(ConfigurationError):
+            executive.schedule([Task("big", wcet_cycles=100)])
+
+    def test_rejects_duplicate_names(self):
+        executive = CyclicExecutive()
+        with pytest.raises(ConfigurationError):
+            executive.schedule([Task("a", 1), Task("a", 1)])
+
+    def test_rejects_unknown_mechanism(self):
+        executive = CyclicExecutive()
+        with pytest.raises(ConfigurationError):
+            executive.schedule([Task("a", 1)], mechanism="tdma")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            CyclicExecutive().schedule([])
+
+    def test_same_task_releases_never_corun_under_sw(self):
+        """Two releases of one task share its colouring by definition."""
+        executive = CyclicExecutive(num_cores=4, frame_budget_cycles=1000)
+        result = executive.schedule(
+            [Task("solo", 100, releases=3)], mechanism="cp-sw"
+        )
+        assert result.frames_used == 3

@@ -1,0 +1,86 @@
+"""Tests for SystemConfig and Scenario."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import OperationMode
+from repro.errors import ConfigurationError
+from repro.sim.config import Scenario, SystemConfig
+
+
+class TestSystemConfig:
+    def test_paper_defaults(self):
+        cfg = SystemConfig()
+        assert cfg.num_cores == 4
+        assert cfg.l1_geometry.num_sets == 64
+        assert cfg.l1_geometry.ways == 4
+        assert cfg.llc_geometry.num_sets == 512
+        assert cfg.llc_geometry.ways == 8
+        assert cfg.llc_hit_latency == 10
+        assert cfg.memory_latency == 100
+        assert cfg.bus_latency == 2
+        assert cfg.is_time_randomised is True
+
+    def test_td_variant(self):
+        cfg = SystemConfig(placement="modulo", replacement="lru")
+        assert cfg.is_time_randomised is False
+
+    def test_bad_placement(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(placement="victim")
+
+    def test_bad_replacement(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(replacement="plru")
+
+    def test_bad_geometry_surfaces_early(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(l1_size=3000)
+
+    def test_negative_analysis_penalty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(analysis_memory_penalty=-1)
+        with pytest.raises(ConfigurationError):
+            SystemConfig(analysis_bus_penalty=-1)
+
+
+class TestScenario:
+    def test_efl_constructor(self):
+        s = Scenario.efl(500)
+        assert s.mechanism == "efl"
+        assert s.mid == 500
+        assert s.mode is OperationMode.ANALYSIS
+        assert s.label() == "EFL500"
+        assert s.efl_config().mid == 500
+
+    def test_efl_requires_positive_mid(self):
+        with pytest.raises(ConfigurationError):
+            Scenario.efl(0)
+
+    def test_cp_uniform(self):
+        s = Scenario.cache_partitioning(2)
+        assert s.ways_per_core == (2, 2, 2, 2)
+        assert s.label() == "CP2"
+
+    def test_cp_explicit_counts(self):
+        s = Scenario.cache_partitioning((4, 2, 1, 1))
+        assert s.label() == "CP4-2-1-1"
+
+    def test_cp_requires_ways(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(mechanism="cp", mode=OperationMode.ANALYSIS)
+
+    def test_cp_rejects_zero_ways(self):
+        with pytest.raises(ConfigurationError):
+            Scenario.cache_partitioning((2, 0, 2, 2))
+
+    def test_uncontrolled(self):
+        s = Scenario.uncontrolled()
+        assert s.mechanism == "none"
+        assert s.label() == "SHARED"
+        assert s.efl_config().enabled is False
+
+    def test_unknown_mechanism(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(mechanism="magic", mode=OperationMode.ANALYSIS)

@@ -1,0 +1,186 @@
+"""Tests for the isolation and multicore simulation engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import OperationMode
+from repro.errors import ConfigurationError
+from repro.sim.config import Scenario, SystemConfig
+from repro.sim.simulator import run_isolation, run_workload
+from tests.conftest import make_stream_trace
+
+
+def small_config(**overrides):
+    params = dict(l1_size=256, llc_size=2048)
+    params.update(overrides)
+    return SystemConfig(**params)
+
+
+class TestIsolation:
+    def test_deterministic_for_seed(self, stream_trace):
+        cfg = small_config()
+        scen = Scenario.efl(250)
+        a = run_isolation(stream_trace, cfg, scen, seed=7)
+        b = run_isolation(stream_trace, cfg, scen, seed=7)
+        assert a.cores[0].cycles == b.cores[0].cycles
+
+    def test_different_seeds_vary(self, stream_trace):
+        cfg = small_config()
+        scen = Scenario.efl(250)
+        times = {
+            run_isolation(stream_trace, cfg, scen, seed=s).cores[0].cycles
+            for s in range(8)
+        }
+        assert len(times) > 1, "time-randomised platform must show jitter"
+
+    def test_instruction_count_preserved(self, stream_trace):
+        result = run_isolation(stream_trace, small_config(), Scenario.efl(250), 1)
+        assert result.cores[0].instructions == len(stream_trace)
+
+    def test_ipc_positive_and_bounded(self, stream_trace):
+        result = run_isolation(stream_trace, small_config(), Scenario.efl(250), 1)
+        assert 0 < result.cores[0].ipc <= 1.0
+
+    def test_analysis_slower_than_private_deployment(self, stream_trace):
+        """Analysis-time charges upper-bound an idle-machine run."""
+        cfg = small_config()
+        analysis = run_isolation(stream_trace, cfg, Scenario.efl(250), seed=3)
+        idle = run_isolation(
+            stream_trace, cfg,
+            Scenario.efl(250, mode=OperationMode.DEPLOYMENT), seed=3,
+        )
+        assert analysis.cores[0].cycles >= idle.cores[0].cycles
+
+    def test_cp_analysis_uses_partition_only(self, stream_trace):
+        cfg = small_config()
+        cp1 = run_isolation(stream_trace, cfg, Scenario.cache_partitioning(1), 3)
+        cp8 = run_isolation(stream_trace, cfg, Scenario.cache_partitioning(8), 3)
+        # The full-cache partition can only be at least as fast.
+        assert cp8.cores[0].cycles <= cp1.cores[0].cycles
+
+    def test_efl_analysis_counts_forced_evictions(self, stream_trace):
+        result = run_isolation(stream_trace, small_config(), Scenario.efl(250), 1)
+        assert result.llc_forced_evictions > 0
+
+    def test_bad_core_id(self, stream_trace):
+        with pytest.raises(ConfigurationError):
+            run_isolation(stream_trace, small_config(), Scenario.efl(250), 1,
+                          core_id=9)
+
+    def test_store_trace_writes_back(self, store_trace):
+        result = run_isolation(
+            store_trace, small_config(), Scenario.uncontrolled(), seed=2
+        )
+        assert result.memory_writes >= 0  # smoke: runs to completion
+        assert result.cores[0].instructions == len(store_trace)
+
+    def test_write_through_ablation_runs(self, store_trace):
+        cfg = small_config(dl1_write_back=False)
+        result = run_isolation(store_trace, cfg, Scenario.efl(250), seed=2)
+        assert result.cores[0].instructions == len(store_trace)
+
+
+class TestWorkload:
+    def make_traces(self, n=4):
+        return [
+            make_stream_trace(name=f"t{i}", words=48, sweeps=2,
+                              base=0x100000 * (i + 1))
+            for i in range(n)
+        ]
+
+    def test_co_run_completes_all(self):
+        traces = self.make_traces()
+        result = run_workload(
+            traces, small_config(),
+            Scenario.efl(250, mode=OperationMode.DEPLOYMENT), seed=1,
+        )
+        assert len(result.cores) == 4
+        for core, trace in zip(result.cores, traces):
+            assert core.instructions == len(trace)
+            assert core.task == trace.name
+
+    def test_contention_slows_tasks(self):
+        """Co-running must not be faster than running alone."""
+        traces = self.make_traces()
+        cfg = small_config()
+        scen = Scenario.uncontrolled()
+        together = run_workload(traces, cfg, scen, seed=5)
+        alone = run_isolation(
+            traces[0], cfg, Scenario.uncontrolled(), seed=5
+        )
+        assert together.core(0).cycles >= alone.cores[0].cycles * 0.95
+
+    def test_cp_deployment(self):
+        traces = self.make_traces()
+        result = run_workload(
+            traces, small_config(),
+            Scenario.cache_partitioning((2, 2, 2, 2), mode=OperationMode.DEPLOYMENT),
+            seed=1,
+        )
+        assert result.total_ipc > 0
+
+    def test_fewer_tasks_than_cores(self):
+        traces = self.make_traces(2)
+        result = run_workload(
+            traces, small_config(),
+            Scenario.efl(500, mode=OperationMode.DEPLOYMENT), seed=1,
+        )
+        assert len(result.cores) == 2
+
+    def test_too_many_tasks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_workload(
+                self.make_traces(5), small_config(),
+                Scenario.efl(500, mode=OperationMode.DEPLOYMENT), seed=1,
+            )
+
+    def test_requires_deployment_mode(self):
+        with pytest.raises(ConfigurationError):
+            run_workload(self.make_traces(), small_config(),
+                         Scenario.efl(500), seed=1)
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_workload([], small_config(),
+                         Scenario.efl(500, mode=OperationMode.DEPLOYMENT), seed=1)
+
+    def test_deterministic(self):
+        traces = self.make_traces()
+        scen = Scenario.efl(250, mode=OperationMode.DEPLOYMENT)
+        a = run_workload(traces, small_config(), scen, seed=3)
+        b = run_workload(traces, small_config(), scen, seed=3)
+        assert [c.cycles for c in a.cores] == [c.cycles for c in b.cores]
+
+    def test_makespan_is_max(self):
+        traces = self.make_traces()
+        result = run_workload(
+            traces, small_config(),
+            Scenario.efl(250, mode=OperationMode.DEPLOYMENT), seed=1,
+        )
+        assert result.cycles == max(c.cycles for c in result.cores)
+
+
+class TestShortcutEquivalence:
+    """The L1 hot-line shortcuts must not change timing."""
+
+    def test_shortcut_matches_full_path(self, stream_trace):
+        from repro.sim.memorypath import MemoryPath
+        from repro.sim.platform import build_platform
+        from repro.sim.simulator import CoreRunner
+
+        cfg = small_config()
+        scen = Scenario.efl(250)
+
+        def run(disable_shortcut):
+            platform = build_platform(cfg, scen, seed=11)
+            path = MemoryPath(platform)
+            runner = CoreRunner(0, stream_trace, platform.il1s[0],
+                                platform.dl1s[0], path, cfg)
+            if disable_shortcut:
+                runner._shortcut_il1 = False
+                runner._shortcut_dl1 = False
+            runner.run_to_completion()
+            return runner.pipeline.time
+
+        assert run(False) == run(True)

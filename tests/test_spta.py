@@ -1,0 +1,144 @@
+"""Tests for the static probabilistic timing analysis module."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.mem.cache import Cache, CacheGeometry
+from repro.mem.placement import RandomPlacement
+from repro.mem.replacement import EvictOnMissRandom
+from repro.pta.spta import (
+    access_miss_probabilities,
+    execution_time_distribution,
+    expected_misses,
+    miss_count_distribution,
+    reuse_distances,
+    static_pwcet,
+)
+from repro.utils.rng import MultiplyWithCarry
+
+
+class TestReuseDistances:
+    def test_basic(self):
+        assert reuse_distances([1, 2, 3, 1, 1]) == [None, None, None, 2, 0]
+
+    def test_all_cold(self):
+        assert reuse_distances([1, 2, 3]) == [None, None, None]
+
+    def test_repeats_do_not_inflate(self):
+        # 2 appears twice in the window of the second 1: one distinct line.
+        assert reuse_distances([1, 2, 2, 1]) == [None, None, 0, 1]
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1,
+                    max_size=60))
+    @settings(max_examples=40)
+    def test_distances_bounded_by_distinct_lines(self, lines):
+        for line, distance in zip(lines, reuse_distances(lines)):
+            if distance is not None:
+                assert 0 <= distance < len(set(lines))
+
+
+class TestMissProbabilities:
+    def test_cold_accesses_are_certain_misses(self):
+        probs = access_miss_probabilities([1, 2, 3], 64, 4)
+        assert probs == [1.0, 1.0, 1.0]
+
+    def test_immediate_reuse_never_misses(self):
+        probs = access_miss_probabilities([1, 1], 64, 4)
+        assert probs[1] == 0.0
+
+    def test_longer_reuse_higher_probability(self):
+        short = access_miss_probabilities([1, 2, 1], 64, 4)[-1]
+        long = access_miss_probabilities([1] + list(range(2, 40)) + [1], 64, 4)[-1]
+        assert long > short
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            access_miss_probabilities([], 64, 4)
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1,
+                    max_size=50))
+    @settings(max_examples=40)
+    def test_all_probabilities_valid(self, lines):
+        for p in access_miss_probabilities(lines, 16, 2):
+            assert 0.0 <= p <= 1.0
+
+    def test_expected_misses_tracks_simulation(self):
+        """SPTA's expected miss count vs the simulated TR cache on a
+        sweep workload."""
+        sets, ways = 32, 4
+        lines = list(range(24)) * 10  # 10 sweeps of 24 lines
+        predicted = expected_misses(lines, sets, ways)
+        measured = []
+        for seed in range(40):
+            geometry = CacheGeometry(size_bytes=sets * ways * 16,
+                                     line_size=16, ways=ways)
+            cache = Cache(
+                geometry,
+                RandomPlacement(sets, rii=seed * 13 + 1),
+                EvictOnMissRandom(MultiplyWithCarry(seed)),
+            )
+            for line in lines:
+                cache.access(line)
+            measured.append(cache.stats.misses)
+        mean_measured = sum(measured) / len(measured)
+        assert mean_measured == pytest.approx(predicted, rel=0.30)
+
+
+class TestMissCountDistribution:
+    def test_deterministic_cases(self):
+        assert miss_count_distribution([1.0, 1.0]) == [0.0, 0.0, 1.0]
+        assert miss_count_distribution([0.0, 0.0]) == [1.0, 0.0, 0.0]
+
+    def test_sums_to_one(self):
+        pmf = miss_count_distribution([0.1, 0.5, 0.9, 0.3])
+        assert sum(pmf) == pytest.approx(1.0)
+
+    def test_mean_matches_sum_of_probs(self):
+        probs = [0.2, 0.7, 0.4]
+        pmf = miss_count_distribution(probs)
+        mean = sum(j * mass for j, mass in enumerate(pmf))
+        assert mean == pytest.approx(sum(probs))
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(AnalysisError):
+            miss_count_distribution([1.5])
+
+
+class TestExecutionTime:
+    def test_distribution_support(self):
+        lines = [1, 2, 1, 2]
+        etp = execution_time_distribution(lines, 64, 4, hit_latency=1,
+                                          miss_latency=101)
+        # Total time = 4*1 + j*100 for j misses.
+        assert all((lat - 4) % 100 == 0 for lat in etp.latencies)
+        assert sum(etp.probabilities) == pytest.approx(1.0)
+
+    def test_mean_consistency(self):
+        lines = list(range(8)) * 4
+        etp = execution_time_distribution(lines, 16, 2, 1, 101)
+        expected = len(lines) * 1 + expected_misses(lines, 16, 2) * 100
+        assert etp.mean() == pytest.approx(expected)
+
+    def test_static_pwcet_bounds_distribution(self):
+        lines = list(range(12)) * 6
+        bound = static_pwcet(lines, 16, 2, 1, 101, exceedance_prob=1e-9)
+        etp = execution_time_distribution(lines, 16, 2, 1, 101)
+        assert etp.exceedance(bound) <= 1e-9
+
+    def test_static_pwcet_monotone_in_probability(self):
+        lines = list(range(12)) * 6
+        loose = static_pwcet(lines, 16, 2, 1, 101, exceedance_prob=1e-3)
+        tight = static_pwcet(lines, 16, 2, 1, 101, exceedance_prob=1e-12)
+        assert tight >= loose
+
+    def test_rejects_bad_latencies(self):
+        with pytest.raises(AnalysisError):
+            execution_time_distribution([1], 16, 2, 10, 5)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(AnalysisError):
+            static_pwcet([1, 2], 16, 2, 1, 101, exceedance_prob=0.0)

@@ -1,0 +1,144 @@
+"""Tests for the ISA model, trace container and trace builder."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.isa import EXEC_LATENCY, INSTRUCTION_BYTES, OpKind, is_memory_op
+from repro.cpu.trace import Trace, TraceBuilder
+from repro.errors import TraceError
+
+
+class TestISA:
+    def test_memory_ops(self):
+        assert is_memory_op(OpKind.LOAD)
+        assert is_memory_op(OpKind.STORE)
+        assert not is_memory_op(OpKind.ALU)
+        assert not is_memory_op(OpKind.MUL)
+        assert not is_memory_op(OpKind.BRANCH)
+
+    def test_exec_latency_covers_non_memory_kinds(self):
+        for kind in OpKind:
+            if not is_memory_op(kind):
+                assert EXEC_LATENCY[kind] >= 1
+
+    def test_alu_is_single_cycle(self):
+        """The paper: integer additions take 1 cycle."""
+        assert EXEC_LATENCY[OpKind.ALU] == 1
+
+
+class TestTraceBuilder:
+    def test_pc_advances(self):
+        builder = TraceBuilder("t", code_base=0x100)
+        builder.alu(3)
+        trace = builder.build()
+        assert trace.pcs == [0x100, 0x104, 0x108]
+
+    def test_loop_reuses_pcs(self):
+        builder = TraceBuilder("t")
+        for _ in range(3):
+            body = builder.loop_start()
+            builder.load(0x1000)
+            builder.branch(back_to=body)
+        trace = builder.build()
+        assert len(trace) == 6
+        assert len(trace.code_footprint()) == 2
+
+    def test_kinds_and_addresses(self):
+        builder = TraceBuilder("t")
+        builder.load(0x10)
+        builder.store(0x20)
+        builder.alu()
+        builder.mul()
+        builder.branch()
+        trace = builder.build()
+        assert trace.kinds == [
+            OpKind.LOAD, OpKind.STORE, OpKind.ALU, OpKind.MUL, OpKind.BRANCH
+        ]
+        assert trace.addresses == [0x10, 0x20, None, None, None]
+
+    def test_call_and_return(self):
+        builder = TraceBuilder("t", code_base=0)
+        return_pc = builder.call(0x500)
+        builder.alu()  # emitted at callee
+        builder.branch(back_to=return_pc)
+        builder.alu()  # back at caller
+        trace = builder.build()
+        assert trace.pcs == [0, 0x500, 0x504, return_pc]
+
+    def test_rejects_negative_addresses(self):
+        builder = TraceBuilder("t")
+        with pytest.raises(TraceError):
+            builder.load(-4)
+        with pytest.raises(TraceError):
+            builder.store(-4)
+        with pytest.raises(TraceError):
+            builder.branch(back_to=-8)
+
+    def test_rejects_negative_code_base(self):
+        with pytest.raises(TraceError):
+            TraceBuilder("t", code_base=-1)
+
+    def test_len(self):
+        builder = TraceBuilder("t")
+        builder.alu(5)
+        assert len(builder) == 5
+
+
+class TestTrace:
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            Trace("t", [], [], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TraceError):
+            Trace("t", [0], [int(OpKind.ALU)], [None, None])
+
+    def test_memory_op_needs_address(self):
+        with pytest.raises(TraceError):
+            Trace("t", [0], [int(OpKind.LOAD)], [None])
+
+    def test_non_memory_op_rejects_address(self):
+        with pytest.raises(TraceError):
+            Trace("t", [0], [int(OpKind.ALU)], [0x10])
+
+    def test_counts(self):
+        builder = TraceBuilder("t")
+        builder.load(0)
+        builder.alu(2)
+        builder.store(16)
+        trace = builder.build()
+        assert trace.instruction_count == 4
+        assert trace.memory_op_count == 2
+
+    def test_data_footprint(self):
+        builder = TraceBuilder("t")
+        builder.load(0x10)
+        builder.load(0x10)
+        builder.store(0x20)
+        trace = builder.build()
+        assert trace.data_footprint() == {0x10, 0x20}
+
+    def test_iteration(self):
+        builder = TraceBuilder("t", code_base=8)
+        builder.load(0x40)
+        trace = builder.build()
+        assert list(trace) == [(8, OpKind.LOAD, 0x40)]
+
+    @given(
+        n_alu=st.integers(min_value=1, max_value=50),
+        n_loads=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=30)
+    def test_builder_counts_always_consistent(self, n_alu, n_loads):
+        builder = TraceBuilder("t")
+        builder.alu(n_alu)
+        for i in range(n_loads):
+            builder.load(16 * i)
+        trace = builder.build()
+        assert trace.instruction_count == n_alu + n_loads
+        assert trace.memory_op_count == n_loads
+        # PCs strictly increase in a straight-line trace.
+        assert all(b - a == INSTRUCTION_BYTES for a, b in zip(trace.pcs, trace.pcs[1:]))

@@ -1,0 +1,101 @@
+"""Tests for argument-validation helpers and stats utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.utils.stats_utils import (
+    as_sample,
+    ccdf,
+    coefficient_of_variation,
+    ecdf,
+    empirical_quantile,
+)
+from repro.utils.validation import (
+    require_non_negative_int,
+    require_positive_int,
+    require_power_of_two,
+    require_probability,
+)
+
+
+class TestValidation:
+    def test_positive_int_accepts(self):
+        assert require_positive_int("x", 3) == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "3", True, None])
+    def test_positive_int_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            require_positive_int("x", bad)
+
+    def test_non_negative_accepts_zero(self):
+        assert require_non_negative_int("x", 0) == 0
+
+    @pytest.mark.parametrize("bad", [-1, 0.0, True])
+    def test_non_negative_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            require_non_negative_int("x", bad)
+
+    @pytest.mark.parametrize("good", [1, 2, 4, 1024])
+    def test_power_of_two_accepts(self, good):
+        assert require_power_of_two("x", good) == good
+
+    @pytest.mark.parametrize("bad", [0, 3, 6, 1000, -8])
+    def test_power_of_two_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            require_power_of_two("x", bad)
+
+    def test_probability_bounds(self):
+        assert require_probability("p", 0.0) == 0.0
+        assert require_probability("p", 1.0) == 1.0
+        with pytest.raises(ConfigurationError):
+            require_probability("p", 1.1)
+        with pytest.raises(ConfigurationError):
+            require_probability("p", -0.1)
+
+
+class TestStatsUtils:
+    def test_as_sample_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            as_sample([])
+
+    def test_as_sample_rejects_nan(self):
+        with pytest.raises(AnalysisError):
+            as_sample([1.0, float("nan")])
+
+    def test_as_sample_rejects_inf(self):
+        with pytest.raises(AnalysisError):
+            as_sample([1.0, float("inf")])
+
+    def test_ecdf_monotone(self):
+        xs, ps = ecdf([3, 1, 2, 5, 4])
+        assert list(xs) == [1, 2, 3, 4, 5]
+        assert list(ps) == pytest.approx([0.2, 0.4, 0.6, 0.8, 1.0])
+
+    def test_ccdf_complements_ecdf(self):
+        xs, ps = ccdf([1, 2, 3, 4])
+        _, cdf_ps = ecdf([1, 2, 3, 4])
+        assert np.allclose(ps, 1.0 - cdf_ps)
+
+    def test_quantile_endpoints(self):
+        sample = [10, 20, 30]
+        assert empirical_quantile(sample, 0.0) == 10
+        assert empirical_quantile(sample, 1.0) == 30
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(AnalysisError):
+            empirical_quantile([1, 2], 1.5)
+
+    def test_cv_of_constant_is_zero(self):
+        assert coefficient_of_variation([5, 5, 5]) == 0.0
+
+    def test_cv_scale_invariant(self):
+        a = coefficient_of_variation([1, 2, 3])
+        b = coefficient_of_variation([10, 20, 30])
+        assert a == pytest.approx(b)
+
+    def test_cv_rejects_zero_mean(self):
+        with pytest.raises(AnalysisError):
+            coefficient_of_variation([-1.0, 1.0])

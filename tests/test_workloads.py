@@ -1,0 +1,281 @@
+"""Tests for kernels, the EEMBC-like suite, scales and the generator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.isa import OpKind, is_memory_op
+from repro.cpu.trace import TraceBuilder
+from repro.errors import ConfigurationError
+from repro.workloads import kernels
+from repro.workloads.generator import (
+    build_workload_traces,
+    random_workloads,
+    relocate_trace,
+)
+from repro.workloads.scale import PAPER_MIDS, ExperimentScale
+from repro.workloads.suite import (
+    BENCHMARK_IDS,
+    BENCHMARK_NAMES,
+    LLC_OVERFLOW_IDS,
+    SENSITIVE_IDS,
+    build_all_benchmarks,
+    build_benchmark,
+    builder_for,
+)
+
+TINY = 0.0625
+
+
+class TestKernelPrimitives:
+    def test_stream_pass_addresses(self):
+        builder = TraceBuilder("t")
+        kernels.stream_pass(builder, base=0x100, num_words=8, alus_per_access=1)
+        trace = builder.build()
+        loads = [a for k, a in zip(trace.kinds, trace.addresses)
+                 if k == OpKind.LOAD]
+        assert loads == [0x100 + 4 * i for i in range(8)]
+
+    def test_stream_pass_stores(self):
+        builder = TraceBuilder("t")
+        kernels.stream_pass(builder, base=0, num_words=8, store_every=4)
+        trace = builder.build()
+        stores = sum(1 for k in trace.kinds if k == OpKind.STORE)
+        assert stores == 2
+
+    def test_stream_pass_reuses_loop_body_pcs(self):
+        builder = TraceBuilder("t")
+        kernels.stream_pass(builder, base=0, num_words=32)
+        trace = builder.build()
+        assert len(trace.code_footprint()) < len(trace)
+
+    def test_strided_pass(self):
+        builder = TraceBuilder("t")
+        kernels.strided_pass(builder, base=0, num_accesses=4, stride_bytes=16)
+        trace = builder.build()
+        loads = [a for k, a in zip(trace.kinds, trace.addresses)
+                 if k == OpKind.LOAD]
+        assert loads == [0, 16, 32, 48]
+
+    def test_blocked_pass_reuse(self):
+        builder = TraceBuilder("t")
+        kernels.blocked_pass(builder, base=0, block_words=4, num_blocks=2, reuse=3)
+        trace = builder.build()
+        # Each word touched reuse times: 2 blocks * 4 words * 3.
+        assert trace.memory_op_count == 24
+        assert len(trace.data_footprint()) == 8
+
+    def test_pointer_chase_visits_all_nodes(self):
+        builder = TraceBuilder("t")
+        kernels.pointer_chase(builder, base=0, num_nodes=16, node_bytes=16,
+                              steps=16, seed=1)
+        trace = builder.build()
+        assert len(trace.data_footprint()) == 16  # one full lap
+
+    def test_permutation_is_single_cycle(self):
+        successor = kernels.make_permutation(100, seed=7)
+        node, seen = 0, set()
+        for _ in range(100):
+            assert node not in seen
+            seen.add(node)
+            node = successor[node]
+        assert node == 0 and len(seen) == 100
+
+    def test_permutation_deterministic(self):
+        assert kernels.make_permutation(50, 3) == kernels.make_permutation(50, 3)
+
+    def test_table_lookup_in_range(self):
+        builder = TraceBuilder("t")
+        kernels.table_lookup_pass(builder, table_base=0x1000, table_words=64,
+                                  lookups=100, seed=2)
+        trace = builder.build()
+        for kind, addr in zip(trace.kinds, trace.addresses):
+            if is_memory_op(kind):
+                assert 0x1000 <= addr < 0x1000 + 64 * 4
+
+    def test_scaled_count(self):
+        assert kernels.scaled_count(100, 0.5) == 50
+        assert kernels.scaled_count(100, 0.001) == 1
+        assert kernels.scaled_count(100, 0.001, minimum=8) == 8
+        with pytest.raises(ConfigurationError):
+            kernels.scaled_count(0, 1.0)
+
+    @pytest.mark.parametrize("fn,kwargs", [
+        (kernels.stream_pass, dict(base=0, num_words=0)),
+        (kernels.strided_pass, dict(base=0, num_accesses=0, stride_bytes=16)),
+        (kernels.strided_pass, dict(base=0, num_accesses=4, stride_bytes=0)),
+        (kernels.blocked_pass, dict(base=0, block_words=0, num_blocks=1, reuse=1)),
+        (kernels.pointer_chase, dict(base=0, num_nodes=0, node_bytes=16,
+                                     steps=1, seed=1)),
+        (kernels.table_lookup_pass, dict(table_base=0, table_words=0,
+                                         lookups=1, seed=1)),
+    ])
+    def test_primitives_reject_bad_args(self, fn, kwargs):
+        with pytest.raises(ConfigurationError):
+            fn(TraceBuilder("t"), **kwargs)
+
+
+class TestSuite:
+    def test_ten_benchmarks(self):
+        assert len(BENCHMARK_IDS) == 10
+        assert set(SENSITIVE_IDS) <= set(BENCHMARK_IDS)
+        assert set(LLC_OVERFLOW_IDS) <= set(BENCHMARK_IDS)
+
+    def test_names(self):
+        assert BENCHMARK_NAMES["ID"] == "idctrn"
+        assert BENCHMARK_NAMES["A2"] == "a2time"
+
+    @pytest.mark.parametrize("bench_id", BENCHMARK_IDS)
+    def test_every_kernel_builds(self, bench_id):
+        trace = build_benchmark(bench_id, scale=TINY)
+        assert trace.name == bench_id
+        assert trace.instruction_count > 100
+        assert trace.memory_op_count > 0
+
+    def test_traces_deterministic(self):
+        a = build_benchmark("PN", scale=TINY)
+        b = build_benchmark("PN", scale=TINY)
+        assert a.pcs == b.pcs and a.addresses == b.addresses
+
+    def test_unknown_id(self):
+        with pytest.raises(ConfigurationError):
+            build_benchmark("XX")
+        with pytest.raises(ConfigurationError):
+            builder_for("XX")
+
+    def test_disjoint_address_spaces(self):
+        traces = build_all_benchmarks(scale=TINY)
+        footprints = {b: t.data_footprint() for b, t in traces.items()}
+        ids = list(footprints)
+        for i, a in enumerate(ids):
+            for b in ids[i + 1:]:
+                assert not (footprints[a] & footprints[b]), f"{a} and {b} overlap"
+
+    def test_matrix_exceeds_llc(self):
+        """MA's data footprint must exceed the scaled LLC (2x)."""
+        scale = ExperimentScale.tiny()
+        trace = build_benchmark("MA", scale=scale.trace_scale)
+        lines = {a >> 4 for a in trace.data_footprint()}
+        assert len(lines) * 16 > scale.llc_size
+
+    def test_sensitive_load_a_2way_partition_heavily(self):
+        """II/PN/A2 working sets sit in the churn regime of a 2-way
+        partition: most of its capacity (random placement then leaves
+        a substantial fraction of their lines in overflowing sets)
+        while still fitting the full 8-way LLC."""
+        scale = ExperimentScale.tiny()
+        for bench_id in SENSITIVE_IDS:
+            trace = build_benchmark(bench_id, scale=scale.trace_scale)
+            footprint = len({a >> 4 for a in trace.data_footprint()}) * 16
+            assert footprint > 0.6 * scale.llc_size / 4, bench_id
+            assert footprint < scale.llc_size, bench_id
+            assert footprint > scale.l1_size, bench_id
+
+    def test_scale_controls_size(self):
+        small = build_benchmark("CN", scale=0.1)
+        large = build_benchmark("CN", scale=0.5)
+        assert large.instruction_count > small.instruction_count
+
+
+class TestScale:
+    def test_presets(self):
+        for name in ("tiny", "quick", "default", "paper"):
+            scale = ExperimentScale.from_name(name)
+            assert scale.name == name
+            assert scale.mid_options == PAPER_MIDS
+
+    def test_paper_platform(self):
+        cfg = ExperimentScale.paper().system_config()
+        assert cfg.l1_size == 4096
+        assert cfg.llc_size == 65536
+
+    def test_scaled_platform_keeps_shape(self):
+        cfg = ExperimentScale.default().system_config()
+        assert cfg.l1_geometry.ways == 4
+        assert cfg.llc_geometry.ways == 8
+        assert cfg.llc_size == 16384
+
+    def test_system_config_overrides(self):
+        cfg = ExperimentScale.tiny().system_config(replacement="lru")
+        assert cfg.replacement == "lru"
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentScale.from_name("huge")
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert ExperimentScale.from_env().name == "tiny"
+        monkeypatch.delenv("REPRO_SCALE")
+        assert ExperimentScale.from_env(fallback="quick").name == "quick"
+
+    def test_paper_mid_label(self):
+        assert ExperimentScale.default().paper_mid_label(250) == "EFL250"
+        with pytest.raises(ConfigurationError):
+            ExperimentScale.default().paper_mid_label(123)
+
+
+class TestGenerator:
+    def test_reproducible(self):
+        assert random_workloads(10, seed=4) == random_workloads(10, seed=4)
+
+    def test_count_and_width(self):
+        workloads = random_workloads(32, tasks_per_workload=4, seed=1)
+        assert len(workloads) == 32
+        assert all(len(w) == 4 for w in workloads)
+
+    def test_ids_valid(self):
+        for workload in random_workloads(50, seed=2):
+            assert all(bench in BENCHMARK_IDS for bench in workload)
+
+    def test_custom_pool(self):
+        for workload in random_workloads(20, seed=3, bench_ids=("RS", "PU")):
+            assert set(workload) <= {"RS", "PU"}
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            random_workloads(0)
+        with pytest.raises(ConfigurationError):
+            random_workloads(1, tasks_per_workload=0)
+        with pytest.raises(ConfigurationError):
+            random_workloads(1, bench_ids=())
+
+    def test_relocation_shifts_everything(self):
+        trace = build_benchmark("RS", scale=TINY)
+        moved = relocate_trace(trace, 0x1000, copy_tag="#1")
+        assert moved.name == "RS#1"
+        assert moved.pcs == [pc + 0x1000 for pc in trace.pcs]
+        assert all(
+            (a is None and b is None) or b == a + 0x1000
+            for a, b in zip(trace.addresses, moved.addresses)
+        )
+
+    def test_relocation_rejects_negative(self):
+        trace = build_benchmark("RS", scale=TINY)
+        with pytest.raises(ConfigurationError):
+            relocate_trace(trace, -1)
+
+    def test_duplicates_relocated(self):
+        traces = build_workload_traces(("RS", "RS", "PU", "RS"), scale=TINY)
+        footprints = [t.data_footprint() for t in traces]
+        assert not (footprints[0] & footprints[1])
+        assert not (footprints[1] & footprints[3])
+        assert traces[0].name == "RS"
+        assert traces[1].name == "RS#1"
+        assert traces[3].name == "RS#2"
+
+    def test_trace_cache_reused(self):
+        cache: dict = {}
+        build_workload_traces(("RS", "PU"), scale=TINY, trace_cache=cache)
+        assert set(cache) == {"RS", "PU"}
+        first = cache["RS"]
+        build_workload_traces(("RS", "CN"), scale=TINY, trace_cache=cache)
+        assert cache["RS"] is first
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30)
+    def test_any_seed_valid(self, seed):
+        workloads = random_workloads(4, seed=seed)
+        assert len(workloads) == 4
