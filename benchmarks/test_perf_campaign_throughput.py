@@ -1,0 +1,98 @@
+"""Campaign throughput: serial vs process-pool backend (runs/sec).
+
+Tracks the perf trajectory of the execution-backend layer from the PR
+that introduced it onward: one E2-scale analysis campaign (the ID
+benchmark under EFL500 at the selected ``REPRO_SCALE``) is executed
+through :class:`SerialBackend` and through a 4-worker
+:class:`ProcessPoolBackend`, and both throughputs land in
+``BENCH_campaign.json`` at the repository root.
+
+The samples must be bit-identical (the determinism guarantee); the
+speedup assertion only applies where the hardware can physically
+deliver it (≥ 4 usable CPUs — CI runners; a 1-core container still
+produces the JSON, with the speedup recorded as measured).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+
+from repro.sim.backend import ProcessPoolBackend, SerialBackend
+from repro.sim.campaign import collect_execution_times
+from repro.sim.config import Scenario
+from repro.workloads.suite import build_benchmark
+
+from benchmarks.conftest import CAMPAIGN_SEED
+
+#: Worker count of the parallel measurement (the acceptance setup).
+WORKERS = 4
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover — non-Linux
+        return os.cpu_count() or 1
+
+
+def test_campaign_throughput(scale):
+    config = scale.system_config()
+    trace = build_benchmark("ID", scale=scale.trace_scale)
+    scenario = Scenario.efl(500)
+    runs = scale.analysis_runs
+
+    serial = collect_execution_times(
+        trace, config, scenario, runs=runs, master_seed=CAMPAIGN_SEED,
+        backend=SerialBackend(),
+    )
+    parallel = collect_execution_times(
+        trace, config, scenario, runs=runs, master_seed=CAMPAIGN_SEED,
+        backend=ProcessPoolBackend(workers=WORKERS),
+    )
+
+    # Determinism guarantee: the backend must be invisible in the data.
+    assert parallel.execution_times == serial.execution_times
+    assert parallel.seeds == serial.seeds
+
+    speedup = (
+        parallel.runs_per_second / serial.runs_per_second
+        if serial.runs_per_second > 0 else 0.0
+    )
+    payload = {
+        "bench": "campaign_throughput",
+        "scale": scale.name,
+        "benchmark": "ID",
+        "scenario": "EFL500",
+        "runs": runs,
+        "usable_cpus": _usable_cpus(),
+        "python": platform.python_version(),
+        "serial": {
+            "wall_s": round(serial.wall_time_s, 4),
+            "runs_per_s": round(serial.runs_per_second, 2),
+        },
+        f"process{WORKERS}": {
+            "wall_s": round(parallel.wall_time_s, 4),
+            "runs_per_s": round(parallel.runs_per_second, 2),
+        },
+        "speedup": round(speedup, 2),
+        "bit_identical": True,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print()
+    print(f"campaign throughput ({scale.name} scale, {runs} runs):")
+    print(f"  serial            {serial.runs_per_second:8.2f} runs/s")
+    print(f"  process[{WORKERS}]        {parallel.runs_per_second:8.2f} runs/s")
+    print(f"  speedup           {speedup:8.2f}x  ({_usable_cpus()} usable CPUs)")
+    print(f"  wrote {OUTPUT.name}")
+
+    if _usable_cpus() >= WORKERS:
+        assert speedup >= 2.0, (
+            f"{WORKERS}-worker campaign only reached {speedup:.2f}x over "
+            f"serial on {_usable_cpus()} CPUs; expected >= 2x"
+        )

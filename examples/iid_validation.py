@@ -11,8 +11,11 @@ tests the paper uses at the 5% significance level:
 Run:  python examples/iid_validation.py
 """
 
+import sys
+
 from repro import ExperimentScale, PWCETTable, run_iid_compliance
 from repro.analysis.reporting import render_iid
+from repro.sim.backend import StreamObserver
 
 
 def main() -> None:
@@ -20,7 +23,7 @@ def main() -> None:
     table = PWCETTable(
         scale=scale,
         seed=5,
-        progress=lambda msg: print(f"  [{msg}]"),
+        observer=StreamObserver(sys.stdout),
     )
     result = run_iid_compliance(table)
     print()

@@ -15,6 +15,7 @@ import sys
 
 from repro import ExperimentScale, PWCETTable, run_fig4
 from repro.analysis.reporting import render_fig4
+from repro.sim.backend import StreamObserver
 
 
 def main() -> None:
@@ -26,7 +27,7 @@ def main() -> None:
     table = PWCETTable(
         scale=scale,
         seed=2014,
-        progress=lambda msg: print(f"  [{msg}]"),
+        observer=StreamObserver(sys.stdout),
     )
     print(f"scale {scale.name}: {scale.workload_count} workloads, "
           f"{scale.analysis_runs} analysis runs per estimate\n")

@@ -28,6 +28,7 @@ paper-versus-measured record of every figure and table.
 
 from repro.errors import (
     AnalysisError,
+    CampaignRunError,
     ConfigurationError,
     ReproError,
     SimulationError,
@@ -54,10 +55,18 @@ from repro.mem import (
 from repro.cpu import InOrderPipeline, OpKind, Trace, TraceBuilder
 from repro.sim import (
     CampaignResult,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    RunObserver,
+    RunRecord,
+    RunRequest,
     RunResult,
     Scenario,
+    SerialBackend,
     SystemConfig,
     collect_execution_times,
+    execute_request,
+    make_backend,
     run_isolation,
     run_workload,
 )
@@ -95,6 +104,7 @@ __all__ = [
     "ReproError",
     "ConfigurationError",
     "SimulationError",
+    "CampaignRunError",
     "AnalysisError",
     "TraceError",
     # EFL (the paper's contribution)
@@ -122,10 +132,19 @@ __all__ = [
     "SystemConfig",
     "Scenario",
     "RunResult",
+    "RunRequest",
     "CampaignResult",
     "run_isolation",
     "run_workload",
+    "execute_request",
     "collect_execution_times",
+    # execution backends + observability
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "RunObserver",
+    "RunRecord",
+    "make_backend",
     # PTA
     "ExecutionTimeProfile",
     "GumbelFit",

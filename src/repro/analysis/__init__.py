@@ -21,9 +21,15 @@ from repro.analysis.experiments import (
     run_fig3,
     run_fig4,
 )
-from repro.analysis.export import write_fig3_csv, write_fig4_csv, write_iid_csv
+from repro.analysis.export import (
+    write_campaign_csv,
+    write_fig3_csv,
+    write_fig4_csv,
+    write_iid_csv,
+)
 
 __all__ = [
+    "write_campaign_csv",
     "write_iid_csv",
     "write_fig3_csv",
     "write_fig4_csv",

@@ -20,8 +20,8 @@ paper derives Figure 4's wgIPC from Figure 3's analysis products.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import improvement, summarise_improvements
 from repro.analysis.partitions import (
@@ -31,22 +31,17 @@ from repro.analysis.partitions import (
     best_partition,
 )
 from repro.core.config import OperationMode
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, CampaignRunError
 from repro.pta.iid import IIDResult, iid_test
 from repro.pta.mbpta import MBPTAResult, estimate_pwcet
+from repro.sim.backend import ExecutionBackend, RunObserver, SerialBackend
 from repro.sim.campaign import CampaignResult, collect_execution_times
 from repro.sim.config import Scenario, SystemConfig
-from repro.sim.simulator import run_workload
+from repro.sim.simulator import RunRequest
 from repro.utils.rng import derive_seeds
 from repro.workloads.generator import build_workload_traces, random_workloads
 from repro.workloads.scale import ExperimentScale
 from repro.workloads.suite import BENCHMARK_IDS, build_all_benchmarks
-
-ProgressFn = Callable[[str], None]
-
-
-def _noop_progress(_message: str) -> None:
-    return None
 
 
 class PWCETTable:
@@ -54,7 +49,11 @@ class PWCETTable:
 
     One instance owns the benchmark traces (built once at the campaign
     scale) and a cache of campaign + MBPTA results keyed by the setup
-    label (``EFL500``, ``CP2``, ...).
+    label (``EFL500``, ``CP2``, ...).  Every campaign dispatches its
+    runs through ``backend`` (default: serial) — the estimates are
+    bit-identical across backends because per-run seeds derive from
+    the campaign key, never from the worker layout — and reports
+    per-run records to ``observer``.
     """
 
     def __init__(
@@ -63,7 +62,8 @@ class PWCETTable:
         scale: Optional[ExperimentScale] = None,
         seed: int = 0,
         exceedance_prob: float = 1e-15,
-        progress: Optional[ProgressFn] = None,
+        backend: Optional[ExecutionBackend] = None,
+        observer: Optional[RunObserver] = None,
     ) -> None:
         self.scale = scale if scale is not None else ExperimentScale.default()
         # Default to the scale's proportionally shrunk platform; an
@@ -71,7 +71,8 @@ class PWCETTable:
         self.config = config if config is not None else self.scale.system_config()
         self.seed = seed
         self.exceedance_prob = exceedance_prob
-        self.progress = progress if progress is not None else _noop_progress
+        self.backend = backend if backend is not None else SerialBackend()
+        self.observer = observer if observer is not None else RunObserver()
         self.traces = build_all_benchmarks(self.scale.trace_scale)
         self._campaigns: Dict[Tuple[str, str], CampaignResult] = {}
         self._estimates: Dict[Tuple[str, str], MBPTAResult] = {}
@@ -95,10 +96,6 @@ class PWCETTable:
         scenario = self._scenario(kind, value)
         key = (bench_id, scenario.label())
         if key not in self._campaigns:
-            self.progress(
-                f"analysis campaign: {bench_id} under {scenario.label()} "
-                f"({self.scale.analysis_runs} runs)"
-            )
             # Deterministic per-key seed (zlib.crc32, NOT Python's
             # hash(): the latter is salted per process and would make
             # campaigns irreproducible across invocations).
@@ -109,6 +106,8 @@ class PWCETTable:
                 scenario,
                 runs=self.scale.analysis_runs,
                 master_seed=self.seed ^ key_digest,
+                backend=self.backend,
+                observer=self.observer,
             )
         return self._campaigns[key]
 
@@ -267,6 +266,31 @@ def run_fig3(
 # ----------------------------------------------------------------------
 # E3 + E4: Figure 4
 # ----------------------------------------------------------------------
+def _deployment_samples(
+    table: "PWCETTable",
+    traces: Sequence,
+    scenario: Scenario,
+    rep_seeds: Sequence[int],
+    label: str,
+) -> List[float]:
+    """Co-run one workload ``len(rep_seeds)`` times through the backend."""
+    template = RunRequest.workload(
+        traces, table.config, scenario, rep_seeds[0], index=0
+    )
+    requests = [
+        template.with_run(index, seed) for index, seed in enumerate(rep_seeds)
+    ]
+    outcomes = table.backend.execute(requests, observer=table.observer)
+    failures = [
+        (outcome.index, outcome.seed, outcome.error or "")
+        for outcome in outcomes
+        if outcome.failed
+    ]
+    if failures:
+        raise CampaignRunError(label, scenario.label(), failures)
+    return [outcome.result.total_ipc for outcome in outcomes]
+
+
 @dataclass(frozen=True)
 class WorkloadComparison:
     """One workload's EFL-vs-CP comparison (a point on each S-curve)."""
@@ -355,9 +379,10 @@ def run_fig4(
 
         cp_waipc = efl_waipc = wa_improvement = None
         if measure_average:
-            table.progress(
+            label = "+".join(workload)
+            table.observer.on_message(
                 f"deployment workload {index + 1}/{len(workloads)}: "
-                f"{'+'.join(workload)} (CP{counts} vs EFL{mid})"
+                f"{label} (CP{counts} vs EFL{mid})"
             )
             traces = build_workload_traces(
                 workload, scale.trace_scale, trace_cache
@@ -367,14 +392,12 @@ def run_fig4(
                 counts, num_cores=config.num_cores, mode=OperationMode.DEPLOYMENT
             )
             efl_scenario = Scenario.efl(mid, mode=OperationMode.DEPLOYMENT)
-            cp_samples = [
-                run_workload(traces, config, cp_scenario, seed).total_ipc
-                for seed in rep_seeds
-            ]
-            efl_samples = [
-                run_workload(traces, config, efl_scenario, seed).total_ipc
-                for seed in rep_seeds
-            ]
+            cp_samples = _deployment_samples(
+                table, traces, cp_scenario, rep_seeds, label
+            )
+            efl_samples = _deployment_samples(
+                table, traces, efl_scenario, rep_seeds, label
+            )
             cp_waipc = sum(cp_samples) / len(cp_samples)
             efl_waipc = sum(efl_samples) / len(efl_samples)
             wa_improvement = improvement(efl_waipc, cp_waipc)

@@ -17,6 +17,34 @@ from repro.analysis.experiments import (
     Fig4Result,
     IIDComplianceResult,
 )
+from repro.sim.campaign import CampaignResult
+
+
+def write_campaign_csv(result: CampaignResult, stream: TextIO) -> int:
+    """Per-run campaign records: one row per run, full provenance.
+
+    Each row carries the run's reproduction handle (index + seed) and
+    its observability record (cycles, LLC/EFL interference counters,
+    wall time), so throughput and interference statistics are available
+    without rerunning the campaign.
+    """
+    writer = csv.writer(stream)
+    writer.writerow(
+        ["task", "scenario", "run_index", "seed", "cycles", "instructions",
+         "llc_hits", "llc_misses", "llc_forced_evictions",
+         "efl_stall_cycles", "efl_evictions", "memory_reads",
+         "memory_writes", "wall_time_s"]
+    )
+    for record in result.records:
+        writer.writerow([
+            result.task, result.scenario_label, record.index,
+            f"{record.seed:#x}", record.cycles, record.instructions,
+            record.llc_hits, record.llc_misses, record.llc_forced_evictions,
+            record.efl_stall_cycles, record.efl_evictions,
+            record.memory_reads, record.memory_writes,
+            f"{record.wall_time_s:.6f}",
+        ])
+    return len(result.records)
 
 
 def write_iid_csv(result: IIDComplianceResult, stream: TextIO) -> int:

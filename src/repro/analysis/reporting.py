@@ -15,6 +15,7 @@ from repro.analysis.experiments import (
     Fig4Result,
     IIDComplianceResult,
 )
+from repro.sim.campaign import CampaignResult
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
@@ -27,6 +28,44 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
         return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
     lines = [render_row(headers), render_row(["-" * width for width in widths])]
     lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_campaign(result: CampaignResult) -> str:
+    """One campaign's provenance, throughput and interference summary.
+
+    Surfaces everything an operator needs without rerunning: the master
+    seed, the seed of the high-water-mark run (rerun that one seed to
+    reproduce the worst case in isolation), backend throughput, and the
+    per-run mean shared-cache interference counters.
+    """
+    lines = [
+        f"campaign {result.task} under {result.scenario_label}: "
+        f"{result.runs} runs (master seed {result.master_seed:#x}, "
+        f"backend {result.backend})",
+        f"  times: min {result.min_time}  mean {result.mean_time:.1f}  "
+        f"max {result.max_time} cycles",
+    ]
+    if result.hwm_seed is not None:
+        lines.append(
+            f"  HWM run: index {result.hwm_index}, seed {result.hwm_seed:#x}"
+        )
+    if result.wall_time_s > 0:
+        lines.append(
+            f"  throughput: {result.runs_per_second:.1f} runs/s "
+            f"({result.wall_time_s:.2f}s wall)"
+        )
+    if result.records:
+        runs = len(result.records)
+        def mean(attribute: str) -> float:
+            return sum(getattr(r, attribute) for r in result.records) / runs
+        lines.append(
+            f"  per-run means: LLC {mean('llc_hits'):.1f} hits / "
+            f"{mean('llc_misses'):.1f} misses / "
+            f"{mean('llc_forced_evictions'):.1f} forced evictions, "
+            f"EFL {mean('efl_stall_cycles'):.1f} stall cycles / "
+            f"{mean('efl_evictions'):.1f} evictions"
+        )
     return "\n".join(lines)
 
 

@@ -6,9 +6,13 @@ Usage (after ``pip install -e .``)::
     repro-efl fig3 --scale quick          # E2: normalised pWCET table
     repro-efl fig4 --scale quick          # E3/E4: S-curve summaries
     repro-efl all  --scale tiny           # everything, smoke scale
+    repro-efl fig3 --backend process --workers 4   # parallel fan-out
 
 Every command accepts ``--scale {tiny,quick,default,paper}`` and
-``--seed`` for reproducibility; results print as plain-text tables.
+``--seed`` for reproducibility, plus ``--backend {serial,process}``
+and ``--workers N`` to fan simulation runs out over worker processes
+(results are bit-identical across backends — seeds are derived per
+run, not per worker); results print as plain-text tables.
 """
 
 from __future__ import annotations
@@ -26,18 +30,20 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.export import write_fig3_csv, write_fig4_csv, write_iid_csv
 from repro.analysis.reporting import render_fig3, render_fig4, render_iid
+from repro.sim.backend import BACKEND_NAMES, StreamObserver, make_backend
 from repro.sim.config import SystemConfig
 from repro.workloads.scale import ExperimentScale
 
 
 def _build_table(args: argparse.Namespace) -> PWCETTable:
     scale = ExperimentScale.from_name(args.scale)
-    progress = (lambda msg: print(f"  [{msg}]", file=sys.stderr)) if args.verbose else None
+    observer = StreamObserver(sys.stderr) if args.verbose else None
     return PWCETTable(
         config=SystemConfig(),
         scale=scale,
         seed=args.seed,
-        progress=progress,
+        backend=make_backend(args.backend, args.workers),
+        observer=observer,
     )
 
 
@@ -102,6 +108,23 @@ def make_parser() -> argparse.ArgumentParser:
         help="experiment scale preset (default: quick)",
     )
     parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--backend",
+        default="serial",
+        choices=BACKEND_NAMES,
+        help=(
+            "execution backend for the simulation runs: 'serial' "
+            "(in-process) or 'process' (multiprocessing fan-out); "
+            "results are bit-identical either way (default: serial)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --backend process (default: CPU count)",
+    )
     parser.add_argument(
         "--verbose", action="store_true", help="print per-campaign progress"
     )

@@ -31,6 +31,30 @@ class SimulationError(ReproError):
     """
 
 
+class CampaignRunError(SimulationError):
+    """One or more runs of a measurement campaign failed.
+
+    Execution backends capture per-run exceptions instead of aborting
+    the whole campaign, so a single bad seed cannot kill a 1000-run
+    fan-out; the campaign layer then raises this error carrying every
+    ``(index, seed, message)`` triple, making the failing runs
+    reproducible in isolation (re-run with exactly that seed).
+    """
+
+    def __init__(self, task: str, scenario_label: str, failures) -> None:
+        self.task = task
+        self.scenario_label = scenario_label
+        #: List of ``(index, seed, message)`` triples, one per failed run.
+        self.failures = list(failures)
+        index, seed, message = self.failures[0]
+        first = message.strip().splitlines()[-1] if message else "unknown error"
+        super().__init__(
+            f"campaign {task!r} under {scenario_label}: "
+            f"{len(self.failures)} of the runs failed; first failure at "
+            f"run {index} (seed {seed:#x}): {first}"
+        )
+
+
 class AnalysisError(ReproError):
     """A statistical analysis cannot be carried out.
 

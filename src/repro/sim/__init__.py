@@ -8,18 +8,36 @@
 * :mod:`repro.sim.memorypath` — the shared bus→LLC→memory transaction
   engine, including EFL gating and analysis-mode upper-bounding;
 * :mod:`repro.sim.simulator` — isolation (analysis) and multicore
-  (deployment) execution engines;
+  (deployment) execution engines, plus the picklable
+  :class:`RunRequest` construction/execution split;
+* :mod:`repro.sim.backend` — pluggable execution backends (serial /
+  process-pool fan-out) and the :class:`RunObserver` observability
+  seam;
 * :mod:`repro.sim.campaign` — multi-run measurement campaigns with
-  per-run RII/seed refresh, feeding the MBPTA layer.
+  per-run RII/seed refresh and full seed provenance, feeding the
+  MBPTA layer.
 """
 
 from repro.sim.config import Scenario, SystemConfig
 from repro.sim.platform import Platform, build_platform
 from repro.sim.simulator import (
     CoreResult,
+    RunRequest,
     RunResult,
+    execute_request,
     run_isolation,
     run_workload,
+)
+from repro.sim.backend import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    RunObserver,
+    RunOutcome,
+    RunRecord,
+    SerialBackend,
+    StreamObserver,
+    make_backend,
 )
 from repro.sim.campaign import collect_execution_times, CampaignResult
 
@@ -30,8 +48,19 @@ __all__ = [
     "build_platform",
     "CoreResult",
     "RunResult",
+    "RunRequest",
+    "execute_request",
     "run_isolation",
     "run_workload",
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "RunObserver",
+    "StreamObserver",
+    "RunOutcome",
+    "RunRecord",
+    "make_backend",
     "collect_execution_times",
     "CampaignResult",
 ]

@@ -1,0 +1,360 @@
+"""Pluggable execution backends: serial and multi-process run fan-out.
+
+MBPTA campaigns are embarrassingly parallel — every run derives its
+own seed and randomises its own platform (§3.3), with no shared state
+between runs.  This module turns that property into throughput without
+touching simulation semantics:
+
+* :class:`SerialBackend` executes requests in-process, one by one —
+  the reference semantics, zero dependencies;
+* :class:`ProcessPoolBackend` fans requests out over a
+  ``multiprocessing`` pool with chunked dispatch.  Workers are
+  bootstrapped once with the campaign's shared trace/config template,
+  so per-run messages carry only an ``(index, seed)`` pair; per-run
+  exceptions are captured into the :class:`RunOutcome` instead of
+  killing the pool, so one bad seed cannot abort a 1000-run campaign.
+
+**Determinism guarantee.**  Seeds are derived per *run* (by the
+campaign layer), never per worker, and :func:`~repro.sim.simulator.execute_request`
+is a pure function of its request — so ``execution_times`` are
+bit-identical across backends, worker counts and chunk sizes.  Only
+wall-clock observability data (per-run wall times, completion order
+seen by observers) differs.
+
+The :class:`RunObserver` seam replaces the former ad-hoc
+``on_run``/progress callables: backends report one structured
+:class:`RunRecord` per completed run (cycles, LLC interference
+counters, EFL stalls, wall time), which the campaign layer aggregates
+into :class:`~repro.sim.campaign.CampaignResult`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass
+from typing import IO, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.simulator import RunRequest, RunResult, execute_request
+
+
+# ----------------------------------------------------------------------
+# per-run records and outcomes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunRecord:
+    """Structured observability record of one completed run.
+
+    Everything an operator needs to reason about a campaign without
+    rerunning it: the run's reproduction handle (``index``, ``seed``),
+    its timing outcome, the shared-cache interference counters and the
+    wall-clock cost of producing it.
+    """
+
+    index: int
+    seed: int
+    cycles: int
+    instructions: int
+    llc_hits: int
+    llc_misses: int
+    llc_forced_evictions: int
+    efl_stall_cycles: int
+    efl_evictions: int
+    memory_reads: int
+    memory_writes: int
+    wall_time_s: float
+
+    @classmethod
+    def from_result(
+        cls, index: int, seed: int, result: RunResult, wall_time_s: float
+    ) -> "RunRecord":
+        """Condense a :class:`RunResult` into its observability record."""
+        return cls(
+            index=index,
+            seed=seed,
+            cycles=result.cycles,
+            instructions=sum(core.instructions for core in result.cores),
+            llc_hits=result.llc_hits,
+            llc_misses=result.llc_misses,
+            llc_forced_evictions=result.llc_forced_evictions,
+            efl_stall_cycles=sum(core.efl_stall_cycles for core in result.cores),
+            efl_evictions=sum(core.efl_evictions for core in result.cores),
+            memory_reads=result.memory_reads,
+            memory_writes=result.memory_writes,
+            wall_time_s=wall_time_s,
+        )
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """What a backend returns per request: a result or a captured error."""
+
+    index: int
+    seed: int
+    result: Optional[RunResult]
+    error: Optional[str]
+    wall_time_s: float
+
+    @property
+    def failed(self) -> bool:
+        """Whether this run raised instead of completing."""
+        return self.error is not None
+
+    def record(self) -> RunRecord:
+        """The observability record of a *successful* outcome."""
+        if self.result is None:
+            raise ConfigurationError(
+                f"run {self.index} (seed {self.seed:#x}) failed; no record"
+            )
+        return RunRecord.from_result(
+            self.index, self.seed, self.result, self.wall_time_s
+        )
+
+
+# ----------------------------------------------------------------------
+# observers
+# ----------------------------------------------------------------------
+class RunObserver:
+    """Structured observability hook threaded through every backend.
+
+    Subclass and override what you need; every method is a no-op by
+    default.  Under :class:`ProcessPoolBackend`, :meth:`on_run` fires
+    in *completion* order (not index order) in the parent process.
+    """
+
+    def on_campaign_start(self, task: str, scenario_label: str, runs: int) -> None:
+        """A campaign of ``runs`` runs is about to start."""
+
+    def on_run(self, record: RunRecord) -> None:
+        """One run completed successfully."""
+
+    def on_run_failed(self, index: int, seed: int, error: str) -> None:
+        """One run raised; ``error`` is its formatted traceback."""
+
+    def on_campaign_end(self, result: object) -> None:
+        """A campaign finished; ``result`` is its CampaignResult."""
+
+    def on_message(self, message: str) -> None:
+        """Free-form progress text from the layer driving the runs."""
+
+
+class StreamObserver(RunObserver):
+    """Prints campaign progress and throughput to a text stream."""
+
+    def __init__(self, stream: IO[str], every: int = 0) -> None:
+        self.stream = stream
+        self.every = every
+        self._done = 0
+        self._runs = 0
+
+    def on_campaign_start(self, task: str, scenario_label: str, runs: int) -> None:
+        self._done = 0
+        self._runs = runs
+        print(f"  [campaign: {task} under {scenario_label} ({runs} runs)]",
+              file=self.stream)
+
+    def on_run(self, record: RunRecord) -> None:
+        self._done += 1
+        if self.every and self._done % self.every == 0:
+            print(f"  [{self._done}/{self._runs} runs]", file=self.stream)
+
+    def on_run_failed(self, index: int, seed: int, error: str) -> None:
+        last = error.strip().splitlines()[-1] if error else "unknown error"
+        print(f"  [run {index} FAILED (seed {seed:#x}): {last}]", file=self.stream)
+
+    def on_campaign_end(self, result: object) -> None:
+        wall = getattr(result, "wall_time_s", 0.0)
+        runs = getattr(result, "runs", 0)
+        if wall > 0:
+            print(f"  [{runs} runs in {wall:.2f}s: {runs / wall:.1f} runs/s]",
+                  file=self.stream)
+
+    def on_message(self, message: str) -> None:
+        print(f"  [{message}]", file=self.stream)
+
+
+# ----------------------------------------------------------------------
+# backends
+# ----------------------------------------------------------------------
+class ExecutionBackend:
+    """Protocol of an execution backend.
+
+    ``execute`` runs every request and returns one :class:`RunOutcome`
+    per request, **in request (index) order**, regardless of the order
+    in which runs physically completed.  Implementations must capture
+    per-run exceptions into the outcome rather than propagate them.
+    """
+
+    #: Short label recorded on CampaignResult (e.g. ``"serial"``).
+    name: str = "?"
+
+    def execute(
+        self,
+        requests: Sequence[RunRequest],
+        observer: Optional[RunObserver] = None,
+    ) -> List[RunOutcome]:
+        """Execute ``requests``; one outcome per request, index order."""
+        raise NotImplementedError
+
+
+def _run_one(request: RunRequest) -> RunOutcome:
+    """Execute one request, capturing any exception into the outcome."""
+    started = time.perf_counter()
+    try:
+        result = execute_request(request)
+        error = None
+    except Exception:  # noqa: BLE001 — captured and surfaced per run
+        result = None
+        error = traceback.format_exc()
+    return RunOutcome(
+        index=request.index,
+        seed=request.seed,
+        result=result,
+        error=error,
+        wall_time_s=time.perf_counter() - started,
+    )
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process, one-at-a-time execution — the reference semantics."""
+
+    name = "serial"
+
+    def execute(
+        self,
+        requests: Sequence[RunRequest],
+        observer: Optional[RunObserver] = None,
+    ) -> List[RunOutcome]:
+        outcomes = []
+        for request in requests:
+            outcome = _run_one(request)
+            _notify(observer, outcome)
+            outcomes.append(outcome)
+        return outcomes
+
+
+# Worker-side state of ProcessPoolBackend: the shared template request
+# (traces/config/scenario), shipped once per worker at bootstrap so the
+# per-job messages are just (index, seed) pairs.
+_WORKER_TEMPLATE: Optional[RunRequest] = None
+
+
+def _bootstrap_worker(template: RunRequest) -> None:
+    global _WORKER_TEMPLATE
+    _WORKER_TEMPLATE = template
+
+
+def _run_chunk(pairs: Sequence[tuple]) -> List[RunOutcome]:
+    template = _WORKER_TEMPLATE
+    if template is None:  # pragma: no cover — would be a harness bug
+        raise RuntimeError("worker used before bootstrap")
+    return [_run_one(template.with_run(index, seed)) for index, seed in pairs]
+
+
+def _notify(observer: Optional[RunObserver], outcome: RunOutcome) -> None:
+    if observer is None:
+        return
+    if outcome.failed:
+        observer.on_run_failed(outcome.index, outcome.seed, outcome.error or "")
+    else:
+        observer.on_run(outcome.record())
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Multiprocessing fan-out with chunked dispatch.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; defaults to the machine's CPU count.
+    chunk_size:
+        ``(index, seed)`` pairs per dispatched chunk.  Defaults to an
+        even split over ``4 * workers`` chunks — small enough to load
+        balance, large enough to amortise IPC.
+    mp_context:
+        ``multiprocessing`` start method.  Defaults to ``"fork"``
+        where available (cheap on Linux), else ``"spawn"``.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers <= 0:
+            raise ConfigurationError(f"worker count must be positive, got {workers}")
+        if chunk_size is not None and chunk_size <= 0:
+            raise ConfigurationError(f"chunk size must be positive, got {chunk_size}")
+        if mp_context is None:
+            mp_context = (
+                "fork" if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.mp_context = mp_context
+        self.name = f"process[{workers}]"
+
+    def _chunks(self, pairs: List[tuple]) -> List[List[tuple]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-len(pairs) // (4 * self.workers)))
+        return [pairs[i:i + size] for i in range(0, len(pairs), size)]
+
+    def execute(
+        self,
+        requests: Sequence[RunRequest],
+        observer: Optional[RunObserver] = None,
+    ) -> List[RunOutcome]:
+        if not requests:
+            return []
+        template = requests[0]
+        template_key = template.template_key()
+        for request in requests[1:]:
+            if request.template_key() != template_key:
+                raise ConfigurationError(
+                    "ProcessPoolBackend requires a homogeneous batch: all "
+                    "requests must share traces/config/scenario and differ "
+                    "only in (index, seed); split heterogeneous work into "
+                    "one execute() call per template"
+                )
+        if len(requests) == 1 or self.workers == 1:
+            # Not worth a pool; semantics are identical by construction.
+            return SerialBackend().execute(requests, observer)
+        pairs = [(request.index, request.seed) for request in requests]
+        context = multiprocessing.get_context(self.mp_context)
+        outcomes: List[RunOutcome] = []
+        with context.Pool(
+            processes=min(self.workers, len(pairs)),
+            initializer=_bootstrap_worker,
+            initargs=(template,),
+        ) as pool:
+            for chunk in pool.imap_unordered(_run_chunk, self._chunks(pairs)):
+                for outcome in chunk:
+                    _notify(observer, outcome)
+                    outcomes.append(outcome)
+        outcomes.sort(key=lambda outcome: outcome.index)
+        return outcomes
+
+
+#: Registry of backend names accepted by :func:`make_backend` / the CLI.
+BACKEND_NAMES = ("serial", "process")
+
+
+def make_backend(
+    name: str = "serial", workers: Optional[int] = None
+) -> ExecutionBackend:
+    """Build a backend from a CLI-style ``(name, workers)`` pair."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "process":
+        return ProcessPoolBackend(workers=workers)
+    raise ConfigurationError(
+        f"unknown backend {name!r}; expected one of {BACKEND_NAMES}"
+    )

@@ -4,32 +4,55 @@ MBPTA collects end-to-end execution times over repeated runs of the
 program on the time-randomised platform, regenerating the RII (and all
 PRNG streams) between runs (§3.3: "In each run, a new RII is
 generated").  :func:`collect_execution_times` implements that protocol:
-it derives one seed per run from a master seed and performs independent
-isolation runs, returning the execution-time sample the PTA layer
-consumes.
+it derives one seed per run from a master seed, dispatches the runs
+through an :class:`~repro.sim.backend.ExecutionBackend` (serial or
+process-pool — the sample is bit-identical either way, because seeds
+are per run), and returns the execution-time sample the PTA layer
+consumes together with full provenance: the master seed, every derived
+per-run seed and one observability record per run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import List, Optional
 
 from repro.cpu.trace import Trace
-from repro.errors import ConfigurationError
+from repro.errors import CampaignRunError, ConfigurationError, SimulationError
+from repro.sim.backend import (
+    ExecutionBackend,
+    RunObserver,
+    RunRecord,
+    SerialBackend,
+)
 from repro.sim.config import Scenario, SystemConfig
-from repro.sim.simulator import RunResult, run_isolation
+from repro.sim.simulator import RunRequest
 from repro.utils.rng import derive_seeds
 
 
 @dataclass
 class CampaignResult:
-    """Execution-time sample of one (task, scenario) campaign."""
+    """Execution-time sample of one (task, scenario) campaign.
+
+    Beyond the raw sample, the result carries everything needed to
+    reproduce or audit the campaign without rerunning it: the master
+    seed, the derived per-run seeds (``seeds[i]`` reruns run ``i`` in
+    isolation), one :class:`~repro.sim.backend.RunRecord` per run with
+    the shared-cache interference counters, and the wall-clock
+    throughput of the backend that produced it.
+    """
 
     task: str
     scenario_label: str
     execution_times: List[int]
     instructions: int
     runs: int
+    master_seed: int = 0
+    seeds: List[int] = field(default_factory=list)
+    records: List[RunRecord] = field(default_factory=list)
+    backend: str = "serial"
+    wall_time_s: float = 0.0
 
     @property
     def min_time(self) -> int:
@@ -46,6 +69,25 @@ class CampaignResult:
         """Mean observed execution time."""
         return sum(self.execution_times) / len(self.execution_times)
 
+    @property
+    def hwm_index(self) -> int:
+        """Index of the (first) high-water-mark run."""
+        return self.execution_times.index(self.max_time)
+
+    @property
+    def hwm_seed(self) -> Optional[int]:
+        """Seed of the HWM run — rerun it alone to study the worst case."""
+        if not self.seeds:
+            return None
+        return self.seeds[self.hwm_index]
+
+    @property
+    def runs_per_second(self) -> float:
+        """Campaign throughput (0.0 when wall time was not recorded)."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.runs / self.wall_time_s
+
 
 def collect_execution_times(
     trace: Trace,
@@ -53,33 +95,73 @@ def collect_execution_times(
     scenario: Scenario,
     runs: int,
     master_seed: int = 0,
-    on_run: Optional[Callable[[int, RunResult], None]] = None,
+    backend: Optional[ExecutionBackend] = None,
+    observer: Optional[RunObserver] = None,
 ) -> CampaignResult:
     """Collect ``runs`` end-to-end execution times of ``trace``.
 
     Each run uses a platform freshly randomised from its own derived
-    seed.  ``on_run(index, result)`` is invoked after each run when
-    provided (progress reporting, debugging).
+    seed.  ``backend`` chooses the execution engine (default: serial,
+    in-process); ``observer`` receives one structured record per
+    completed run.  Per-run failures are captured by the backend and
+    re-raised here as :class:`~repro.errors.CampaignRunError` naming
+    every failing ``(index, seed)`` — the surviving runs' work is not
+    lost to one bad seed, and the failures are reproducible alone.
 
     Returns a :class:`CampaignResult` whose ``execution_times`` are the
     MBPTA input sample.
     """
     if runs <= 0:
         raise ConfigurationError(f"a campaign needs at least one run, got {runs}")
+    if backend is None:
+        backend = SerialBackend()
     seeds = derive_seeds(master_seed, runs)
+    if observer is not None:
+        observer.on_campaign_start(trace.name, scenario.label(), runs)
+    template = RunRequest.isolation(trace, config, scenario, seeds[0], index=0)
+    requests = [template.with_run(index, seed) for index, seed in enumerate(seeds)]
+    started = perf_counter()
+    outcomes = backend.execute(requests, observer=observer)
+    wall_time_s = perf_counter() - started
+    failures = [
+        (outcome.index, outcome.seed, outcome.error or "")
+        for outcome in outcomes
+        if outcome.failed
+    ]
+    if failures:
+        raise CampaignRunError(trace.name, scenario.label(), failures)
+
     times: List[int] = []
-    instructions = 0
-    for index, seed in enumerate(seeds):
-        result = run_isolation(trace, config, scenario, seed)
-        core = result.cores[0]
+    records: List[RunRecord] = []
+    instructions: Optional[int] = None
+    for outcome in outcomes:
+        core = outcome.result.cores[0]
         times.append(core.cycles)
-        instructions = core.instructions
-        if on_run is not None:
-            on_run(index, result)
-    return CampaignResult(
+        records.append(outcome.record())
+        # The trace is deterministic, so every run must retire exactly
+        # the same instruction stream; divergence means the simulator
+        # mutated shared state between runs (a harness bug).
+        if instructions is None:
+            instructions = core.instructions
+        elif core.instructions != instructions:
+            raise SimulationError(
+                f"campaign {trace.name!r} under {scenario.label()}: run "
+                f"{outcome.index} (seed {outcome.seed:#x}) retired "
+                f"{core.instructions} instructions where run 0 retired "
+                f"{instructions}; runs of one trace must be identical"
+            )
+    result = CampaignResult(
         task=trace.name,
         scenario_label=scenario.label(),
         execution_times=times,
-        instructions=instructions,
+        instructions=instructions if instructions is not None else 0,
         runs=runs,
+        master_seed=master_seed,
+        seeds=seeds,
+        records=records,
+        backend=backend.name,
+        wall_time_s=wall_time_s,
     )
+    if observer is not None:
+        observer.on_campaign_end(result)
+    return result

@@ -21,8 +21,9 @@ side of the paper — analysis-time bounds — is modelled exactly.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import OperationMode
 from repro.cpu.pipeline import InOrderPipeline
@@ -308,12 +309,115 @@ def run_workload(
         CoreRunner(i, trace, platform.il1s[i], platform.dl1s[i], path, config)
         for i, trace in enumerate(traces)
     ]
-    active = list(runners)
-    while active:
-        # Step the core whose next shared-resource access can happen
-        # earliest, keeping cross-core requests near time-order.
-        runner = min(active, key=lambda r: r.schedule_key)
+    # Step the core whose next shared-resource access can happen
+    # earliest, keeping cross-core requests near time-order.  A heap
+    # keyed on (schedule_key, core_id) replaces the former
+    # min()-over-list scan: only the stepped runner's key changes, so
+    # every stored key is current, and the core-id tie-break reproduces
+    # the list scan's first-minimum (lowest core id) choice exactly.
+    heap: List[Tuple[int, int, CoreRunner]] = [
+        (runner.schedule_key, runner.core_id, runner) for runner in runners
+    ]
+    heapq.heapify(heap)
+    while heap:
+        _key, _core, runner = heapq.heappop(heap)
         runner.step()
-        if runner.finished:
-            active.remove(runner)
+        if not runner.finished:
+            heapq.heappush(heap, (runner.schedule_key, runner.core_id, runner))
     return _finalise(platform, path, [runner.result(platform) for runner in runners])
+
+
+# ----------------------------------------------------------------------
+# run construction / run execution split
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunRequest:
+    """One fully specified simulation run, separated from its execution.
+
+    A request captures *everything* a run depends on — traces, platform
+    config, scenario and the run's own seed — as plain picklable data,
+    so execution backends can ship it to worker processes.  Executing
+    the same request twice (in any process) yields bit-identical
+    results: all randomness derives from ``seed``.
+
+    ``engine`` selects the simulator entry point: ``"isolation"`` runs
+    ``traces[0]`` alone on ``core_id`` (:func:`run_isolation`);
+    ``"workload"`` co-runs all traces (:func:`run_workload`).
+    """
+
+    engine: str
+    traces: Tuple[Trace, ...]
+    config: SystemConfig
+    scenario: Scenario
+    seed: int
+    index: int = 0
+    core_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("isolation", "workload"):
+            raise ConfigurationError(f"unknown run engine {self.engine!r}")
+        if not self.traces:
+            raise ConfigurationError("a run request needs at least one trace")
+        if self.engine == "isolation" and len(self.traces) != 1:
+            raise ConfigurationError(
+                f"isolation runs take exactly one trace, got {len(self.traces)}"
+            )
+
+    @classmethod
+    def isolation(
+        cls,
+        trace: Trace,
+        config: SystemConfig,
+        scenario: Scenario,
+        seed: int,
+        index: int = 0,
+        core_id: int = 0,
+    ) -> "RunRequest":
+        """Request running ``trace`` alone (the analysis protocol)."""
+        return cls("isolation", (trace,), config, scenario, seed, index, core_id)
+
+    @classmethod
+    def workload(
+        cls,
+        traces: Sequence[Trace],
+        config: SystemConfig,
+        scenario: Scenario,
+        seed: int,
+        index: int = 0,
+    ) -> "RunRequest":
+        """Request co-running ``traces`` (the deployment protocol)."""
+        return cls("workload", tuple(traces), config, scenario, seed, index)
+
+    def template_key(self) -> tuple:
+        """Identity of everything except ``(index, seed)``.
+
+        Requests sharing a template key differ only in their per-run
+        seed, which lets backends bootstrap workers with the shared
+        trace/config data once and ship only ``(index, seed)`` pairs.
+        Traces compare by identity (cheap; campaigns reuse the same
+        objects), config and scenario by value.
+        """
+        trace_ids = tuple(id(trace) for trace in self.traces)
+        return (self.engine, trace_ids, self.config, self.scenario, self.core_id)
+
+    def with_run(self, index: int, seed: int) -> "RunRequest":
+        """The same template rebound to another ``(index, seed)`` pair."""
+        return RunRequest(
+            self.engine, self.traces, self.config, self.scenario,
+            seed, index, self.core_id,
+        )
+
+
+def execute_request(request: RunRequest) -> RunResult:
+    """Execute one :class:`RunRequest` (a pure function of the request)."""
+    if request.engine == "isolation":
+        return run_isolation(
+            request.traces[0],
+            request.config,
+            request.scenario,
+            request.seed,
+            core_id=request.core_id,
+        )
+    return run_workload(
+        request.traces, request.config, request.scenario, request.seed
+    )

@@ -1,0 +1,233 @@
+"""Tests for the execution-backend layer: equivalence, failure capture.
+
+The trust-critical property is backend transparency: a campaign's
+execution-time sample must be bit-identical whether runs execute
+serially in-process or fan out over a process pool, because per-run
+seeds (not worker layout) carry all the randomness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import OperationMode
+from repro.cpu.trace import Trace
+from repro.errors import CampaignRunError, ConfigurationError
+from repro.pta.mbpta import estimate_pwcet
+from repro.sim.backend import (
+    ProcessPoolBackend,
+    RunObserver,
+    SerialBackend,
+    StreamObserver,
+    make_backend,
+)
+from repro.sim.campaign import collect_execution_times
+from repro.sim.config import Scenario, SystemConfig
+from repro.sim.simulator import (
+    RunRequest,
+    execute_request,
+    run_isolation,
+    run_workload,
+)
+from repro.utils.rng import derive_seeds
+from tests.conftest import make_stream_trace
+
+CONFIG = SystemConfig(l1_size=256, llc_size=2048)
+
+SCENARIOS = [
+    pytest.param(Scenario.efl(250), id="efl"),
+    pytest.param(
+        Scenario.cache_partitioning(2, num_cores=4, mode=OperationMode.ANALYSIS),
+        id="cp",
+    ),
+]
+
+
+class ExplodingTrace(Trace):
+    """A trace whose execution always raises (worker-failure fixture)."""
+
+    def __iter__(self):
+        raise RuntimeError("boom: injected trace failure")
+
+
+def exploding_trace() -> ExplodingTrace:
+    good = make_stream_trace()
+    return ExplodingTrace(good.name, good.pcs, good.kinds, good.addresses)
+
+
+class TestRunRequest:
+    def test_unknown_engine_rejected(self, stream_trace):
+        with pytest.raises(ConfigurationError):
+            RunRequest("warp", (stream_trace,), CONFIG, Scenario.efl(250), 1)
+
+    def test_isolation_takes_one_trace(self, stream_trace):
+        with pytest.raises(ConfigurationError):
+            RunRequest(
+                "isolation", (stream_trace, stream_trace), CONFIG,
+                Scenario.efl(250), 1,
+            )
+
+    def test_needs_a_trace(self):
+        with pytest.raises(ConfigurationError):
+            RunRequest("workload", (), CONFIG, Scenario.efl(250), 1)
+
+    def test_execute_matches_run_isolation(self, stream_trace):
+        request = RunRequest.isolation(stream_trace, CONFIG, Scenario.efl(250), 42)
+        assert execute_request(request) == run_isolation(
+            stream_trace, CONFIG, Scenario.efl(250), 42
+        )
+
+    def test_execute_matches_run_workload(self, stream_trace):
+        scenario = Scenario.efl(250, mode=OperationMode.DEPLOYMENT)
+        traces = (stream_trace, make_stream_trace("other", base=0x20_0000))
+        request = RunRequest.workload(traces, CONFIG, scenario, 42)
+        assert execute_request(request) == run_workload(
+            traces, CONFIG, scenario, 42
+        )
+
+    def test_with_run_preserves_template(self, stream_trace):
+        template = RunRequest.isolation(stream_trace, CONFIG, Scenario.efl(250), 1)
+        rebound = template.with_run(3, 99)
+        assert rebound.index == 3 and rebound.seed == 99
+        assert rebound.template_key() == template.template_key()
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_process_pool_matches_serial(self, stream_trace, scenario):
+        serial = collect_execution_times(
+            stream_trace, CONFIG, scenario, runs=8, master_seed=7,
+            backend=SerialBackend(),
+        )
+        parallel = collect_execution_times(
+            stream_trace, CONFIG, scenario, runs=8, master_seed=7,
+            backend=ProcessPoolBackend(workers=2),
+        )
+        assert parallel.execution_times == serial.execution_times
+        assert parallel.seeds == serial.seeds
+        assert parallel.master_seed == serial.master_seed
+        assert parallel.instructions == serial.instructions
+        assert parallel.runs == serial.runs
+        assert parallel.task == serial.task
+        assert parallel.scenario_label == serial.scenario_label
+        assert parallel.hwm_seed == serial.hwm_seed
+        # Records agree on everything but wall time (a measurement).
+        for ours, theirs in zip(parallel.records, serial.records):
+            assert ours.index == theirs.index
+            assert ours.seed == theirs.seed
+            assert ours.cycles == theirs.cycles
+            assert ours.llc_hits == theirs.llc_hits
+            assert ours.llc_misses == theirs.llc_misses
+            assert ours.llc_forced_evictions == theirs.llc_forced_evictions
+            assert ours.efl_stall_cycles == theirs.efl_stall_cycles
+            assert ours.efl_evictions == theirs.efl_evictions
+        # ... and the MBPTA estimates are therefore identical too.
+        fit = lambda sample: estimate_pwcet(
+            sample, block_size=4, check_iid=False
+        ).pwcet_at(1e-15)
+        assert fit(parallel.execution_times) == fit(serial.execution_times)
+
+    def test_chunking_does_not_change_results(self, stream_trace):
+        scenario = Scenario.efl(250)
+        baseline = collect_execution_times(
+            stream_trace, CONFIG, scenario, runs=7, master_seed=3
+        )
+        chunked = collect_execution_times(
+            stream_trace, CONFIG, scenario, runs=7, master_seed=3,
+            backend=ProcessPoolBackend(workers=2, chunk_size=3),
+        )
+        assert chunked.execution_times == baseline.execution_times
+
+    def test_observer_sees_all_runs_in_some_order(self, stream_trace):
+        class Collector(RunObserver):
+            def __init__(self):
+                self.indices = []
+
+            def on_run(self, record):
+                self.indices.append(record.index)
+
+        collector = Collector()
+        collect_execution_times(
+            stream_trace, CONFIG, Scenario.efl(250), runs=6, master_seed=1,
+            backend=ProcessPoolBackend(workers=2), observer=collector,
+        )
+        assert sorted(collector.indices) == list(range(6))
+
+
+class TestFailureCapture:
+    def test_serial_campaign_reports_failing_seed(self):
+        trace = exploding_trace()
+        with pytest.raises(CampaignRunError) as excinfo:
+            collect_execution_times(
+                trace, CONFIG, Scenario.efl(250), runs=4, master_seed=13
+            )
+        error = excinfo.value
+        seeds = derive_seeds(13, 4)
+        assert [index for index, _seed, _msg in error.failures] == [0, 1, 2, 3]
+        assert [seed for _index, seed, _msg in error.failures] == seeds
+        assert all("boom" in message for _i, _s, message in error.failures)
+        # The message names the first failing run's seed for reproduction.
+        assert f"{seeds[0]:#x}" in str(error)
+
+    def test_worker_failure_does_not_kill_the_pool(self):
+        trace = exploding_trace()
+        template = RunRequest.isolation(trace, CONFIG, Scenario.efl(250), 0)
+        requests = [template.with_run(i, seed)
+                    for i, seed in enumerate(derive_seeds(5, 6))]
+        outcomes = ProcessPoolBackend(workers=2).execute(requests)
+        # Every run's failure is captured individually; none is lost.
+        assert len(outcomes) == 6
+        assert [outcome.index for outcome in outcomes] == list(range(6))
+        assert all(outcome.failed for outcome in outcomes)
+        assert all("boom" in outcome.error for outcome in outcomes)
+
+    def test_failed_outcome_has_no_record(self):
+        trace = exploding_trace()
+        requests = [RunRequest.isolation(trace, CONFIG, Scenario.efl(250), 1)]
+        outcome = SerialBackend().execute(requests)[0]
+        with pytest.raises(ConfigurationError):
+            outcome.record()
+
+    def test_observer_notified_of_failures(self, capsys):
+        import sys
+
+        trace = exploding_trace()
+        with pytest.raises(CampaignRunError):
+            collect_execution_times(
+                trace, CONFIG, Scenario.efl(250), runs=2, master_seed=1,
+                observer=StreamObserver(sys.stderr),
+            )
+        assert "FAILED" in capsys.readouterr().err
+
+
+class TestBackendConstruction:
+    def test_make_backend(self):
+        assert isinstance(make_backend("serial"), SerialBackend)
+        pool = make_backend("process", workers=3)
+        assert isinstance(pool, ProcessPoolBackend)
+        assert pool.workers == 3
+        with pytest.raises(ConfigurationError):
+            make_backend("quantum")
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ProcessPoolBackend(workers=0)
+        with pytest.raises(ConfigurationError):
+            ProcessPoolBackend(workers=2, chunk_size=0)
+
+    def test_heterogeneous_batch_rejected(self, stream_trace):
+        a = RunRequest.isolation(stream_trace, CONFIG, Scenario.efl(250), 1, 0)
+        b = RunRequest.isolation(stream_trace, CONFIG, Scenario.efl(500), 2, 1)
+        with pytest.raises(ConfigurationError):
+            ProcessPoolBackend(workers=2).execute([a, b])
+
+    def test_empty_batch(self):
+        assert ProcessPoolBackend(workers=2).execute([]) == []
+
+    def test_single_request_stays_in_process(self, stream_trace):
+        request = RunRequest.isolation(stream_trace, CONFIG, Scenario.efl(250), 9)
+        outcome = ProcessPoolBackend(workers=2).execute([request])[0]
+        assert not outcome.failed
+        assert outcome.result == run_isolation(
+            stream_trace, CONFIG, Scenario.efl(250), 9
+        )

@@ -17,6 +17,19 @@ class TestParser:
         assert args.scale == "quick"
         assert args.seed == 0
         assert args.verbose is False
+        assert args.backend == "serial"
+        assert args.workers is None
+
+    def test_backend_options(self):
+        args = make_parser().parse_args(
+            ["--backend", "process", "--workers", "4", "fig3"]
+        )
+        assert args.backend == "process"
+        assert args.workers == 4
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["--backend", "quantum", "fig3"])
 
     def test_iid_options(self):
         args = make_parser().parse_args(["--scale", "tiny", "iid", "--mid", "123"])
@@ -48,6 +61,15 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "wgIPC" in out
         assert "S-curve deciles" in out
+
+    def test_process_backend_matches_serial(self, capsys):
+        code = main(["--scale", "tiny", "--seed", "3", "iid"])
+        assert code == 0
+        serial_out = capsys.readouterr().out
+        code = main(["--scale", "tiny", "--seed", "3", "--backend", "process",
+                     "--workers", "2", "iid"])
+        assert code == 0
+        assert capsys.readouterr().out == serial_out
 
 
 class TestCsvExport:

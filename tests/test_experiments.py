@@ -10,13 +10,20 @@ from repro.analysis.experiments import (
     run_fig4,
     run_iid_compliance,
 )
+from repro.analysis.experiments import _deployment_samples
 from repro.analysis.reporting import (
     format_table,
     render_fig3,
     render_fig4,
     render_iid,
 )
+from repro.core.config import OperationMode
+from repro.sim.backend import ProcessPoolBackend
+from repro.sim.config import Scenario
+from repro.sim.simulator import run_workload
+from repro.utils.rng import derive_seeds
 from repro.workloads.scale import ExperimentScale
+from tests.conftest import make_stream_trace
 
 BENCHES = ("RS", "PU", "CN")  # three cheap kernels keep driver tests fast
 
@@ -48,6 +55,58 @@ class TestPWCETTable:
 
     def test_default_config_comes_from_scale(self, table):
         assert table.config.llc_size == table.scale.llc_size
+
+    def test_campaign_records_provenance(self, table):
+        campaign = table.campaign("RS", "efl", 250)
+        assert len(campaign.seeds) == campaign.runs
+        assert len(campaign.records) == campaign.runs
+        assert campaign.hwm_seed is not None
+
+    def test_backend_transparent(self, table):
+        """A process-pool table reproduces the serial table's pWCETs
+        bit-for-bit: seeds are per run, never per worker."""
+        parallel = PWCETTable(
+            scale=ExperimentScale.tiny(), seed=7,
+            backend=ProcessPoolBackend(workers=2),
+        )
+        assert parallel.pwcet("RS", "efl", 250) == table.pwcet("RS", "efl", 250)
+        serial_campaign = table.campaign("RS", "efl", 250)
+        parallel_campaign = parallel.campaign("RS", "efl", 250)
+        assert parallel_campaign.execution_times == serial_campaign.execution_times
+        assert parallel_campaign.seeds == serial_campaign.seeds
+
+
+class TestDeploymentSamples:
+    def test_matches_inline_run_workload(self, table):
+        traces = (
+            make_stream_trace("w0"),
+            make_stream_trace("w1", base=0x20_0000),
+        )
+        scenario = Scenario.efl(500, mode=OperationMode.DEPLOYMENT)
+        rep_seeds = derive_seeds(3, 4)
+        samples = _deployment_samples(table, traces, scenario, rep_seeds, "w0+w1")
+        expected = [
+            run_workload(traces, table.config, scenario, seed).total_ipc
+            for seed in rep_seeds
+        ]
+        assert samples == expected
+
+    def test_process_backend_matches_serial(self, table):
+        traces = (
+            make_stream_trace("w0"),
+            make_stream_trace("w1", base=0x20_0000),
+        )
+        scenario = Scenario.efl(500, mode=OperationMode.DEPLOYMENT)
+        rep_seeds = derive_seeds(3, 4)
+        serial = _deployment_samples(table, traces, scenario, rep_seeds, "wl")
+        parallel_table = PWCETTable(
+            scale=ExperimentScale.tiny(), seed=7,
+            backend=ProcessPoolBackend(workers=2),
+        )
+        parallel = _deployment_samples(
+            parallel_table, traces, scenario, rep_seeds, "wl"
+        )
+        assert parallel == serial
 
 
 class TestIIDDriver:

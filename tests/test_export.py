@@ -14,8 +14,46 @@ from repro.analysis.experiments import (
     IIDRow,
     WorkloadComparison,
 )
-from repro.analysis.export import write_fig3_csv, write_fig4_csv, write_iid_csv
+from repro.analysis.export import (
+    write_campaign_csv,
+    write_fig3_csv,
+    write_fig4_csv,
+    write_iid_csv,
+)
 from repro.analysis.metrics import summarise_improvements
+from repro.sim.backend import RunRecord
+from repro.sim.campaign import CampaignResult
+
+
+@pytest.fixture
+def campaign_result():
+    records = [
+        RunRecord(index=i, seed=1000 + i, cycles=5000 + 10 * i,
+                  instructions=400, llc_hits=30, llc_misses=12,
+                  llc_forced_evictions=7, efl_stall_cycles=90,
+                  efl_evictions=12, memory_reads=12, memory_writes=1,
+                  wall_time_s=0.02)
+        for i in range(3)
+    ]
+    return CampaignResult(
+        task="ID", scenario_label="EFL500",
+        execution_times=[r.cycles for r in records], instructions=400,
+        runs=3, master_seed=9, seeds=[r.seed for r in records],
+        records=records, backend="process[2]", wall_time_s=0.06,
+    )
+
+
+class TestCampaignCsv:
+    def test_rows_and_header(self, campaign_result):
+        stream = io.StringIO()
+        count = write_campaign_csv(campaign_result, stream)
+        assert count == 3
+        rows = list(csv.reader(io.StringIO(stream.getvalue())))
+        assert rows[0][:6] == ["task", "scenario", "run_index", "seed",
+                               "cycles", "instructions"]
+        assert rows[1][0] == "ID"
+        assert rows[1][3] == hex(1000)
+        assert rows[3][4] == "5020"
 
 
 @pytest.fixture

@@ -7,14 +7,17 @@ import random
 
 import pytest
 
-from repro.errors import AnalysisError, ConfigurationError
+from repro.errors import AnalysisError, ConfigurationError, SimulationError
 from repro.pta.mbpta import (
     DEFAULT_EXCEEDANCE_PROBS,
     convergence_check,
     estimate_pwcet,
 )
+from repro.sim.backend import RunObserver, SerialBackend
 from repro.sim.campaign import collect_execution_times
 from repro.sim.config import Scenario, SystemConfig
+from repro.sim.simulator import run_isolation
+from repro.utils.rng import derive_seeds
 from tests.conftest import make_stream_trace
 
 
@@ -96,13 +99,70 @@ class TestCampaign:
         )
         assert len(set(result.execution_times)) > 1
 
-    def test_on_run_callback(self, stream_trace):
-        seen = []
-        collect_execution_times(
+    def test_observer_sees_every_run(self, stream_trace):
+        class Recorder(RunObserver):
+            def __init__(self):
+                self.started = None
+                self.indices = []
+                self.ended = None
+
+            def on_campaign_start(self, task, scenario_label, runs):
+                self.started = (task, scenario_label, runs)
+
+            def on_run(self, record):
+                self.indices.append(record.index)
+
+            def on_campaign_end(self, result):
+                self.ended = result
+
+        recorder = Recorder()
+        result = collect_execution_times(
             stream_trace, self.CONFIG, Scenario.efl(250), runs=3,
-            master_seed=1, on_run=lambda i, r: seen.append(i),
+            master_seed=1, observer=recorder,
         )
-        assert seen == [0, 1, 2]
+        assert recorder.started == (stream_trace.name, "EFL250", 3)
+        assert recorder.indices == [0, 1, 2]
+        assert recorder.ended is result
+
+    def test_seed_provenance(self, stream_trace):
+        result = collect_execution_times(
+            stream_trace, self.CONFIG, Scenario.efl(250), runs=6, master_seed=11
+        )
+        assert result.master_seed == 11
+        assert result.seeds == derive_seeds(11, 6)
+        # The HWM seed reproduces the worst observed run in isolation.
+        assert result.hwm_seed == result.seeds[result.hwm_index]
+        rerun = run_isolation(
+            stream_trace, self.CONFIG, Scenario.efl(250), result.hwm_seed
+        )
+        assert rerun.cores[0].cycles == result.max_time
+
+    def test_records_match_sample(self, stream_trace):
+        result = collect_execution_times(
+            stream_trace, self.CONFIG, Scenario.efl(250), runs=5, master_seed=2
+        )
+        assert [r.cycles for r in result.records] == result.execution_times
+        assert [r.seed for r in result.records] == result.seeds
+        assert all(r.wall_time_s > 0 for r in result.records)
+        assert result.wall_time_s > 0
+        assert result.runs_per_second > 0
+
+    def test_instruction_divergence_detected(self, stream_trace):
+        """A run retiring a different instruction count is a harness
+        bug (the trace is deterministic) and must not be papered over
+        by silently keeping the last run's count."""
+
+        class Tampering(SerialBackend):
+            def execute(self, requests, observer=None):
+                outcomes = super().execute(requests, observer)
+                outcomes[-1].result.cores[0].instructions += 1
+                return outcomes
+
+        with pytest.raises(SimulationError, match="retired"):
+            collect_execution_times(
+                stream_trace, self.CONFIG, Scenario.efl(250), runs=3,
+                master_seed=1, backend=Tampering(),
+            )
 
     def test_zero_runs_rejected(self, stream_trace):
         with pytest.raises(ConfigurationError):

@@ -4,9 +4,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.reporting import _deciles, format_table
+from repro.analysis.reporting import _deciles, format_table, render_campaign
 from repro.core.config import OperationMode
 from repro.errors import SimulationError
+from repro.sim.backend import RunRecord
+from repro.sim.campaign import CampaignResult
 from repro.sim.simulator import CoreResult, RunResult
 
 
@@ -57,6 +59,40 @@ class TestRunResult:
     def test_total_ipc_sums(self):
         result = self.make()
         assert result.total_ipc == pytest.approx(50 / 100 + 50 / 300)
+
+
+class TestRenderCampaign:
+    def make(self, with_provenance=True):
+        records = [
+            RunRecord(index=i, seed=0xABC0 + i, cycles=5000 + 100 * i,
+                      instructions=400, llc_hits=30, llc_misses=12,
+                      llc_forced_evictions=7, efl_stall_cycles=90,
+                      efl_evictions=12, memory_reads=12, memory_writes=1,
+                      wall_time_s=0.02)
+            for i in range(3)
+        ]
+        return CampaignResult(
+            task="ID", scenario_label="EFL500",
+            execution_times=[r.cycles for r in records], instructions=400,
+            runs=3, master_seed=7,
+            seeds=[r.seed for r in records] if with_provenance else [],
+            records=records if with_provenance else [],
+            backend="process[2]", wall_time_s=0.06,
+        )
+
+    def test_surfaces_hwm_seed_and_throughput(self):
+        text = render_campaign(self.make())
+        # The worst (HWM) run is the last one: index 2, seed 0xabc2.
+        assert "HWM run: index 2" in text
+        assert hex(0xABC2) in text
+        assert "runs/s" in text
+        assert "process[2]" in text
+        assert "forced evictions" in text
+
+    def test_degrades_without_provenance(self):
+        text = render_campaign(self.make(with_provenance=False))
+        assert "HWM" not in text
+        assert "ID under EFL500" in text
 
 
 class TestDeciles:
