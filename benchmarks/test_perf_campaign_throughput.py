@@ -16,11 +16,10 @@ produces the JSON, with the speedup recorded as measured).
 from __future__ import annotations
 
 import json
-import os
 import platform
 from pathlib import Path
 
-from repro.sim.backend import ProcessPoolBackend, SerialBackend
+from repro.sim.backend import ProcessPoolBackend, SerialBackend, usable_cpus
 from repro.sim.campaign import collect_execution_times
 from repro.sim.config import Scenario
 from repro.workloads.suite import build_benchmark
@@ -31,13 +30,6 @@ from benchmarks.conftest import CAMPAIGN_SEED
 WORKERS = 4
 
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
-
-
-def _usable_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover — non-Linux
-        return os.cpu_count() or 1
 
 
 def test_campaign_throughput(scale):
@@ -69,7 +61,7 @@ def test_campaign_throughput(scale):
         "benchmark": "ID",
         "scenario": "EFL500",
         "runs": runs,
-        "usable_cpus": _usable_cpus(),
+        "usable_cpus": usable_cpus(),
         "python": platform.python_version(),
         "serial": {
             "wall_s": round(serial.wall_time_s, 4),
@@ -88,11 +80,11 @@ def test_campaign_throughput(scale):
     print(f"campaign throughput ({scale.name} scale, {runs} runs):")
     print(f"  serial            {serial.runs_per_second:8.2f} runs/s")
     print(f"  process[{WORKERS}]        {parallel.runs_per_second:8.2f} runs/s")
-    print(f"  speedup           {speedup:8.2f}x  ({_usable_cpus()} usable CPUs)")
+    print(f"  speedup           {speedup:8.2f}x  ({usable_cpus()} usable CPUs)")
     print(f"  wrote {OUTPUT.name}")
 
-    if _usable_cpus() >= WORKERS:
+    if usable_cpus() >= WORKERS:
         assert speedup >= 2.0, (
             f"{WORKERS}-worker campaign only reached {speedup:.2f}x over "
-            f"serial on {_usable_cpus()} CPUs; expected >= 2x"
+            f"serial on {usable_cpus()} CPUs; expected >= 2x"
         )

@@ -1,0 +1,102 @@
+"""Single-run hot-path throughput: optimised vs reference (insns/sec).
+
+The per-run datapoint next to ``BENCH_campaign.json``'s per-campaign
+one: a single E2-style analysis run (the ID benchmark under EFL500) is
+executed through the optimised hot path and through the preserved
+pre-optimisation reference path
+(:func:`repro.sim.reference.reference_hot_path`), and both
+instructions-per-second figures land in ``BENCH_simrun.json`` at the
+repository root.
+
+Two guarantees are asserted:
+
+* **bit-identity** — both paths must produce the same execution time
+  (cycles); the optimisations are required to be invisible in the data;
+* **speedup** — the optimised path must deliver at least 1.5× the
+  reference's single-run instructions/second.  Unlike the campaign
+  bench this needs no minimum CPU count: single-run speed is a
+  single-core property.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.sim.backend import usable_cpus
+from repro.sim.config import Scenario
+from repro.sim.reference import reference_hot_path
+from repro.sim.simulator import RunRequest, execute_request
+from repro.workloads.suite import build_benchmark
+
+from benchmarks.conftest import CAMPAIGN_SEED
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_simrun.json"
+
+#: Timing repetitions per path; the best (least-disturbed) rep counts.
+REPS = 5
+
+#: Required optimised-over-reference ratio (the PR's acceptance bar).
+MIN_SPEEDUP = 1.5
+
+
+def _best_ips(request, instructions: int) -> float:
+    best = float("inf")
+    for _ in range(REPS):
+        started = time.perf_counter()
+        execute_request(request)
+        best = min(best, time.perf_counter() - started)
+    return instructions / best
+
+
+def test_simrun_throughput(scale):
+    config = scale.system_config()
+    trace = build_benchmark("ID", scale=scale.trace_scale)
+    request = RunRequest.isolation(
+        trace, config, Scenario.efl(500), CAMPAIGN_SEED
+    )
+
+    optimised_run = execute_request(request)
+    with reference_hot_path():
+        reference_run = execute_request(request)
+
+    # Bit-identity: the optimisations must be invisible in the data.
+    assert optimised_run.cores[0].cycles == reference_run.cores[0].cycles
+    assert optimised_run.cores[0].instructions == reference_run.cores[0].instructions
+
+    instructions = optimised_run.cores[0].instructions
+    optimised_ips = _best_ips(request, instructions)
+    with reference_hot_path():
+        reference_ips = _best_ips(request, instructions)
+    speedup = optimised_ips / reference_ips if reference_ips > 0 else 0.0
+
+    payload = {
+        "bench": "simrun_throughput",
+        "scale": scale.name,
+        "benchmark": "ID",
+        "scenario": "EFL500",
+        "instructions": instructions,
+        "cycles": optimised_run.cores[0].cycles,
+        "reps": REPS,
+        "usable_cpus": usable_cpus(),
+        "python": platform.python_version(),
+        "optimised": {"insns_per_s": round(optimised_ips, 1)},
+        "reference": {"insns_per_s": round(reference_ips, 1)},
+        "speedup": round(speedup, 2),
+        "bit_identical": True,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print()
+    print(f"single-run throughput ({scale.name} scale, {instructions} insns):")
+    print(f"  optimised  {optimised_ips:12,.0f} insns/s")
+    print(f"  reference  {reference_ips:12,.0f} insns/s")
+    print(f"  speedup    {speedup:12.2f}x")
+    print(f"  wrote {OUTPUT.name}")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"optimised hot path reached only {speedup:.2f}x over the reference "
+        f"path; the PR requires >= {MIN_SPEEDUP}x"
+    )

@@ -25,7 +25,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import improvement, summarise_improvements
 from repro.analysis.partitions import (
-    DEFAULT_MID_OPTIONS,
     DEFAULT_WAY_OPTIONS,
     best_mid,
     best_partition,
@@ -64,6 +63,7 @@ class PWCETTable:
         exceedance_prob: float = 1e-15,
         backend: Optional[ExecutionBackend] = None,
         observer: Optional[RunObserver] = None,
+        profile: bool = False,
     ) -> None:
         self.scale = scale if scale is not None else ExperimentScale.default()
         # Default to the scale's proportionally shrunk platform; an
@@ -73,6 +73,9 @@ class PWCETTable:
         self.exceedance_prob = exceedance_prob
         self.backend = backend if backend is not None else SerialBackend()
         self.observer = observer if observer is not None else RunObserver()
+        #: When set, every run is profiled and its attribution snapshot
+        #: travels on the run's record (see ProfilingObserver).
+        self.profile = profile
         self.traces = build_all_benchmarks(self.scale.trace_scale)
         self._campaigns: Dict[Tuple[str, str], CampaignResult] = {}
         self._estimates: Dict[Tuple[str, str], MBPTAResult] = {}
@@ -108,6 +111,7 @@ class PWCETTable:
                 master_seed=self.seed ^ key_digest,
                 backend=self.backend,
                 observer=self.observer,
+                profile=self.profile,
             )
         return self._campaigns[key]
 
@@ -275,7 +279,7 @@ def _deployment_samples(
 ) -> List[float]:
     """Co-run one workload ``len(rep_seeds)`` times through the backend."""
     template = RunRequest.workload(
-        traces, table.config, scenario, rep_seeds[0], index=0
+        traces, table.config, scenario, rep_seeds[0], index=0, profile=table.profile
     )
     requests = [
         template.with_run(index, seed) for index, seed in enumerate(rep_seeds)

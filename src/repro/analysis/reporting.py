@@ -8,7 +8,7 @@ its MBPTA-compliance paragraph.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis.experiments import (
     Fig3Result,
@@ -16,6 +16,7 @@ from repro.analysis.experiments import (
     IIDComplianceResult,
 )
 from repro.sim.campaign import CampaignResult
+from repro.sim.profiler import COMPONENTS, ProfileSnapshot
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
@@ -147,3 +148,37 @@ def _deciles(curve: Sequence[float]) -> str:
     # The final element of the sorted-descending curve is the minimum.
     picks[-1] = curve[-1]
     return " ".join(f"{value:+.0%}" for value in picks)
+
+
+def render_profile(snapshot: ProfileSnapshot, runs: Optional[int] = None) -> str:
+    """Per-component cycle/wall attribution table (``--profile`` output).
+
+    ``runs`` labels the header with how many profiled runs the snapshot
+    aggregates over.
+    """
+    total_cycles = snapshot.total_cycles
+    total_wall = snapshot.total_wall_s
+    rows = []
+    for name in COMPONENTS:
+        cycles = snapshot.cycles.get(name, 0)
+        wall = snapshot.wall_s.get(name, 0.0)
+        rows.append([
+            name,
+            f"{snapshot.events.get(name, 0)}",
+            f"{cycles}",
+            f"{cycles / total_cycles:.1%}" if total_cycles else "-",
+            f"{wall:.3f}",
+            f"{wall / total_wall:.1%}" if total_wall else "-",
+        ])
+    rows.append([
+        "total", f"{sum(snapshot.events.values())}", f"{total_cycles}",
+        "100.0%" if total_cycles else "-",
+        f"{total_wall:.3f}", "100.0%" if total_wall else "-",
+    ])
+    header = "hot-path profile"
+    if runs is not None:
+        header += f" ({runs} profiled runs)"
+    table = format_table(
+        ["component", "events", "cycles", "cyc %", "wall s", "wall %"], rows
+    )
+    return header + "\n" + table

@@ -29,22 +29,54 @@ from repro.analysis.experiments import (
     run_iid_compliance,
 )
 from repro.analysis.export import write_fig3_csv, write_fig4_csv, write_iid_csv
-from repro.analysis.reporting import render_fig3, render_fig4, render_iid
-from repro.sim.backend import BACKEND_NAMES, StreamObserver, make_backend
+from repro.analysis.reporting import (
+    render_fig3,
+    render_fig4,
+    render_iid,
+    render_profile,
+)
+from repro.errors import ConfigurationError
+from repro.sim.backend import (
+    BACKEND_NAMES,
+    ProfilingObserver,
+    StreamObserver,
+    make_backend,
+    usable_cpus,
+)
 from repro.sim.config import SystemConfig
 from repro.workloads.scale import ExperimentScale
 
 
 def _build_table(args: argparse.Namespace) -> PWCETTable:
     scale = ExperimentScale.from_name(args.scale)
+    if args.backend == "process" and usable_cpus() < 2:
+        # Proceed anyway: results are bit-identical across backends,
+        # the pool just cannot be faster than serial here.
+        print(
+            "warning: --backend process on a single-CPU host cannot run "
+            "workers in parallel; proceeding (results are unaffected, "
+            "consider --backend serial)",
+            file=sys.stderr,
+        )
     observer = StreamObserver(sys.stderr) if args.verbose else None
+    if args.profile:
+        observer = ProfilingObserver(observer)
     return PWCETTable(
         config=SystemConfig(),
         scale=scale,
         seed=args.seed,
         backend=make_backend(args.backend, args.workers),
         observer=observer,
+        profile=args.profile,
     )
+
+
+def _finish(table: PWCETTable) -> None:
+    """Print the aggregated hot-path profile when --profile was given."""
+    observer = table.observer
+    if isinstance(observer, ProfilingObserver) and observer.snapshots:
+        print()
+        print(render_profile(observer.total, runs=len(observer.snapshots)))
 
 
 def _maybe_csv(args: argparse.Namespace, name: str, writer, result) -> None:
@@ -61,6 +93,7 @@ def _cmd_iid(args: argparse.Namespace) -> int:
     result = run_iid_compliance(table, mid=args.mid)
     print(render_iid(result))
     _maybe_csv(args, "iid", write_iid_csv, result)
+    _finish(table)
     return 0
 
 
@@ -69,6 +102,7 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
     result = run_fig3(table)
     print(render_fig3(result))
     _maybe_csv(args, "fig3", write_fig3_csv, result)
+    _finish(table)
     return 0
 
 
@@ -77,6 +111,7 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
     result = run_fig4(table, measure_average=not args.no_average)
     print(render_fig4(result))
     _maybe_csv(args, "fig4", write_fig4_csv, result)
+    _finish(table)
     return 0
 
 
@@ -89,6 +124,7 @@ def _cmd_all(args: argparse.Namespace) -> int:
     print()
     print(render_fig4(run_fig4(table, measure_average=not args.no_average)))
     print(f"\n(total {time.time() - started:.1f}s at scale {args.scale!r})")
+    _finish(table)
     return 0
 
 
@@ -129,6 +165,15 @@ def make_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="print per-campaign progress"
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "attribute simulated cycles and host wall time per platform "
+            "component (L1s, bus, LLC, EFL, memory controller) and print "
+            "the aggregate table; simulated results are unaffected"
+        ),
+    )
+    parser.add_argument(
         "--csv",
         metavar="PREFIX",
         default=None,
@@ -165,6 +210,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     parser = make_parser()
     args = parser.parse_args(argv)
+    if args.workers is not None and args.workers <= 0:
+        raise ConfigurationError(
+            f"--workers must be a positive integer, got {args.workers}"
+        )
     return args.func(args)
 
 

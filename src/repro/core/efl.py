@@ -18,7 +18,7 @@ transaction of a real task:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.acu import AccessControlUnit
 from repro.core.config import EFLConfig, OperationMode

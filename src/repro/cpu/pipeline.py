@@ -41,6 +41,10 @@ _EXEC_LATENCY_BY_KIND = [
     for value in sorted(int(k) for k in OpKind)
 ]
 
+#: STORE as a plain int so the per-instruction step compares ints, not
+#: enum members.
+_STORE_KIND = int(OpKind.STORE)
+
 #: fetch_latency(pc, time) -> cycles the fetch stage holds the instruction.
 FetchLatencyFn = Callable[[int, int], int]
 #: mem_latency(address, is_store, time) -> cycles the memory stage holds it.
@@ -96,28 +100,38 @@ class InOrderPipeline:
         """Advance the pipeline by one dynamic instruction.
 
         Returns the write-back completion cycle of the instruction.
+
+        This runs once per dynamic instruction — the recurrences use
+        conditional expressions instead of ``max()`` calls and compare
+        the op kind as a plain int (``repro.sim.reference`` keeps the
+        straightforward version for the equivalence tests).
         """
         # Fetch: the fetch latch frees when the previous instruction
         # enters decode (single-entry latch backpressure).
-        start_fetch = max(self._end_fetch, self._start_decode)
-        self._end_fetch = start_fetch + self._fetch_latency(pc, start_fetch)
+        end_fetch = self._end_fetch
+        start_decode_prev = self._start_decode
+        start_fetch = end_fetch if end_fetch >= start_decode_prev else start_decode_prev
+        end_fetch = start_fetch + self._fetch_latency(pc, start_fetch)
+        self._end_fetch = end_fetch
 
         # Decode: 1 cycle; may not start until the previous instruction
         # vacated the decode latch by entering the memory stage.
-        start_decode = max(self._end_fetch, self._start_mem)
+        start_mem_prev = self._start_mem
+        start_decode = end_fetch if end_fetch >= start_mem_prev else start_mem_prev
         self._start_decode = start_decode
         end_decode = start_decode + 1
 
         # Memory / execute: blocked until the previous instruction
         # entered write-back.
-        start_mem = max(end_decode, self._start_wb)
+        start_wb_prev = self._start_wb
+        start_mem = end_decode if end_decode >= start_wb_prev else start_wb_prev
         self._start_mem = start_mem
         try:
             fixed = _EXEC_LATENCY_BY_KIND[kind]
         except (IndexError, TypeError):
             raise SimulationError(f"unknown op kind {kind!r}") from None
         if fixed is None:
-            latency = self._mem_latency(address, kind == OpKind.STORE, start_mem)
+            latency = self._mem_latency(address, kind == _STORE_KIND, start_mem)
         else:
             latency = fixed
         if latency < 1:
@@ -127,7 +141,8 @@ class InOrderPipeline:
         end_mem = start_mem + latency
 
         # Write-back: 1 cycle, in order.
-        start_wb = max(end_mem, self._end_wb)
+        end_wb = self._end_wb
+        start_wb = end_mem if end_mem >= end_wb else end_wb
         self._start_wb = start_wb
         self._end_wb = start_wb + 1
 

@@ -127,7 +127,22 @@ class AccessResult:
 
 
 class CacheStats:
-    """Running counters for one cache instance."""
+    """Running counters for one cache instance.
+
+    Accounting invariant (asserted by the stats-conservation tests):
+    no matter which path removes a line — a demand miss's replacement
+    (:meth:`Cache.access`), a CRG force-miss
+    (:meth:`Cache.force_eviction`), an explicit
+    :meth:`Cache.invalidate`, or a :meth:`Cache.flush` (full or
+    way-restricted, as used by partition reassignment) —
+
+    * ``evictions``  == total valid lines displaced, and
+    * ``writebacks`` == total *dirty* lines displaced.
+
+    ``forced_evictions`` additionally counts every CRG force-miss
+    request, including those whose victim draw landed on an invalid
+    frame (the eviction budget is consumed even then).
+    """
 
     __slots__ = ("hits", "misses", "evictions", "writebacks", "forced_evictions")
 
@@ -210,6 +225,11 @@ class Cache:
         # EoM replacement is stateless: hits and fills need no policy
         # callback, which the hot access path exploits.
         self._stateless_repl = bool(getattr(replacement, "is_randomised", False))
+        # With a stateless policy the victim draw is inlined into the
+        # miss path (no choose_victim() dispatch); the draw itself must
+        # stay bit-identical to EvictOnMissRandom.choose_victim.
+        self._repl_rng = getattr(replacement, "_rng", None)
+        self._eom_fast = self._stateless_repl and self._repl_rng is not None
 
     # ------------------------------------------------------------------
     # queries
@@ -266,13 +286,26 @@ class Cache:
 
         Returns an :class:`AccessResult`; the caller charges latencies
         and propagates the eviction's write-back.
+
+        This is the hottest transaction in the simulator (once per L1
+        access, twice per LLC transaction); callers passing ``ways``
+        should pass a *tuple* so the candidate set needs no per-access
+        re-allocation.  ``repro.sim.reference`` preserves the
+        unoptimised implementation for equivalence tests and the
+        single-run benchmark.
         """
         set_index = self.placement.set_index(line)
         tags = self._tags[set_index]
-        candidates = tuple(ways) if ways is not None else self._all_ways
+        if ways is None:
+            candidates = self._all_ways
+        elif type(ways) is tuple:
+            candidates = ways
+        else:
+            candidates = tuple(ways)
+        stats = self.stats
         for way in candidates:
             if tags[way] == line:
-                self.stats.hits += 1
+                stats.hits += 1
                 if not self._stateless_repl:
                     self.replacement.on_hit(set_index, way)
                 if write and self.write_back:
@@ -285,21 +318,61 @@ class Cache:
         # case invalid frames, and Equation 1's derivation assumes
         # every miss performs a victim draw.  (LRU naturally returns
         # invalid ways first because invalidation demotes them.)
-        self.stats.misses += 1
+        stats.misses += 1
         eviction = None
-        target_way = self.replacement.choose_victim(set_index, candidates)
+        target_way = self._choose_victim(set_index, candidates)
         victim_line = tags[target_way]
         if victim_line is not None:
             victim_dirty = self._dirty[set_index][target_way]
             eviction = Eviction(line=victim_line, dirty=victim_dirty)
-            self.stats.evictions += 1
+            stats.evictions += 1
             if victim_dirty:
-                self.stats.writebacks += 1
+                stats.writebacks += 1
         tags[target_way] = line
         self._dirty[set_index][target_way] = bool(write and self.write_back)
         if not self._stateless_repl:
             self.replacement.on_fill(set_index, target_way)
         return AccessResult(False, set_index, eviction)
+
+    def _choose_victim(self, set_index: int, candidates: Tuple[int, ...]) -> int:
+        """Victim draw, inlining the stateless (EoM) fast path.
+
+        Bit-identical to ``replacement.choose_victim``: the same single
+        ``randrange(len(candidates))`` draw in the same cases, so the
+        hardware PRNG stream is unchanged.
+        """
+        if self._eom_fast:
+            n = len(candidates)
+            if n > 1:
+                return candidates[self._repl_rng.randrange(n)]
+            if n:
+                return candidates[0]
+            raise SimulationError("choose_victim called with no candidate ways")
+        return self.replacement.choose_victim(set_index, candidates)
+
+    def _displace(self, set_index: int, way: int) -> Optional[Eviction]:
+        """Remove the line in ``(set_index, way)``, if any.
+
+        The single bookkeeping point for every *removal* path
+        (invalidate, flush, forced eviction): clears the frame, demotes
+        the way in the replacement metadata and keeps the
+        :class:`CacheStats` accounting invariant — one ``evictions``
+        per valid line displaced, one ``writebacks`` per dirty line
+        displaced.  Returns the eviction record, or ``None`` when the
+        frame was already invalid.
+        """
+        tags = self._tags[set_index]
+        line = tags[way]
+        if line is None:
+            return None
+        dirty = self._dirty[set_index][way]
+        tags[way] = None
+        self._dirty[set_index][way] = False
+        self.replacement.on_invalidate(set_index, way)
+        self.stats.evictions += 1
+        if dirty:
+            self.stats.writebacks += 1
+        return Eviction(line=line, dirty=dirty)
 
     def force_eviction(self, set_index: int, ways: Optional[Sequence[int]] = None) -> Eviction:
         """Evict the replacement policy's victim from ``set_index``.
@@ -315,19 +388,16 @@ class Cache:
             raise SimulationError(
                 f"{self.name}: set index {set_index} out of range"
             )
-        candidates = tuple(ways) if ways is not None else self._all_ways
-        way = self.replacement.choose_victim(set_index, candidates)
-        victim_line = self._tags[set_index][way]
-        victim_dirty = self._dirty[set_index][way]
+        if ways is None:
+            candidates = self._all_ways
+        elif type(ways) is tuple:
+            candidates = ways
+        else:
+            candidates = tuple(ways)
+        way = self._choose_victim(set_index, candidates)
         self.stats.forced_evictions += 1
-        if victim_line is not None:
-            self._tags[set_index][way] = None
-            self._dirty[set_index][way] = False
-            self.replacement.on_invalidate(set_index, way)
-            self.stats.evictions += 1
-            if victim_dirty:
-                self.stats.writebacks += 1
-        return Eviction(line=victim_line, dirty=victim_dirty)
+        eviction = self._displace(set_index, way)
+        return eviction if eviction is not None else Eviction(line=None, dirty=False)
 
     def invalidate(self, line: int) -> Optional[Eviction]:
         """Remove ``line`` if resident; return its eviction record."""
@@ -335,29 +405,32 @@ class Cache:
         tags = self._tags[set_index]
         for way in self._all_ways:
             if tags[way] == line:
-                dirty = self._dirty[set_index][way]
-                tags[way] = None
-                self._dirty[set_index][way] = False
-                self.replacement.on_invalidate(set_index, way)
-                if dirty:
-                    self.stats.writebacks += 1
-                return Eviction(line=line, dirty=dirty)
+                return self._displace(set_index, way)
         return None
 
-    def flush(self) -> list:
-        """Invalidate everything; return the dirty lines written back."""
+    def flush(self, ways: Optional[Sequence[int]] = None) -> list:
+        """Invalidate every line (in ``ways``, or everywhere).
+
+        Returns the dirty lines written back.  ``ways`` restricts the
+        flush to a subset of ways — this is how the way-partitioned LLC
+        flushes one core's partition on reassignment, so the same stats
+        accounting applies to full and partial flushes.
+        """
+        if ways is None:
+            target_ways = self._all_ways
+        else:
+            target_ways = tuple(ways)
+            for way in target_ways:
+                if not 0 <= way < self.geometry.ways:
+                    raise SimulationError(
+                        f"{self.name}: flush way {way} out of range"
+                    )
         written_back = []
         for set_index in range(self.geometry.num_sets):
-            tags = self._tags[set_index]
-            dirties = self._dirty[set_index]
-            for way in self._all_ways:
-                if tags[way] is not None:
-                    if dirties[way]:
-                        written_back.append(Eviction(line=tags[way], dirty=True))
-                        self.stats.writebacks += 1
-                    tags[way] = None
-                    dirties[way] = False
-                    self.replacement.on_invalidate(set_index, way)
+            for way in target_ways:
+                eviction = self._displace(set_index, way)
+                if eviction is not None and eviction.dirty:
+                    written_back.append(eviction)
         return written_back
 
     def new_rii(self, rii: int) -> list:

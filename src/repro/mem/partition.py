@@ -19,7 +19,7 @@ behaves exactly like a private cache with the same sets and ``w`` ways
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.mem.cache import AccessResult, Cache, Eviction
@@ -130,18 +130,31 @@ class PartitionedLLC:
             )
         self.cache = cache
         self.partition = partition
+        # core -> way tuple, resolved once: partitions are immutable for
+        # the object's lifetime and this lookup sits on the per-access
+        # hot path.
+        self._ways_by_core: Dict[int, Tuple[int, ...]] = dict(
+            partition.ways_per_core
+        )
+
+    def _ways(self, core: int) -> Tuple[int, ...]:
+        ways = self._ways_by_core.get(core)
+        if ways is None:
+            # Delegate for the ConfigurationError message.
+            return self.partition.ways_for(core)
+        return ways
 
     def probe(self, core: int, line: int) -> bool:
         """Whether ``line`` is resident in ``core``'s partition."""
-        return self.cache.probe(line, ways=self.partition.ways_for(core))
+        return self.cache.probe(line, ways=self._ways(core))
 
     def access(self, core: int, line: int, write: bool = False) -> AccessResult:
         """Demand access confined to ``core``'s partition."""
-        return self.cache.access(line, write=write, ways=self.partition.ways_for(core))
+        return self.cache.access(line, write=write, ways=self._ways(core))
 
     def force_eviction(self, core: int, set_index: int) -> Eviction:
         """Forced eviction confined to ``core``'s partition."""
-        return self.cache.force_eviction(set_index, ways=self.partition.ways_for(core))
+        return self.cache.force_eviction(set_index, ways=self._ways(core))
 
     def flush_partition(self, core: int) -> list:
         """Flush only ``core``'s ways (partition reassignment, §2.2).
@@ -149,22 +162,11 @@ class PartitionedLLC:
         Returns the dirty lines written back.  This is the consistency
         flush the paper notes hardware partitioning needs whenever a
         task is given a different partition than it last used.
+        Delegates to :meth:`~repro.mem.cache.Cache.flush` so partial
+        and full flushes share one accounting path (one ``evictions``
+        per valid line displaced, one ``writebacks`` per dirty one).
         """
-        written_back = []
-        ways = self.partition.ways_for(core)
-        for set_index in range(self.cache.geometry.num_sets):
-            tags = self.cache._tags[set_index]
-            for way in ways:
-                if tags[way] is not None:
-                    line = tags[way]
-                    dirty = self.cache._dirty[set_index][way]
-                    if dirty:
-                        written_back.append(Eviction(line=line, dirty=True))
-                        self.cache.stats.writebacks += 1
-                    tags[way] = None
-                    self.cache._dirty[set_index][way] = False
-                    self.cache.replacement.on_invalidate(set_index, way)
-        return written_back
+        return self.cache.flush(ways=self._ways(core))
 
     def __repr__(self) -> str:
         return f"PartitionedLLC({self.cache!r}, counts={self.partition.counts})"

@@ -56,6 +56,11 @@ class RandomPlacement:
         self._hash = ParametricHash(require_positive_int("num_sets", num_sets))
         self.num_sets = num_sets
         self.rii = require_non_negative_int("rii", rii)
+        # Per-RII memo of line -> set.  The hash is pure in (rii, line),
+        # and a trace touches the same few hundred lines millions of
+        # times per run, so memoising it removes the big-int hash
+        # arithmetic from the hot path entirely.  set_rii() clears it.
+        self._memo: dict = {}
 
     def set_index(self, line_addr: int) -> int:
         """Return the set for ``line_addr`` under the current RII.
@@ -63,13 +68,17 @@ class RandomPlacement:
         The parametric-hash computation is inlined here (identical to
         :meth:`repro.utils.hashing.ParametricHash.set_index`, which the
         tests assert) because this is the hottest function in the whole
-        simulator.
+        simulator, and memoised per (RII, line).
         """
-        key = (line_addr * 0x9E3779B97F4A7C15 + self.rii * 0xC2B2AE3D27D4EB4F) \
-            & 0xFFFFFFFFFFFFFFFF
-        z = (key ^ (key >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
-        z = (z ^ (z >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
-        return ((z ^ (z >> 31)) * self.num_sets) >> 64
+        index = self._memo.get(line_addr)
+        if index is None:
+            key = (line_addr * 0x9E3779B97F4A7C15 + self.rii * 0xC2B2AE3D27D4EB4F) \
+                & 0xFFFFFFFFFFFFFFFF
+            z = (key ^ (key >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+            index = ((z ^ (z >> 31)) * self.num_sets) >> 64
+            self._memo[line_addr] = index
+        return index
 
     def set_rii(self, rii: int) -> None:
         """Install a new random index identifier.
@@ -77,9 +86,11 @@ class RandomPlacement:
         The owning cache is responsible for flushing its contents: after
         an RII change the old contents sit in sets the new mapping will
         never look in, so keeping them would break consistency (the
-        scenario §3.2 of the paper calls out).
+        scenario §3.2 of the paper calls out).  The set-index memo is
+        invalidated here — it is only valid for one RII.
         """
         self.rii = require_non_negative_int("rii", rii)
+        self._memo.clear()
 
     def __repr__(self) -> str:
         return f"RandomPlacement(num_sets={self.num_sets}, rii={self.rii})"

@@ -31,6 +31,67 @@ from repro.utils.stats_utils import as_sample
 #: the threshold the paper quotes for the WW statistic.
 WW_CRITICAL_5PCT = 1.96
 
+#: Below this many runs per campaign, asserting on individual WW/KS
+#: verdicts is statistically meaningless: with dozens of tests at
+#: alpha = 0.05 some are *expected* to fail by chance, and tiny samples
+#: make the test statistics themselves unstable.  Smoke-scale harnesses
+#: should skip the assertions (not weaken them silently).
+MBPTA_MIN_IID_RUNS = 50
+
+#: At or above this many runs the paper's plain per-test 5% thresholds
+#: are asserted as-is — the regime the paper's E1 table reports
+#: (1000 runs per campaign).
+FULL_CAMPAIGN_RUNS = 300
+
+
+def _normal_quantile(p: float) -> float:
+    """Standard normal quantile via bisection on ``math.erf``.
+
+    Exact enough (|err| < 1e-12) for threshold computation and keeps
+    the no-scipy rule; only called a handful of times per test session.
+    """
+    if not 0.0 < p < 1.0:
+        raise AnalysisError(f"quantile probability must be in (0, 1), got {p}")
+    lo, hi = -10.0, 10.0
+    for _ in range(200):
+        mid = (lo + hi) / 2.0
+        if 0.5 * (1.0 + math.erf(mid / math.sqrt(2.0))) < p:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+def iid_assert_thresholds(runs: int, comparisons: int = 1) -> tuple:
+    """Assertion thresholds ``(ww_critical, ks_alpha)`` scaled to the sample.
+
+    The paper's E1 asserts |WW| < 1.96 and KS p > 0.05 *per campaign* at
+    1000 runs.  Re-asserting that verbatim over many campaigns at
+    reduced scale makes the harness flaky by construction: each test
+    has a 5% false-alarm rate, so a 20-campaign table fails about once
+    per run of the suite.  This helper returns:
+
+    * the paper's plain thresholds when ``runs >= FULL_CAMPAIGN_RUNS``
+      or only one comparison is made;
+    * Bonferroni-corrected thresholds (family-wise alpha 0.05 split
+      across ``comparisons`` tests) in between — strictly *weaker* per
+      test, never stronger, so a sample that passes the paper's check
+      also passes here;
+    * and refuses (:class:`~repro.errors.AnalysisError`) below
+      ``MBPTA_MIN_IID_RUNS``, where the right move is to skip.
+    """
+    if runs < MBPTA_MIN_IID_RUNS:
+        raise AnalysisError(
+            f"asserting i.i.d. verdicts on {runs}-run campaigns is not "
+            f"meaningful; skip below {MBPTA_MIN_IID_RUNS} runs"
+        )
+    if comparisons < 1:
+        raise AnalysisError(f"comparisons must be >= 1, got {comparisons}")
+    if runs >= FULL_CAMPAIGN_RUNS or comparisons == 1:
+        return (WW_CRITICAL_5PCT, 0.05)
+    alpha = 0.05 / comparisons
+    return (_normal_quantile(1.0 - alpha / 2.0), alpha)
+
 
 @dataclass(frozen=True)
 class RunsTestResult:

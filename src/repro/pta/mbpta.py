@@ -16,7 +16,7 @@ same conclusions); :data:`DEFAULT_EXCEEDANCE_PROBS` mirrors that.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.errors import AnalysisError

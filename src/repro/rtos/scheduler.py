@@ -21,8 +21,8 @@ simulator frame by frame.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.rtos.frames import FrameSchedule, MinorFrame

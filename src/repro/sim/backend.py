@@ -38,7 +38,20 @@ from dataclasses import dataclass
 from typing import IO, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.sim.profiler import ProfileSnapshot
 from repro.sim.simulator import RunRequest, RunResult, execute_request
+
+
+def usable_cpus() -> int:
+    """CPUs actually available to this process.
+
+    Prefers the scheduler affinity mask (respects container/cgroup
+    restrictions) and falls back to the raw CPU count.  Shared by the
+    CLI's process-backend sanity warning and the benchmarks.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
 
 
 # ----------------------------------------------------------------------
@@ -66,6 +79,8 @@ class RunRecord:
     memory_reads: int
     memory_writes: int
     wall_time_s: float
+    #: Per-component attribution snapshot (profiled runs only).
+    profile: Optional[ProfileSnapshot] = None
 
     @classmethod
     def from_result(
@@ -85,6 +100,7 @@ class RunRecord:
             memory_reads=result.memory_reads,
             memory_writes=result.memory_writes,
             wall_time_s=wall_time_s,
+            profile=result.profile,
         )
 
 
@@ -174,6 +190,48 @@ class StreamObserver(RunObserver):
 
     def on_message(self, message: str) -> None:
         print(f"  [{message}]", file=self.stream)
+
+
+class ProfilingObserver(RunObserver):
+    """Collects per-run profile snapshots, optionally wrapping another
+    observer.
+
+    Works with any backend: snapshots travel inside the
+    :class:`RunRecord` (they are picklable), so process-pool runs
+    profile exactly like serial ones.  ``total`` merges everything
+    collected so far into one campaign-level snapshot.
+    """
+
+    def __init__(self, inner: Optional[RunObserver] = None) -> None:
+        self.inner = inner
+        self.snapshots: List[ProfileSnapshot] = []
+
+    @property
+    def total(self) -> ProfileSnapshot:
+        """Aggregate attribution across all observed runs."""
+        return ProfileSnapshot.merge(self.snapshots)
+
+    def on_campaign_start(self, task: str, scenario_label: str, runs: int) -> None:
+        if self.inner is not None:
+            self.inner.on_campaign_start(task, scenario_label, runs)
+
+    def on_run(self, record: RunRecord) -> None:
+        if record.profile is not None:
+            self.snapshots.append(record.profile)
+        if self.inner is not None:
+            self.inner.on_run(record)
+
+    def on_run_failed(self, index: int, seed: int, error: str) -> None:
+        if self.inner is not None:
+            self.inner.on_run_failed(index, seed, error)
+
+    def on_campaign_end(self, result: object) -> None:
+        if self.inner is not None:
+            self.inner.on_campaign_end(result)
+
+    def on_message(self, message: str) -> None:
+        if self.inner is not None:
+            self.inner.on_message(message)
 
 
 # ----------------------------------------------------------------------

@@ -97,13 +97,15 @@ def collect_execution_times(
     master_seed: int = 0,
     backend: Optional[ExecutionBackend] = None,
     observer: Optional[RunObserver] = None,
+    profile: bool = False,
 ) -> CampaignResult:
     """Collect ``runs`` end-to-end execution times of ``trace``.
 
     Each run uses a platform freshly randomised from its own derived
     seed.  ``backend`` chooses the execution engine (default: serial,
     in-process); ``observer`` receives one structured record per
-    completed run.  Per-run failures are captured by the backend and
+    completed run; ``profile`` attaches a per-component attribution
+    snapshot to every run's record (timing is unaffected).  Per-run failures are captured by the backend and
     re-raised here as :class:`~repro.errors.CampaignRunError` naming
     every failing ``(index, seed)`` — the surviving runs' work is not
     lost to one bad seed, and the failures are reproducible alone.
@@ -118,7 +120,9 @@ def collect_execution_times(
     seeds = derive_seeds(master_seed, runs)
     if observer is not None:
         observer.on_campaign_start(trace.name, scenario.label(), runs)
-    template = RunRequest.isolation(trace, config, scenario, seeds[0], index=0)
+    template = RunRequest.isolation(
+        trace, config, scenario, seeds[0], index=0, profile=profile
+    )
     requests = [template.with_run(index, seed) for index, seed in enumerate(seeds)]
     started = perf_counter()
     outcomes = backend.execute(requests, observer=observer)

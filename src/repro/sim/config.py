@@ -15,7 +15,7 @@ operation mode (analysis vs deployment, Figure 1 of the paper).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.core.config import EFLConfig, OperationMode

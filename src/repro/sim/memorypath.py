@@ -34,20 +34,35 @@ exact while avoiding recursive eviction cascades.
 
 from __future__ import annotations
 
+from time import perf_counter
+from typing import Optional
+
 from repro.core.config import OperationMode
 from repro.errors import SimulationError
 from repro.sim.platform import Platform
+from repro.sim.profiler import HotPathProfiler
 
 
 class MemoryPath:
-    """Transaction engine for the shared levels of one platform."""
+    """Transaction engine for the shared levels of one platform.
 
-    def __init__(self, platform: Platform) -> None:
+    ``profiler`` (optional) receives per-component cycle and wall-time
+    attribution for every transaction; when ``None`` (the default) the
+    transactions run on a branch-free fast path.
+    """
+
+    def __init__(self, platform: Platform, profiler: Optional[HotPathProfiler] = None) -> None:
         self.platform = platform
         self._analysis = platform.mode is OperationMode.ANALYSIS
         self.llc_hits = 0
         self.llc_misses = 0
+        self._profiler = profiler
+        # Per-transaction hot attributes, resolved once: the platform's
+        # shared components never change over the path's lifetime.
+        self._llc_view = platform.llc_view
+        self._efl = platform.efl
         config = platform.config
+        self._llc_hit_latency = config.llc_hit_latency
         bus_penalty = config.analysis_bus_penalty
         if bus_penalty is None:
             bus_penalty = (config.num_cores - 1) * config.bus_latency
@@ -97,31 +112,80 @@ class MemoryPath:
         """
         if time < 0:
             raise SimulationError(f"fill at negative time {time}")
-        platform = self.platform
+        if self._profiler is not None:
+            return self._fill_profiled(core, line, time, write)
         arrival = self._bus_done(core, time)
-        if platform.efl is not None:
+        efl = self._efl
+        if efl is not None:
             # Analysis mode: the artificial co-runners evicted at
             # maximum rate while this core computed locally; apply
             # their effect before looking up.  No-op in deployment.
-            platform.efl.inject_interference(arrival)
+            efl.inject_interference(arrival)
 
-        lookup_done = arrival + platform.config.llc_hit_latency
-        if platform.llc_view.probe(core, line):
-            platform.llc_view.access(core, line, write=write)
+        lookup_done = arrival + self._llc_hit_latency
+        llc_view = self._llc_view
+        if llc_view.probe(core, line):
+            llc_view.access(core, line, write=write)
             self.llc_hits += 1
             return lookup_done
 
         # LLC miss: the eviction is gated by the core's EAB.
         self.llc_misses += 1
-        if platform.efl is not None:
-            grant = platform.efl.grant_eviction(core, lookup_done)
-            platform.efl.record_eviction(core, grant)
+        if efl is not None:
+            grant = efl.grant_eviction(core, lookup_done)
+            efl.record_eviction(core, grant)
         else:
             grant = lookup_done
         done = self._memory_read_done(core, grant)
-        result = platform.llc_view.access(core, line, write=write)
+        result = llc_view.access(core, line, write=write)
         if result.eviction is not None and result.eviction.dirty:
             self._post_memory_write(core, done)
+        return done
+
+    def _fill_profiled(self, core: int, line: int, time: int, write: bool) -> int:
+        """The :meth:`fill` choreography with per-leg attribution.
+
+        Kept as an exact mirror of the fast path — same calls, same
+        order, same returned times — so profiling never perturbs the
+        simulated timing (asserted by the hot-path equivalence tests).
+        """
+        prof = self._profiler
+        t0 = perf_counter()
+        arrival = self._bus_done(core, time)
+        t1 = perf_counter()
+        prof.account("bus", arrival - time, t1 - t0)
+        efl = self._efl
+        if efl is not None:
+            efl.inject_interference(arrival)
+            t2 = perf_counter()
+            prof.account("efl", 0, t2 - t1)
+            t1 = t2
+
+        lookup_done = arrival + self._llc_hit_latency
+        llc_view = self._llc_view
+        if llc_view.probe(core, line):
+            llc_view.access(core, line, write=write)
+            self.llc_hits += 1
+            prof.account("llc", self._llc_hit_latency, perf_counter() - t1)
+            return lookup_done
+
+        self.llc_misses += 1
+        prof.account("llc", self._llc_hit_latency, perf_counter() - t1)
+        if efl is not None:
+            t1 = perf_counter()
+            grant = efl.grant_eviction(core, lookup_done)
+            efl.record_eviction(core, grant)
+            # The EAB stall: cycles between LLC lookup completion and
+            # the eviction grant.
+            prof.account("efl", grant - lookup_done, perf_counter() - t1)
+        else:
+            grant = lookup_done
+        t1 = perf_counter()
+        done = self._memory_read_done(core, grant)
+        result = llc_view.access(core, line, write=write)
+        if result.eviction is not None and result.eviction.dirty:
+            self._post_memory_write(core, done)
+        prof.account("memctrl", done - grant, perf_counter() - t1)
         return done
 
     def l1_writeback(self, core: int, line: int, time: int) -> None:
@@ -131,11 +195,17 @@ class MemoryPath:
         updated and marked dirty; otherwise the write-back forwards to
         memory.  Posted: the core never waits for it.
         """
-        platform = self.platform
-        if platform.llc_view.probe(core, line):
-            platform.llc_view.access(core, line, write=True)
+        prof = self._profiler
+        t0 = perf_counter() if prof is not None else 0.0
+        llc_view = self._llc_view
+        if llc_view.probe(core, line):
+            llc_view.access(core, line, write=True)
+            if prof is not None:
+                prof.account("llc", 0, perf_counter() - t0)
         else:
             self._post_memory_write(core, time)
+            if prof is not None:
+                prof.account("memctrl", 0, perf_counter() - t0)
 
     def store_through(self, core: int, line: int, time: int) -> int:
         """Write-through store (A2 ablation): bus + LLC write.
@@ -148,15 +218,28 @@ class MemoryPath:
         """
         if time < 0:
             raise SimulationError(f"store at negative time {time}")
-        platform = self.platform
+        prof = self._profiler
+        t0 = perf_counter() if prof is not None else 0.0
         arrival = self._bus_done(core, time)
-        if platform.efl is not None:
-            platform.efl.inject_interference(arrival)
-        lookup_done = arrival + platform.config.llc_hit_latency
-        if platform.llc_view.probe(core, line):
-            platform.llc_view.access(core, line, write=True)
+        if prof is not None:
+            t1 = perf_counter()
+            prof.account("bus", arrival - time, t1 - t0)
+            t0 = t1
+        efl = self._efl
+        if efl is not None:
+            efl.inject_interference(arrival)
+            if prof is not None:
+                t1 = perf_counter()
+                prof.account("efl", 0, t1 - t0)
+                t0 = t1
+        lookup_done = arrival + self._llc_hit_latency
+        llc_view = self._llc_view
+        if llc_view.probe(core, line):
+            llc_view.access(core, line, write=True)
             self.llc_hits += 1
         else:
             self.llc_misses += 1
             self._post_memory_write(core, lookup_done)
+        if prof is not None:
+            prof.account("llc", self._llc_hit_latency, perf_counter() - t0)
         return lookup_done

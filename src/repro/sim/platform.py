@@ -10,7 +10,7 @@ sets) and new PRNG streams for replacement, arbitration and EFL.  A
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.core.config import OperationMode
 from repro.core.efl import EFLController

@@ -1,0 +1,165 @@
+"""The unoptimised reference hot path, kept runnable for comparison.
+
+The per-instruction simulation core (``Cache.access``, placement
+hashing, the EoM victim draw, ``InOrderPipeline.step``) carries
+optimisations — a per-(RII, line) set-index memo, precomputed candidate
+way tuples, an inlined victim draw, branch-free pipeline recurrences —
+that must be *invisible in the data*: every optimisation is required to
+produce bit-identical execution times.
+
+This module preserves the pre-optimisation implementations verbatim and
+exposes :func:`reference_hot_path`, a context manager that swaps them
+back in.  Two consumers rely on it:
+
+* ``tests/test_hotpath.py`` proves optimised and reference paths
+  produce bit-identical :class:`~repro.sim.simulator.RunResult`s
+  (the hot-path analogue of the backend-equivalence test);
+* ``benchmarks/test_perf_simrun.py`` measures the speedup of the
+  optimised path over this baseline and records it in
+  ``BENCH_simrun.json``.
+
+The reference implementations are deliberately *copies*, not calls into
+shared helpers: sharing code with the optimised path would silently
+inherit its speedups and make the measured ratio meaningless.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.cpu.isa import OpKind
+from repro.cpu.pipeline import _EXEC_LATENCY_BY_KIND, InOrderPipeline
+from repro.errors import SimulationError
+from repro.mem.cache import AccessResult, Cache, Eviction
+from repro.mem.placement import RandomPlacement
+
+
+def _reference_set_index(self, line_addr: int) -> int:
+    """Pre-memoisation ``RandomPlacement.set_index``: hash every call."""
+    key = (line_addr * 0x9E3779B97F4A7C15 + self.rii * 0xC2B2AE3D27D4EB4F) \
+        & 0xFFFFFFFFFFFFFFFF
+    z = (key ^ (key >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+    return ((z ^ (z >> 31)) * self.num_sets) >> 64
+
+
+def _reference_probe(self, line, ways=None):
+    """Pre-optimisation ``Cache.probe``."""
+    set_index = self.placement.set_index(line)
+    tags = self._tags[set_index]
+    for way in (ways if ways is not None else self._all_ways):
+        if tags[way] == line:
+            return True
+    return False
+
+
+def _reference_access(self, line, write=False, ways=None):
+    """Pre-optimisation ``Cache.access``: per-call ``tuple(ways)``
+    allocation and an indirect ``choose_victim`` call on every miss."""
+    set_index = self.placement.set_index(line)
+    tags = self._tags[set_index]
+    candidates = tuple(ways) if ways is not None else self._all_ways
+    for way in candidates:
+        if tags[way] == line:
+            self.stats.hits += 1
+            if not self._stateless_repl:
+                self.replacement.on_hit(set_index, way)
+            if write and self.write_back:
+                self._dirty[set_index][way] = True
+            return AccessResult(True, set_index, None)
+
+    self.stats.misses += 1
+    eviction = None
+    target_way = self.replacement.choose_victim(set_index, candidates)
+    victim_line = tags[target_way]
+    if victim_line is not None:
+        victim_dirty = self._dirty[set_index][target_way]
+        eviction = Eviction(line=victim_line, dirty=victim_dirty)
+        self.stats.evictions += 1
+        if victim_dirty:
+            self.stats.writebacks += 1
+    tags[target_way] = line
+    self._dirty[set_index][target_way] = bool(write and self.write_back)
+    if not self._stateless_repl:
+        self.replacement.on_fill(set_index, target_way)
+    return AccessResult(False, set_index, eviction)
+
+
+def _reference_force_eviction(self, set_index, ways=None):
+    """Pre-optimisation ``Cache.force_eviction`` (with the consistent
+    stats accounting — stats never affect timing)."""
+    if not 0 <= set_index < self.geometry.num_sets:
+        raise SimulationError(
+            f"{self.name}: set index {set_index} out of range"
+        )
+    candidates = tuple(ways) if ways is not None else self._all_ways
+    way = self.replacement.choose_victim(set_index, candidates)
+    self.stats.forced_evictions += 1
+    eviction = self._displace(set_index, way)
+    return eviction if eviction is not None else Eviction(line=None, dirty=False)
+
+
+def _reference_step(self, pc, kind, address):
+    """Pre-optimisation ``InOrderPipeline.step``: ``max()`` builtins and
+    enum comparison on the retire path."""
+    start_fetch = max(self._end_fetch, self._start_decode)
+    self._end_fetch = start_fetch + self._fetch_latency(pc, start_fetch)
+
+    start_decode = max(self._end_fetch, self._start_mem)
+    self._start_decode = start_decode
+    end_decode = start_decode + 1
+
+    start_mem = max(end_decode, self._start_wb)
+    self._start_mem = start_mem
+    try:
+        fixed = _EXEC_LATENCY_BY_KIND[kind]
+    except (IndexError, TypeError):
+        raise SimulationError(f"unknown op kind {kind!r}") from None
+    if fixed is None:
+        latency = self._mem_latency(address, kind == OpKind.STORE, start_mem)
+    else:
+        latency = fixed
+    if latency < 1:
+        raise SimulationError(
+            f"stage latency must be >= 1 cycle, callback returned {latency}"
+        )
+    end_mem = start_mem + latency
+
+    start_wb = max(end_mem, self._end_wb)
+    self._start_wb = start_wb
+    self._end_wb = start_wb + 1
+
+    self.instructions += 1
+    return self._end_wb
+
+
+#: (class, attribute, reference implementation) for every hot-path
+#: function the optimisation pass touched.
+_REFERENCE_PATCHES = (
+    (RandomPlacement, "set_index", _reference_set_index),
+    (Cache, "probe", _reference_probe),
+    (Cache, "access", _reference_access),
+    (Cache, "force_eviction", _reference_force_eviction),
+    (InOrderPipeline, "step", _reference_step),
+)
+
+
+@contextmanager
+def reference_hot_path():
+    """Swap the unoptimised hot-path implementations in for the block.
+
+    Platforms must be *built inside* the block (caches bind nothing at
+    construction that the patch misses, but building inside keeps the
+    measurement honest end to end).  Restores the optimised
+    implementations on exit, even on error.
+    """
+    saved = [
+        (cls, name, cls.__dict__[name]) for cls, name, _impl in _REFERENCE_PATCHES
+    ]
+    try:
+        for cls, name, impl in _REFERENCE_PATCHES:
+            setattr(cls, name, impl)
+        yield
+    finally:
+        for cls, name, impl in saved:
+            setattr(cls, name, impl)

@@ -22,18 +22,19 @@ side of the paper — analysis-time bounds — is modelled exactly.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from time import perf_counter
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.config import OperationMode
 from repro.cpu.pipeline import InOrderPipeline
 from repro.cpu.trace import Trace
 from repro.errors import ConfigurationError, SimulationError
-from repro.mem.address import line_address
 from repro.mem.cache import Cache
 from repro.sim.config import Scenario, SystemConfig
 from repro.sim.memorypath import MemoryPath
 from repro.sim.platform import Platform, build_platform
+from repro.sim.profiler import HotPathProfiler, ProfileSnapshot
 
 
 @dataclass
@@ -71,6 +72,8 @@ class RunResult:
     llc_forced_evictions: int
     memory_reads: int
     memory_writes: int
+    #: Per-component attribution, present only for profiled runs.
+    profile: Optional[ProfileSnapshot] = None
 
     @property
     def cycles(self) -> int:
@@ -101,6 +104,7 @@ class CoreRunner:
         dl1: Cache,
         path: MemoryPath,
         config: SystemConfig,
+        profiler: Optional[HotPathProfiler] = None,
     ) -> None:
         self.core_id = core_id
         self.trace = trace
@@ -108,6 +112,8 @@ class CoreRunner:
         self.dl1 = dl1
         self.path = path
         self.config = config
+        self._profiler = profiler
+        self._l1_hit = config.l1_hit_latency
         self._line_shift = config.line_size.bit_length() - 1
         self._wb_dl1 = config.dl1_write_back
         self.pipeline = InOrderPipeline(self._fetch_latency, self._mem_latency)
@@ -137,17 +143,31 @@ class CoreRunner:
     # ------------------------------------------------------------------
     def _fetch_latency(self, pc: int, time: int) -> int:
         line = pc >> self._line_shift
+        prof = self._profiler
         if line == self._last_iline:
             # Sequential fetches within one line: resident by
             # construction (EoM hits mutate nothing, and only this
             # core's IL1 fills could evict it, which reset the latch).
             self._fast_ihits += 1
-            return self.config.l1_hit_latency
-        result = self.il1.access(line)
+            if prof is not None:
+                prof.account("l1", self._l1_hit)
+            return self._l1_hit
+        if prof is None:
+            result = self.il1.access(line)
+        else:
+            t0 = perf_counter()
+            result = self.il1.access(line)
+            wall = perf_counter() - t0
         if result.hit:
             if self._shortcut_il1:
                 self._last_iline = line
-            return self.config.l1_hit_latency
+            if prof is not None:
+                prof.account("l1", self._l1_hit, wall)
+            return self._l1_hit
+        if prof is not None:
+            # The lookup that missed: its wall time belongs to the L1
+            # model, the miss cycles to the memory-path legs below.
+            prof.account("l1", 0, wall)
         if self._shortcut_il1:
             self._last_iline = line  # just filled, now resident
         # Instruction lines are never dirty; the victim (if any) is
@@ -159,9 +179,12 @@ class CoreRunner:
 
     def _mem_latency(self, address: int, is_store: bool, time: int) -> int:
         line = address >> self._line_shift
+        prof = self._profiler
         if not is_store and line == self._last_dline:
             self._fast_dhits += 1
-            return self.config.l1_hit_latency
+            if prof is not None:
+                prof.account("l1", self._l1_hit)
+            return self._l1_hit
         if is_store and not self._wb_dl1:
             # Write-through DL1 (A2 ablation): update the DL1 copy if
             # present (no allocation on miss), write through to the LLC.
@@ -171,11 +194,20 @@ class CoreRunner:
             done = self.path.store_through(self.core_id, line, issue)
             self._port_free = done
             return done - time
-        result = self.dl1.access(line, write=is_store)
+        if prof is None:
+            result = self.dl1.access(line, write=is_store)
+        else:
+            t0 = perf_counter()
+            result = self.dl1.access(line, write=is_store)
+            wall = perf_counter() - t0
         if result.hit:
             if self._shortcut_dl1:
                 self._last_dline = line
-            return self.config.l1_hit_latency
+            if prof is not None:
+                prof.account("l1", self._l1_hit, wall)
+            return self._l1_hit
+        if prof is not None:
+            prof.account("l1", 0, wall)
         if self._shortcut_dl1:
             self._last_dline = line  # just filled, now resident
         issue = time if time >= self._port_free else self._port_free
@@ -247,7 +279,12 @@ class CoreRunner:
         )
 
 
-def _finalise(platform: Platform, path: MemoryPath, cores: List[CoreResult]) -> RunResult:
+def _finalise(
+    platform: Platform,
+    path: MemoryPath,
+    cores: List[CoreResult],
+    profiler: Optional[HotPathProfiler] = None,
+) -> RunResult:
     return RunResult(
         scenario_label=platform.scenario.label(),
         mode=platform.mode,
@@ -257,6 +294,7 @@ def _finalise(platform: Platform, path: MemoryPath, cores: List[CoreResult]) -> 
         llc_forced_evictions=platform.llc.stats.forced_evictions,
         memory_reads=platform.memory.reads,
         memory_writes=platform.memory.writes,
+        profile=profiler.snapshot() if profiler is not None else None,
     )
 
 
@@ -266,22 +304,27 @@ def run_isolation(
     scenario: Scenario,
     seed: int,
     core_id: int = 0,
+    profile: bool = False,
 ) -> RunResult:
     """Run one task alone on ``core_id`` (the paper's analysis stage).
 
     The scenario's mode decides whether composable upper bounds and CRG
     interference apply (``ANALYSIS``) or the task simply enjoys an
     otherwise idle machine (``DEPLOYMENT``, useful as a best case).
+    ``profile`` attaches a per-component attribution snapshot to the
+    result; it never changes the simulated timing.
     """
     platform = build_platform(config, scenario, seed, analysed_core=core_id)
     if not 0 <= core_id < config.num_cores:
         raise ConfigurationError(f"core_id {core_id} out of range")
-    path = MemoryPath(platform)
+    profiler = HotPathProfiler() if profile else None
+    path = MemoryPath(platform, profiler)
     runner = CoreRunner(
-        core_id, trace, platform.il1s[core_id], platform.dl1s[core_id], path, config
+        core_id, trace, platform.il1s[core_id], platform.dl1s[core_id], path, config,
+        profiler=profiler,
     )
     runner.run_to_completion()
-    return _finalise(platform, path, [runner.result(platform)])
+    return _finalise(platform, path, [runner.result(platform)], profiler)
 
 
 def run_workload(
@@ -289,6 +332,7 @@ def run_workload(
     config: SystemConfig,
     scenario: Scenario,
     seed: int,
+    profile: bool = False,
 ) -> RunResult:
     """Co-run up to ``num_cores`` tasks (the paper's deployment stage).
 
@@ -304,9 +348,11 @@ def run_workload(
             f"{len(traces)} tasks exceed the {config.num_cores}-core platform"
         )
     platform = build_platform(config, scenario, seed)
-    path = MemoryPath(platform)
+    profiler = HotPathProfiler() if profile else None
+    path = MemoryPath(platform, profiler)
     runners = [
-        CoreRunner(i, trace, platform.il1s[i], platform.dl1s[i], path, config)
+        CoreRunner(i, trace, platform.il1s[i], platform.dl1s[i], path, config,
+                   profiler=profiler)
         for i, trace in enumerate(traces)
     ]
     # Step the core whose next shared-resource access can happen
@@ -324,7 +370,9 @@ def run_workload(
         runner.step()
         if not runner.finished:
             heapq.heappush(heap, (runner.schedule_key, runner.core_id, runner))
-    return _finalise(platform, path, [runner.result(platform) for runner in runners])
+    return _finalise(
+        platform, path, [runner.result(platform) for runner in runners], profiler
+    )
 
 
 # ----------------------------------------------------------------------
@@ -343,6 +391,8 @@ class RunRequest:
     ``engine`` selects the simulator entry point: ``"isolation"`` runs
     ``traces[0]`` alone on ``core_id`` (:func:`run_isolation`);
     ``"workload"`` co-runs all traces (:func:`run_workload`).
+    ``profile`` requests a per-component attribution snapshot on the
+    result (timing is unaffected either way).
     """
 
     engine: str
@@ -352,6 +402,7 @@ class RunRequest:
     seed: int
     index: int = 0
     core_id: int = 0
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.engine not in ("isolation", "workload"):
@@ -372,9 +423,12 @@ class RunRequest:
         seed: int,
         index: int = 0,
         core_id: int = 0,
+        profile: bool = False,
     ) -> "RunRequest":
         """Request running ``trace`` alone (the analysis protocol)."""
-        return cls("isolation", (trace,), config, scenario, seed, index, core_id)
+        return cls(
+            "isolation", (trace,), config, scenario, seed, index, core_id, profile
+        )
 
     @classmethod
     def workload(
@@ -384,9 +438,12 @@ class RunRequest:
         scenario: Scenario,
         seed: int,
         index: int = 0,
+        profile: bool = False,
     ) -> "RunRequest":
         """Request co-running ``traces`` (the deployment protocol)."""
-        return cls("workload", tuple(traces), config, scenario, seed, index)
+        return cls(
+            "workload", tuple(traces), config, scenario, seed, index, profile=profile
+        )
 
     def template_key(self) -> tuple:
         """Identity of everything except ``(index, seed)``.
@@ -398,13 +455,16 @@ class RunRequest:
         objects), config and scenario by value.
         """
         trace_ids = tuple(id(trace) for trace in self.traces)
-        return (self.engine, trace_ids, self.config, self.scenario, self.core_id)
+        return (
+            self.engine, trace_ids, self.config, self.scenario,
+            self.core_id, self.profile,
+        )
 
     def with_run(self, index: int, seed: int) -> "RunRequest":
         """The same template rebound to another ``(index, seed)`` pair."""
         return RunRequest(
             self.engine, self.traces, self.config, self.scenario,
-            seed, index, self.core_id,
+            seed, index, self.core_id, self.profile,
         )
 
 
@@ -417,7 +477,9 @@ def execute_request(request: RunRequest) -> RunResult:
             request.scenario,
             request.seed,
             core_id=request.core_id,
+            profile=request.profile,
         )
     return run_workload(
-        request.traces, request.config, request.scenario, request.seed
+        request.traces, request.config, request.scenario, request.seed,
+        profile=request.profile,
     )

@@ -288,3 +288,176 @@ class TestPropertyBased:
         for line in lines:
             cache.access(line)
         assert cache.resident_lines() <= set(lines)
+
+
+class TestStatsConservation:
+    """The accounting invariant: every removal path agrees.
+
+    ``evictions`` must equal the number of *valid* lines displaced and
+    ``writebacks`` the number of *dirty* lines displaced, no matter
+    whether lines left via ``access`` (replacement), ``force_eviction``
+    (CRG force-miss), ``invalidate`` or ``flush`` (full or per-way).
+    """
+
+    def _fill(self, cache, n, dirty_every=2):
+        """Fill ``n`` distinct lines, marking every ``dirty_every``-th dirty."""
+        for line in range(n):
+            cache.access(line, write=(line % dirty_every == 0))
+
+    def test_invalidate_counts_eviction(self):
+        cache = make_cache()
+        cache.access(7, write=True)
+        before = cache.stats.evictions
+        eviction = cache.invalidate(7)
+        assert eviction == Eviction(line=7, dirty=True)
+        assert cache.stats.evictions == before + 1
+        assert cache.stats.writebacks == 1
+
+    def test_invalidate_clean_line_counts_eviction_not_writeback(self):
+        cache = make_cache()
+        cache.access(7)
+        eviction = cache.invalidate(7)
+        assert eviction == Eviction(line=7, dirty=False)
+        assert cache.stats.evictions == 1
+        assert cache.stats.writebacks == 0
+
+    def test_invalidate_missing_line_counts_nothing(self):
+        cache = make_cache()
+        assert cache.invalidate(99) is None
+        assert cache.stats.evictions == 0
+        assert cache.stats.writebacks == 0
+
+    def test_flush_counts_every_valid_line(self):
+        cache = make_cache()
+        self._fill(cache, 8)
+        # EoM fills may already have displaced lines; count the deltas.
+        evictions_before = cache.stats.evictions
+        writebacks_before = cache.stats.writebacks
+        displaced = cache.occupancy()
+        dirty = sum(
+            1 for s in range(cache.geometry.num_sets)
+            for w in range(cache.geometry.ways) if cache._dirty[s][w]
+        )
+        written_back = cache.flush()
+        assert cache.stats.evictions == evictions_before + displaced
+        assert cache.stats.writebacks == writebacks_before + dirty
+        assert len(written_back) == dirty
+        assert cache.occupancy() == 0
+
+    def test_flush_way_subset_counts_only_those_ways(self):
+        cache = make_cache()
+        for line in range(16):
+            cache.access(line, write=True, ways=(0, 1))
+        evictions_from_fills = cache.stats.evictions
+        in_subset = sum(
+            1 for s in range(cache.geometry.num_sets)
+            for w in (0, 1) if cache._tags[s][w] is not None
+        )
+        cache.flush(ways=(0, 1))
+        assert cache.stats.evictions == evictions_from_fills + in_subset
+        assert all(
+            cache._tags[s][w] is None
+            for s in range(cache.geometry.num_sets) for w in (0, 1)
+        )
+
+    def test_flush_rejects_out_of_range_way(self):
+        cache = make_cache()
+        with pytest.raises(SimulationError):
+            cache.flush(ways=(0, 99))
+
+    def test_all_paths_agree_on_totals(self):
+        """Displace lines via every path; totals must still reconcile."""
+        cache = make_cache(placement_kind="random", seed=5)
+        displaced = 0
+        dirty_displaced = 0
+
+        # Path 1: replacement on demand misses (overfill one cache).
+        for line in range(64):
+            result = cache.access(line, write=(line % 3 == 0))
+            if result.eviction is not None:
+                displaced += 1
+                if result.eviction.dirty:
+                    dirty_displaced += 1
+
+        # Path 2: forced evictions (CRG force-misses).
+        for set_index in range(cache.geometry.num_sets):
+            eviction = cache.force_eviction(set_index)
+            if eviction.line is not None:
+                displaced += 1
+                if eviction.dirty:
+                    dirty_displaced += 1
+
+        # Path 3: explicit invalidations.
+        for line in list(cache.resident_lines())[:4]:
+            eviction = cache.invalidate(line)
+            if eviction is not None:
+                displaced += 1
+                if eviction.dirty:
+                    dirty_displaced += 1
+
+        # Path 4: the final flush displaces everything left.
+        remaining = cache.occupancy()
+        dirty_remaining = sum(
+            1 for s in range(cache.geometry.num_sets)
+            for w in range(cache.geometry.ways) if cache._dirty[s][w]
+        )
+        cache.flush()
+        displaced += remaining
+        dirty_displaced += dirty_remaining
+
+        assert cache.stats.evictions == displaced
+        assert cache.stats.writebacks == dirty_displaced
+
+
+class TestForcedEvictionEdgeCases:
+    """CRG edge cases: force-miss draws into empty frames."""
+
+    def test_all_invalid_set_consumes_budget_without_writeback(self):
+        cache = make_cache()
+        eviction = cache.force_eviction(0)
+        assert eviction == Eviction(line=None, dirty=False)
+        assert cache.stats.forced_evictions == 1
+        assert cache.stats.evictions == 0
+        assert cache.stats.writebacks == 0
+        assert cache.occupancy() == 0
+
+    def test_repeated_forced_evictions_on_empty_set(self):
+        cache = make_cache()
+        for _ in range(5):
+            cache.force_eviction(0)
+        assert cache.stats.forced_evictions == 5
+        assert cache.stats.evictions == 0
+
+    def test_way_restricted_forced_eviction_spares_other_ways(self):
+        cache = make_cache(size=64, ways=4)  # one set
+        for line in range(4):
+            cache.access(line)  # fill all four ways
+        resident_before = cache.resident_lines()
+        eviction = cache.force_eviction(0, ways=(2,))
+        assert eviction.line is not None
+        assert cache.stats.forced_evictions == 1
+        assert resident_before - cache.resident_lines() == {eviction.line}
+
+
+class TestProbeUnderWayRestriction:
+    def test_probe_sees_line_only_through_its_way(self):
+        cache = make_cache(size=64, ways=4)  # one set
+        cache.access(5, ways=(1,))
+        assert cache.probe(5)
+        assert cache.probe(5, ways=(1,))
+        assert not cache.probe(5, ways=(0,))
+        assert not cache.probe(5, ways=(2, 3))
+
+    def test_probe_has_no_side_effects_under_restriction(self):
+        cache = make_cache(size=64, ways=4)
+        cache.access(5, ways=(1,))
+        hits, misses = cache.stats.hits, cache.stats.misses
+        cache.probe(5, ways=(0, 2, 3))
+        cache.probe(5, ways=(1,))
+        assert (cache.stats.hits, cache.stats.misses) == (hits, misses)
+
+    def test_probe_accepts_tuple_and_list_ways(self):
+        cache = make_cache(size=64, ways=4)
+        cache.access(9, ways=[3])
+        assert cache.probe(9, ways=[3])
+        assert cache.probe(9, ways=(3,))

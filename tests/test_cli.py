@@ -82,3 +82,59 @@ class TestCsvExport:
         content = csv_path.read_text().splitlines()
         assert content[0].startswith("benchmark,")
         assert len(content) == 11  # header + 10 benchmarks
+
+
+class TestWorkerValidation:
+    def test_rejects_zero_workers(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError, match="--workers"):
+            main(["--backend", "process", "--workers", "0", "fig3"])
+
+    def test_rejects_negative_workers(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError, match="positive"):
+            main(["--backend", "process", "--workers", "-3", "fig3"])
+
+    def test_single_cpu_process_backend_warns_and_proceeds(
+        self, monkeypatch, capsys
+    ):
+        import repro.cli as cli
+        monkeypatch.setattr(cli, "usable_cpus", lambda: 1)
+        code = main(["--scale", "tiny", "--seed", "3",
+                     "--backend", "process", "--workers", "2", "iid"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "single-CPU host" in captured.err
+        assert "MBPTA compliance" in captured.out
+
+    def test_multi_cpu_process_backend_does_not_warn(self, monkeypatch, capsys):
+        import repro.cli as cli
+        monkeypatch.setattr(cli, "usable_cpus", lambda: 8)
+        code = main(["--scale", "tiny", "--seed", "3",
+                     "--backend", "process", "--workers", "2", "iid"])
+        assert code == 0
+        assert "single-CPU host" not in capsys.readouterr().err
+
+
+class TestProfileFlag:
+    def test_profile_prints_attribution_table(self, capsys):
+        code = main(["--scale", "tiny", "--seed", "3", "--profile", "iid"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hot-path profile" in out
+        for component in ("l1", "bus", "llc", "efl", "memctrl"):
+            assert component in out
+
+    def test_no_profile_no_table(self, capsys):
+        code = main(["--scale", "tiny", "--seed", "3", "iid"])
+        assert code == 0
+        assert "hot-path profile" not in capsys.readouterr().out
+
+    def test_profile_does_not_change_results(self, capsys):
+        code = main(["--scale", "tiny", "--seed", "3", "iid"])
+        assert code == 0
+        plain = capsys.readouterr().out
+        code = main(["--scale", "tiny", "--seed", "3", "--profile", "iid"])
+        assert code == 0
+        profiled = capsys.readouterr().out
+        assert profiled.startswith(plain.rstrip("\n"))

@@ -5,7 +5,6 @@ from __future__ import annotations
 import math
 import random
 
-import numpy as np
 import pytest
 
 from repro.errors import AnalysisError

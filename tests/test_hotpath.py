@@ -1,0 +1,208 @@
+"""Hot-path equivalence: optimised vs reference, profiled vs plain.
+
+The backend-equivalence analogue for the single-run optimisations:
+every scenario class the simulator supports must produce bit-identical
+:class:`~repro.sim.simulator.RunResult` timing through
+
+* the optimised hot path (the shipped implementations),
+* the preserved pre-optimisation reference path
+  (:mod:`repro.sim.reference`), and
+* the optimised path with profiling enabled (``profile=True``).
+
+Also sanity-checks the profiler's attribution against independently
+tracked counters (EFL stall cycles) and its behaviour across the
+process backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import OperationMode
+from repro.sim.backend import ProcessPoolBackend, ProfilingObserver, SerialBackend
+from repro.sim.config import Scenario, SystemConfig
+from repro.sim.profiler import COMPONENTS, HotPathProfiler, ProfileSnapshot
+from repro.sim.reference import reference_hot_path
+from repro.sim.simulator import RunRequest, execute_request
+from repro.workloads.suite import build_benchmark
+
+SEED = 20140601
+
+
+def _core_timings(result):
+    return [
+        (core.core, core.cycles, core.instructions, core.efl_stall_cycles)
+        for core in result.cores
+    ]
+
+
+def _run_results_equal(a, b):
+    assert _core_timings(a) == _core_timings(b)
+    assert a.llc_hits == b.llc_hits
+    assert a.llc_misses == b.llc_misses
+    assert a.llc_forced_evictions == b.llc_forced_evictions
+    assert a.memory_reads == b.memory_reads
+    assert a.memory_writes == b.memory_writes
+
+
+def _requests():
+    """One request per scenario class the simulator distinguishes."""
+    tr_config = SystemConfig()
+    td_config = SystemConfig(placement="modulo", replacement="lru")
+    trace = build_benchmark("ID", scale=0.5)
+    trace_b = build_benchmark("MA", scale=0.5)
+    return {
+        "efl-analysis": RunRequest.isolation(
+            trace, tr_config, Scenario.efl(500), SEED
+        ),
+        "cp-analysis": RunRequest.isolation(
+            trace,
+            tr_config,
+            Scenario.cache_partitioning(2, num_cores=tr_config.num_cores),
+            SEED,
+        ),
+        "td-uncontrolled": RunRequest.isolation(
+            trace, td_config, Scenario.uncontrolled(OperationMode.ANALYSIS), SEED
+        ),
+        "efl-deployment-workload": RunRequest.workload(
+            (trace, trace_b),
+            tr_config,
+            Scenario.efl(500, mode=OperationMode.DEPLOYMENT),
+            SEED,
+        ),
+        "a2-write-through": RunRequest.isolation(
+            trace, SystemConfig(dl1_write_back=False), Scenario.efl(500), SEED
+        ),
+    }
+
+
+class TestReferenceEquivalence:
+    @pytest.mark.parametrize("label", sorted(_requests()))
+    def test_reference_path_is_bit_identical(self, label):
+        request = _requests()[label]
+        optimised = execute_request(request)
+        with reference_hot_path():
+            reference = execute_request(request)
+        _run_results_equal(optimised, reference)
+
+    def test_reference_context_restores_implementations(self):
+        from repro.mem.cache import Cache
+        before = Cache.__dict__["access"]
+        with reference_hot_path():
+            assert Cache.__dict__["access"] is not before
+        assert Cache.__dict__["access"] is before
+
+    def test_reference_context_restores_on_error(self):
+        from repro.mem.cache import Cache
+        before = Cache.__dict__["access"]
+        with pytest.raises(RuntimeError):
+            with reference_hot_path():
+                raise RuntimeError("boom")
+        assert Cache.__dict__["access"] is before
+
+
+class TestProfilerEquivalence:
+    @pytest.mark.parametrize("label", sorted(_requests()))
+    def test_profiling_never_changes_timing(self, label):
+        request = _requests()[label]
+        plain = execute_request(request)
+        profiled = execute_request(
+            RunRequest(
+                request.engine, request.traces, request.config,
+                request.scenario, request.seed, request.index,
+                request.core_id, profile=True,
+            )
+        )
+        _run_results_equal(plain, profiled)
+        assert plain.profile is None
+        assert profiled.profile is not None
+
+    def test_efl_attribution_matches_stall_counters(self):
+        request = _requests()["efl-analysis"]
+        profiled = execute_request(
+            RunRequest.isolation(
+                request.traces[0], request.config, request.scenario,
+                request.seed, profile=True,
+            )
+        )
+        stalls = sum(core.efl_stall_cycles for core in profiled.cores)
+        assert profiled.profile.cycles["efl"] == stalls
+
+    def test_all_components_present_in_snapshot(self):
+        request = _requests()["efl-analysis"]
+        profiled = execute_request(
+            RunRequest.isolation(
+                request.traces[0], request.config, request.scenario,
+                request.seed, profile=True,
+            )
+        )
+        snap = profiled.profile
+        assert set(snap.events) == set(COMPONENTS)
+        assert set(snap.cycles) == set(COMPONENTS)
+        # A non-trivial EFL run must touch every component.
+        assert all(snap.events[name] > 0 for name in COMPONENTS)
+        assert snap.total_cycles > 0
+        assert snap.total_wall_s > 0
+
+
+class TestProfilerPrimitives:
+    def test_account_and_snapshot(self):
+        profiler = HotPathProfiler()
+        profiler.account("bus", 10, 0.5)
+        profiler.account("bus", 5)
+        snap = profiler.snapshot()
+        assert snap.events["bus"] == 2
+        assert snap.cycles["bus"] == 15
+        assert snap.wall_s["bus"] == pytest.approx(0.5)
+
+    def test_snapshot_is_frozen_copy(self):
+        profiler = HotPathProfiler()
+        snap = profiler.snapshot()
+        profiler.account("llc", 7)
+        assert snap.cycles["llc"] == 0
+
+    def test_merge_skips_none(self):
+        a = ProfileSnapshot(events={"bus": 1}, cycles={"bus": 2}, wall_s={"bus": 0.1})
+        b = ProfileSnapshot(events={"bus": 3}, cycles={"bus": 4}, wall_s={"bus": 0.2})
+        merged = ProfileSnapshot.merge([a, None, b])
+        assert merged.events["bus"] == 4
+        assert merged.cycles["bus"] == 6
+        assert merged.wall_s["bus"] == pytest.approx(0.3)
+
+
+class TestProfilingObserver:
+    def _requests_batch(self, profile):
+        trace = build_benchmark("ID", scale=0.25)
+        template = RunRequest.isolation(
+            trace, SystemConfig(), Scenario.efl(500), SEED, profile=profile
+        )
+        return [template.with_run(i, SEED + i) for i in range(4)]
+
+    def test_collects_snapshots_serially(self):
+        observer = ProfilingObserver()
+        outcomes = SerialBackend().execute(
+            self._requests_batch(profile=True), observer=observer
+        )
+        assert len(observer.snapshots) == len(outcomes) == 4
+        assert observer.total.total_cycles == sum(
+            snap.total_cycles for snap in observer.snapshots
+        )
+
+    def test_no_snapshots_without_profile(self):
+        observer = ProfilingObserver()
+        SerialBackend().execute(self._requests_batch(profile=False), observer=observer)
+        assert observer.snapshots == []
+
+    def test_snapshots_survive_process_backend(self):
+        serial_observer = ProfilingObserver()
+        SerialBackend().execute(
+            self._requests_batch(profile=True), observer=serial_observer
+        )
+        process_observer = ProfilingObserver()
+        ProcessPoolBackend(workers=2).execute(
+            self._requests_batch(profile=True), observer=process_observer
+        )
+        assert len(process_observer.snapshots) == 4
+        # Cycle attribution is deterministic (wall times are not).
+        assert process_observer.total.cycles == serial_observer.total.cycles
+        assert process_observer.total.events == serial_observer.total.events

@@ -2,14 +2,17 @@
 
 from __future__ import annotations
 
-import math
 import random
 
 import pytest
 
 from repro.errors import AnalysisError
 from repro.pta.iid import (
+    FULL_CAMPAIGN_RUNS,
+    MBPTA_MIN_IID_RUNS,
     WW_CRITICAL_5PCT,
+    _normal_quantile,
+    iid_assert_thresholds,
     iid_test,
     kolmogorov_smirnov_test,
     wald_wolfowitz_test,
@@ -105,3 +108,50 @@ class TestCombined:
     def test_too_small_sample_rejected(self):
         with pytest.raises(AnalysisError):
             iid_test([1.0] * 10)
+
+
+class TestNormalQuantile:
+    def test_matches_known_values(self):
+        # Standard normal quantiles to 4+ decimal places.
+        assert _normal_quantile(0.975) == pytest.approx(1.959964, abs=1e-4)
+        assert _normal_quantile(0.995) == pytest.approx(2.575829, abs=1e-4)
+        assert _normal_quantile(0.5) == pytest.approx(0.0, abs=1e-9)
+
+    def test_symmetry(self):
+        assert _normal_quantile(0.025) == pytest.approx(
+            -_normal_quantile(0.975), abs=1e-9
+        )
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(AnalysisError):
+            _normal_quantile(0.0)
+        with pytest.raises(AnalysisError):
+            _normal_quantile(1.5)
+
+
+class TestAssertThresholds:
+    def test_refuses_below_minimum_runs(self):
+        with pytest.raises(AnalysisError, match="skip"):
+            iid_assert_thresholds(MBPTA_MIN_IID_RUNS - 1)
+
+    def test_paper_thresholds_at_full_scale(self):
+        assert iid_assert_thresholds(FULL_CAMPAIGN_RUNS, comparisons=20) == (
+            WW_CRITICAL_5PCT, 0.05,
+        )
+
+    def test_single_comparison_uses_paper_thresholds(self):
+        assert iid_assert_thresholds(80, comparisons=1) == (WW_CRITICAL_5PCT, 0.05)
+
+    def test_bonferroni_weakens_per_test_thresholds(self):
+        ww_critical, ks_alpha = iid_assert_thresholds(80, comparisons=20)
+        # Family-wise alpha split 20 ways: stricter quantile, looser
+        # per-test verdicts (higher critical value, lower alpha).
+        assert ww_critical > WW_CRITICAL_5PCT
+        assert ks_alpha == pytest.approx(0.05 / 20)
+        assert ww_critical == pytest.approx(
+            _normal_quantile(1 - ks_alpha / 2), abs=1e-9
+        )
+
+    def test_rejects_bad_comparisons(self):
+        with pytest.raises(AnalysisError):
+            iid_assert_thresholds(80, comparisons=0)

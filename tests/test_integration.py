@@ -9,7 +9,7 @@ import pytest
 from repro.core.config import OperationMode
 from repro.pta.mbpta import estimate_pwcet
 from repro.sim.campaign import collect_execution_times
-from repro.sim.config import Scenario, SystemConfig
+from repro.sim.config import Scenario
 from repro.sim.simulator import run_isolation, run_workload
 from repro.workloads.generator import build_workload_traces
 from repro.workloads.scale import ExperimentScale

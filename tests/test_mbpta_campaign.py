@@ -18,7 +18,6 @@ from repro.sim.campaign import collect_execution_times
 from repro.sim.config import Scenario, SystemConfig
 from repro.sim.simulator import run_isolation
 from repro.utils.rng import derive_seeds
-from tests.conftest import make_stream_trace
 
 
 def gumbel_sample(mu, beta, n, seed=0):

@@ -131,3 +131,115 @@ class TestPartitionedLLC:
         assert [e.line for e in written] == [1]
         assert part.probe(0, 1) is False
         assert part.probe(1, 2) is True
+
+
+class TestRepartitionConservation:
+    """Repartition + refill conserves occupancy and stats totals.
+
+    ``flush_partition`` delegates to ``Cache.flush(ways=...)``, so a
+    partial flush and a full flush must account identically: evictions
+    count every valid line displaced, write-backs every dirty one.
+    """
+
+    def _fill_partition(self, llc, core, lines, write=False):
+        for line in lines:
+            llc.access(core, line, write=write)
+
+    def test_flush_partition_counts_evictions_and_writebacks(self):
+        cache = make_llc()
+        llc = PartitionedLLC(cache, WayPartition.even(num_cores=4, total_ways=8))
+        self._fill_partition(llc, 0, range(0, 10), write=True)
+        self._fill_partition(llc, 1, range(100, 110))
+        evictions_before = cache.stats.evictions
+        writebacks_before = cache.stats.writebacks
+        core0_lines = sum(
+            1 for s in range(cache.geometry.num_sets)
+            for w in (0, 1) if cache._tags[s][w] is not None
+        )
+        core0_dirty = sum(
+            1 for s in range(cache.geometry.num_sets)
+            for w in (0, 1) if cache._dirty[s][w]
+        )
+        written_back = llc.flush_partition(0)
+        assert cache.stats.evictions == evictions_before + core0_lines
+        assert cache.stats.writebacks == writebacks_before + core0_dirty
+        assert len(written_back) == core0_dirty
+        assert all(ev.dirty for ev in written_back)
+
+    def test_flush_partition_spares_other_partitions(self):
+        cache = make_llc()
+        llc = PartitionedLLC(cache, WayPartition.even(num_cores=4, total_ways=8))
+        self._fill_partition(llc, 0, range(0, 6))
+        self._fill_partition(llc, 2, range(200, 206))
+        core2_resident = {
+            cache._tags[s][w]
+            for s in range(cache.geometry.num_sets)
+            for w in (4, 5) if cache._tags[s][w] is not None
+        }
+        llc.flush_partition(0)
+        still_resident = {
+            cache._tags[s][w]
+            for s in range(cache.geometry.num_sets)
+            for w in (4, 5) if cache._tags[s][w] is not None
+        }
+        assert still_resident == core2_resident
+
+    def test_repartition_refill_conserves_totals(self):
+        """Simulated partition reassignment: flush, repartition, refill."""
+        cache = make_llc()
+        llc = PartitionedLLC(cache, WayPartition.even(num_cores=4, total_ways=8))
+        self._fill_partition(llc, 0, range(0, 12), write=True)
+        self._fill_partition(llc, 1, range(100, 112), write=True)
+
+        # Every line ever displaced must appear in stats.evictions:
+        # start the audit from the current counters.
+        evictions_before = cache.stats.evictions
+        writebacks_before = cache.stats.writebacks
+        occupancy_before = cache.occupancy()
+        dirty_before = sum(
+            1 for s in range(cache.geometry.num_sets)
+            for w in range(cache.geometry.ways) if cache._dirty[s][w]
+        )
+
+        # Reassign: flush both partitions, install a new layout, refill.
+        llc.flush_partition(0)
+        llc.flush_partition(1)
+        assert cache.occupancy() == 0
+        assert cache.stats.evictions == evictions_before + occupancy_before
+        assert cache.stats.writebacks == writebacks_before + dirty_before
+
+        new_llc = PartitionedLLC(
+            cache, WayPartition.from_counts([4, 4], total_ways=8)
+        )
+        self._fill_partition(new_llc, 0, range(0, 12), write=True)
+        self._fill_partition(new_llc, 1, range(100, 112), write=True)
+
+        # Refill conservation: hits+misses grew by the accesses issued,
+        # and occupancy equals lines filled minus lines displaced since
+        # the flush.
+        evictions_at_flush = evictions_before + occupancy_before
+        displaced_by_refill = cache.stats.evictions - evictions_at_flush
+        assert cache.occupancy() == 24 - displaced_by_refill
+
+    def test_flush_partition_matches_full_flush_accounting(self):
+        """Per-way flushes over all cores == one full flush, stat-wise."""
+        def build():
+            cache = make_llc(seed=11)
+            llc = PartitionedLLC(
+                cache, WayPartition.even(num_cores=4, total_ways=8)
+            )
+            for core in range(4):
+                for line in range(core * 50, core * 50 + 8):
+                    llc.access(core, line, write=(line % 2 == 0))
+            return cache, llc
+
+        cache_a, llc_a = build()
+        for core in range(4):
+            llc_a.flush_partition(core)
+
+        cache_b, _llc_b = build()
+        cache_b.flush()
+
+        assert cache_a.stats.evictions == cache_b.stats.evictions
+        assert cache_a.stats.writebacks == cache_b.stats.writebacks
+        assert cache_a.occupancy() == cache_b.occupancy() == 0
