@@ -29,10 +29,13 @@ paper-versus-measured record of every figure and table.
 from repro.errors import (
     AnalysisError,
     CampaignRunError,
+    CheckpointError,
     ConfigurationError,
     ReproError,
+    RunTimeoutError,
     SimulationError,
     TraceError,
+    TransientRunError,
 )
 from repro.core import (
     AccessControlUnit,
@@ -54,9 +57,13 @@ from repro.mem import (
 )
 from repro.cpu import InOrderPipeline, OpKind, Trace, TraceBuilder
 from repro.sim import (
+    CampaignCheckpoint,
     CampaignResult,
     ExecutionBackend,
+    FaultInjectingBackend,
+    FaultPlan,
     ProcessPoolBackend,
+    RetryPolicy,
     RunObserver,
     RunRecord,
     RunRequest,
@@ -105,6 +112,9 @@ __all__ = [
     "ConfigurationError",
     "SimulationError",
     "CampaignRunError",
+    "TransientRunError",
+    "RunTimeoutError",
+    "CheckpointError",
     "AnalysisError",
     "TraceError",
     # EFL (the paper's contribution)
@@ -142,9 +152,14 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "RetryPolicy",
     "RunObserver",
     "RunRecord",
     "make_backend",
+    # resilience
+    "CampaignCheckpoint",
+    "FaultPlan",
+    "FaultInjectingBackend",
     # PTA
     "ExecutionTimeProfile",
     "GumbelFit",

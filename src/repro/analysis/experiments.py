@@ -19,8 +19,10 @@ paper derives Figure 4's wgIPC from Figure 3's analysis products.
 
 from __future__ import annotations
 
+import re
 import zlib
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import improvement, summarise_improvements
@@ -35,6 +37,7 @@ from repro.pta.iid import IIDResult, iid_test
 from repro.pta.mbpta import MBPTAResult, estimate_pwcet
 from repro.sim.backend import ExecutionBackend, RunObserver, SerialBackend
 from repro.sim.campaign import CampaignResult, collect_execution_times
+from repro.sim.checkpoint import CampaignCheckpoint
 from repro.sim.config import Scenario, SystemConfig
 from repro.sim.simulator import RunRequest
 from repro.utils.rng import derive_seeds
@@ -53,6 +56,13 @@ class PWCETTable:
     bit-identical across backends because per-run seeds derive from
     the campaign key, never from the worker layout — and reports
     per-run records to ``observer``.
+
+    ``checkpoint_dir`` journals each analysis campaign to its own
+    JSONL file (``<bench>__<setup>.jsonl``) so an interrupted Figure
+    3/4 sweep resumes where it died instead of restarting: already
+    journalled runs are loaded, not re-executed, and the resumed
+    estimates are bit-identical to an uninterrupted sweep's.
+    ``resume=False`` keeps journalling but discards any prior journal.
     """
 
     def __init__(
@@ -64,6 +74,9 @@ class PWCETTable:
         backend: Optional[ExecutionBackend] = None,
         observer: Optional[RunObserver] = None,
         profile: bool = False,
+        checkpoint_dir: Optional[Path] = None,
+        resume: bool = True,
+        cycle_budget: Optional[int] = None,
     ) -> None:
         self.scale = scale if scale is not None else ExperimentScale.default()
         # Default to the scale's proportionally shrunk platform; an
@@ -76,6 +89,11 @@ class PWCETTable:
         #: When set, every run is profiled and its attribution snapshot
         #: travels on the run's record (see ProfilingObserver).
         self.profile = profile
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self.resume = resume
+        #: Per-run simulated-cycle budget (livelock guard); ``None``
+        #: disables the guard entirely (no hot-path cost).
+        self.cycle_budget = cycle_budget
         self.traces = build_all_benchmarks(self.scale.trace_scale)
         self._campaigns: Dict[Tuple[str, str], CampaignResult] = {}
         self._estimates: Dict[Tuple[str, str], MBPTAResult] = {}
@@ -93,6 +111,15 @@ class PWCETTable:
                 value, num_cores=self.config.num_cores, mode=OperationMode.ANALYSIS
             )
         raise AnalysisError(f"unknown setup kind {label_kind!r}")
+
+    def _checkpoint_for(self, bench_id: str, scenario_label: str):
+        """The campaign's journal, or ``None`` without a checkpoint dir."""
+        if self.checkpoint_dir is None:
+            return None
+        safe = re.sub(r"[^A-Za-z0-9._-]", "-", f"{bench_id}__{scenario_label}")
+        return CampaignCheckpoint(
+            self.checkpoint_dir / f"{safe}.jsonl", resume=self.resume
+        )
 
     def campaign(self, bench_id: str, kind: str, value: int) -> CampaignResult:
         """Execution-time sample of one (benchmark, setup) campaign."""
@@ -112,6 +139,8 @@ class PWCETTable:
                 backend=self.backend,
                 observer=self.observer,
                 profile=self.profile,
+                checkpoint=self._checkpoint_for(bench_id, scenario.label()),
+                cycle_budget=self.cycle_budget,
             )
         return self._campaigns[key]
 
@@ -279,14 +308,15 @@ def _deployment_samples(
 ) -> List[float]:
     """Co-run one workload ``len(rep_seeds)`` times through the backend."""
     template = RunRequest.workload(
-        traces, table.config, scenario, rep_seeds[0], index=0, profile=table.profile
+        traces, table.config, scenario, rep_seeds[0], index=0,
+        profile=table.profile, cycle_budget=table.cycle_budget,
     )
     requests = [
         template.with_run(index, seed) for index, seed in enumerate(rep_seeds)
     ]
     outcomes = table.backend.execute(requests, observer=table.observer)
     failures = [
-        (outcome.index, outcome.seed, outcome.error or "")
+        (outcome.index, outcome.seed, outcome.error or "", outcome.error_kind)
         for outcome in outcomes
         if outcome.failed
     ]

@@ -56,6 +56,12 @@ def render_campaign(result: CampaignResult) -> str:
             f"  throughput: {result.runs_per_second:.1f} runs/s "
             f"({result.wall_time_s:.2f}s wall)"
         )
+    if result.resumed_runs or result.retried_runs:
+        lines.append(
+            f"  resilience: {result.resumed_runs} runs resumed from "
+            f"checkpoint, {result.retried_runs} retries spent on "
+            f"transient failures"
+        )
     if result.records:
         runs = len(result.records)
         def mean(attribute: str) -> float:

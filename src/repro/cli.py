@@ -13,6 +13,13 @@ Every command accepts ``--scale {tiny,quick,default,paper}`` and
 and ``--workers N`` to fan simulation runs out over worker processes
 (results are bit-identical across backends — seeds are derived per
 run, not per worker); results print as plain-text tables.
+
+Long sweeps survive interruption with ``--checkpoint-dir DIR``: every
+analysis campaign journals its completed runs there, and rerunning
+with ``--resume`` picks the sweep up from the journals instead of
+restarting it.  ``--run-timeout`` arms the pool backend's per-run
+wall-clock watchdog; ``--cycle-budget`` bounds each run's simulated
+cycles (a livelock guard).
 """
 
 from __future__ import annotations
@@ -65,9 +72,14 @@ def _build_table(args: argparse.Namespace) -> PWCETTable:
         config=SystemConfig(),
         scale=scale,
         seed=args.seed,
-        backend=make_backend(args.backend, args.workers),
+        backend=make_backend(
+            args.backend, args.workers, run_timeout_s=args.run_timeout
+        ),
         observer=observer,
         profile=args.profile,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        cycle_budget=args.cycle_budget,
     )
 
 
@@ -165,6 +177,47 @@ def make_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="print per-campaign progress"
     )
     parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "journal every analysis campaign's completed runs to "
+            "DIR/<bench>__<setup>.jsonl so an interrupted sweep can be "
+            "resumed with --resume"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume from the journals in --checkpoint-dir: already "
+            "completed runs are loaded, not re-executed (the resumed "
+            "results are bit-identical to an uninterrupted sweep)"
+        ),
+    )
+    parser.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-run wall-clock watchdog for --backend process: a run "
+            "making no progress for this long is killed and retried "
+            "(default: no watchdog)"
+        ),
+    )
+    parser.add_argument(
+        "--cycle-budget",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help=(
+            "abort any run exceeding this many simulated cycles "
+            "(livelock guard; such failures are deterministic and "
+            "never retried; default: unbounded)"
+        ),
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help=(
@@ -213,6 +266,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.workers is not None and args.workers <= 0:
         raise ConfigurationError(
             f"--workers must be a positive integer, got {args.workers}"
+        )
+    if args.resume and args.checkpoint_dir is None:
+        raise ConfigurationError(
+            "--resume needs --checkpoint-dir to know where the journals live"
         )
     return args.func(args)
 

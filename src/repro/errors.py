@@ -31,26 +31,131 @@ class SimulationError(ReproError):
     """
 
 
+class TransientRunError(ReproError):
+    """A run failed for infrastructure reasons, not simulation reasons.
+
+    Transient failures (a worker process killed by the OS, a corrupted
+    IPC payload, a wall-clock watchdog firing on a loaded host) say
+    nothing about the simulated program: re-executing the same
+    ``(index, seed)`` request yields the bit-identical result the
+    failed attempt would have produced.  Backends therefore retry them
+    under their :class:`~repro.sim.backend.RetryPolicy`, in contrast
+    to deterministic :class:`SimulationError` failures which would
+    fail identically on every attempt and are never retried.
+    """
+
+
+class WorkerCrashError(TransientRunError):
+    """A worker process died hard (SIGKILL/OOM/``os._exit``).
+
+    Hard deaths bypass Python-level exception capture entirely: the
+    pool sees silence, not a traceback.  The parent synthesises this
+    error for every run the dead worker still owed, rebuilds the pool
+    and re-dispatches them.
+    """
+
+
+class ResultIntegrityError(TransientRunError):
+    """A run result failed its integrity check after IPC transfer.
+
+    Workers stamp each outcome with a checksum over the result payload;
+    the parent recomputes it on receipt.  A mismatch means the payload
+    was corrupted in flight — the simulation itself is fine, so the
+    run is retried.
+    """
+
+
+class RunTimeoutError(ReproError):
+    """A run exceeded a watchdog budget.
+
+    Two watchdogs raise this error, with opposite retry semantics
+    carried in :attr:`transient`:
+
+    * the execution backend's **wall-clock** watchdog (a run made no
+      progress for ``run_timeout_s`` host seconds) — transient: the
+      host may simply have been loaded, so the run is retried;
+    * the simulator's **simulated-cycle budget** guard (the run
+      exceeded ``cycle_budget`` simulated cycles) — deterministic: the
+      same seed livelocks identically on every attempt, so retrying
+      is pointless and the failure is surfaced immediately.
+    """
+
+    def __init__(self, message: str, transient: bool) -> None:
+        super().__init__(message)
+        #: Whether a retry could plausibly succeed (wall-clock watchdog)
+        #: or the timeout reproduces deterministically (cycle budget).
+        self.transient = transient
+
+
+class CheckpointError(ReproError):
+    """A campaign checkpoint journal cannot be used.
+
+    Raised when a journal's header does not match the campaign being
+    resumed (different task, scenario, master seed or config
+    fingerprint) or when a journalled run contradicts the campaign's
+    derived seeds.  Resuming from a mismatched journal would splice
+    samples from two different experiments, so this is never papered
+    over.
+    """
+
+
+#: ``RunOutcome.error_kind`` value for retryable infrastructure failures.
+ERROR_KIND_TRANSIENT = "transient"
+#: ``RunOutcome.error_kind`` value for failures that reproduce per seed.
+ERROR_KIND_DETERMINISTIC = "deterministic"
+
+
+def classify_exception(exc: BaseException) -> str:
+    """Classify an exception as transient (retryable) or deterministic.
+
+    Transient means re-executing the same request could succeed
+    (infrastructure failed, not the simulation); deterministic means
+    every attempt fails identically, so backends must surface the
+    failure after exactly one attempt.
+    """
+    if isinstance(exc, TransientRunError):
+        return ERROR_KIND_TRANSIENT
+    if isinstance(exc, RunTimeoutError):
+        return ERROR_KIND_TRANSIENT if exc.transient else ERROR_KIND_DETERMINISTIC
+    return ERROR_KIND_DETERMINISTIC
+
+
 class CampaignRunError(SimulationError):
     """One or more runs of a measurement campaign failed.
 
     Execution backends capture per-run exceptions instead of aborting
     the whole campaign, so a single bad seed cannot kill a 1000-run
     fan-out; the campaign layer then raises this error carrying every
-    ``(index, seed, message)`` triple, making the failing runs
-    reproducible in isolation (re-run with exactly that seed).
+    ``(index, seed, message, kind)`` quadruple, making the failing
+    runs reproducible in isolation (re-run with exactly that seed).
+    ``kind`` is the retry classification the backend assigned
+    (:data:`ERROR_KIND_TRANSIENT` failures exhausted their retry
+    budget; :data:`ERROR_KIND_DETERMINISTIC` ones were never retried).
     """
 
     def __init__(self, task: str, scenario_label: str, failures) -> None:
         self.task = task
         self.scenario_label = scenario_label
-        #: List of ``(index, seed, message)`` triples, one per failed run.
-        self.failures = list(failures)
-        index, seed, message = self.failures[0]
+        #: List of ``(index, seed, message, kind)`` quadruples, one per
+        #: failed run.  Triples are accepted and default to
+        #: deterministic for backward compatibility.
+        self.failures = [
+            tuple(failure) if len(failure) == 4
+            else (*failure, ERROR_KIND_DETERMINISTIC)
+            for failure in failures
+        ]
+        index, seed, message, kind = self.failures[0]
         first = message.strip().splitlines()[-1] if message else "unknown error"
+        transient = sum(
+            1 for _i, _s, _m, k in self.failures if k == ERROR_KIND_TRANSIENT
+        )
+        breakdown = (
+            f" ({transient} transient after retries)" if transient else ""
+        )
         super().__init__(
             f"campaign {task!r} under {scenario_label}: "
-            f"{len(self.failures)} of the runs failed; first failure at "
+            f"{len(self.failures)} of the runs failed{breakdown}; "
+            f"first failure ({kind}) at "
             f"run {index} (seed {seed:#x}): {first}"
         )
 

@@ -15,7 +15,11 @@
   seam;
 * :mod:`repro.sim.campaign` — multi-run measurement campaigns with
   per-run RII/seed refresh and full seed provenance, feeding the
-  MBPTA layer.
+  MBPTA layer;
+* :mod:`repro.sim.checkpoint` — per-campaign JSONL run journals so
+  interrupted campaigns resume bit-identically;
+* :mod:`repro.sim.faults` — deterministic fault injection for
+  exercising the retry/crash-recovery/watchdog machinery.
 """
 
 from repro.sim.config import Scenario, SystemConfig
@@ -32,6 +36,7 @@ from repro.sim.backend import (
     BACKEND_NAMES,
     ExecutionBackend,
     ProcessPoolBackend,
+    RetryPolicy,
     RunObserver,
     RunOutcome,
     RunRecord,
@@ -40,6 +45,8 @@ from repro.sim.backend import (
     make_backend,
 )
 from repro.sim.campaign import collect_execution_times, CampaignResult
+from repro.sim.checkpoint import CampaignCheckpoint, campaign_fingerprint
+from repro.sim.faults import FaultInjectingBackend, FaultPlan
 
 __all__ = [
     "SystemConfig",
@@ -60,7 +67,12 @@ __all__ = [
     "StreamObserver",
     "RunOutcome",
     "RunRecord",
+    "RetryPolicy",
     "make_backend",
     "collect_execution_times",
     "CampaignResult",
+    "CampaignCheckpoint",
+    "campaign_fingerprint",
+    "FaultPlan",
+    "FaultInjectingBackend",
 ]

@@ -26,18 +26,48 @@ The :class:`RunObserver` seam replaces the former ad-hoc
 :class:`RunRecord` per completed run (cycles, LLC interference
 counters, EFL stalls, wall time), which the campaign layer aggregates
 into :class:`~repro.sim.campaign.CampaignResult`.
+
+**Resilience.**  Long campaigns die to infrastructure, not to
+simulation bugs: a worker OOM-killed mid-chunk, a livelocked host, a
+corrupted IPC payload.  The backends classify every failure as
+*transient* (infrastructure — retrying the same ``(index, seed)``
+yields the bit-identical result the failed attempt owed) or
+*deterministic* (the simulation itself raised — every attempt fails
+the same way) and retry only the former, under a bounded
+:class:`RetryPolicy` with exponential backoff.
+:class:`ProcessPoolBackend` additionally detects hard worker deaths
+(the chunk never returns; the dead process's exit code gives it away),
+terminates and rebuilds the pool, and re-dispatches only the
+unfinished requests; an optional per-run wall-clock watchdog
+(``run_timeout_s``) converts a hung worker into a retryable timeout.
+Every result is stamped with a checksum by the process that computed
+it and re-verified on receipt, so corrupted transfers are caught and
+retried instead of silently poisoning the sample.  None of this can
+change ``execution_times``: retries re-execute pure functions of
+``(template, index, seed)``.
 """
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
 import time
 import traceback
-from dataclasses import dataclass
-from typing import IO, List, Optional, Sequence
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import IO, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ERROR_KIND_DETERMINISTIC,
+    ERROR_KIND_TRANSIENT,
+    ConfigurationError,
+    ResultIntegrityError,
+    RunTimeoutError,
+    SimulationError,
+    WorkerCrashError,
+    classify_exception,
+)
 from repro.sim.profiler import ProfileSnapshot
 from repro.sim.simulator import RunRequest, RunResult, execute_request
 
@@ -104,30 +134,113 @@ class RunRecord:
         )
 
 
+def result_checksum(index: int, seed: int, result: RunResult) -> int:
+    """Integrity checksum over a run result's semantic payload.
+
+    Computed by the process that produced the result and re-verified
+    by the process that consumes it, so a payload corrupted in IPC
+    transit is detected (and the run retried) instead of silently
+    poisoning the campaign sample.  Covers everything the campaign
+    layer reads; wall times and profiles are measurements, not
+    semantics, and are excluded.
+    """
+    parts: List[object] = [
+        index, seed, result.scenario_label,
+        result.llc_hits, result.llc_misses, result.llc_forced_evictions,
+        result.memory_reads, result.memory_writes,
+    ]
+    for core in result.cores:
+        parts.extend((
+            core.core, core.task, core.cycles, core.instructions,
+            core.il1_misses, core.il1_accesses,
+            core.dl1_misses, core.dl1_accesses,
+            core.efl_stall_cycles, core.efl_evictions,
+        ))
+    return zlib.crc32(repr(parts).encode())
+
+
 @dataclass(frozen=True)
 class RunOutcome:
-    """What a backend returns per request: a result or a captured error."""
+    """What a backend returns per request: a result or a captured error.
+
+    ``error_kind`` classifies a failure for the retry machinery:
+    :data:`~repro.errors.ERROR_KIND_TRANSIENT` failures are
+    infrastructure (retryable), :data:`~repro.errors.ERROR_KIND_DETERMINISTIC`
+    ones reproduce per seed (surfaced after exactly one attempt).
+    ``attempts`` counts how many executions this outcome cost;
+    ``checksum`` is the producer-side integrity stamp of ``result``.
+    """
 
     index: int
     seed: int
     result: Optional[RunResult]
     error: Optional[str]
     wall_time_s: float
+    error_kind: Optional[str] = None
+    attempts: int = 1
+    checksum: Optional[int] = None
 
     @property
     def failed(self) -> bool:
         """Whether this run raised instead of completing."""
         return self.error is not None
 
+    @property
+    def transient(self) -> bool:
+        """Whether this outcome is a retryable infrastructure failure."""
+        return self.failed and self.error_kind == ERROR_KIND_TRANSIENT
+
     def record(self) -> RunRecord:
         """The observability record of a *successful* outcome."""
         if self.result is None:
-            raise ConfigurationError(
+            raise SimulationError(
                 f"run {self.index} (seed {self.seed:#x}) failed; no record"
             )
         return RunRecord.from_result(
             self.index, self.seed, self.result, self.wall_time_s
         )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for *transient* failures.
+
+    ``max_attempts`` caps total executions per run (1 = never retry).
+    The wait before re-dispatching attempt ``n + 1`` is
+    ``backoff_s * multiplier ** (n - 1)``.  ``sleep`` is injectable so
+    tests can retry without real waiting.  Deterministic simulation
+    failures ignore this policy entirely — they are surfaced after
+    exactly one attempt, because every retry would fail identically.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.05
+    multiplier: float = 2.0
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"retry needs max_attempts >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_s < 0:
+            raise ConfigurationError(
+                f"backoff must be non-negative, got {self.backoff_s}"
+            )
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"backoff multiplier must be >= 1, got {self.multiplier}"
+            )
+
+    def delay_s(self, attempt: int) -> float:
+        """Backoff before re-dispatching after failed attempt ``attempt``."""
+        return self.backoff_s * self.multiplier ** (attempt - 1)
+
+    def wait(self, attempt: int) -> None:
+        """Sleep the backoff owed after failed attempt ``attempt``."""
+        delay = self.delay_s(attempt)
+        if delay > 0:
+            self.sleep(delay)
 
 
 # ----------------------------------------------------------------------
@@ -148,7 +261,25 @@ class RunObserver:
         """One run completed successfully."""
 
     def on_run_failed(self, index: int, seed: int, error: str) -> None:
-        """One run raised; ``error`` is its formatted traceback."""
+        """One run failed for good; ``error`` is its formatted traceback.
+
+        Fires once per request, after retries (if any) are exhausted —
+        transient failures that a later attempt recovered fire
+        :meth:`on_retry` instead.
+        """
+
+    def on_retry(self, index: int, seed: int, attempt: int, error: str) -> None:
+        """Attempt ``attempt`` of one run failed transiently; it will be
+        re-dispatched."""
+
+    def on_worker_crash(self, dead_workers: int) -> None:
+        """``dead_workers`` pool processes died hard; the pool is being
+        rebuilt and their unfinished runs re-dispatched."""
+
+    def on_checkpoint(self, index: int, seed: int, completed: int,
+                      total: int) -> None:
+        """One run's record was appended to the campaign's checkpoint
+        journal (``completed`` of ``total`` runs are now journalled)."""
 
     def on_campaign_end(self, result: object) -> None:
         """A campaign finished; ``result`` is its CampaignResult."""
@@ -158,17 +289,22 @@ class RunObserver:
 
 
 class StreamObserver(RunObserver):
-    """Prints campaign progress and throughput to a text stream."""
+    """Prints campaign progress, throughput and resilience events to a
+    text stream."""
 
     def __init__(self, stream: IO[str], every: int = 0) -> None:
         self.stream = stream
         self.every = every
         self._done = 0
         self._runs = 0
+        self._failed = 0
+        self._retried = 0
 
     def on_campaign_start(self, task: str, scenario_label: str, runs: int) -> None:
         self._done = 0
         self._runs = runs
+        self._failed = 0
+        self._retried = 0
         print(f"  [campaign: {task} under {scenario_label} ({runs} runs)]",
               file=self.stream)
 
@@ -178,15 +314,41 @@ class StreamObserver(RunObserver):
             print(f"  [{self._done}/{self._runs} runs]", file=self.stream)
 
     def on_run_failed(self, index: int, seed: int, error: str) -> None:
+        self._failed += 1
         last = error.strip().splitlines()[-1] if error else "unknown error"
         print(f"  [run {index} FAILED (seed {seed:#x}): {last}]", file=self.stream)
+
+    def on_retry(self, index: int, seed: int, attempt: int, error: str) -> None:
+        self._retried += 1
+        last = error.strip().splitlines()[-1] if error else "unknown error"
+        print(
+            f"  [run {index} retrying after attempt {attempt} "
+            f"(seed {seed:#x}): {last}]",
+            file=self.stream,
+        )
+
+    def on_worker_crash(self, dead_workers: int) -> None:
+        print(
+            f"  [{dead_workers} worker(s) died hard; rebuilding pool and "
+            f"re-dispatching unfinished runs]",
+            file=self.stream,
+        )
+
+    def on_checkpoint(self, index: int, seed: int, completed: int,
+                      total: int) -> None:
+        if self.every and completed % self.every == 0:
+            print(f"  [checkpoint: {completed}/{total} runs journalled]",
+                  file=self.stream)
 
     def on_campaign_end(self, result: object) -> None:
         wall = getattr(result, "wall_time_s", 0.0)
         runs = getattr(result, "runs", 0)
         if wall > 0:
-            print(f"  [{runs} runs in {wall:.2f}s: {runs / wall:.1f} runs/s]",
-                  file=self.stream)
+            print(
+                f"  [{runs} runs in {wall:.2f}s: {runs / wall:.1f} runs/s, "
+                f"{self._failed} failed, {self._retried} retried]",
+                file=self.stream,
+            )
 
     def on_message(self, message: str) -> None:
         print(f"  [{message}]", file=self.stream)
@@ -225,6 +387,19 @@ class ProfilingObserver(RunObserver):
         if self.inner is not None:
             self.inner.on_run_failed(index, seed, error)
 
+    def on_retry(self, index: int, seed: int, attempt: int, error: str) -> None:
+        if self.inner is not None:
+            self.inner.on_retry(index, seed, attempt, error)
+
+    def on_worker_crash(self, dead_workers: int) -> None:
+        if self.inner is not None:
+            self.inner.on_worker_crash(dead_workers)
+
+    def on_checkpoint(self, index: int, seed: int, completed: int,
+                      total: int) -> None:
+        if self.inner is not None:
+            self.inner.on_checkpoint(index, seed, completed, total)
+
     def on_campaign_end(self, result: object) -> None:
         if self.inner is not None:
             self.inner.on_campaign_end(result)
@@ -258,37 +433,129 @@ class ExecutionBackend:
         raise NotImplementedError
 
 
-def _run_one(request: RunRequest) -> RunOutcome:
-    """Execute one request, capturing any exception into the outcome."""
-    started = time.perf_counter()
+# In-process fault-injection hook (see repro.sim.faults).  ``None``
+# outside chaos tests; workers receive their plan at bootstrap instead.
+_FAULT_PLAN = None
+# True only inside pool worker processes, where an injected "crash" may
+# genuinely kill the process instead of being simulated by an exception.
+_IN_WORKER = False
+
+
+@contextlib.contextmanager
+def installed_fault_plan(plan):
+    """Install a fault plan for in-process execution (chaos testing)."""
+    global _FAULT_PLAN
+    previous = _FAULT_PLAN
+    _FAULT_PLAN = plan
     try:
+        yield
+    finally:
+        _FAULT_PLAN = previous
+
+
+def _trigger_fault(kind: str, plan) -> None:
+    """Act out one injected fault (pre-execution kinds only)."""
+    if kind == "slow":
+        time.sleep(plan.slow_s)
+    elif kind == "crash":
+        if _IN_WORKER:
+            os._exit(70)  # hard death: no exception, no cleanup, no result
+        raise WorkerCrashError("injected worker crash (in-process simulation)")
+    elif kind == "hang":
+        if _IN_WORKER:
+            time.sleep(plan.hang_s)  # park past the watchdog; pool kills us
+        else:
+            raise RunTimeoutError(
+                "injected hang (in-process simulation)", transient=True
+            )
+
+
+def _run_one(request: RunRequest, attempt: int = 1) -> RunOutcome:
+    """Execute one request, capturing and classifying any exception."""
+    started = time.perf_counter()
+    plan = _FAULT_PLAN
+    fault = plan.fault_for(request.index, attempt) if plan is not None else None
+    error = None
+    error_kind = None
+    checksum = None
+    try:
+        if fault is not None:
+            _trigger_fault(fault, plan)
         result = execute_request(request)
-        error = None
-    except Exception:  # noqa: BLE001 — captured and surfaced per run
+        checksum = result_checksum(request.index, request.seed, result)
+        if fault == "corrupt":
+            # Simulate a bit-flip in IPC transit: mutate the payload
+            # *after* stamping it, so the consumer's re-check fails.
+            result.cores[0].cycles += 1
+    except Exception as exc:  # noqa: BLE001 — captured and surfaced per run
         result = None
         error = traceback.format_exc()
+        error_kind = classify_exception(exc)
     return RunOutcome(
         index=request.index,
         seed=request.seed,
         result=result,
         error=error,
         wall_time_s=time.perf_counter() - started,
+        error_kind=error_kind,
+        attempts=attempt,
+        checksum=checksum,
+    )
+
+
+def _validated(outcome: RunOutcome) -> RunOutcome:
+    """Re-verify an outcome's integrity stamp on the consumer side."""
+    if outcome.result is None or outcome.checksum is None:
+        return outcome
+    if result_checksum(outcome.index, outcome.seed,
+                       outcome.result) == outcome.checksum:
+        return outcome
+    try:
+        raise ResultIntegrityError(
+            f"run {outcome.index} (seed {outcome.seed:#x}): result failed "
+            f"its integrity check after transfer; retrying"
+        )
+    except ResultIntegrityError:
+        error = traceback.format_exc()
+    return replace(
+        outcome, result=None, checksum=None, error=error,
+        error_kind=ERROR_KIND_TRANSIENT,
     )
 
 
 class SerialBackend(ExecutionBackend):
-    """In-process, one-at-a-time execution — the reference semantics."""
+    """In-process, one-at-a-time execution — the reference semantics.
+
+    ``retry`` (off by default) re-executes transient failures under the
+    given policy; deterministic simulation errors are never retried.
+    """
 
     name = "serial"
+
+    def __init__(self, retry: Optional[RetryPolicy] = None) -> None:
+        self.retry = retry
 
     def execute(
         self,
         requests: Sequence[RunRequest],
         observer: Optional[RunObserver] = None,
     ) -> List[RunOutcome]:
+        max_attempts = self.retry.max_attempts if self.retry else 1
         outcomes = []
         for request in requests:
-            outcome = _run_one(request)
+            attempt = 1
+            while True:
+                outcome = _validated(_run_one(request, attempt))
+                if outcome.transient and attempt < max_attempts:
+                    if observer is not None:
+                        observer.on_retry(
+                            outcome.index, outcome.seed, attempt,
+                            outcome.error or "",
+                        )
+                    self.retry.wait(attempt)
+                    attempt += 1
+                    continue
+                break
             _notify(observer, outcome)
             outcomes.append(outcome)
         return outcomes
@@ -296,20 +563,25 @@ class SerialBackend(ExecutionBackend):
 
 # Worker-side state of ProcessPoolBackend: the shared template request
 # (traces/config/scenario), shipped once per worker at bootstrap so the
-# per-job messages are just (index, seed) pairs.
+# per-job messages are just (index, seed, attempt) triples.
 _WORKER_TEMPLATE: Optional[RunRequest] = None
 
 
-def _bootstrap_worker(template: RunRequest) -> None:
-    global _WORKER_TEMPLATE
+def _bootstrap_worker(template: RunRequest, fault_plan=None) -> None:
+    global _WORKER_TEMPLATE, _FAULT_PLAN, _IN_WORKER
     _WORKER_TEMPLATE = template
+    _FAULT_PLAN = fault_plan
+    _IN_WORKER = True
 
 
-def _run_chunk(pairs: Sequence[tuple]) -> List[RunOutcome]:
+def _run_chunk(triples: Sequence[tuple]) -> List[RunOutcome]:
     template = _WORKER_TEMPLATE
     if template is None:  # pragma: no cover — would be a harness bug
         raise RuntimeError("worker used before bootstrap")
-    return [_run_one(template.with_run(index, seed)) for index, seed in pairs]
+    return [
+        _run_one(template.with_run(index, seed), attempt)
+        for index, seed, attempt in triples
+    ]
 
 
 def _notify(observer: Optional[RunObserver], outcome: RunOutcome) -> None:
@@ -321,27 +593,85 @@ def _notify(observer: Optional[RunObserver], outcome: RunOutcome) -> None:
         observer.on_run(outcome.record())
 
 
+def _lost_outcome(
+    index: int, seed: int, attempt: int, reason: Optional[str],
+    timeout_s: Optional[float],
+) -> RunOutcome:
+    """Synthesise the outcome of a run whose worker never answered."""
+    if reason == "timeout":
+        exc: Exception = RunTimeoutError(
+            f"run {index} (seed {seed:#x}): no pool progress within "
+            f"{timeout_s}s; workers killed and run re-dispatched",
+            transient=True,
+        )
+    else:
+        exc = WorkerCrashError(
+            f"run {index} (seed {seed:#x}) was lost to a hard worker death"
+        )
+    message = "".join(traceback.format_exception_only(type(exc), exc))
+    return RunOutcome(
+        index=index, seed=seed, result=None, error=message,
+        wall_time_s=0.0, error_kind=ERROR_KIND_TRANSIENT, attempts=attempt,
+    )
+
+
 class ProcessPoolBackend(ExecutionBackend):
-    """Multiprocessing fan-out with chunked dispatch.
+    """Multiprocessing fan-out with chunked dispatch and crash recovery.
+
+    Work is dispatched in *waves*: every wave ships the still-unfinished
+    ``(index, seed, attempt)`` triples to a fresh pool, collects what
+    comes back, and classifies the rest.  A hard worker death (OOM,
+    SIGKILL, ``os._exit``) is detected through the dead process's exit
+    code; the pool is torn down once it goes quiet and the lost runs
+    are re-dispatched in the next wave under ``retry``.  A hung worker
+    is detected by the optional progress watchdog (``run_timeout_s``)
+    and handled the same way.  Completed outcomes are never discarded
+    across waves, and re-executing a run is bit-identical by
+    construction, so recovery cannot change the sample.
 
     Parameters
     ----------
     workers:
         Worker process count; defaults to the machine's CPU count.
     chunk_size:
-        ``(index, seed)`` pairs per dispatched chunk.  Defaults to an
-        even split over ``4 * workers`` chunks — small enough to load
-        balance, large enough to amortise IPC.
+        ``(index, seed, attempt)`` triples per dispatched chunk.
+        Defaults to an even split over ``4 * workers`` chunks — small
+        enough to load balance, large enough to amortise IPC.  Smaller
+        chunks also shrink the blast radius of a worker crash (a lost
+        chunk is re-executed whole).
     mp_context:
         ``multiprocessing`` start method.  Defaults to ``"fork"``
         where available (cheap on Linux), else ``"spawn"``.
+    retry:
+        Bounded backoff policy for transient failures (worker crashes,
+        watchdog timeouts, corrupted results, :class:`~repro.errors.TransientRunError`
+        raised by a run).  Defaults to ``RetryPolicy()`` (3 attempts).
+        Deterministic simulation errors are surfaced after exactly one
+        attempt regardless of this policy.
+    run_timeout_s:
+        Progress watchdog: if no chunk completes for this many host
+        seconds while work is outstanding, the pool is presumed hung,
+        terminated, and the unfinished runs re-dispatched.  ``None``
+        (default) disables the watchdog.
+    fault_plan:
+        Deterministic chaos hook (see :mod:`repro.sim.faults`);
+        shipped to workers at bootstrap.  ``None`` outside tests.
     """
+
+    #: Seconds of pool quiet time after a detected worker death before
+    #: the wave is abandoned and its unfinished runs re-dispatched.
+    CRASH_DRAIN_S = 0.5
+    #: Poll interval of the parent's progress/death watchdog loop.
+    POLL_S = 0.01
 
     def __init__(
         self,
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
         mp_context: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+        run_timeout_s: Optional[float] = None,
+        fault_plan=None,
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
@@ -349,6 +679,10 @@ class ProcessPoolBackend(ExecutionBackend):
             raise ConfigurationError(f"worker count must be positive, got {workers}")
         if chunk_size is not None and chunk_size <= 0:
             raise ConfigurationError(f"chunk size must be positive, got {chunk_size}")
+        if run_timeout_s is not None and run_timeout_s <= 0:
+            raise ConfigurationError(
+                f"run timeout must be positive, got {run_timeout_s}"
+            )
         if mp_context is None:
             mp_context = (
                 "fork" if "fork" in multiprocessing.get_all_start_methods()
@@ -357,13 +691,16 @@ class ProcessPoolBackend(ExecutionBackend):
         self.workers = workers
         self.chunk_size = chunk_size
         self.mp_context = mp_context
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.run_timeout_s = run_timeout_s
+        self.fault_plan = fault_plan
         self.name = f"process[{workers}]"
 
-    def _chunks(self, pairs: List[tuple]) -> List[List[tuple]]:
+    def _chunks(self, jobs: List[tuple]) -> List[List[tuple]]:
         size = self.chunk_size
         if size is None:
-            size = max(1, -(-len(pairs) // (4 * self.workers)))
-        return [pairs[i:i + size] for i in range(0, len(pairs), size)]
+            size = max(1, -(-len(jobs) // (4 * self.workers)))
+        return [jobs[i:i + size] for i in range(0, len(jobs), size)]
 
     def execute(
         self,
@@ -384,21 +721,119 @@ class ProcessPoolBackend(ExecutionBackend):
                 )
         if len(requests) == 1 or self.workers == 1:
             # Not worth a pool; semantics are identical by construction.
-            return SerialBackend().execute(requests, observer)
-        pairs = [(request.index, request.seed) for request in requests]
+            serial = SerialBackend(retry=self.retry)
+            if self.fault_plan is not None:
+                with installed_fault_plan(self.fault_plan):
+                    return serial.execute(requests, observer)
+            return serial.execute(requests, observer)
         context = multiprocessing.get_context(self.mp_context)
-        outcomes: List[RunOutcome] = []
-        with context.Pool(
-            processes=min(self.workers, len(pairs)),
-            initializer=_bootstrap_worker,
-            initargs=(template,),
-        ) as pool:
-            for chunk in pool.imap_unordered(_run_chunk, self._chunks(pairs)):
-                for outcome in chunk:
+        # index -> (index, seed, attempt) of every not-yet-final run.
+        pending: Dict[int, Tuple[int, int, int]] = {
+            request.index: (request.index, request.seed, 1)
+            for request in requests
+        }
+        final: Dict[int, RunOutcome] = {}
+        wave = 0
+        while pending:
+            wave += 1
+            jobs = sorted(pending.values())
+            returned, reason = self._run_wave(context, template, jobs, observer)
+            for index, seed, attempt in jobs:
+                outcome = returned.get(index)
+                if outcome is None:
+                    outcome = _lost_outcome(
+                        index, seed, attempt, reason, self.run_timeout_s
+                    )
+                outcome = _validated(outcome)
+                if outcome.transient and attempt < self.retry.max_attempts:
+                    if observer is not None:
+                        observer.on_retry(index, seed, attempt,
+                                          outcome.error or "")
+                    pending[index] = (index, seed, attempt + 1)
+                else:
+                    del pending[index]
+                    final[index] = outcome
                     _notify(observer, outcome)
-                    outcomes.append(outcome)
-        outcomes.sort(key=lambda outcome: outcome.index)
-        return outcomes
+            if pending:
+                self.retry.wait(wave)
+        return [final[index] for index in sorted(final)]
+
+    def _run_wave(
+        self,
+        context,
+        template: RunRequest,
+        jobs: List[tuple],
+        observer: Optional[RunObserver],
+    ) -> Tuple[Dict[int, RunOutcome], Optional[str]]:
+        """One dispatch wave: returns collected outcomes + loss reason.
+
+        ``reason`` is ``None`` when every chunk answered, ``"crash"``
+        when a worker died hard, ``"timeout"`` when the progress
+        watchdog fired.  The pool is always terminated and joined on
+        the way out — including on ``KeyboardInterrupt``, so Ctrl-C on
+        a long campaign cannot leak worker processes.
+        """
+        chunks = self._chunks(jobs)
+        returned: Dict[int, RunOutcome] = {}
+        reason: Optional[str] = None
+        pool = context.Pool(
+            processes=min(self.workers, len(jobs)),
+            initializer=_bootstrap_worker,
+            initargs=(template, self.fault_plan),
+        )
+        try:
+            handles = [pool.apply_async(_run_chunk, (chunk,)) for chunk in chunks]
+            pool.close()
+            # Snapshot the worker processes: mp.Pool silently replaces a
+            # dead worker, but the dead Process object keeps its exit
+            # code, which is the only portable trace of a hard death.
+            workers = list(getattr(pool, "_pool", []))
+            outstanding = set(range(len(handles)))
+            last_progress = time.monotonic()
+            dead_seen = 0
+            while outstanding:
+                progressed = False
+                for handle_id in tuple(outstanding):
+                    handle = handles[handle_id]
+                    if not handle.ready():
+                        continue
+                    outstanding.discard(handle_id)
+                    progressed = True
+                    try:
+                        for outcome in handle.get():
+                            returned[outcome.index] = outcome
+                    except Exception:  # noqa: BLE001 — chunk-level loss
+                        # The chunk raised instead of answering (e.g.
+                        # its result did not survive the transfer); its
+                        # runs are synthesised as transient losses.
+                        reason = reason or "crash"
+                if progressed:
+                    last_progress = time.monotonic()
+                    continue
+                now = time.monotonic()
+                dead = sum(
+                    1 for worker in workers
+                    if worker.exitcode not in (None, 0)
+                )
+                if dead > dead_seen:
+                    if observer is not None:
+                        observer.on_worker_crash(dead - dead_seen)
+                    dead_seen = dead
+                    reason = "crash"
+                if reason == "crash" and now - last_progress >= self.CRASH_DRAIN_S:
+                    # A worker died and the survivors have gone quiet:
+                    # whatever is still outstanding was in the dead
+                    # worker's hands.  Stop waiting, re-dispatch.
+                    break
+                if (self.run_timeout_s is not None
+                        and now - last_progress > self.run_timeout_s):
+                    reason = reason or "timeout"
+                    break
+                time.sleep(self.POLL_S)
+        finally:
+            pool.terminate()
+            pool.join()
+        return returned, reason
 
 
 #: Registry of backend names accepted by :func:`make_backend` / the CLI.
@@ -406,13 +841,19 @@ BACKEND_NAMES = ("serial", "process")
 
 
 def make_backend(
-    name: str = "serial", workers: Optional[int] = None
+    name: str = "serial",
+    workers: Optional[int] = None,
+    run_timeout_s: Optional[float] = None,
 ) -> ExecutionBackend:
-    """Build a backend from a CLI-style ``(name, workers)`` pair."""
+    """Build a backend from a CLI-style ``(name, workers)`` pair.
+
+    ``run_timeout_s`` arms the process backend's progress watchdog
+    (ignored for the serial backend, which cannot hang on a worker).
+    """
     if name == "serial":
         return SerialBackend()
     if name == "process":
-        return ProcessPoolBackend(workers=workers)
+        return ProcessPoolBackend(workers=workers, run_timeout_s=run_timeout_s)
     raise ConfigurationError(
         f"unknown backend {name!r}; expected one of {BACKEND_NAMES}"
     )

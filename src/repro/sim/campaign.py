@@ -10,22 +10,34 @@ process-pool — the sample is bit-identical either way, because seeds
 are per run), and returns the execution-time sample the PTA layer
 consumes together with full provenance: the master seed, every derived
 per-run seed and one observability record per run.
+
+Long campaigns can journal completed runs to a
+:class:`~repro.sim.checkpoint.CampaignCheckpoint` and resume after a
+crash: journalled ``(index, seed)`` runs are loaded instead of
+re-executed, and because every run is a pure function of its request,
+the resumed sample is bit-identical to an uninterrupted one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.cpu.trace import Trace
-from repro.errors import CampaignRunError, ConfigurationError, SimulationError
+from repro.errors import (
+    CampaignRunError,
+    CheckpointError,
+    ConfigurationError,
+    SimulationError,
+)
 from repro.sim.backend import (
     ExecutionBackend,
     RunObserver,
     RunRecord,
     SerialBackend,
 )
+from repro.sim.checkpoint import CampaignCheckpoint, CheckpointWriter
 from repro.sim.config import Scenario, SystemConfig
 from repro.sim.simulator import RunRequest
 from repro.utils.rng import derive_seeds
@@ -40,7 +52,9 @@ class CampaignResult:
     seed, the derived per-run seeds (``seeds[i]`` reruns run ``i`` in
     isolation), one :class:`~repro.sim.backend.RunRecord` per run with
     the shared-cache interference counters, and the wall-clock
-    throughput of the backend that produced it.
+    throughput of the backend that produced it.  ``resumed_runs`` and
+    ``retried_runs`` record how much resilience machinery fired:
+    neither affects the sample, only how it was obtained.
     """
 
     task: str
@@ -53,6 +67,11 @@ class CampaignResult:
     records: List[RunRecord] = field(default_factory=list)
     backend: str = "serial"
     wall_time_s: float = 0.0
+    #: Runs loaded from a checkpoint journal instead of executed.
+    resumed_runs: int = 0
+    #: Extra attempts spent recovering transient failures (sum of
+    #: ``attempts - 1`` over the executed runs).
+    retried_runs: int = 0
 
     @property
     def min_time(self) -> int:
@@ -98,6 +117,8 @@ def collect_execution_times(
     backend: Optional[ExecutionBackend] = None,
     observer: Optional[RunObserver] = None,
     profile: bool = False,
+    checkpoint: Optional[CampaignCheckpoint] = None,
+    cycle_budget: Optional[int] = None,
 ) -> CampaignResult:
     """Collect ``runs`` end-to-end execution times of ``trace``.
 
@@ -105,10 +126,18 @@ def collect_execution_times(
     seed.  ``backend`` chooses the execution engine (default: serial,
     in-process); ``observer`` receives one structured record per
     completed run; ``profile`` attaches a per-component attribution
-    snapshot to every run's record (timing is unaffected).  Per-run failures are captured by the backend and
-    re-raised here as :class:`~repro.errors.CampaignRunError` naming
-    every failing ``(index, seed)`` — the surviving runs' work is not
+    snapshot to every run's record (timing is unaffected);
+    ``cycle_budget`` bounds each run's simulated cycles (a livelock
+    guard — exceeding it is a deterministic failure, never retried).
+    Per-run failures are captured by the backend and re-raised here as
+    :class:`~repro.errors.CampaignRunError` naming every failing
+    ``(index, seed, message, kind)`` — the surviving runs' work is not
     lost to one bad seed, and the failures are reproducible alone.
+
+    ``checkpoint`` journals every completed run and, when resuming,
+    loads already-journalled runs instead of re-executing them.
+    Journalled seeds are validated against the campaign's derived
+    seeds (:class:`~repro.errors.CheckpointError` on mismatch).
 
     Returns a :class:`CampaignResult` whose ``execution_times`` are the
     MBPTA input sample.
@@ -118,53 +147,81 @@ def collect_execution_times(
     if backend is None:
         backend = SerialBackend()
     seeds = derive_seeds(master_seed, runs)
-    if observer is not None:
-        observer.on_campaign_start(trace.name, scenario.label(), runs)
-    template = RunRequest.isolation(
-        trace, config, scenario, seeds[0], index=0, profile=profile
-    )
-    requests = [template.with_run(index, seed) for index, seed in enumerate(seeds)]
-    started = perf_counter()
-    outcomes = backend.execute(requests, observer=observer)
-    wall_time_s = perf_counter() - started
+    resumed: Dict[int, RunRecord] = {}
+    effective_observer = observer
+    if checkpoint is not None:
+        resumed = checkpoint.open(trace, config, scenario, master_seed, runs)
+        for index, record in resumed.items():
+            if index < 0 or index >= runs:
+                raise CheckpointError(
+                    f"checkpoint journal {checkpoint.path} holds run "
+                    f"{index}, outside this campaign's 0..{runs - 1}"
+                )
+            if record.seed != seeds[index]:
+                raise CheckpointError(
+                    f"checkpoint journal {checkpoint.path} holds run "
+                    f"{index} with seed {record.seed:#x}, but this "
+                    f"campaign derives seed {seeds[index]:#x} for it"
+                )
+        effective_observer = CheckpointWriter(checkpoint, observer, total=runs)
+    try:
+        if observer is not None:
+            observer.on_campaign_start(trace.name, scenario.label(), runs)
+        template = RunRequest.isolation(
+            trace, config, scenario, seeds[0], index=0, profile=profile,
+            cycle_budget=cycle_budget,
+        )
+        requests = [
+            template.with_run(index, seed)
+            for index, seed in enumerate(seeds)
+            if index not in resumed
+        ]
+        started = perf_counter()
+        outcomes = backend.execute(requests, observer=effective_observer) \
+            if requests else []
+        wall_time_s = perf_counter() - started
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
     failures = [
-        (outcome.index, outcome.seed, outcome.error or "")
+        (outcome.index, outcome.seed, outcome.error or "", outcome.error_kind)
         for outcome in outcomes
         if outcome.failed
     ]
     if failures:
         raise CampaignRunError(trace.name, scenario.label(), failures)
 
-    times: List[int] = []
-    records: List[RunRecord] = []
-    instructions: Optional[int] = None
+    by_index: Dict[int, RunRecord] = dict(resumed)
     for outcome in outcomes:
-        core = outcome.result.cores[0]
-        times.append(core.cycles)
-        records.append(outcome.record())
+        by_index[outcome.index] = outcome.record()
+    records = [by_index[index] for index in range(runs)]
+    times = [record.cycles for record in records]
+    instructions = records[0].instructions
+    for record in records:
         # The trace is deterministic, so every run must retire exactly
         # the same instruction stream; divergence means the simulator
-        # mutated shared state between runs (a harness bug).
-        if instructions is None:
-            instructions = core.instructions
-        elif core.instructions != instructions:
+        # mutated shared state between runs (a harness bug) or a stale
+        # journal slipped past the fingerprint.
+        if record.instructions != instructions:
             raise SimulationError(
                 f"campaign {trace.name!r} under {scenario.label()}: run "
-                f"{outcome.index} (seed {outcome.seed:#x}) retired "
-                f"{core.instructions} instructions where run 0 retired "
+                f"{record.index} (seed {record.seed:#x}) retired "
+                f"{record.instructions} instructions where run 0 retired "
                 f"{instructions}; runs of one trace must be identical"
             )
     result = CampaignResult(
         task=trace.name,
         scenario_label=scenario.label(),
         execution_times=times,
-        instructions=instructions if instructions is not None else 0,
+        instructions=instructions,
         runs=runs,
         master_seed=master_seed,
         seeds=seeds,
         records=records,
         backend=backend.name,
         wall_time_s=wall_time_s,
+        resumed_runs=len(resumed),
+        retried_runs=sum(max(0, outcome.attempts - 1) for outcome in outcomes),
     )
     if observer is not None:
         observer.on_campaign_end(result)

@@ -1,0 +1,272 @@
+"""Campaign checkpointing: an append-only JSONL run journal.
+
+MBPTA campaigns are long (the paper fits EVT tails on >= 1000 runs per
+task/scenario, §3.3) and embarrassingly restartable: every run is a
+pure function of ``(template, index, seed)``.  This module makes that
+restartability real.  A :class:`CampaignCheckpoint` journals one JSON
+line per completed run as the campaign progresses; on restart,
+:func:`~repro.sim.campaign.collect_execution_times` loads the journal
+and re-dispatches only the runs it does not already hold.  Because the
+journalled records are the bit-identical values a re-execution would
+produce, a resumed campaign's ``execution_times`` equal an
+uninterrupted campaign's exactly.
+
+**Journal format** (one JSON object per line):
+
+* line 1 — header: ``{"version", "task", "scenario", "master_seed",
+  "runs", "fingerprint"}``.  The fingerprint digests the trace
+  content, the platform config, the scenario, the master seed and the
+  run count; a journal whose fingerprint does not match the campaign
+  being resumed is *refused* (:class:`~repro.errors.CheckpointError`)
+  rather than silently spliced into a different experiment.
+* lines 2+ — one completed run each: the numeric fields of its
+  :class:`~repro.sim.backend.RunRecord` (profiles are measurements,
+  not semantics, and are not journalled).
+
+A crash can leave a torn final line; loading tolerates it by truncating
+the journal back to the last line that parses.  Writes are flushed per
+run, so at most the in-flight run is ever lost.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.cpu.trace import Trace
+from repro.errors import CheckpointError
+from repro.sim.backend import RunObserver, RunRecord
+from repro.sim.config import Scenario, SystemConfig
+
+#: Journal schema version; bumped on any incompatible format change.
+JOURNAL_VERSION = 1
+
+#: RunRecord fields journalled per run (everything but the profile).
+_RECORD_FIELDS = (
+    "index", "seed", "cycles", "instructions",
+    "llc_hits", "llc_misses", "llc_forced_evictions",
+    "efl_stall_cycles", "efl_evictions",
+    "memory_reads", "memory_writes", "wall_time_s",
+)
+
+
+def campaign_fingerprint(
+    trace: Trace,
+    config: SystemConfig,
+    scenario: Scenario,
+    master_seed: int,
+    runs: int,
+) -> str:
+    """Digest of everything a campaign's sample depends on.
+
+    Two campaigns share a fingerprint iff they would produce the
+    bit-identical sample: same trace content, platform config,
+    scenario, master seed and run count.  Config and scenario are
+    value-hashed through their dataclass ``repr``; the trace by its
+    full instruction stream.
+    """
+    digest = hashlib.sha256()
+    digest.update(repr((JOURNAL_VERSION, trace.name, master_seed, runs)).encode())
+    digest.update(repr((config, scenario)).encode())
+    digest.update(repr((trace.pcs, trace.kinds, trace.addresses)).encode())
+    return digest.hexdigest()[:16]
+
+
+def _record_to_entry(record: RunRecord) -> dict:
+    return {name: getattr(record, name) for name in _RECORD_FIELDS}
+
+
+def _entry_to_record(entry: dict) -> RunRecord:
+    try:
+        return RunRecord(**{name: entry[name] for name in _RECORD_FIELDS})
+    except (KeyError, TypeError) as exc:
+        raise CheckpointError(f"malformed journal entry {entry!r}") from exc
+
+
+class CampaignCheckpoint:
+    """One campaign's run journal, opened for resume and/or append.
+
+    ``resume=True`` (default) loads any compatible existing journal so
+    the campaign can skip the runs it already holds; ``resume=False``
+    discards any existing journal and starts fresh.  Incompatible
+    journals (fingerprint mismatch) always raise
+    :class:`~repro.errors.CheckpointError` when resuming — a journal
+    from a different experiment must never be spliced in silently.
+    """
+
+    def __init__(self, path, resume: bool = True) -> None:
+        self.path = Path(path)
+        self.resume = resume
+        self._file = None
+        self._completed = 0
+        self._total = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> int:
+        """Runs currently journalled (loaded + appended)."""
+        return self._completed
+
+    def open(
+        self,
+        trace: Trace,
+        config: SystemConfig,
+        scenario: Scenario,
+        master_seed: int,
+        runs: int,
+    ) -> Dict[int, RunRecord]:
+        """Load the journal and position it for appending.
+
+        Returns the already-completed runs as ``{index: record}`` —
+        empty for a fresh journal.  Tolerates a torn trailing line
+        (crash mid-write) by truncating back to the last durable line.
+        """
+        fingerprint = campaign_fingerprint(
+            trace, config, scenario, master_seed, runs
+        )
+        entries: Dict[int, RunRecord] = {}
+        durable_bytes = 0
+        if self.resume and self.path.exists():
+            entries, durable_bytes = self._load(fingerprint)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if durable_bytes:
+            # Drop any torn tail, then append after the durable prefix.
+            os.truncate(self.path, durable_bytes)
+            self._file = open(self.path, "a")
+        else:
+            self._file = open(self.path, "w")
+            header = {
+                "version": JOURNAL_VERSION,
+                "task": trace.name,
+                "scenario": scenario.label(),
+                "master_seed": master_seed,
+                "runs": runs,
+                "fingerprint": fingerprint,
+            }
+            self._file.write(json.dumps(header, separators=(",", ":")) + "\n")
+            self._file.flush()
+        self._completed = len(entries)
+        self._total = runs
+        return entries
+
+    def _load(self, fingerprint: str):
+        """Parse the existing journal; returns (entries, durable bytes)."""
+        with open(self.path, "rb") as stream:
+            raw = stream.read()
+        entries: Dict[int, RunRecord] = {}
+        durable = 0
+        position = 0
+        header: Optional[dict] = None
+        for line in raw.splitlines(keepends=True):
+            position += len(line)
+            stripped = line.strip()
+            if not stripped:
+                durable = position
+                continue
+            try:
+                obj = json.loads(stripped)
+            except ValueError:
+                break  # torn tail from a crash mid-write; drop it
+            if header is None:
+                header = obj
+                found = header.get("fingerprint")
+                if header.get("version") != JOURNAL_VERSION or found != fingerprint:
+                    raise CheckpointError(
+                        f"checkpoint journal {self.path} belongs to a "
+                        f"different campaign (fingerprint {found!r}, "
+                        f"this campaign is {fingerprint!r}); delete it or "
+                        f"point --checkpoint-dir elsewhere"
+                    )
+            else:
+                record = _entry_to_record(obj)
+                entries[record.index] = record
+            # A complete JSON line without a trailing newline is durable
+            # too, but appending after it needs the newline restored —
+            # only count newline-terminated lines, re-journalling the
+            # last run in that rare case.
+            if line.endswith(b"\n"):
+                durable = position
+            else:
+                if header is not None and entries and obj is not header:
+                    entries.pop(record.index, None)
+                break
+        if header is None:
+            return {}, 0  # empty file: rewrite from scratch
+        return entries, durable
+
+    def append(self, record: RunRecord) -> None:
+        """Journal one completed run (flushed immediately)."""
+        if self._file is None:
+            raise CheckpointError("checkpoint journal used before open()")
+        self._file.write(
+            json.dumps(_record_to_entry(record), separators=(",", ":")) + "\n"
+        )
+        self._file.flush()
+        self._completed += 1
+
+    def close(self) -> None:
+        """Close the journal file (safe to call twice)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+class CheckpointWriter(RunObserver):
+    """Observer shim that journals each completed run as it lands.
+
+    Wraps the campaign's (optional) user observer: every ``on_run``
+    appends the record to the journal *before* forwarding, so a crash
+    immediately after the callback loses nothing, then fires
+    ``on_checkpoint`` with journal progress.  All other hooks forward
+    unchanged.
+    """
+
+    def __init__(
+        self,
+        checkpoint: CampaignCheckpoint,
+        inner: Optional[RunObserver],
+        total: int,
+    ) -> None:
+        self.checkpoint = checkpoint
+        self.inner = inner
+        self.total = total
+
+    def on_run(self, record: RunRecord) -> None:
+        self.checkpoint.append(record)
+        if self.inner is not None:
+            self.inner.on_run(record)
+            self.inner.on_checkpoint(
+                record.index, record.seed, self.checkpoint.completed, self.total
+            )
+
+    def on_campaign_start(self, task: str, scenario_label: str, runs: int) -> None:
+        if self.inner is not None:
+            self.inner.on_campaign_start(task, scenario_label, runs)
+
+    def on_run_failed(self, index: int, seed: int, error: str) -> None:
+        if self.inner is not None:
+            self.inner.on_run_failed(index, seed, error)
+
+    def on_retry(self, index: int, seed: int, attempt: int, error: str) -> None:
+        if self.inner is not None:
+            self.inner.on_retry(index, seed, attempt, error)
+
+    def on_worker_crash(self, dead_workers: int) -> None:
+        if self.inner is not None:
+            self.inner.on_worker_crash(dead_workers)
+
+    def on_checkpoint(self, index: int, seed: int, completed: int,
+                      total: int) -> None:
+        if self.inner is not None:
+            self.inner.on_checkpoint(index, seed, completed, total)
+
+    def on_campaign_end(self, result: object) -> None:
+        if self.inner is not None:
+            self.inner.on_campaign_end(result)
+
+    def on_message(self, message: str) -> None:
+        if self.inner is not None:
+            self.inner.on_message(message)

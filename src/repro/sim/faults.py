@@ -1,0 +1,177 @@
+"""Deterministic fault injection: reproducible chaos for the run engine.
+
+The resilience machinery (retries, crash recovery, watchdogs, result
+integrity checks) only earns trust if every recovery path is exercised
+on demand — and exercised *reproducibly*, so a chaos test that fails
+in CI fails identically on a laptop.  This module provides that:
+
+* :class:`FaultPlan` — a pure function from ``(index, attempt)`` to a
+  fault kind, derived from a seed.  The same plan injects the same
+  faults in every process, on every host, in every run of the suite.
+* :class:`FaultInjectingBackend` — wraps any execution backend and
+  installs the plan into its execution path: in-process for
+  :class:`~repro.sim.backend.SerialBackend`, at worker bootstrap for
+  :class:`~repro.sim.backend.ProcessPoolBackend` (where an injected
+  "crash" genuinely ``os._exit``\\ s the worker and an injected "hang"
+  genuinely parks it past the watchdog).
+
+Fault kinds and the recovery path each one exercises:
+
+========== ==========================================================
+``crash``  hard worker death → exit-code detection, pool rebuild,
+           re-dispatch (:class:`~repro.errors.WorkerCrashError`)
+``hang``   worker parks past ``run_timeout_s`` → progress watchdog,
+           pool termination (:class:`~repro.errors.RunTimeoutError`)
+``slow``   run sleeps ``slow_s`` → no failure; exercises completion
+           reordering and watchdog *non*-firing
+``corrupt`` result mutated after checksumming → consumer-side
+           integrity check (:class:`~repro.errors.ResultIntegrityError`)
+========== ==========================================================
+
+Because retries re-execute pure functions of ``(template, index,
+seed)``, a campaign under any fault plan yields ``execution_times``
+bit-identical to a fault-free serial campaign — the property the
+chaos suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.backend import (
+    ExecutionBackend,
+    RunObserver,
+    RunOutcome,
+    installed_fault_plan,
+)
+from repro.utils.rng import SplitMix64
+
+#: Fault kinds a plan can inject, in cumulative-rate order.
+FAULT_KINDS = ("crash", "hang", "slow", "corrupt")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic schedule of injected faults.
+
+    ``fault_for(index, attempt)`` is a pure function: the same plan
+    gives the same answer in the parent, in every worker, and across
+    suite runs.  Faults are only injected while ``attempt <=
+    max_faulty_attempts``, which guarantees a campaign under a
+    bounded :class:`~repro.sim.backend.RetryPolicy` always converges
+    (the final permitted attempt runs fault-free).
+
+    Rates are probabilities per ``(index, attempt)`` draw and must sum
+    to at most 1.
+    """
+
+    seed: int
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    slow_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    #: Host seconds an injected "slow" run sleeps (keep well below any
+    #: watchdog timeout).
+    slow_s: float = 0.05
+    #: Host seconds an injected "hang" parks a worker (keep well above
+    #: the watchdog timeout so the hang is detected, not outwaited).
+    hang_s: float = 30.0
+    #: Inject faults only on attempts up to this number, so bounded
+    #: retries always converge.
+    max_faulty_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        rates = (self.crash_rate, self.hang_rate, self.slow_rate,
+                 self.corrupt_rate)
+        if any(rate < 0 for rate in rates):
+            raise ConfigurationError(f"fault rates must be non-negative: {rates}")
+        if sum(rates) > 1.0:
+            raise ConfigurationError(
+                f"fault rates must sum to at most 1, got {sum(rates)}"
+            )
+        if self.max_faulty_attempts < 0:
+            raise ConfigurationError(
+                "max_faulty_attempts must be non-negative, "
+                f"got {self.max_faulty_attempts}"
+            )
+        if self.slow_s < 0 or self.hang_s < 0:
+            raise ConfigurationError("fault sleep durations must be non-negative")
+
+    def fault_for(self, index: int, attempt: int) -> Optional[str]:
+        """The fault injected into attempt ``attempt`` of run ``index``.
+
+        Returns one of :data:`FAULT_KINDS` or ``None``.  Deterministic:
+        derived from ``(seed, index, attempt)`` through SplitMix64, with
+        no process-local state.
+        """
+        if attempt > self.max_faulty_attempts:
+            return None
+        # One independent draw per (index, attempt): mix both into the
+        # stream seed so consecutive indices/attempts are uncorrelated.
+        mixer = SplitMix64(self.seed & 0xFFFFFFFFFFFFFFFF)
+        key = (index * 0x9E3779B97F4A7C15 + attempt) & 0xFFFFFFFFFFFFFFFF
+        stream = SplitMix64(mixer.next_u64() ^ key)
+        draw = stream.next_u64() / 2.0 ** 64
+        cumulative = 0.0
+        for kind, rate in zip(
+            FAULT_KINDS,
+            (self.crash_rate, self.hang_rate, self.slow_rate, self.corrupt_rate),
+        ):
+            cumulative += rate
+            if draw < cumulative:
+                return kind
+        return None
+
+    def fault_counts(self, runs: int, attempt: int = 1) -> dict:
+        """How many of ``runs`` indices draw each fault at ``attempt``.
+
+        A planning/reporting helper: lets a chaos test assert its plan
+        actually injects every kind before claiming coverage.
+        """
+        counts = {kind: 0 for kind in FAULT_KINDS}
+        for index in range(runs):
+            kind = self.fault_for(index, attempt)
+            if kind is not None:
+                counts[kind] += 1
+        return counts
+
+
+class FaultInjectingBackend(ExecutionBackend):
+    """Wrap a backend so its runs execute under a :class:`FaultPlan`.
+
+    For a :class:`~repro.sim.backend.ProcessPoolBackend` the plan is
+    shipped to the workers at bootstrap, so crashes and hangs are the
+    real thing (``os._exit``, a genuine stuck worker) and exercise the
+    real recovery machinery.  For in-process backends the plan is
+    installed for the duration of ``execute`` and the process-level
+    faults are simulated by their classified exceptions (a crash
+    cannot genuinely kill the test process).
+
+    The wrapper adds nothing else: ordering, retries and observer
+    semantics are the inner backend's.
+    """
+
+    def __init__(self, inner: ExecutionBackend, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.name = f"faulty[{inner.name}]"
+
+    def execute(
+        self,
+        requests,
+        observer: Optional[RunObserver] = None,
+    ) -> "list[RunOutcome]":
+        inner = self.inner
+        if hasattr(inner, "fault_plan"):
+            # Process pool: the plan must travel to the workers, which
+            # happens at pool bootstrap — install it on the backend.
+            previous = inner.fault_plan
+            inner.fault_plan = self.plan
+            try:
+                return inner.execute(requests, observer=observer)
+            finally:
+                inner.fault_plan = previous
+        with installed_fault_plan(self.plan):
+            return inner.execute(requests, observer=observer)

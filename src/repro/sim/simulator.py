@@ -29,7 +29,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.config import OperationMode
 from repro.cpu.pipeline import InOrderPipeline
 from repro.cpu.trace import Trace
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError, RunTimeoutError, SimulationError
 from repro.mem.cache import Cache
 from repro.sim.config import Scenario, SystemConfig
 from repro.sim.memorypath import MemoryPath
@@ -255,11 +255,31 @@ class CoreRunner:
         self.pipeline.step(pc, kind, address)
         self._remaining -= 1
 
-    def run_to_completion(self) -> None:
-        """Execute the remaining trace without interleaving."""
+    def run_to_completion(self, cycle_budget: Optional[int] = None) -> None:
+        """Execute the remaining trace without interleaving.
+
+        ``cycle_budget`` arms the livelock watchdog: if the simulated
+        clock exceeds the budget the run is aborted with a
+        *deterministic* :class:`~repro.errors.RunTimeoutError` (the
+        same seed livelocks identically on every attempt, so backends
+        must not retry it).  The guard runs on a separate loop so the
+        unguarded hot path pays nothing for it.
+        """
         pipeline_step = self.pipeline.step
+        if cycle_budget is None:
+            for pc, kind, address in self._iter:
+                pipeline_step(pc, kind, address)
+            self._remaining = 0
+            return
+        pipeline = self.pipeline
         for pc, kind, address in self._iter:
             pipeline_step(pc, kind, address)
+            self._remaining -= 1
+            if pipeline.time > cycle_budget:
+                raise_cycle_budget_exceeded(
+                    self.trace.name, self.core_id, pipeline.time,
+                    pipeline.instructions, cycle_budget,
+                )
         self._remaining = 0
 
     def result(self, platform: Platform) -> CoreResult:
@@ -277,6 +297,18 @@ class CoreRunner:
             efl_stall_cycles=efl.stall_cycles(self.core_id) if efl else 0,
             efl_evictions=efl.acus[self.core_id].evictions if efl else 0,
         )
+
+
+def raise_cycle_budget_exceeded(
+    task: str, core_id: int, time: int, instructions: int, budget: int
+) -> None:
+    """Abort a run whose simulated clock passed its cycle budget."""
+    raise RunTimeoutError(
+        f"task {task!r} on core {core_id} exceeded its cycle budget: "
+        f"{time} > {budget} simulated cycles after {instructions} "
+        f"instructions (deterministic for this seed; not retried)",
+        transient=False,
+    )
 
 
 def _finalise(
@@ -305,6 +337,7 @@ def run_isolation(
     seed: int,
     core_id: int = 0,
     profile: bool = False,
+    cycle_budget: Optional[int] = None,
 ) -> RunResult:
     """Run one task alone on ``core_id`` (the paper's analysis stage).
 
@@ -312,7 +345,9 @@ def run_isolation(
     interference apply (``ANALYSIS``) or the task simply enjoys an
     otherwise idle machine (``DEPLOYMENT``, useful as a best case).
     ``profile`` attaches a per-component attribution snapshot to the
-    result; it never changes the simulated timing.
+    result; it never changes the simulated timing.  ``cycle_budget``
+    arms the livelock watchdog (deterministic
+    :class:`~repro.errors.RunTimeoutError` past the budget).
     """
     platform = build_platform(config, scenario, seed, analysed_core=core_id)
     if not 0 <= core_id < config.num_cores:
@@ -323,7 +358,7 @@ def run_isolation(
         core_id, trace, platform.il1s[core_id], platform.dl1s[core_id], path, config,
         profiler=profiler,
     )
-    runner.run_to_completion()
+    runner.run_to_completion(cycle_budget=cycle_budget)
     return _finalise(platform, path, [runner.result(platform)], profiler)
 
 
@@ -333,11 +368,13 @@ def run_workload(
     scenario: Scenario,
     seed: int,
     profile: bool = False,
+    cycle_budget: Optional[int] = None,
 ) -> RunResult:
     """Co-run up to ``num_cores`` tasks (the paper's deployment stage).
 
     ``traces[i]`` runs on core ``i``.  Tasks retire independently; a
     finished task stops contending for shared resources.
+    ``cycle_budget`` arms the livelock watchdog on the makespan clock.
     """
     if scenario.mode is not OperationMode.DEPLOYMENT:
         raise ConfigurationError("run_workload requires a deployment-mode scenario")
@@ -365,11 +402,23 @@ def run_workload(
         (runner.schedule_key, runner.core_id, runner) for runner in runners
     ]
     heapq.heapify(heap)
-    while heap:
-        _key, _core, runner = heapq.heappop(heap)
-        runner.step()
-        if not runner.finished:
-            heapq.heappush(heap, (runner.schedule_key, runner.core_id, runner))
+    if cycle_budget is None:
+        while heap:
+            _key, _core, runner = heapq.heappop(heap)
+            runner.step()
+            if not runner.finished:
+                heapq.heappush(heap, (runner.schedule_key, runner.core_id, runner))
+    else:
+        while heap:
+            _key, _core, runner = heapq.heappop(heap)
+            runner.step()
+            if runner.pipeline.time > cycle_budget:
+                raise_cycle_budget_exceeded(
+                    runner.trace.name, runner.core_id, runner.pipeline.time,
+                    runner.pipeline.instructions, cycle_budget,
+                )
+            if not runner.finished:
+                heapq.heappush(heap, (runner.schedule_key, runner.core_id, runner))
     return _finalise(
         platform, path, [runner.result(platform) for runner in runners], profiler
     )
@@ -392,7 +441,11 @@ class RunRequest:
     ``traces[0]`` alone on ``core_id`` (:func:`run_isolation`);
     ``"workload"`` co-runs all traces (:func:`run_workload`).
     ``profile`` requests a per-component attribution snapshot on the
-    result (timing is unaffected either way).
+    result (timing is unaffected either way).  ``cycle_budget`` arms
+    the livelock watchdog: a run whose simulated clock exceeds it is
+    aborted with a deterministic
+    :class:`~repro.errors.RunTimeoutError` (never retried — the same
+    seed livelocks identically on every attempt).
     """
 
     engine: str
@@ -403,6 +456,7 @@ class RunRequest:
     index: int = 0
     core_id: int = 0
     profile: bool = False
+    cycle_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.engine not in ("isolation", "workload"):
@@ -412,6 +466,10 @@ class RunRequest:
         if self.engine == "isolation" and len(self.traces) != 1:
             raise ConfigurationError(
                 f"isolation runs take exactly one trace, got {len(self.traces)}"
+            )
+        if self.cycle_budget is not None and self.cycle_budget <= 0:
+            raise ConfigurationError(
+                f"cycle budget must be positive, got {self.cycle_budget}"
             )
 
     @classmethod
@@ -424,10 +482,12 @@ class RunRequest:
         index: int = 0,
         core_id: int = 0,
         profile: bool = False,
+        cycle_budget: Optional[int] = None,
     ) -> "RunRequest":
         """Request running ``trace`` alone (the analysis protocol)."""
         return cls(
-            "isolation", (trace,), config, scenario, seed, index, core_id, profile
+            "isolation", (trace,), config, scenario, seed, index, core_id,
+            profile, cycle_budget,
         )
 
     @classmethod
@@ -439,10 +499,12 @@ class RunRequest:
         seed: int,
         index: int = 0,
         profile: bool = False,
+        cycle_budget: Optional[int] = None,
     ) -> "RunRequest":
         """Request co-running ``traces`` (the deployment protocol)."""
         return cls(
-            "workload", tuple(traces), config, scenario, seed, index, profile=profile
+            "workload", tuple(traces), config, scenario, seed, index,
+            profile=profile, cycle_budget=cycle_budget,
         )
 
     def template_key(self) -> tuple:
@@ -457,14 +519,14 @@ class RunRequest:
         trace_ids = tuple(id(trace) for trace in self.traces)
         return (
             self.engine, trace_ids, self.config, self.scenario,
-            self.core_id, self.profile,
+            self.core_id, self.profile, self.cycle_budget,
         )
 
     def with_run(self, index: int, seed: int) -> "RunRequest":
         """The same template rebound to another ``(index, seed)`` pair."""
         return RunRequest(
             self.engine, self.traces, self.config, self.scenario,
-            seed, index, self.core_id, self.profile,
+            seed, index, self.core_id, self.profile, self.cycle_budget,
         )
 
 
@@ -478,8 +540,9 @@ def execute_request(request: RunRequest) -> RunResult:
             request.seed,
             core_id=request.core_id,
             profile=request.profile,
+            cycle_budget=request.cycle_budget,
         )
     return run_workload(
         request.traces, request.config, request.scenario, request.seed,
-        profile=request.profile,
+        profile=request.profile, cycle_budget=request.cycle_budget,
     )

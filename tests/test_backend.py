@@ -12,10 +12,16 @@ import pytest
 
 from repro.core.config import OperationMode
 from repro.cpu.trace import Trace
-from repro.errors import CampaignRunError, ConfigurationError
+from repro.errors import (
+    ERROR_KIND_DETERMINISTIC,
+    CampaignRunError,
+    ConfigurationError,
+    SimulationError,
+)
 from repro.pta.mbpta import estimate_pwcet
 from repro.sim.backend import (
     ProcessPoolBackend,
+    RetryPolicy,
     RunObserver,
     SerialBackend,
     StreamObserver,
@@ -163,9 +169,14 @@ class TestFailureCapture:
             )
         error = excinfo.value
         seeds = derive_seeds(13, 4)
-        assert [index for index, _seed, _msg in error.failures] == [0, 1, 2, 3]
-        assert [seed for _index, seed, _msg in error.failures] == seeds
-        assert all("boom" in message for _i, _s, message in error.failures)
+        assert [index for index, _seed, _msg, _kind in error.failures] == [0, 1, 2, 3]
+        assert [seed for _index, seed, _msg, _kind in error.failures] == seeds
+        assert all("boom" in message for _i, _s, message, _k in error.failures)
+        # A trace that raises fails identically on every attempt.
+        assert all(
+            kind == ERROR_KIND_DETERMINISTIC
+            for _i, _s, _m, kind in error.failures
+        )
         # The message names the first failing run's seed for reproduction.
         assert f"{seeds[0]:#x}" in str(error)
 
@@ -185,8 +196,21 @@ class TestFailureCapture:
         trace = exploding_trace()
         requests = [RunRequest.isolation(trace, CONFIG, Scenario.efl(250), 1)]
         outcome = SerialBackend().execute(requests)[0]
-        with pytest.raises(ConfigurationError):
+        # Misusing a failed outcome is a runtime state problem, not a
+        # configuration problem.
+        with pytest.raises(SimulationError):
             outcome.record()
+
+    def test_deterministic_failure_not_retried(self):
+        trace = exploding_trace()
+        requests = [RunRequest.isolation(trace, CONFIG, Scenario.efl(250), 1)]
+        outcome = SerialBackend(
+            retry=RetryPolicy(max_attempts=5, backoff_s=0.0)
+        ).execute(requests)[0]
+        assert outcome.failed
+        assert outcome.error_kind == ERROR_KIND_DETERMINISTIC
+        # A deterministic failure surfaces after exactly one attempt.
+        assert outcome.attempts == 1
 
     def test_observer_notified_of_failures(self, capsys):
         import sys
@@ -198,6 +222,27 @@ class TestFailureCapture:
                 observer=StreamObserver(sys.stderr),
             )
         assert "FAILED" in capsys.readouterr().err
+
+    def test_stream_observer_reports_resilience_counts(self):
+        import io
+
+        from repro.sim.campaign import CampaignResult
+
+        stream = io.StringIO()
+        observer = StreamObserver(stream)
+        observer.on_campaign_start("task", "EFL250", 4)
+        observer.on_retry(1, 0xABC, 1, "WorkerCrashError: worker died")
+        observer.on_run_failed(2, 0xDEF, "boom")
+        observer.on_campaign_end(
+            CampaignResult(
+                task="task", scenario_label="EFL250",
+                execution_times=[10, 11], instructions=5, runs=2,
+                wall_time_s=0.5,
+            )
+        )
+        output = stream.getvalue()
+        assert "1 failed" in output
+        assert "1 retried" in output
 
 
 class TestBackendConstruction:
@@ -231,3 +276,32 @@ class TestBackendConstruction:
         assert outcome.result == run_isolation(
             stream_trace, CONFIG, Scenario.efl(250), 9
         )
+
+    def test_keyboard_interrupt_terminates_pool(self, stream_trace, monkeypatch):
+        import multiprocessing as mp
+
+        import repro.sim.backend as backend_module
+
+        # Interrupt the dispatcher on its first poll sleep, as Ctrl-C
+        # would; the backend must terminate and join its pool before
+        # re-raising, leaking no worker processes.  Only the first
+        # sleep raises: pool teardown may legitimately sleep.
+        real_sleep = backend_module.time.sleep
+        interrupted = []
+
+        def interrupting_sleep(seconds):
+            if not interrupted:
+                interrupted.append(True)
+                raise KeyboardInterrupt
+            return real_sleep(seconds)
+
+        monkeypatch.setattr(backend_module.time, "sleep", interrupting_sleep)
+        template = RunRequest.isolation(stream_trace, CONFIG, Scenario.efl(250), 0)
+        requests = [template.with_run(index, seed)
+                    for index, seed in enumerate(derive_seeds(5, 6))]
+        with pytest.raises(KeyboardInterrupt):
+            ProcessPoolBackend(workers=2).execute(requests)
+        monkeypatch.undo()
+        for child in mp.active_children():
+            child.join(timeout=5)
+        assert mp.active_children() == []

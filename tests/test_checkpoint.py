@@ -1,0 +1,199 @@
+"""Checkpoint/resume tests: the JSONL run journal.
+
+The guarantee under test: a campaign killed partway through and
+resumed from its journal yields ``execution_times`` bit-identical to
+an uninterrupted fault-free serial campaign — and a journal from a
+*different* campaign is refused, never silently spliced in.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.sim.backend import ProcessPoolBackend, RunObserver, SerialBackend
+from repro.sim.campaign import collect_execution_times
+from repro.sim.checkpoint import (
+    CampaignCheckpoint,
+    campaign_fingerprint,
+)
+from repro.sim.config import Scenario, SystemConfig
+from tests.conftest import make_stream_trace
+
+CONFIG = SystemConfig(l1_size=256, llc_size=2048)
+SCENARIO = Scenario.efl(250)
+
+
+@pytest.fixture
+def trace():
+    return make_stream_trace("ckpt", 300)
+
+
+@pytest.fixture
+def journal(tmp_path):
+    return tmp_path / "campaign.jsonl"
+
+
+def run(trace, journal=None, runs=16, master_seed=5, backend=None,
+        observer=None, resume=True):
+    checkpoint = CampaignCheckpoint(journal, resume=resume) if journal else None
+    return collect_execution_times(
+        trace, CONFIG, SCENARIO, runs=runs, master_seed=master_seed,
+        backend=backend, observer=observer, checkpoint=checkpoint,
+    )
+
+
+class CountingBackend(SerialBackend):
+    """Serial backend that records which run indices it executed."""
+
+    def __init__(self):
+        super().__init__()
+        self.executed = []
+
+    def execute(self, requests, observer=None):
+        self.executed.extend(request.index for request in requests)
+        return super().execute(requests, observer=observer)
+
+
+class KillAfter(RunObserver):
+    """Simulates an operator kill: raises after ``limit`` completed runs."""
+
+    def __init__(self, limit):
+        self.limit = limit
+        self.seen = 0
+
+    def on_run(self, record):
+        self.seen += 1
+        if self.seen >= self.limit:
+            raise KeyboardInterrupt
+
+
+class TestFingerprint:
+    def test_stable_for_equal_campaigns(self, trace):
+        again = make_stream_trace("ckpt", 300)
+        assert campaign_fingerprint(
+            trace, CONFIG, SCENARIO, 5, 16
+        ) == campaign_fingerprint(again, CONFIG, SCENARIO, 5, 16)
+
+    def test_sensitive_to_every_input(self, trace):
+        base = campaign_fingerprint(trace, CONFIG, SCENARIO, 5, 16)
+        assert base != campaign_fingerprint(trace, CONFIG, SCENARIO, 6, 16)
+        assert base != campaign_fingerprint(trace, CONFIG, SCENARIO, 5, 17)
+        assert base != campaign_fingerprint(
+            trace, CONFIG, Scenario.efl(500), 5, 16
+        )
+        assert base != campaign_fingerprint(
+            trace, SystemConfig(l1_size=256, llc_size=4096), SCENARIO, 5, 16
+        )
+        other = make_stream_trace("ckpt", 301)
+        other = type(trace)(trace.name, other.pcs, other.kinds, other.addresses)
+        assert base != campaign_fingerprint(other, CONFIG, SCENARIO, 5, 16)
+
+
+class TestJournalRoundtrip:
+    def test_journal_written_and_result_unchanged(self, trace, journal):
+        reference = run(trace)
+        journalled = run(trace, journal)
+        assert journalled.execution_times == reference.execution_times
+        assert journalled.resumed_runs == 0
+        lines = journal.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["task"] == trace.name
+        assert header["scenario"] == SCENARIO.label()
+        assert header["runs"] == 16
+        assert len(lines) == 1 + 16
+
+    def test_full_journal_resumes_without_executing(self, trace, journal):
+        reference = run(trace, journal)
+        backend = CountingBackend()
+        resumed = run(trace, journal, backend=backend)
+        assert backend.executed == []
+        assert resumed.resumed_runs == 16
+        assert resumed.execution_times == reference.execution_times
+        assert resumed.seeds == reference.seeds
+
+    def test_partial_journal_executes_only_missing_runs(self, trace, journal):
+        reference = run(trace)
+        run(trace, journal)
+        lines = journal.read_text().splitlines()
+        # Keep the header and runs 0..5, as if killed after six runs.
+        journal.write_text("\n".join(lines[:7]) + "\n")
+        backend = CountingBackend()
+        resumed = run(trace, journal, backend=backend)
+        assert backend.executed == list(range(6, 16))
+        assert resumed.resumed_runs == 6
+        assert resumed.execution_times == reference.execution_times
+
+    def test_torn_trailing_line_is_dropped(self, trace, journal):
+        reference = run(trace)
+        run(trace, journal)
+        lines = journal.read_text().splitlines()
+        torn = "\n".join(lines[:9]) + "\n" + lines[9][: len(lines[9]) // 2]
+        journal.write_text(torn)
+        resumed = run(trace, journal)
+        assert resumed.resumed_runs == 8
+        assert resumed.execution_times == reference.execution_times
+        # The repaired journal is complete and fully parseable again.
+        reparsed = [json.loads(line)
+                    for line in journal.read_text().splitlines()]
+        assert len(reparsed) == 1 + 16
+
+
+class TestJournalRefusal:
+    def test_fingerprint_mismatch_refused(self, trace, journal):
+        run(trace, journal)
+        with pytest.raises(CheckpointError, match="different campaign"):
+            run(trace, journal, master_seed=6)
+
+    def test_run_count_mismatch_refused(self, trace, journal):
+        run(trace, journal)
+        with pytest.raises(CheckpointError, match="different campaign"):
+            run(trace, journal, runs=17)
+
+    def test_tampered_seed_refused(self, trace, journal):
+        run(trace, journal)
+        lines = journal.read_text().splitlines()
+        entry = json.loads(lines[3])
+        entry["seed"] ^= 1
+        lines[3] = json.dumps(entry)
+        journal.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="seed"):
+            run(trace, journal)
+
+    def test_resume_false_discards_existing_journal(self, trace, journal):
+        run(trace, journal)
+        backend = CountingBackend()
+        fresh = run(trace, journal, backend=backend, resume=False)
+        assert backend.executed == list(range(16))
+        assert fresh.resumed_runs == 0
+
+
+class TestKillAndResume:
+    def test_killed_campaign_resumes_bit_identically(self, trace, journal):
+        reference = run(trace)
+        with pytest.raises(KeyboardInterrupt):
+            run(trace, journal, observer=KillAfter(5))
+        # The journal survived the kill with the completed runs intact.
+        survived = len(journal.read_text().splitlines()) - 1
+        assert survived >= 5
+        backend = CountingBackend()
+        resumed = run(trace, journal, backend=backend)
+        assert resumed.resumed_runs == survived
+        assert len(backend.executed) == 16 - survived
+        assert resumed.execution_times == reference.execution_times
+        assert resumed.seeds == reference.seeds
+        assert resumed.instructions == reference.instructions
+
+    def test_resume_across_backends(self, trace, journal):
+        # Kill a serial campaign, resume it on the process pool: the
+        # sample must still match the uninterrupted serial reference.
+        reference = run(trace)
+        with pytest.raises(KeyboardInterrupt):
+            run(trace, journal, observer=KillAfter(7))
+        resumed = run(
+            trace, journal, backend=ProcessPoolBackend(workers=2, chunk_size=3)
+        )
+        assert resumed.execution_times == reference.execution_times
+        assert resumed.resumed_runs >= 7

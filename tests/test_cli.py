@@ -44,6 +44,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             make_parser().parse_args(["--scale", "huge", "fig3"])
 
+    def test_resilience_options(self):
+        args = make_parser().parse_args(
+            ["--checkpoint-dir", "/tmp/ck", "--resume",
+             "--run-timeout", "30", "--cycle-budget", "1000000", "fig3"]
+        )
+        assert args.checkpoint_dir == "/tmp/ck"
+        assert args.resume is True
+        assert args.run_timeout == 30.0
+        assert args.cycle_budget == 1000000
+
+    def test_resume_requires_checkpoint_dir(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError, match="--checkpoint-dir"):
+            main(["--resume", "fig3"])
+
 
 class TestExecution:
     """End-to-end CLI runs at tiny scale (slow-ish but real)."""
@@ -70,6 +85,22 @@ class TestExecution:
                      "--workers", "2", "iid"])
         assert code == 0
         assert capsys.readouterr().out == serial_out
+
+    def test_checkpointed_resume_matches_fresh_run(self, tmp_path, capsys):
+        code = main(["--scale", "tiny", "--seed", "3", "iid"])
+        assert code == 0
+        fresh_out = capsys.readouterr().out
+        ckpt = str(tmp_path / "journals")
+        code = main(["--scale", "tiny", "--seed", "3",
+                     "--checkpoint-dir", ckpt, "iid"])
+        assert code == 0
+        assert capsys.readouterr().out == fresh_out
+        # Second invocation resumes every campaign entirely from the
+        # journals and must print the identical table.
+        code = main(["--scale", "tiny", "--seed", "3",
+                     "--checkpoint-dir", ckpt, "--resume", "iid"])
+        assert code == 0
+        assert capsys.readouterr().out == fresh_out
 
 
 class TestCsvExport:

@@ -1,0 +1,243 @@
+"""Chaos tests: deterministic fault injection against the run engine.
+
+The resilience guarantee under test: a campaign executed under
+injected worker crashes, hangs, slowdowns and result corruption must
+complete via retries with ``execution_times`` bit-identical to a
+fault-free serial campaign — and deterministic simulation failures
+must surface after exactly one attempt, never retried.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ERROR_KIND_DETERMINISTIC,
+    ERROR_KIND_TRANSIENT,
+    CampaignRunError,
+    ConfigurationError,
+    ResultIntegrityError,
+    RunTimeoutError,
+    TransientRunError,
+    WorkerCrashError,
+    classify_exception,
+)
+from repro.sim.backend import (
+    ProcessPoolBackend,
+    RetryPolicy,
+    RunObserver,
+    SerialBackend,
+)
+from repro.sim.campaign import collect_execution_times
+from repro.sim.config import Scenario, SystemConfig
+from repro.sim.faults import FAULT_KINDS, FaultInjectingBackend, FaultPlan
+from repro.sim.simulator import RunRequest, raise_cycle_budget_exceeded
+from repro.utils.rng import derive_seeds
+from tests.conftest import make_stream_trace
+
+CONFIG = SystemConfig(l1_size=256, llc_size=2048)
+SCENARIO = Scenario.efl(250)
+
+#: Fast retry policy for tests (no real backoff sleeps).
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_s=0.0)
+
+
+class TestErrorClassification:
+    def test_transient_exceptions(self):
+        assert classify_exception(TransientRunError("x")) == ERROR_KIND_TRANSIENT
+        assert classify_exception(WorkerCrashError("x")) == ERROR_KIND_TRANSIENT
+        assert classify_exception(ResultIntegrityError("x")) == ERROR_KIND_TRANSIENT
+        assert (
+            classify_exception(RunTimeoutError("wall clock", transient=True))
+            == ERROR_KIND_TRANSIENT
+        )
+
+    def test_deterministic_exceptions(self):
+        assert classify_exception(ValueError("x")) == ERROR_KIND_DETERMINISTIC
+        assert (
+            classify_exception(RunTimeoutError("cycle budget", transient=False))
+            == ERROR_KIND_DETERMINISTIC
+        )
+
+
+class TestFaultPlan:
+    def test_deterministic_across_instances(self):
+        a = FaultPlan(seed=11, crash_rate=0.2, hang_rate=0.2, corrupt_rate=0.2)
+        b = FaultPlan(seed=11, crash_rate=0.2, hang_rate=0.2, corrupt_rate=0.2)
+        assert [a.fault_for(i, 1) for i in range(100)] == [
+            b.fault_for(i, 1) for i in range(100)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(seed=1, crash_rate=0.5)
+        b = FaultPlan(seed=2, crash_rate=0.5)
+        assert [a.fault_for(i, 1) for i in range(64)] != [
+            b.fault_for(i, 1) for i in range(64)
+        ]
+
+    def test_attempts_beyond_cap_are_fault_free(self):
+        plan = FaultPlan(seed=3, crash_rate=1.0, max_faulty_attempts=2)
+        assert plan.fault_for(0, 1) == "crash"
+        assert plan.fault_for(0, 2) == "crash"
+        assert plan.fault_for(0, 3) is None
+
+    def test_rates_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(seed=0, crash_rate=-0.1)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(seed=0, crash_rate=0.6, hang_rate=0.6)
+
+    def test_fault_counts_cover_all_kinds(self):
+        plan = FaultPlan(
+            seed=5, crash_rate=0.2, hang_rate=0.2, slow_rate=0.2,
+            corrupt_rate=0.2,
+        )
+        counts = plan.fault_counts(200)
+        assert set(counts) == set(FAULT_KINDS)
+        assert all(counts[kind] > 0 for kind in FAULT_KINDS)
+
+
+class TestSerialFaultInjection:
+    """In-process injection: process faults arrive as their classified
+    exceptions and the serial retry loop recovers them."""
+
+    def test_transient_faults_retried_to_identical_sample(self, stream_trace):
+        reference = collect_execution_times(
+            stream_trace, CONFIG, SCENARIO, runs=30, master_seed=21,
+        )
+        plan = FaultPlan(
+            seed=77, crash_rate=0.15, hang_rate=0.1, slow_rate=0.1,
+            corrupt_rate=0.15, slow_s=0.0,
+        )
+        assert sum(plan.fault_counts(30).values()) > 0
+        chaotic = collect_execution_times(
+            stream_trace, CONFIG, SCENARIO, runs=30, master_seed=21,
+            backend=FaultInjectingBackend(SerialBackend(retry=FAST_RETRY), plan),
+        )
+        assert chaotic.execution_times == reference.execution_times
+        assert chaotic.retried_runs > 0
+
+    def test_corruption_detected_and_retried(self, stream_trace):
+        plan = FaultPlan(seed=0, corrupt_rate=1.0)
+        backend = FaultInjectingBackend(SerialBackend(retry=FAST_RETRY), plan)
+        request = RunRequest.isolation(stream_trace, CONFIG, SCENARIO, 42)
+        outcome = backend.execute([request])[0]
+        # Attempt 1 was corrupted in flight and caught by the checksum;
+        # attempt 2 runs fault-free and succeeds.
+        assert not outcome.failed
+        assert outcome.attempts == 2
+
+    def test_exhausted_retries_surface_as_transient(self, stream_trace):
+        plan = FaultPlan(seed=0, crash_rate=1.0, max_faulty_attempts=99)
+        backend = FaultInjectingBackend(SerialBackend(retry=FAST_RETRY), plan)
+        request = RunRequest.isolation(stream_trace, CONFIG, SCENARIO, 42)
+        outcome = backend.execute([request])[0]
+        assert outcome.failed
+        assert outcome.error_kind == ERROR_KIND_TRANSIENT
+        assert outcome.attempts == FAST_RETRY.max_attempts
+        with pytest.raises(CampaignRunError) as excinfo:
+            collect_execution_times(
+                stream_trace, CONFIG, SCENARIO, runs=2, master_seed=1,
+                backend=backend,
+            )
+        assert "transient after retries" in str(excinfo.value)
+
+
+class TestCycleBudget:
+    def test_budget_exceeded_is_deterministic(self):
+        with pytest.raises(RunTimeoutError) as excinfo:
+            raise_cycle_budget_exceeded("task", 0, 1001, 5, 1000)
+        assert excinfo.value.transient is False
+
+    def test_generous_budget_changes_nothing(self, stream_trace):
+        unbounded = collect_execution_times(
+            stream_trace, CONFIG, SCENARIO, runs=4, master_seed=9,
+        )
+        bounded = collect_execution_times(
+            stream_trace, CONFIG, SCENARIO, runs=4, master_seed=9,
+            cycle_budget=10**9,
+        )
+        assert bounded.execution_times == unbounded.execution_times
+
+    def test_tight_budget_fails_without_retry(self, stream_trace):
+        with pytest.raises(CampaignRunError) as excinfo:
+            collect_execution_times(
+                stream_trace, CONFIG, SCENARIO, runs=2, master_seed=9,
+                backend=SerialBackend(retry=FAST_RETRY), cycle_budget=10,
+            )
+        failures = excinfo.value.failures
+        assert all(kind == ERROR_KIND_DETERMINISTIC
+                   for _i, _s, _m, kind in failures)
+        assert all("cycle budget" in message
+                   for _i, _s, message, _k in failures)
+
+
+class CrashCounter(RunObserver):
+    """Counts resilience events during a chaos campaign."""
+
+    def __init__(self):
+        self.crashes = 0
+        self.retries = 0
+
+    def on_worker_crash(self, dead_workers):
+        self.crashes += dead_workers
+
+    def on_retry(self, index, seed, attempt, error):
+        self.retries += 1
+
+
+class TestPoolChaos:
+    """The acceptance gate: a 200-run process-pool campaign under real
+    worker crashes, hangs past the watchdog and corrupted results must
+    complete via retries, bit-identical to a fault-free serial run."""
+
+    def test_chaos_campaign_matches_fault_free_serial(self):
+        trace = make_stream_trace("chaos", 300)
+        runs = 200
+        reference = collect_execution_times(
+            trace, CONFIG, SCENARIO, runs=runs, master_seed=0xC0FFEE,
+        )
+        # crash + hang + slow cover >= 20% of first attempts, plus
+        # corrupted results on top; every kind must actually be planned.
+        plan = FaultPlan(
+            seed=0xBAD5EED, crash_rate=0.12, hang_rate=0.05, slow_rate=0.10,
+            corrupt_rate=0.05, slow_s=0.01, hang_s=15.0,
+        )
+        counts = plan.fault_counts(runs)
+        assert all(counts[kind] > 0 for kind in FAULT_KINDS)
+        assert (counts["crash"] + counts["hang"] + counts["slow"]) / runs >= 0.20
+        events = CrashCounter()
+        backend = FaultInjectingBackend(
+            ProcessPoolBackend(
+                workers=2, chunk_size=4,
+                retry=RetryPolicy(max_attempts=4, backoff_s=0.01),
+                run_timeout_s=2.0,
+            ),
+            plan,
+        )
+        chaotic = collect_execution_times(
+            trace, CONFIG, SCENARIO, runs=runs, master_seed=0xC0FFEE,
+            backend=backend, observer=events,
+        )
+        assert chaotic.execution_times == reference.execution_times
+        assert chaotic.seeds == reference.seeds
+        assert chaotic.instructions == reference.instructions
+        assert chaotic.retried_runs > 0
+        assert events.retries > 0
+
+    def test_pool_deterministic_failure_not_retried(self, stream_trace):
+        # A tight cycle budget fails every run identically; the pool
+        # must surface it after exactly one attempt despite its retry
+        # policy being armed.
+        template = RunRequest.isolation(
+            stream_trace, CONFIG, SCENARIO, 0, cycle_budget=10
+        )
+        requests = [template.with_run(index, seed)
+                    for index, seed in enumerate(derive_seeds(3, 4))]
+        outcomes = ProcessPoolBackend(
+            workers=2, retry=RetryPolicy(max_attempts=4, backoff_s=0.0)
+        ).execute(requests)
+        assert all(outcome.failed for outcome in outcomes)
+        assert all(outcome.error_kind == ERROR_KIND_DETERMINISTIC
+                   for outcome in outcomes)
+        assert all(outcome.attempts == 1 for outcome in outcomes)
