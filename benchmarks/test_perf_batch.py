@@ -1,0 +1,101 @@
+"""Batch-engine throughput: lock-step NumPy lanes vs the scalar engine.
+
+Measures the tentpole claim of the batch engine PR: one analysis-mode
+campaign of R=1000 runs executed as lock-step NumPy lanes sustains at
+least 5x the scalar interpreter's runs/sec on a single core.  Both
+engines are measured back-to-back in this process (the serial baseline
+is re-measured here rather than read from another bench's JSON, so the
+recorded speedup is self-relative and immune to host drift between
+bench invocations), and the scalar baseline's sample must be a
+bit-identical prefix of the batch sample — the speedup is only worth
+recording if the data is provably the same.
+
+Results land in ``BENCH_batch.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+from repro.sim.campaign import collect_execution_times
+from repro.sim.config import Scenario
+from repro.workloads.suite import build_benchmark
+
+from benchmarks.conftest import CAMPAIGN_SEED
+
+#: Lane width of the measured campaign (the paper's analysis-run count).
+BATCH_RUNS = 1000
+
+#: Scalar-baseline run count: enough for a stable runs/sec estimate
+#: without the baseline dominating the bench's wall time.
+SERIAL_RUNS = 150
+
+#: The PR's acceptance floor for single-core campaign throughput.
+MIN_SPEEDUP = 5.0
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_batch.json"
+
+
+def test_batch_engine_throughput(scale):
+    config = scale.system_config()
+    trace = build_benchmark("ID", scale=scale.trace_scale)
+    scenario = Scenario.efl(500)
+
+    serial = collect_execution_times(
+        trace, config, scenario, runs=SERIAL_RUNS, master_seed=CAMPAIGN_SEED,
+        engine="scalar",
+    )
+    batch = collect_execution_times(
+        trace, config, scenario, runs=BATCH_RUNS, master_seed=CAMPAIGN_SEED,
+        engine="batch",
+    )
+
+    # Determinism guarantee: seeds derive per run from the master seed,
+    # so the scalar campaign is a prefix of the batch campaign — and
+    # must match it bit for bit.
+    assert batch.seeds[:SERIAL_RUNS] == serial.seeds
+    assert batch.execution_times[:SERIAL_RUNS] == serial.execution_times
+    assert batch.backend == "batch"
+
+    speedup = (
+        batch.runs_per_second / serial.runs_per_second
+        if serial.runs_per_second > 0 else 0.0
+    )
+    payload = {
+        "bench": "batch_engine_throughput",
+        "scale": scale.name,
+        "benchmark": "ID",
+        "scenario": "EFL500",
+        "instructions": batch.instructions,
+        "python": platform.python_version(),
+        "serial": {
+            "runs": SERIAL_RUNS,
+            "wall_s": round(serial.wall_time_s, 4),
+            "runs_per_s": round(serial.runs_per_second, 2),
+        },
+        "batch": {
+            "runs": BATCH_RUNS,
+            "wall_s": round(batch.wall_time_s, 4),
+            "runs_per_s": round(batch.runs_per_second, 2),
+        },
+        "speedup": round(speedup, 2),
+        "min_speedup": MIN_SPEEDUP,
+        "bit_identical_prefix": True,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print()
+    print(f"batch engine throughput ({scale.name} scale, "
+          f"{batch.instructions} instructions/run):")
+    print(f"  scalar: {serial.runs_per_second:8.1f} runs/s "
+          f"({SERIAL_RUNS} runs in {serial.wall_time_s:.2f}s)")
+    print(f"  batch : {batch.runs_per_second:8.1f} runs/s "
+          f"({BATCH_RUNS} runs in {batch.wall_time_s:.2f}s)")
+    print(f"  speedup: {speedup:.1f}x (floor {MIN_SPEEDUP:.0f}x)")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"batch engine delivered only {speedup:.2f}x over the scalar "
+        f"interpreter at R={BATCH_RUNS} (floor: {MIN_SPEEDUP}x)"
+    )

@@ -57,8 +57,10 @@ from repro.mem import (
 )
 from repro.cpu import InOrderPipeline, OpKind, Trace, TraceBuilder
 from repro.sim import (
+    BatchBackend,
     CampaignCheckpoint,
     CampaignResult,
+    ENGINE_NAMES,
     ExecutionBackend,
     FaultInjectingBackend,
     FaultPlan,
@@ -151,6 +153,8 @@ __all__ = [
     # execution backends + observability
     "ExecutionBackend",
     "SerialBackend",
+    "BatchBackend",
+    "ENGINE_NAMES",
     "ProcessPoolBackend",
     "RetryPolicy",
     "RunObserver",

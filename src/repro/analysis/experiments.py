@@ -32,7 +32,7 @@ from repro.analysis.partitions import (
     best_partition,
 )
 from repro.core.config import OperationMode
-from repro.errors import AnalysisError, CampaignRunError
+from repro.errors import AnalysisError, CampaignRunError, ConfigurationError
 from repro.pta.iid import IIDResult, iid_test
 from repro.pta.mbpta import MBPTAResult, estimate_pwcet
 from repro.sim.backend import ExecutionBackend, RunObserver, SerialBackend
@@ -77,6 +77,7 @@ class PWCETTable:
         checkpoint_dir: Optional[Path] = None,
         resume: bool = True,
         cycle_budget: Optional[int] = None,
+        engine: str = "auto",
     ) -> None:
         self.scale = scale if scale is not None else ExperimentScale.default()
         # Default to the scale's proportionally shrunk platform; an
@@ -94,6 +95,9 @@ class PWCETTable:
         #: Per-run simulated-cycle budget (livelock guard); ``None``
         #: disables the guard entirely (no hot-path cost).
         self.cycle_budget = cycle_budget
+        #: Run interpreter for analysis campaigns: ``"auto"`` (batch
+        #: where eligible), ``"scalar"``, or ``"batch"`` (strict).
+        self.engine = engine
         self.traces = build_all_benchmarks(self.scale.trace_scale)
         self._campaigns: Dict[Tuple[str, str], CampaignResult] = {}
         self._estimates: Dict[Tuple[str, str], MBPTAResult] = {}
@@ -141,6 +145,7 @@ class PWCETTable:
                 profile=self.profile,
                 checkpoint=self._checkpoint_for(bench_id, scenario.label()),
                 cycle_budget=self.cycle_budget,
+                engine=self.engine,
             )
         return self._campaigns[key]
 
@@ -307,6 +312,13 @@ def _deployment_samples(
     label: str,
 ) -> List[float]:
     """Co-run one workload ``len(rep_seeds)`` times through the backend."""
+    if table.engine == "batch":
+        raise ConfigurationError(
+            "the batch engine only vectorises analysis-mode isolation "
+            "campaigns; deployment co-runs interleave cores dynamically "
+            "and need the scalar interpreter (use engine='auto' or "
+            "'scalar' for deployment experiments)"
+        )
     template = RunRequest.workload(
         traces, table.config, scenario, rep_seeds[0], index=0,
         profile=table.profile, cycle_budget=table.cycle_budget,

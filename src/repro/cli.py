@@ -13,6 +13,11 @@ Every command accepts ``--scale {tiny,quick,default,paper}`` and
 and ``--workers N`` to fan simulation runs out over worker processes
 (results are bit-identical across backends — seeds are derived per
 run, not per worker); results print as plain-text tables.
+``--engine {auto,scalar,batch}`` picks the run interpreter for
+analysis campaigns: ``auto`` (default) vectorises eligible campaigns
+on the lock-step NumPy batch engine, ``scalar`` forces the per-run
+interpreter, ``batch`` fails loudly instead of falling back; samples
+are bit-identical across engines.
 
 Long sweeps survive interruption with ``--checkpoint-dir DIR``: every
 analysis campaign journals its completed runs there, and rerunning
@@ -50,6 +55,7 @@ from repro.sim.backend import (
     make_backend,
     usable_cpus,
 )
+from repro.sim.batch import ENGINE_NAMES
 from repro.sim.config import SystemConfig
 from repro.workloads.scale import ExperimentScale
 
@@ -80,6 +86,7 @@ def _build_table(args: argparse.Namespace) -> PWCETTable:
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         cycle_budget=args.cycle_budget,
+        engine=args.engine,
     )
 
 
@@ -172,6 +179,20 @@ def make_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="worker processes for --backend process (default: CPU count)",
+    )
+    parser.add_argument(
+        "--engine",
+        default="auto",
+        choices=ENGINE_NAMES,
+        help=(
+            "run interpreter for analysis campaigns: 'auto' uses the "
+            "lock-step NumPy batch engine where eligible and falls back "
+            "to the scalar interpreter otherwise, 'scalar' forces per-run "
+            "interpretation, 'batch' demands vectorised execution and "
+            "fails (naming the obstacle) on ineligible campaigns, e.g. "
+            "deployment runs or --profile; samples are bit-identical "
+            "across engines (default: auto)"
+        ),
     )
     parser.add_argument(
         "--verbose", action="store_true", help="print per-campaign progress"

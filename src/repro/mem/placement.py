@@ -17,8 +17,10 @@ between the two policies is the heart of the paper:
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import ConfigurationError
-from repro.utils.hashing import ParametricHash
+from repro.utils.hashing import ParametricHash, set_index_array
 from repro.utils.validation import require_non_negative_int, require_positive_int
 
 
@@ -33,6 +35,12 @@ class ModuloPlacement:
     def set_index(self, line_addr: int) -> int:
         """Return the set for ``line_addr``."""
         return line_addr % self.num_sets
+
+    def set_index_array(self, line_addrs) -> np.ndarray:
+        """Vectorised :meth:`set_index` over an array of line addresses."""
+        return (np.asarray(line_addrs, dtype=np.int64) % self.num_sets).astype(
+            np.int64
+        )
 
     def __repr__(self) -> str:
         return f"ModuloPlacement(num_sets={self.num_sets})"
@@ -79,6 +87,17 @@ class RandomPlacement:
             index = ((z ^ (z >> 31)) * self.num_sets) >> 64
             self._memo[line_addr] = index
         return index
+
+    def set_index_array(self, line_addrs, riis=None) -> np.ndarray:
+        """Vectorised :meth:`set_index`, optionally over many RIIs.
+
+        ``riis`` defaults to this instance's RII; passing an array of
+        per-run RIIs (broadcast against ``line_addrs``) computes the
+        whole placement matrix of a batch campaign in one call.
+        """
+        if riis is None:
+            riis = self.rii
+        return set_index_array(line_addrs, riis, self.num_sets)
 
     def set_rii(self, rii: int) -> None:
         """Install a new random index identifier.

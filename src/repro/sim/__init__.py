@@ -13,6 +13,9 @@
 * :mod:`repro.sim.backend` — pluggable execution backends (serial /
   process-pool fan-out) and the :class:`RunObserver` observability
   seam;
+* :mod:`repro.sim.batch` — the lock-step NumPy batch engine: an
+  entire analysis-mode campaign as one struct-of-arrays sweep over
+  the trace, bit-identical to the scalar interpreter;
 * :mod:`repro.sim.campaign` — multi-run measurement campaigns with
   per-run RII/seed refresh and full seed provenance, feeding the
   MBPTA layer;
@@ -44,6 +47,7 @@ from repro.sim.backend import (
     StreamObserver,
     make_backend,
 )
+from repro.sim.batch import ENGINE_NAMES, BatchBackend
 from repro.sim.campaign import collect_execution_times, CampaignResult
 from repro.sim.checkpoint import CampaignCheckpoint, campaign_fingerprint
 from repro.sim.faults import FaultInjectingBackend, FaultPlan
@@ -69,6 +73,8 @@ __all__ = [
     "RunRecord",
     "RetryPolicy",
     "make_backend",
+    "ENGINE_NAMES",
+    "BatchBackend",
     "collect_execution_times",
     "CampaignResult",
     "CampaignCheckpoint",

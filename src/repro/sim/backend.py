@@ -12,7 +12,11 @@ touching simulation semantics:
   bootstrapped once with the campaign's shared trace/config template,
   so per-run messages carry only an ``(index, seed)`` pair; per-run
   exceptions are captured into the :class:`RunOutcome` instead of
-  killing the pool, so one bad seed cannot abort a 1000-run campaign.
+  killing the pool, so one bad seed cannot abort a 1000-run campaign;
+* :class:`~repro.sim.batch.BatchBackend` (in :mod:`repro.sim.batch`)
+  exploits the same property *within* one process: homogeneous
+  analysis-mode campaigns run as lock-step NumPy lanes, bit-identical
+  to :class:`SerialBackend` and several times faster per core.
 
 **Determinism guarantee.**  Seeds are derived per *run* (by the
 campaign layer), never per worker, and :func:`~repro.sim.simulator.execute_request`

@@ -1,0 +1,705 @@
+"""Lock-step batch engine: a whole analysis campaign as NumPy lanes.
+
+MBPTA's analysis stage re-executes one trace R >= 300-1000 times on a
+freshly randomised single-core platform (§3.3).  The runs are
+structurally identical — same instruction stream, same control flow,
+same memory-path choreography — and differ *only* in their PRNG
+streams.  That is the Monte-Carlo-replica shape, and this module
+exploits it: instead of R scalar interpreter walks over the trace, one
+sweep advances all R runs together, each run occupying one *lane* of a
+struct-of-arrays state.
+
+Layout (``R`` = lanes, i.e. runs in flight):
+
+* every cache is a packed ``tags[R, sets, ways]`` / ``dirty[R, sets,
+  ways]`` pair mirroring :class:`repro.mem.cache.Cache` (``-1`` = an
+  invalid frame);
+* placement is a precomputed ``sets[line, R]`` matrix: the parametric
+  hash of every distinct trace line under every lane's RII
+  (:func:`repro.utils.hashing.set_index_array`), or one broadcast
+  modulo column for TD;
+* every hardware PRNG is one :class:`repro.utils.rng.MWCArray` lane
+  bundle; draws are *masked*, so a lane consumes exactly the draws its
+  scalar twin would, in the same order;
+* LRU recency stacks become timestamp planes (argmin = victim), EoM
+  stays a masked ``randrange`` over the candidate ways;
+* the 4-stage in-order pipeline is five per-lane time vectors advanced
+  by the same max/add recurrence as
+  :class:`repro.cpu.pipeline.InOrderPipeline`;
+* EFL is a per-lane ACU (EAB times, stall accumulators) plus one
+  per-interfering-core CRG whose pending injections advance under a
+  compare-and-reload mask until every lane drained.
+
+The engine's contract is **bit-identity** with
+:class:`~repro.sim.backend.SerialBackend` — execution times, per-run
+cache counters, checksums and seed provenance — for every analysis
+scenario class (TR+EFL, TR isolation, CP, TD), asserted by
+``tests/test_batch.py`` the same way ``tests/test_hotpath.py`` pins
+the scalar hot path to ``sim/reference.py``.  Everything the engine
+cannot reproduce exactly is declared ineligible up front
+(:func:`repro.sim.simulator.batch_ineligibility`) and stays scalar.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cpu.isa import OpKind
+from repro.cpu.pipeline import _EXEC_LATENCY_BY_KIND
+from repro.errors import ConfigurationError
+from repro.sim import backend as _backend_mod
+from repro.sim.backend import (
+    ExecutionBackend,
+    RunObserver,
+    RunOutcome,
+    SerialBackend,
+    _notify,
+    result_checksum,
+)
+from repro.sim.simulator import (
+    CoreResult,
+    RunRequest,
+    RunResult,
+    batch_ineligibility,
+)
+from repro.utils.hashing import set_index_array
+from repro.utils.rng import MWCArray, splitmix64_draw
+
+#: Engine names accepted by ``collect_execution_times(engine=...)`` and
+#: the CLI's ``--engine`` flag.
+ENGINE_NAMES = ("auto", "scalar", "batch")
+
+_MASK32 = np.uint64(0xFFFFFFFF)
+
+
+class _LaneCache:
+    """One cache level across all lanes: ``tags[R, sets, ways]`` SoA.
+
+    Mirrors :class:`repro.mem.cache.Cache` exactly on the transactions
+    the analysis hot path uses: demand access (hit bookkeeping, EoM /
+    LRU victim choice, write-allocate fill), CRG forced eviction and
+    the posted L1 write-back update.  ``candidates`` restricts victim
+    choice and lookup to the first ``candidates`` ways — the
+    contiguous partition :func:`repro.sim.platform.build_platform`
+    materialises for CP analysis.
+    """
+
+    def __init__(
+        self,
+        lanes: int,
+        num_sets: int,
+        ways: int,
+        candidates: int,
+        sets: np.ndarray,
+        rng: Optional[MWCArray],
+        lru: bool,
+    ) -> None:
+        self.lanes = lanes
+        self.num_sets = num_sets
+        self.ways = ways
+        self.k = candidates
+        self.sets = sets  # [lines, lanes]
+        self.rng = rng
+        self.tags = np.full((lanes, num_sets, ways), -1, dtype=np.int32)
+        self.dirty = np.zeros((lanes, num_sets, ways), dtype=bool)
+        self.hits = np.zeros(lanes, dtype=np.int64)
+        self.misses = np.zeros(lanes, dtype=np.int64)
+        self.forced = np.zeros(lanes, dtype=np.int64)
+        self._lane_ids = np.arange(lanes)
+        if lru:
+            # LRU stacks as timestamp planes: stack position maps to
+            # stamp order (front = max).  Initial stack [0..w-1] means
+            # way w starts at stamp -(w+1); hits/fills stamp from a
+            # growing positive counter, invalidations from a shrinking
+            # counter below every initial stamp, so argmin over a
+            # set's stamps is exactly LRUReplacement.choose_victim.
+            self.stamps = np.broadcast_to(
+                -(np.arange(ways, dtype=np.int64) + 1), (lanes, num_sets, ways)
+            ).copy()
+            self._pos_stamp = 0
+            self._neg_stamp = -(ways + 1)
+        else:
+            self.stamps = None
+
+    def _victims(self, set_idx: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Victim way per lane, mirroring ``Cache._choose_victim``."""
+        if self.stamps is None:
+            # EoM: one randrange(k) draw per masked lane iff k > 1
+            # (the scalar path skips the draw for a single candidate).
+            if self.k == 1:
+                return np.zeros(self.lanes, dtype=np.int64)
+            return self.rng.randrange(self.k, mask).astype(np.int64)
+        stamps = self.stamps[self._lane_ids, set_idx]
+        if self.k != self.ways:
+            stamps = stamps[:, : self.k]
+        return np.argmin(stamps, axis=1)
+
+    def _stamp_touch(self, l: np.ndarray, s: np.ndarray, w: np.ndarray) -> None:
+        self._pos_stamp += 1
+        self.stamps[l, s, w] = self._pos_stamp
+
+    def demand(self, line_id: int, mask: np.ndarray, write: bool):
+        """Demand access of one trace line across the masked lanes.
+
+        Returns ``(hit, miss, victim_ids, victim_dirty)`` lane masks /
+        vectors; ``victim_*`` describe the displaced line of each miss
+        lane (``-1`` / ``False`` where the filled frame was invalid).
+        """
+        set_idx = self.sets[line_id]
+        lanes_ = self._lane_ids
+        frames = self.tags[lanes_, set_idx]
+        cand = frames if self.k == self.ways else frames[:, : self.k]
+        match = cand == line_id
+        hit = match.any(axis=1)
+        hit &= mask
+        miss = mask & ~hit
+        self.hits += hit
+        self.misses += miss
+        if (write or self.stamps is not None) and hit.any():
+            hw = np.argmax(match, axis=1)
+            hl = lanes_[hit]
+            hs = set_idx[hit]
+            hww = hw[hit]
+            if write:
+                self.dirty[hl, hs, hww] = True
+            if self.stamps is not None:
+                self._stamp_touch(hl, hs, hww)
+        victim_ids = None
+        victim_dirty = None
+        if miss.any():
+            vway = self._victims(set_idx, miss)
+            ml = lanes_[miss]
+            ms = set_idx[miss]
+            mw = vway[miss]
+            vt = self.tags[ml, ms, mw]
+            vd = self.dirty[ml, ms, mw]
+            victim_ids = np.full(self.lanes, -1, dtype=np.int64)
+            victim_ids[miss] = vt
+            victim_dirty = np.zeros(self.lanes, dtype=bool)
+            victim_dirty[miss] = vd & (vt >= 0)
+            self.tags[ml, ms, mw] = line_id
+            self.dirty[ml, ms, mw] = bool(write)
+            if self.stamps is not None:
+                self._stamp_touch(ml, ms, mw)
+        return hit, miss, victim_ids, victim_dirty
+
+    def force_evict_at(self, set_idx: np.ndarray, mask: np.ndarray) -> None:
+        """CRG force-miss: victim draw + displace, no allocation.
+
+        Mirrors ``Cache.force_eviction`` → ``_displace``: the draw and
+        the ``forced_evictions`` count happen even when the chosen
+        frame is invalid; the LRU demotion only when it was valid.
+        """
+        self.forced += mask
+        vway = self._victims(set_idx, mask)
+        ml = self._lane_ids[mask]
+        ms = set_idx[mask]
+        mw = vway[mask]
+        valid = self.tags[ml, ms, mw] >= 0
+        self.tags[ml, ms, mw] = -1
+        self.dirty[ml, ms, mw] = False
+        if self.stamps is not None and valid.any():
+            self._neg_stamp -= 1
+            self.stamps[ml[valid], ms[valid], mw[valid]] = self._neg_stamp
+
+    def writeback(self, line_ids: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Posted dirty-L1-victim update (``MemoryPath.l1_writeback``).
+
+        Per-lane line ids: each lane's DL1 evicted its own victim.
+        Returns the lanes where the line was resident (updated and
+        marked dirty); the caller forwards the rest to memory.
+        """
+        safe = np.where(mask, line_ids, 0)
+        set_idx = self.sets[safe, self._lane_ids]
+        frames = self.tags[self._lane_ids, set_idx]
+        cand = frames if self.k == self.ways else frames[:, : self.k]
+        match = cand == line_ids[:, None]
+        resident = match.any(axis=1)
+        resident &= mask
+        if resident.any():
+            hw = np.argmax(match, axis=1)
+            rl = self._lane_ids[resident]
+            rs = set_idx[resident]
+            rw = hw[resident]
+            self.dirty[rl, rs, rw] = True
+            self.hits += resident
+            if self.stamps is not None:
+                self._stamp_touch(rl, rs, rw)
+        return resident
+
+
+class _LaneACU:
+    """Per-lane EFL Access Control Unit (EAB times and stalls)."""
+
+    def __init__(
+        self, mid: int, randomise: bool, rng: Optional[MWCArray], lanes: int
+    ) -> None:
+        self.mid = mid
+        self.randomise = randomise
+        self.rng = rng
+        self.eab = np.zeros(lanes, dtype=np.int64)
+        self.stall = np.zeros(lanes, dtype=np.int64)
+        self.evictions = np.zeros(lanes, dtype=np.int64)
+
+    def grant_record(self, now: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """``eviction_grant_time`` + ``record_eviction`` fused.
+
+        Returns the per-lane grant time (valid at masked lanes); the
+        cdc reload draw is consumed only by masked lanes.
+        """
+        grant = np.maximum(self.eab, now)
+        self.stall += np.where(mask, grant - now, 0)
+        self.evictions += mask
+        if self.randomise:
+            delay = self.rng.randint_inclusive(0, 2 * self.mid, mask).astype(np.int64)
+        else:
+            delay = self.mid
+        np.copyto(self.eab, grant + delay, where=mask)
+        return grant
+
+
+class _LaneCRG:
+    """Per-lane Cache Request Generator of one interfering core.
+
+    ``next_time`` is the per-lane absolute cycle of the next pending
+    forced eviction; :meth:`fire_until` drains every lane's arrivals up
+    to its own ``now`` under a shrinking pending mask (masked
+    compare-and-reload), preserving each lane's scalar draw order: set
+    draw, forced LLC victim draw, gap draw — repeat.
+    """
+
+    def __init__(
+        self, mid: int, randomise: bool, rng: MWCArray, num_sets: int, lanes: int
+    ) -> None:
+        self.mid = mid
+        self.randomise = randomise
+        self.rng = rng
+        self.num_sets = num_sets
+        if randomise:
+            self.next_time = rng.randint_inclusive(0, 2 * mid).astype(np.int64)
+        else:
+            self.next_time = np.full(lanes, mid, dtype=np.int64)
+
+    def fire_until(self, now: np.ndarray, mask: np.ndarray, llc: _LaneCache) -> None:
+        pending = mask & (self.next_time <= now)
+        while pending.any():
+            sets = self.rng.randrange(self.num_sets, pending).astype(np.int64)
+            llc.force_evict_at(sets, pending)
+            if self.randomise:
+                gap = self.rng.randint_inclusive(0, 2 * self.mid, pending).astype(
+                    np.int64
+                )
+                # A zero gap still advances time by one cycle (at most
+                # one forced eviction per cycle per core).
+                inc = np.where(gap > 0, gap, 1)
+            else:
+                inc = self.mid if self.mid > 0 else 1
+            self.next_time = np.where(pending, self.next_time + inc, self.next_time)
+            pending = mask & (self.next_time <= now)
+
+
+class _TemplatePlan:
+    """Trace- and config-derived state shared by every lane chunk.
+
+    Computed once per campaign: the unified line-id table, the
+    per-instruction step metadata (op class, line ids, hot-line
+    shortcut flags) and the analysis-mode latency constants.
+    """
+
+    def __init__(self, request: RunRequest) -> None:
+        trace = request.traces[0]
+        config = request.config
+        scenario = request.scenario
+        self.trace = trace
+        self.config = config
+        self.scenario = scenario
+        self.core = request.core_id
+        nc = config.num_cores
+        if not 0 <= self.core < nc:
+            raise ConfigurationError(f"core_id {self.core} out of range")
+        self.llc_candidates = config.llc_ways
+        if scenario.mechanism == "cp":
+            counts = scenario.ways_per_core
+            if len(counts) != nc:
+                raise ConfigurationError(
+                    f"CP scenario gives {len(counts)} per-core way counts "
+                    f"for a {nc}-core system"
+                )
+            if counts[self.core] > config.llc_ways:
+                raise ConfigurationError(
+                    f"CP partition of {counts[self.core]} ways exceeds the "
+                    f"LLC's {config.llc_ways}"
+                )
+            self.llc_candidates = counts[self.core]
+
+        bus_penalty = config.analysis_bus_penalty
+        if bus_penalty is None:
+            bus_penalty = (nc - 1) * config.bus_latency
+        self.bus_cycles = config.bus_latency + bus_penalty
+        memory_penalty = config.analysis_memory_penalty
+        if memory_penalty is None:
+            memory_penalty = (nc - 1) * config.memory_latency
+        self.memory_cycles = config.memory_latency + memory_penalty
+        self.l1_hit = config.l1_hit_latency
+        self.llc_hit_latency = config.llc_hit_latency
+        self.random_placement = config.placement == "random"
+        self.eom = config.replacement == "eom"
+
+        shift = config.line_size.bit_length() - 1
+        n = len(trace)
+        self.instructions = n
+        # Iterate the trace, as the scalar CoreRunner does, so trace
+        # subclasses with instrumented/failing iteration behave the same.
+        stream = list(trace)
+        if len(stream) != n:
+            raise ConfigurationError(
+                f"trace {trace.name!r} yields {len(stream)} instructions "
+                f"but reports len() == {n}"
+            )
+        kinds = np.fromiter((int(k) for _, k, _ in stream), dtype=np.int64, count=n)
+        pcs = np.fromiter((int(p) for p, _, _ in stream), dtype=np.int64, count=n)
+        addrs = np.fromiter(
+            (int(a) if a is not None else 0 for _, _, a in stream),
+            dtype=np.int64,
+            count=n,
+        )
+        is_mem = (kinds == int(OpKind.LOAD)) | (kinds == int(OpKind.STORE))
+        is_store = kinds == int(OpKind.STORE)
+        ilines = pcs >> shift
+        dlines = addrs >> shift
+        # One unified line-id space across both address streams: the
+        # LLC sees either, so its placement matrix covers the union.
+        self.lines = np.unique(np.concatenate([ilines, dlines[is_mem]]))
+        iline_ids = np.searchsorted(self.lines, ilines)
+        dline_ids = np.searchsorted(self.lines, dlines)
+
+        # Hot-line shortcut flags (CoreRunner._shortcut_il1/_shortcut_dl1):
+        # with stateless EoM replacement the last-line latches update on
+        # every access, so the fast-hit pattern is a pure function of
+        # the trace — identical in every lane.
+        fetch_fast = np.zeros(n, dtype=bool)
+        if self.eom:
+            fetch_fast[1:] = ilines[1:] == ilines[:-1]
+        data_fast = np.zeros(n, dtype=bool)
+        if self.eom and config.dl1_write_back:
+            mem_pos = np.nonzero(is_mem)[0]
+            if mem_pos.size:
+                dm = dlines[mem_pos]
+                prev = np.concatenate(([np.int64(-1)], dm[:-1]))
+                data_fast[mem_pos] = (~is_store[mem_pos]) & (dm == prev)
+        self.fast_ihits = int(fetch_fast.sum())
+        self.fast_dhits = int(data_fast.sum())
+
+        # Per-instruction step metadata as plain tuples (the sweep loop
+        # is Python-level; attribute/array scalar lookups would dominate).
+        # mem_code: 0 = fixed execute latency (arg = cycles),
+        #           1 = fast DL1 hit, 2 = full DL1 access (arg = line id).
+        steps = []
+        for i in range(n):
+            if is_mem[i]:
+                if data_fast[i]:
+                    code, arg = 1, 0
+                else:
+                    code, arg = 2, int(dline_ids[i])
+                store = bool(is_store[i])
+            else:
+                code, arg = 0, int(_EXEC_LATENCY_BY_KIND[int(kinds[i])])
+                store = False
+            steps.append((bool(fetch_fast[i]), int(iline_ids[i]), code, arg, store))
+        self.steps = steps
+
+    # ------------------------------------------------------------------
+    def _sets_matrix(self, rii_draws: np.ndarray, num_sets: int, lanes: int):
+        """Placement matrix ``[line_id, lane] -> set`` for one cache."""
+        if self.random_placement:
+            riis = rii_draws & _MASK32  # build_platform truncates to _RII_BITS
+            return set_index_array(self.lines[:, None], riis[None, :], num_sets)
+        column = (self.lines % num_sets).astype(np.int64)
+        return np.broadcast_to(column[:, None], (self.lines.shape[0], lanes))
+
+    def execute(self, requests: Sequence[RunRequest]) -> List[RunOutcome]:
+        """Run one lane chunk; one bit-identical outcome per request."""
+        started = perf_counter()
+        lanes = len(requests)
+        config = self.config
+        scenario = self.scenario
+        core = self.core
+        nc = config.num_cores
+        seeds = np.array([request.seed for request in requests], dtype=np.uint64)
+
+        # build_platform's SplitMix64(run_seed) draw schedule, 1-based:
+        # IL1[c] consumes draws (2c+1, 2c+2), DL1[c] (2nc+2c+1,
+        # 2nc+2c+2), the LLC (4nc+1, 4nc+2), the bus seed 4nc+3
+        # (unused in analysis) and the EFL seed 4nc+4.  SplitMix64 is
+        # counter-based, so only the analysed core's draws are computed.
+        l1_sets = config.l1_geometry.num_sets
+        l1_ways = config.l1_geometry.ways
+        llc_sets = config.llc_geometry.num_sets
+        llc_ways = config.llc_geometry.ways
+        lru = not self.eom
+
+        def lane_cache(rii_k, rng_k, num_sets, ways, candidates):
+            rng = MWCArray(splitmix64_draw(seeds, rng_k)) if self.eom else None
+            matrix = self._sets_matrix(splitmix64_draw(seeds, rii_k), num_sets, lanes)
+            return _LaneCache(lanes, num_sets, ways, candidates, matrix, rng, lru)
+
+        il1 = lane_cache(2 * core + 1, 2 * core + 2, l1_sets, l1_ways, l1_ways)
+        dl1 = lane_cache(
+            2 * nc + 2 * core + 1, 2 * nc + 2 * core + 2, l1_sets, l1_ways, l1_ways
+        )
+        llc = lane_cache(4 * nc + 1, 4 * nc + 2, llc_sets, llc_ways,
+                         self.llc_candidates)
+
+        acu = None
+        crgs: List[_LaneCRG] = []
+        if scenario.mechanism == "efl":
+            # EFLController's inner SplitMix64(efl_seed): ACU seeds for
+            # cores 0..nc-1 first, then CRG seeds for the interfering
+            # cores in core order.
+            efl_seeds = splitmix64_draw(seeds, 4 * nc + 4)
+            mid = scenario.mid
+            randomise = scenario.randomise_mid
+            acu = _LaneACU(
+                mid, randomise, MWCArray(splitmix64_draw(efl_seeds, core + 1)), lanes
+            )
+            position = 0
+            for other in range(nc):
+                if other == core:
+                    continue
+                position += 1
+                crgs.append(
+                    _LaneCRG(
+                        mid,
+                        randomise,
+                        MWCArray(splitmix64_draw(efl_seeds, nc + position)),
+                        llc_sets,
+                        lanes,
+                    )
+                )
+
+        path_llc_hits = np.zeros(lanes, dtype=np.int64)
+        path_llc_misses = np.zeros(lanes, dtype=np.int64)
+        memory_reads = np.zeros(lanes, dtype=np.int64)
+        memory_writes = np.zeros(lanes, dtype=np.int64)
+
+        bus_cycles = self.bus_cycles
+        llc_hit_latency = self.llc_hit_latency
+        memory_cycles = self.memory_cycles
+        l1_hit = self.l1_hit
+        all_mask = np.ones(lanes, dtype=bool)
+
+        def fill(line_id: int, issue: np.ndarray, mask: np.ndarray) -> np.ndarray:
+            """MemoryPath.fill (analysis mode) for the masked lanes."""
+            arrival = issue + bus_cycles
+            for crg in crgs:
+                crg.fire_until(arrival, mask, llc)
+            lookup = arrival + llc_hit_latency
+            hit, miss, _vids, vdirty = llc.demand(line_id, mask, write=False)
+            np.add(path_llc_hits, hit, out=path_llc_hits)
+            np.add(path_llc_misses, miss, out=path_llc_misses)
+            if not miss.any():
+                return lookup
+            if acu is not None:
+                grant = acu.grant_record(lookup, miss)
+            else:
+                grant = lookup
+            np.add(memory_reads, miss, out=memory_reads)
+            # Dirty LLC victims are posted write-backs (no added latency).
+            np.add(memory_writes, miss & vdirty, out=memory_writes)
+            return np.where(miss, grant + memory_cycles, lookup)
+
+        # Pipeline state: five per-lane time vectors, exactly the five
+        # scalars InOrderPipeline keeps, plus the single miss port.
+        end_fetch = np.zeros(lanes, dtype=np.int64)
+        start_decode = np.zeros(lanes, dtype=np.int64)
+        start_mem = np.zeros(lanes, dtype=np.int64)
+        start_wb = np.zeros(lanes, dtype=np.int64)
+        end_wb = np.zeros(lanes, dtype=np.int64)
+        port_free = np.zeros(lanes, dtype=np.int64)
+        start_fetch = np.zeros(lanes, dtype=np.int64)
+        end_decode = np.zeros(lanes, dtype=np.int64)
+        end_mem = np.zeros(lanes, dtype=np.int64)
+
+        for fetch_fast, iline, mem_code, mem_arg, is_store in self.steps:
+            # Fetch (latch frees when the previous instruction decoded).
+            np.maximum(end_fetch, start_decode, out=start_fetch)
+            if fetch_fast:
+                np.add(start_fetch, l1_hit, out=end_fetch)
+            else:
+                _hit, miss, _v, _d = il1.demand(iline, all_mask, write=False)
+                np.add(start_fetch, l1_hit, out=end_fetch)
+                if miss.any():
+                    issue = np.maximum(start_fetch, port_free)
+                    done = fill(iline, issue, miss)
+                    np.copyto(port_free, done, where=miss)
+                    np.copyto(end_fetch, done, where=miss)
+            # Decode: 1 cycle behind the previous memory-stage entry.
+            np.maximum(end_fetch, start_mem, out=start_decode)
+            np.add(start_decode, 1, out=end_decode)
+            # Memory / execute.
+            np.maximum(end_decode, start_wb, out=start_mem)
+            if mem_code == 0:
+                np.add(start_mem, mem_arg, out=end_mem)
+            elif mem_code == 1:
+                np.add(start_mem, l1_hit, out=end_mem)
+            else:
+                _hit, miss, vids, vdirty = dl1.demand(mem_arg, all_mask, is_store)
+                np.add(start_mem, l1_hit, out=end_mem)
+                if miss.any():
+                    issue = np.maximum(start_mem, port_free)
+                    done = fill(mem_arg, issue, miss)
+                    np.copyto(port_free, done, where=miss)
+                    np.copyto(end_mem, done, where=miss)
+                    dirty_victims = miss & vdirty
+                    if dirty_victims.any():
+                        resident = llc.writeback(vids, dirty_victims)
+                        memory_writes += dirty_victims & ~resident
+            # Write-back: 1 cycle, in order.
+            np.maximum(end_mem, end_wb, out=start_wb)
+            np.add(start_wb, 1, out=end_wb)
+
+        wall_each = (perf_counter() - started) / lanes
+        scenario_label = scenario.label()
+        outcomes = []
+        for lane, request in enumerate(requests):
+            result = RunResult(
+                scenario_label=scenario_label,
+                mode=scenario.mode,
+                cores=[
+                    CoreResult(
+                        core=core,
+                        task=self.trace.name,
+                        cycles=int(end_wb[lane]),
+                        instructions=self.instructions,
+                        il1_misses=int(il1.misses[lane]),
+                        il1_accesses=int(il1.hits[lane] + il1.misses[lane])
+                        + self.fast_ihits,
+                        dl1_misses=int(dl1.misses[lane]),
+                        dl1_accesses=int(dl1.hits[lane] + dl1.misses[lane])
+                        + self.fast_dhits,
+                        efl_stall_cycles=int(acu.stall[lane]) if acu else 0,
+                        efl_evictions=int(acu.evictions[lane]) if acu else 0,
+                    )
+                ],
+                llc_hits=int(path_llc_hits[lane]),
+                llc_misses=int(path_llc_misses[lane]),
+                llc_forced_evictions=int(llc.forced[lane]),
+                memory_reads=int(memory_reads[lane]),
+                memory_writes=int(memory_writes[lane]),
+                profile=None,
+            )
+            outcomes.append(
+                RunOutcome(
+                    index=request.index,
+                    seed=request.seed,
+                    result=result,
+                    error=None,
+                    wall_time_s=wall_each,
+                    attempts=1,
+                    checksum=result_checksum(request.index, request.seed, result),
+                )
+            )
+        return outcomes
+
+
+class BatchBackend(ExecutionBackend):
+    """Lock-step NumPy execution of homogeneous analysis campaigns.
+
+    Implements the :class:`~repro.sim.backend.ExecutionBackend`
+    protocol, so campaigns, checkpointing, observers and
+    :class:`~repro.analysis.experiments.PWCETTable` compose unchanged.
+    Requests must share one template (trace, config, scenario) and be
+    analysis-mode isolation runs; anything else is delegated to
+    ``fallback`` (default: a fresh :class:`SerialBackend`), or — with
+    ``strict=True``, the CLI's ``--engine batch`` contract — rejected
+    with a :class:`~repro.errors.ConfigurationError` naming the reason.
+
+    ``max_lanes`` bounds the lane width of one sweep (memory: the LLC
+    tag/dirty planes are ``lanes * sets * ways`` entries); larger
+    campaigns run as consecutive chunks, which is still bit-identical
+    because lanes never interact.
+    """
+
+    def __init__(
+        self,
+        fallback: Optional[ExecutionBackend] = None,
+        strict: bool = False,
+        max_lanes: int = 1024,
+    ) -> None:
+        if max_lanes < 1:
+            raise ConfigurationError(
+                f"batch engine needs max_lanes >= 1, got {max_lanes}"
+            )
+        self.fallback = fallback if fallback is not None else SerialBackend()
+        self.strict = strict
+        self.max_lanes = max_lanes
+        self.name = "batch"
+
+    def _ineligibility(self, requests: Sequence[RunRequest]) -> Optional[str]:
+        """Why this request batch cannot run vectorised (None if it can)."""
+        if _backend_mod._FAULT_PLAN is not None:
+            return "a fault-injection plan is installed (chaos testing is per-run)"
+        reason = batch_ineligibility(requests[0])
+        if reason is not None:
+            return reason
+        template = requests[0].template_key()
+        if any(request.template_key() != template for request in requests[1:]):
+            return (
+                "requests are heterogeneous (mixed traces, configs or "
+                "scenarios); lanes must share one template"
+            )
+        return None
+
+    def _delegate(
+        self,
+        requests: Sequence[RunRequest],
+        observer: Optional[RunObserver],
+        reason: str,
+    ) -> List[RunOutcome]:
+        self.name = self.fallback.name
+        if observer is not None:
+            observer.on_message(
+                f"batch engine unavailable ({reason}); "
+                f"falling back to the {self.fallback.name} backend"
+            )
+        return self.fallback.execute(requests, observer=observer)
+
+    def execute(
+        self,
+        requests: Sequence[RunRequest],
+        observer: Optional[RunObserver] = None,
+    ) -> List[RunOutcome]:
+        requests = list(requests)
+        if not requests:
+            return []
+        reason = self._ineligibility(requests)
+        if reason is not None:
+            if self.strict:
+                raise ConfigurationError(
+                    f"batch engine cannot run this campaign: {reason}"
+                )
+            return self._delegate(requests, observer, reason)
+        try:
+            plan = _TemplatePlan(requests[0])
+        except Exception as exc:  # noqa: BLE001 — scalar engine decides
+            if self.strict:
+                raise
+            return self._delegate(requests, observer, str(exc))
+        self.name = "batch"
+        outcomes: List[RunOutcome] = []
+        for begin in range(0, len(requests), self.max_lanes):
+            chunk = requests[begin:begin + self.max_lanes]
+            try:
+                chunk_outcomes = plan.execute(chunk)
+            except Exception as exc:  # noqa: BLE001 — scalar engine decides
+                if self.strict:
+                    raise
+                outcomes.extend(self._delegate(chunk, observer, str(exc)))
+                continue
+            for outcome in chunk_outcomes:
+                _notify(observer, outcome)
+            outcomes.extend(chunk_outcomes)
+        return outcomes

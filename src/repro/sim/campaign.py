@@ -37,6 +37,7 @@ from repro.sim.backend import (
     RunRecord,
     SerialBackend,
 )
+from repro.sim.batch import ENGINE_NAMES, BatchBackend
 from repro.sim.checkpoint import CampaignCheckpoint, CheckpointWriter
 from repro.sim.config import Scenario, SystemConfig
 from repro.sim.simulator import RunRequest
@@ -73,19 +74,35 @@ class CampaignResult:
     #: ``attempts - 1`` over the executed runs).
     retried_runs: int = 0
 
+    def _require_sample(self, statistic: str) -> None:
+        """Refuse sample statistics on an empty sample, with provenance.
+
+        A bare ``min() arg is an empty sequence`` names neither the
+        campaign nor the cause; this names both.
+        """
+        if not self.execution_times:
+            raise SimulationError(
+                f"campaign {self.task!r} under {self.scenario_label} has an "
+                f"empty execution-time sample; {statistic} is undefined "
+                f"(0 completed runs)"
+            )
+
     @property
     def min_time(self) -> int:
         """Fastest observed run."""
+        self._require_sample("min_time")
         return min(self.execution_times)
 
     @property
     def max_time(self) -> int:
         """High-water mark of the observations (HWM)."""
+        self._require_sample("max_time")
         return max(self.execution_times)
 
     @property
     def mean_time(self) -> float:
         """Mean observed execution time."""
+        self._require_sample("mean_time")
         return sum(self.execution_times) / len(self.execution_times)
 
     @property
@@ -108,6 +125,31 @@ class CampaignResult:
         return self.runs / self.wall_time_s
 
 
+def _select_backend(
+    engine: str, backend: Optional[ExecutionBackend]
+) -> ExecutionBackend:
+    """Resolve the (engine, backend) pair to one execution backend.
+
+    ``auto`` upgrades to the batch engine only when the caller kept the
+    default execution semantics: no backend, or a plain retry-free
+    :class:`SerialBackend` (exact type — subclasses carry their own
+    per-run behaviour and stay scalar).  The upgrade is safe because
+    :class:`BatchBackend` re-checks eligibility per request batch and
+    falls back to the scalar engine it wraps.
+    """
+    if engine not in ENGINE_NAMES:
+        names = ", ".join(ENGINE_NAMES)
+        raise ConfigurationError(f"unknown engine {engine!r}; expected one of {names}")
+    if engine == "batch":
+        return BatchBackend(fallback=backend, strict=True)
+    if engine == "auto" and (
+        backend is None
+        or (type(backend) is SerialBackend and backend.retry is None)
+    ):
+        return BatchBackend(fallback=backend)
+    return backend if backend is not None else SerialBackend()
+
+
 def collect_execution_times(
     trace: Trace,
     config: SystemConfig,
@@ -119,6 +161,7 @@ def collect_execution_times(
     profile: bool = False,
     checkpoint: Optional[CampaignCheckpoint] = None,
     cycle_budget: Optional[int] = None,
+    engine: str = "auto",
 ) -> CampaignResult:
     """Collect ``runs`` end-to-end execution times of ``trace``.
 
@@ -129,6 +172,18 @@ def collect_execution_times(
     snapshot to every run's record (timing is unaffected);
     ``cycle_budget`` bounds each run's simulated cycles (a livelock
     guard — exceeding it is a deterministic failure, never retried).
+
+    ``engine`` picks the run interpreter. ``"auto"`` (default) runs the
+    campaign on the lock-step NumPy batch engine
+    (:class:`~repro.sim.batch.BatchBackend`) whenever it applies — the
+    campaign is analysis-mode and the caller did not hand over a
+    backend with its own per-run semantics (process pool, retry policy,
+    fault injection) — and falls back to the scalar interpreter
+    otherwise; the sample is bit-identical either way.  ``"scalar"``
+    forces the per-run interpreter; ``"batch"`` demands vectorised
+    execution and raises :class:`~repro.errors.ConfigurationError`
+    naming the obstacle when the campaign is ineligible, instead of
+    silently falling back.
     Per-run failures are captured by the backend and re-raised here as
     :class:`~repro.errors.CampaignRunError` naming every failing
     ``(index, seed, message, kind)`` — the surviving runs' work is not
@@ -144,8 +199,7 @@ def collect_execution_times(
     """
     if runs <= 0:
         raise ConfigurationError(f"a campaign needs at least one run, got {runs}")
-    if backend is None:
-        backend = SerialBackend()
+    backend = _select_backend(engine, backend)
     seeds = derive_seeds(master_seed, runs)
     resumed: Dict[int, RunRecord] = {}
     effective_observer = observer

@@ -530,6 +530,48 @@ class RunRequest:
         )
 
 
+def batch_ineligibility(request: RunRequest) -> Optional[str]:
+    """Why ``request`` cannot run on the lock-step batch engine.
+
+    Returns ``None`` when the request is batchable, else a short
+    human-readable reason.  The batch engine
+    (:mod:`repro.sim.batch`) vectorises exactly the paper's analysis
+    protocol — one trace alone on one core under composable upper
+    bounds — because only there is every run's control flow identical
+    across lanes.  Everything else stays on the scalar engine:
+    deployment co-runs interleave cores data-dependently, profiling
+    attributes wall time through scalar callbacks, the cycle-budget
+    watchdog checks the clock per scalar instruction, and the
+    write-through DL1 ablation takes a different store path.
+    """
+    if request.engine != "isolation":
+        return (
+            "deployment-mode workloads co-run several cores with "
+            "data-dependent interleaving; only isolation runs vectorise"
+        )
+    if request.scenario.mode is not OperationMode.ANALYSIS:
+        return (
+            "only analysis-mode scenarios vectorise; deployment timing "
+            "is contention-dependent and stays scalar"
+        )
+    if request.profile:
+        return (
+            "profiled runs attribute cycles and wall time through "
+            "per-access scalar hooks"
+        )
+    if request.cycle_budget is not None:
+        return (
+            "the cycle-budget watchdog checks the simulated clock after "
+            "every scalar instruction"
+        )
+    if not request.config.dl1_write_back:
+        return (
+            "the write-through DL1 ablation (A2) takes the scalar "
+            "store-through path"
+        )
+    return None
+
+
 def execute_request(request: RunRequest) -> RunResult:
     """Execute one :class:`RunRequest` (a pure function of the request)."""
     if request.engine == "isolation":

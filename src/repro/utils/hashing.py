@@ -23,7 +23,10 @@ Equation 1 assumes.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import ConfigurationError
+from repro.utils.rng import splitmix64_mix
 
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 
@@ -73,3 +76,35 @@ class ParametricHash:
         h = _mix64(key)
         # Lemire-style unbiased range reduction on the high bits.
         return (h * self.num_sets) >> 64
+
+    def set_index_array(self, line_addresses, riis) -> np.ndarray:
+        """Vectorised :meth:`set_index` with NumPy broadcasting."""
+        return set_index_array(line_addresses, riis, self.num_sets)
+
+
+def set_index_array(line_addresses, riis, num_sets: int) -> np.ndarray:
+    """Vectorised parametric hash: ``h(address, RII) -> set index``.
+
+    Bit-identical to :meth:`ParametricHash.set_index` element-wise;
+    ``line_addresses`` and ``riis`` broadcast against each other, so a
+    ``[lines, 1]`` column against a ``[runs]`` row yields the whole
+    per-run placement matrix of a batch campaign in one call.
+
+    The 128-bit Lemire reduction ``(h * num_sets) >> 64`` is computed
+    in ``uint64`` by splitting ``h`` into 32-bit halves:
+    ``((hi*n + ((lo*n) >> 32)) >> 32)``, exact for ``num_sets`` up to
+    2**31 (no partial product reaches 2**64).
+    """
+    if not 0 < num_sets <= 1 << 31:
+        raise ConfigurationError(
+            f"num_sets must be in [1, 2**31] for the vectorised hash, "
+            f"got {num_sets}"
+        )
+    lines = np.asarray(line_addresses, dtype=np.uint64)
+    riis = np.asarray(riis, dtype=np.uint64)
+    key = lines * np.uint64(0x9E3779B97F4A7C15) + riis * np.uint64(0xC2B2AE3D27D4EB4F)
+    h = splitmix64_mix(key)
+    hi = h >> np.uint64(32)
+    lo = h & np.uint64(0xFFFFFFFF)
+    n = np.uint64(num_sets)
+    return ((hi * n + ((lo * n) >> np.uint64(32))) >> np.uint64(32)).astype(np.int64)

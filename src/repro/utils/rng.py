@@ -15,6 +15,10 @@ the modelled hardware.
 
 from __future__ import annotations
 
+from typing import Optional
+
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 _MASK32 = 0xFFFFFFFF
@@ -138,6 +142,118 @@ class SplitMix64:
     def next_u32(self) -> int:
         """Return the next 32-bit unsigned random value."""
         return self.next_u64() >> 32
+
+
+def splitmix64_mix(z: np.ndarray) -> np.ndarray:
+    """Vectorised SplitMix64 finaliser over a ``uint64`` array.
+
+    Bit-identical to the scalar mixer inside
+    :meth:`SplitMix64.next_u64` (and to
+    :func:`repro.utils.hashing._mix64`): ``uint64`` arithmetic wraps
+    modulo 2**64 exactly like the masked Python-int version.
+    """
+    z = np.asarray(z, dtype=np.uint64)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+def splitmix64_draw(seeds: np.ndarray, k: int) -> np.ndarray:
+    """The ``k``-th ``next_u64()`` of ``SplitMix64(seed)``, per lane.
+
+    SplitMix64 is a counter-based generator: its ``k``-th output
+    (1-based) is ``mix(seed + k * GOLDEN_GAMMA)``, so any draw of any
+    stream is computable directly, without materialising the ones
+    before it.  The batch engine uses this to reproduce
+    :func:`repro.sim.platform.build_platform`'s seed-draw schedule for
+    a whole campaign at once, touching only the draws the analysed
+    core actually needs.
+    """
+    if k < 1:
+        raise ConfigurationError(f"SplitMix64 draws are 1-based, got draw {k}")
+    seeds = np.asarray(seeds, dtype=np.uint64)
+    return splitmix64_mix(seeds + np.uint64((k * SplitMix64.GOLDEN_GAMMA) & _MASK64))
+
+
+class MWCArray:
+    """Vectorised :class:`MultiplyWithCarry`: one stream per lane.
+
+    Lane ``i`` is bit-identical to ``MultiplyWithCarry(seeds[i])``:
+    the same SplitMix64 seed whitening, the same degenerate-state
+    repair, the same ``t = a*x + c`` step (``t < 2**63``, so ``uint64``
+    never wraps) and the same rejection-sampled range reduction.  Every
+    drawing method takes an optional boolean ``mask``; lanes outside
+    the mask consume nothing — their state is untouched — which is how
+    the batch engine keeps per-lane draw sequences identical to the
+    scalar engine even when lanes diverge (some miss, some hit).
+    """
+
+    __slots__ = ("_x", "_c")
+
+    def __init__(self, seeds: np.ndarray) -> None:
+        seeds = np.asarray(seeds, dtype=np.uint64)
+        x = splitmix64_draw(seeds, 1) & np.uint64(_MASK32)
+        c = splitmix64_draw(seeds, 2) % np.uint64(MWC_MULTIPLIER - 1)
+        x[(x == np.uint64(0)) & (c == np.uint64(0))] = np.uint64(1)
+        self._x = x
+        self._c = c
+
+    @property
+    def lanes(self) -> int:
+        """Number of independent streams."""
+        return self._x.shape[0]
+
+    def next_u32(self, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Advance the masked lanes one step; return the lane values.
+
+        The returned array is the internal value vector: masked lanes
+        hold their fresh draw, unmasked lanes their *previous* value
+        (callers must only read masked lanes).
+        """
+        t = np.uint64(MWC_MULTIPLIER) * self._x + self._c
+        if mask is None:
+            self._x = t & np.uint64(_MASK32)
+            self._c = t >> np.uint64(32)
+        else:
+            np.copyto(self._x, t & np.uint64(_MASK32), where=mask)
+            np.copyto(self._c, t >> np.uint64(32), where=mask)
+        return self._x
+
+    def randrange(self, n: int, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Per-lane uniform integer in ``[0, n)`` (masked lanes only).
+
+        The rejection loop advances only the still-rejected lanes, so
+        each lane consumes exactly the draws its scalar twin would.
+        Unmasked lanes return 0 and consume nothing.
+        """
+        if n <= 0:
+            raise ConfigurationError(f"randrange() bound must be positive, got {n}")
+        limit = np.uint64((0x100000000 // n) * n)
+        nn = np.uint64(n)
+        out = np.zeros(self._x.shape, dtype=np.uint64)
+        pending = np.ones(self._x.shape, dtype=bool) if mask is None else mask.copy()
+        while pending.any():
+            v = self.next_u32(pending)
+            accepted = pending & (v < limit)
+            if accepted.any():
+                np.copyto(out, v % nn, where=accepted)
+                pending &= ~accepted
+        return out
+
+    def randint_inclusive(
+        self, lo: int, hi: int, mask: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Per-lane uniform integer in ``[lo, hi]`` (both inclusive)."""
+        if hi < lo:
+            raise ConfigurationError(f"empty range [{lo}, {hi}]")
+        draw = self.randrange(hi - lo + 1, mask)
+        if lo == 0:
+            return draw
+        return draw + np.uint64(lo)
+
+    def state(self) -> tuple:
+        """Return copies of the internal ``(x, carry)`` vectors."""
+        return (self._x.copy(), self._c.copy())
 
 
 def derive_seeds(master_seed: int, count: int) -> list:

@@ -31,6 +31,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             make_parser().parse_args(["--backend", "quantum", "fig3"])
 
+    def test_engine_defaults_to_auto(self):
+        assert make_parser().parse_args(["fig3"]).engine == "auto"
+
+    def test_engine_options(self):
+        for engine in ("auto", "scalar", "batch"):
+            assert make_parser().parse_args(
+                ["--engine", engine, "fig3"]
+            ).engine == engine
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["--engine", "warp", "fig3"])
+
     def test_iid_options(self):
         args = make_parser().parse_args(["--scale", "tiny", "iid", "--mid", "123"])
         assert args.scale == "tiny"
@@ -85,6 +98,31 @@ class TestExecution:
                      "--workers", "2", "iid"])
         assert code == 0
         assert capsys.readouterr().out == serial_out
+
+    def test_engines_print_identical_tables(self, capsys):
+        code = main(["--scale", "tiny", "--seed", "3", "--engine", "scalar",
+                     "iid"])
+        assert code == 0
+        scalar_out = capsys.readouterr().out
+        code = main(["--scale", "tiny", "--seed", "3", "--engine", "batch",
+                     "iid"])
+        assert code == 0
+        assert capsys.readouterr().out == scalar_out
+
+    def test_strict_batch_engine_refuses_profile(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="profil"):
+            main(["--scale", "tiny", "--engine", "batch", "--profile", "iid"])
+
+    def test_strict_batch_engine_refuses_deployment_runs(self):
+        from repro.errors import ConfigurationError
+
+        # fig4's measured-average pass co-runs workloads (deployment
+        # mode), which the batch engine must reject by name instead of
+        # silently interpreting scalar.
+        with pytest.raises(ConfigurationError, match="deployment"):
+            main(["--scale", "tiny", "--engine", "batch", "fig4"])
 
     def test_checkpointed_resume_matches_fresh_run(self, tmp_path, capsys):
         code = main(["--scale", "tiny", "--seed", "3", "iid"])
