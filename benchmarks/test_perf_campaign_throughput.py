@@ -44,7 +44,7 @@ def test_campaign_throughput(scale):
     )
     parallel = collect_execution_times(
         trace, config, scenario, runs=runs, master_seed=CAMPAIGN_SEED,
-        backend=ProcessPoolBackend(workers=WORKERS),
+        backend=ProcessPoolBackend(workers=WORKERS, force_pool=True),
     )
 
     # Determinism guarantee: the backend must be invisible in the data.

@@ -64,6 +64,7 @@ from repro.sim import (
     ExecutionBackend,
     FaultInjectingBackend,
     FaultPlan,
+    PlanCache,
     ProcessPoolBackend,
     RetryPolicy,
     RunObserver,
@@ -72,6 +73,7 @@ from repro.sim import (
     RunResult,
     Scenario,
     SerialBackend,
+    ShardedBatchBackend,
     SystemConfig,
     collect_execution_times,
     execute_request,
@@ -154,6 +156,8 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "BatchBackend",
+    "ShardedBatchBackend",
+    "PlanCache",
     "ENGINE_NAMES",
     "ProcessPoolBackend",
     "RetryPolicy",

@@ -37,6 +37,7 @@ from repro.pta.iid import IIDResult, iid_test
 from repro.pta.mbpta import MBPTAResult, estimate_pwcet
 from repro.sim.backend import ExecutionBackend, RunObserver, SerialBackend
 from repro.sim.campaign import CampaignResult, collect_execution_times
+from repro.sim.plancache import PlanCache
 from repro.sim.checkpoint import CampaignCheckpoint
 from repro.sim.config import Scenario, SystemConfig
 from repro.sim.simulator import RunRequest
@@ -78,6 +79,7 @@ class PWCETTable:
         resume: bool = True,
         cycle_budget: Optional[int] = None,
         engine: str = "auto",
+        workers: Optional[int] = None,
     ) -> None:
         self.scale = scale if scale is not None else ExperimentScale.default()
         # Default to the scale's proportionally shrunk platform; an
@@ -95,9 +97,17 @@ class PWCETTable:
         #: Per-run simulated-cycle budget (livelock guard); ``None``
         #: disables the guard entirely (no hot-path cost).
         self.cycle_budget = cycle_budget
-        #: Run interpreter for analysis campaigns: ``"auto"`` (batch
-        #: where eligible), ``"scalar"``, or ``"batch"`` (strict).
+        #: Run interpreter for analysis campaigns: ``"auto"`` (batch /
+        #: sharded where eligible), ``"scalar"``, ``"batch"`` or
+        #: ``"sharded"`` (the latter two strict).
         self.engine = engine
+        #: Shard workers for the batch/sharded engines (None = policy
+        #: default); mutually exclusive with a process backend.
+        self.workers = workers
+        #: One compiled trace program per (trace, geometry) across the
+        #: whole sweep: every MID / way-count campaign over the same
+        #: benchmark reuses the first campaign's compile.
+        self.plan_cache = PlanCache()
         self.traces = build_all_benchmarks(self.scale.trace_scale)
         self._campaigns: Dict[Tuple[str, str], CampaignResult] = {}
         self._estimates: Dict[Tuple[str, str], MBPTAResult] = {}
@@ -146,6 +156,8 @@ class PWCETTable:
                 checkpoint=self._checkpoint_for(bench_id, scenario.label()),
                 cycle_budget=self.cycle_budget,
                 engine=self.engine,
+                workers=self.workers,
+                plan_cache=self.plan_cache,
             )
         return self._campaigns[key]
 
@@ -312,12 +324,12 @@ def _deployment_samples(
     label: str,
 ) -> List[float]:
     """Co-run one workload ``len(rep_seeds)`` times through the backend."""
-    if table.engine == "batch":
+    if table.engine in ("batch", "sharded"):
         raise ConfigurationError(
-            "the batch engine only vectorises analysis-mode isolation "
-            "campaigns; deployment co-runs interleave cores dynamically "
-            "and need the scalar interpreter (use engine='auto' or "
-            "'scalar' for deployment experiments)"
+            f"the {table.engine} engine only vectorises analysis-mode "
+            "isolation campaigns; deployment co-runs interleave cores "
+            "dynamically and need the scalar interpreter (use "
+            "engine='auto' or 'scalar' for deployment experiments)"
         )
     template = RunRequest.workload(
         traces, table.config, scenario, rep_seeds[0], index=0,

@@ -62,6 +62,11 @@ def render_campaign(result: CampaignResult) -> str:
             f"checkpoint, {result.retried_runs} retries spent on "
             f"transient failures"
         )
+    if result.plan_cache_hits or result.plan_cache_misses:
+        lines.append(
+            f"  plan cache: {result.plan_cache_misses} compile(s), "
+            f"{result.plan_cache_hits} hit(s)"
+        )
     if result.records:
         runs = len(result.records)
         def mean(attribute: str) -> float:

@@ -13,11 +13,15 @@ Every command accepts ``--scale {tiny,quick,default,paper}`` and
 and ``--workers N`` to fan simulation runs out over worker processes
 (results are bit-identical across backends — seeds are derived per
 run, not per worker); results print as plain-text tables.
-``--engine {auto,scalar,batch}`` picks the run interpreter for
-analysis campaigns: ``auto`` (default) vectorises eligible campaigns
-on the lock-step NumPy batch engine, ``scalar`` forces the per-run
-interpreter, ``batch`` fails loudly instead of falling back; samples
-are bit-identical across engines.
+``--engine {auto,scalar,batch,sharded}`` picks the run interpreter
+for analysis campaigns: ``auto`` (default) vectorises eligible
+campaigns on the lock-step NumPy batch engine — sharding the lanes
+over worker processes when the host has CPUs to use — ``scalar``
+forces the per-run interpreter, ``batch`` / ``sharded`` fail loudly
+instead of falling back; samples are bit-identical across engines.
+``--engine batch --workers N`` runs N shards (``--workers`` composes
+with either the process backend or the batch/sharded engines, never
+both at once).
 
 Long sweeps survive interruption with ``--checkpoint-dir DIR``: every
 analysis campaign journals its completed runs there, and rerunning
@@ -64,22 +68,28 @@ def _build_table(args: argparse.Namespace) -> PWCETTable:
     scale = ExperimentScale.from_name(args.scale)
     if args.backend == "process" and usable_cpus() < 2:
         # Proceed anyway: results are bit-identical across backends,
-        # the pool just cannot be faster than serial here.
+        # and the backend itself degrades to in-process execution
+        # rather than paying pool overhead for no parallelism.
         print(
             "warning: --backend process on a single-CPU host cannot run "
-            "workers in parallel; proceeding (results are unaffected, "
-            "consider --backend serial)",
+            "workers in parallel; the pool degrades to in-process serial "
+            "execution (results are unaffected)",
             file=sys.stderr,
         )
     observer = StreamObserver(sys.stderr) if args.verbose else None
     if args.profile:
         observer = ProfilingObserver(observer)
+    # --workers N means pool workers with --backend process, shard
+    # workers otherwise (the conflicting combinations were rejected in
+    # main()); only one of the two consumers ever receives it.
+    pool_workers = args.workers if args.backend == "process" else None
+    shard_workers = args.workers if args.backend != "process" else None
     return PWCETTable(
         config=SystemConfig(),
         scale=scale,
         seed=args.seed,
         backend=make_backend(
-            args.backend, args.workers, run_timeout_s=args.run_timeout
+            args.backend, pool_workers, run_timeout_s=args.run_timeout
         ),
         observer=observer,
         profile=args.profile,
@@ -87,6 +97,7 @@ def _build_table(args: argparse.Namespace) -> PWCETTable:
         resume=args.resume,
         cycle_budget=args.cycle_budget,
         engine=args.engine,
+        workers=shard_workers,
     )
 
 
@@ -178,7 +189,11 @@ def make_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="worker processes for --backend process (default: CPU count)",
+        help=(
+            "worker processes: pool workers with --backend process, "
+            "shard workers with --engine batch/sharded/auto "
+            "(default: CPU count)"
+        ),
     )
     parser.add_argument(
         "--engine",
@@ -186,10 +201,13 @@ def make_parser() -> argparse.ArgumentParser:
         choices=ENGINE_NAMES,
         help=(
             "run interpreter for analysis campaigns: 'auto' uses the "
-            "lock-step NumPy batch engine where eligible and falls back "
-            "to the scalar interpreter otherwise, 'scalar' forces per-run "
-            "interpretation, 'batch' demands vectorised execution and "
-            "fails (naming the obstacle) on ineligible campaigns, e.g. "
+            "lock-step NumPy batch engine where eligible — sharded over "
+            "worker processes when the host and campaign are big enough "
+            "— and falls back to the scalar interpreter otherwise, "
+            "'scalar' forces per-run interpretation, 'batch' demands "
+            "vectorised execution ('--workers N' shards it N ways) and "
+            "'sharded' demands the multi-process form; both fail "
+            "(naming the obstacle) on ineligible campaigns, e.g. "
             "deployment runs or --profile; samples are bit-identical "
             "across engines (default: auto)"
         ),
@@ -287,6 +305,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.workers is not None and args.workers <= 0:
         raise ConfigurationError(
             f"--workers must be a positive integer, got {args.workers}"
+        )
+    if args.backend == "process" and args.engine in ("batch", "sharded"):
+        raise ConfigurationError(
+            f"--backend process conflicts with --engine {args.engine}: the "
+            f"process backend interprets runs one at a time, while the "
+            f"{args.engine} engine dispatches its own lane shards; drop "
+            f"--backend process (use --engine {args.engine} --workers N "
+            f"for N shards)"
+        )
+    if args.engine == "scalar" and args.workers is not None \
+            and args.backend != "process":
+        raise ConfigurationError(
+            "--workers with --engine scalar needs --backend process: the "
+            "scalar engine has no shards, so worker processes only exist "
+            "in the process backend's pool"
         )
     if args.resume and args.checkpoint_dir is None:
         raise ConfigurationError(

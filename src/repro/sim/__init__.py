@@ -47,10 +47,17 @@ from repro.sim.backend import (
     StreamObserver,
     make_backend,
 )
-from repro.sim.batch import ENGINE_NAMES, BatchBackend
+from repro.sim.batch import (
+    ENGINE_NAMES,
+    SHARDED_AUTO_MIN_RUNS,
+    BatchBackend,
+    ShardedBatchBackend,
+    shard_lanes,
+)
 from repro.sim.campaign import collect_execution_times, CampaignResult
 from repro.sim.checkpoint import CampaignCheckpoint, campaign_fingerprint
 from repro.sim.faults import FaultInjectingBackend, FaultPlan
+from repro.sim.plancache import PlanCache
 
 __all__ = [
     "SystemConfig",
@@ -74,7 +81,11 @@ __all__ = [
     "RetryPolicy",
     "make_backend",
     "ENGINE_NAMES",
+    "SHARDED_AUTO_MIN_RUNS",
     "BatchBackend",
+    "ShardedBatchBackend",
+    "shard_lanes",
+    "PlanCache",
     "collect_execution_times",
     "CampaignResult",
     "CampaignCheckpoint",

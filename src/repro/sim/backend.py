@@ -660,6 +660,13 @@ class ProcessPoolBackend(ExecutionBackend):
     fault_plan:
         Deterministic chaos hook (see :mod:`repro.sim.faults`);
         shipped to workers at bootstrap.  ``None`` outside tests.
+    force_pool:
+        Keep the worker pool even on a single-CPU host.  By default a
+        multi-worker backend on ``usable_cpus() == 1`` degrades to
+        in-process serial execution (with an observer warning), because
+        the pool buys no parallelism there and the measured overhead is
+        a net slowdown; tests that exercise real pool mechanics pass
+        ``True`` to opt out.
     """
 
     #: Seconds of pool quiet time after a detected worker death before
@@ -676,6 +683,7 @@ class ProcessPoolBackend(ExecutionBackend):
         retry: Optional[RetryPolicy] = None,
         run_timeout_s: Optional[float] = None,
         fault_plan=None,
+        force_pool: bool = False,
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
@@ -698,6 +706,7 @@ class ProcessPoolBackend(ExecutionBackend):
         self.retry = retry if retry is not None else RetryPolicy()
         self.run_timeout_s = run_timeout_s
         self.fault_plan = fault_plan
+        self.force_pool = force_pool
         self.name = f"process[{workers}]"
 
     def _chunks(self, jobs: List[tuple]) -> List[List[tuple]]:
@@ -723,7 +732,8 @@ class ProcessPoolBackend(ExecutionBackend):
                     "only in (index, seed); split heterogeneous work into "
                     "one execute() call per template"
                 )
-        if len(requests) == 1 or self.workers == 1:
+        if len(requests) == 1 or self.workers == 1 or self._degrades(requests,
+                                                                     observer):
             # Not worth a pool; semantics are identical by construction.
             serial = SerialBackend(retry=self.retry)
             if self.fault_plan is not None:
@@ -731,6 +741,40 @@ class ProcessPoolBackend(ExecutionBackend):
                     return serial.execute(requests, observer)
             return serial.execute(requests, observer)
         context = multiprocessing.get_context(self.mp_context)
+        return self._execute_waves(context, template, requests, observer)
+
+    def _degrades(
+        self,
+        requests: Sequence[RunRequest],
+        observer: Optional[RunObserver],
+    ) -> bool:
+        """Whether to skip the pool on a single-CPU host (satellite 1).
+
+        A multi-worker pool on one usable CPU is pure overhead
+        (``BENCH_campaign.json`` measured 0.65×), so degrade to
+        in-process execution — bit-identical by construction — unless
+        the caller opted out with ``force_pool=True``.
+        """
+        if self.force_pool or self.workers <= 1 or len(requests) <= 1:
+            return False
+        if usable_cpus() != 1:
+            return False
+        if observer is not None:
+            observer.on_message(
+                f"only 1 usable CPU for {self.workers} workers; degrading "
+                f"to in-process serial execution (results are "
+                f"bit-identical; pass force_pool=True to keep the pool)"
+            )
+        return True
+
+    def _execute_waves(
+        self,
+        context,
+        template: RunRequest,
+        requests: Sequence[RunRequest],
+        observer: Optional[RunObserver],
+    ) -> List[RunOutcome]:
+        """Wave loop: dispatch, validate, retry transients, finalise."""
         # index -> (index, seed, attempt) of every not-yet-final run.
         pending: Dict[int, Tuple[int, int, int]] = {
             request.index: (request.index, request.seed, 1)
@@ -762,6 +806,19 @@ class ProcessPoolBackend(ExecutionBackend):
                 self.retry.wait(wave)
         return [final[index] for index in sorted(final)]
 
+    def _pool_initializer(self, template: RunRequest) -> Tuple[Callable, tuple]:
+        """Worker bootstrap ``(initializer, initargs)`` for one wave.
+
+        Subclasses (the sharded batch backend) substitute their own
+        bootstrap to ship a shared-memory plan handle instead of the
+        pickled template.
+        """
+        return _bootstrap_worker, (template, self.fault_plan)
+
+    def _runner(self) -> Callable:
+        """The chunk-execution function dispatched to workers."""
+        return _run_chunk
+
     def _run_wave(
         self,
         context,
@@ -780,13 +837,15 @@ class ProcessPoolBackend(ExecutionBackend):
         chunks = self._chunks(jobs)
         returned: Dict[int, RunOutcome] = {}
         reason: Optional[str] = None
+        initializer, initargs = self._pool_initializer(template)
+        runner = self._runner()
         pool = context.Pool(
             processes=min(self.workers, len(jobs)),
-            initializer=_bootstrap_worker,
-            initargs=(template, self.fault_plan),
+            initializer=initializer,
+            initargs=initargs,
         )
         try:
-            handles = [pool.apply_async(_run_chunk, (chunk,)) for chunk in chunks]
+            handles = [pool.apply_async(runner, (chunk,)) for chunk in chunks]
             pool.close()
             # Snapshot the worker processes: mp.Pool silently replaces a
             # dead worker, but the dead Process object keeps its exit

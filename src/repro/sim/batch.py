@@ -42,22 +42,32 @@ cannot reproduce exactly is declared ineligible up front
 
 from __future__ import annotations
 
+import multiprocessing
+import traceback
+from dataclasses import dataclass
 from time import perf_counter
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.cpu.isa import OpKind
-from repro.cpu.pipeline import _EXEC_LATENCY_BY_KIND
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, classify_exception
 from repro.sim import backend as _backend_mod
 from repro.sim.backend import (
     ExecutionBackend,
+    ProcessPoolBackend,
     RunObserver,
     RunOutcome,
     SerialBackend,
     _notify,
+    installed_fault_plan,
     result_checksum,
+    usable_cpus,
+)
+from repro.sim.plancache import (
+    GLOBAL_PLAN_CACHE,
+    PlanCache,
+    SharedProgram,
+    SharedProgramHandle,
 )
 from repro.sim.simulator import (
     CoreResult,
@@ -70,7 +80,13 @@ from repro.utils.rng import MWCArray, splitmix64_draw
 
 #: Engine names accepted by ``collect_execution_times(engine=...)`` and
 #: the CLI's ``--engine`` flag.
-ENGINE_NAMES = ("auto", "scalar", "batch")
+ENGINE_NAMES = ("auto", "scalar", "batch", "sharded")
+
+#: Campaign size below which the ``auto`` engine policy keeps the
+#: single-process batch engine even on a multi-core host: sharding a
+#: small campaign spends more on pool spin-up than the parallel sweep
+#: returns (the tiny/quick analysis scales run 40-80 lanes).
+SHARDED_AUTO_MIN_RUNS = 512
 
 _MASK32 = np.uint64(0xFFFFFFFF)
 
@@ -302,21 +318,26 @@ class _LaneCRG:
 
 
 class _TemplatePlan:
-    """Trace- and config-derived state shared by every lane chunk.
+    """One campaign's executable plan: program + scenario constants.
 
-    Computed once per campaign: the unified line-id table, the
-    per-instruction step metadata (op class, line ids, hot-line
-    shortcut flags) and the analysis-mode latency constants.
+    The expensive trace-derived half lives in a cacheable
+    :class:`~repro.sim.plancache.TraceProgram` (compiled once per
+    ``(trace, config)`` by the :class:`~repro.sim.plancache.PlanCache`
+    and shareable across processes); this class adds the cheap
+    scenario-derived half — CP way restrictions, analysis latency
+    constants, MID — and the lane sweep itself.
     """
 
-    def __init__(self, request: RunRequest) -> None:
-        trace = request.traces[0]
-        config = request.config
-        scenario = request.scenario
-        self.trace = trace
+    def __init__(self, config, scenario, core_id: int, program) -> None:
         self.config = config
         self.scenario = scenario
-        self.core = request.core_id
+        self.core = core_id
+        self.program = program
+        self.task = program.task
+        self.instructions = program.instructions
+        self.fast_ihits = program.fast_ihits
+        self.fast_dhits = program.fast_dhits
+        self.lines = program.lines
         nc = config.num_cores
         if not 0 <= self.core < nc:
             raise ConfigurationError(f"core_id {self.core} out of range")
@@ -348,68 +369,25 @@ class _TemplatePlan:
         self.random_placement = config.placement == "random"
         self.eom = config.replacement == "eom"
 
-        shift = config.line_size.bit_length() - 1
-        n = len(trace)
-        self.instructions = n
-        # Iterate the trace, as the scalar CoreRunner does, so trace
-        # subclasses with instrumented/failing iteration behave the same.
-        stream = list(trace)
-        if len(stream) != n:
-            raise ConfigurationError(
-                f"trace {trace.name!r} yields {len(stream)} instructions "
-                f"but reports len() == {n}"
-            )
-        kinds = np.fromiter((int(k) for _, k, _ in stream), dtype=np.int64, count=n)
-        pcs = np.fromiter((int(p) for p, _, _ in stream), dtype=np.int64, count=n)
-        addrs = np.fromiter(
-            (int(a) if a is not None else 0 for _, _, a in stream),
-            dtype=np.int64,
-            count=n,
-        )
-        is_mem = (kinds == int(OpKind.LOAD)) | (kinds == int(OpKind.STORE))
-        is_store = kinds == int(OpKind.STORE)
-        ilines = pcs >> shift
-        dlines = addrs >> shift
-        # One unified line-id space across both address streams: the
-        # LLC sees either, so its placement matrix covers the union.
-        self.lines = np.unique(np.concatenate([ilines, dlines[is_mem]]))
-        iline_ids = np.searchsorted(self.lines, ilines)
-        dline_ids = np.searchsorted(self.lines, dlines)
+    @classmethod
+    def for_request(
+        cls, request: RunRequest, plan_cache: Optional[PlanCache] = None
+    ) -> "_TemplatePlan":
+        """Build a plan for ``request``, compiling through a plan cache.
 
-        # Hot-line shortcut flags (CoreRunner._shortcut_il1/_shortcut_dl1):
-        # with stateless EoM replacement the last-line latches update on
-        # every access, so the fast-hit pattern is a pure function of
-        # the trace — identical in every lane.
-        fetch_fast = np.zeros(n, dtype=bool)
-        if self.eom:
-            fetch_fast[1:] = ilines[1:] == ilines[:-1]
-        data_fast = np.zeros(n, dtype=bool)
-        if self.eom and config.dl1_write_back:
-            mem_pos = np.nonzero(is_mem)[0]
-            if mem_pos.size:
-                dm = dlines[mem_pos]
-                prev = np.concatenate(([np.int64(-1)], dm[:-1]))
-                data_fast[mem_pos] = (~is_store[mem_pos]) & (dm == prev)
-        self.fast_ihits = int(fetch_fast.sum())
-        self.fast_dhits = int(data_fast.sum())
+        Repeated campaigns over the same ``(trace, config)`` — a
+        PWCETTable sweeping MID values and way counts — hit the cache
+        and skip the trace compile entirely.
+        """
+        cache = plan_cache if plan_cache is not None else GLOBAL_PLAN_CACHE
+        program = cache.program(request.traces[0], request.config)
+        return cls(request.config, request.scenario, request.core_id, program)
 
-        # Per-instruction step metadata as plain tuples (the sweep loop
-        # is Python-level; attribute/array scalar lookups would dominate).
-        # mem_code: 0 = fixed execute latency (arg = cycles),
-        #           1 = fast DL1 hit, 2 = full DL1 access (arg = line id).
-        steps = []
-        for i in range(n):
-            if is_mem[i]:
-                if data_fast[i]:
-                    code, arg = 1, 0
-                else:
-                    code, arg = 2, int(dline_ids[i])
-                store = bool(is_store[i])
-            else:
-                code, arg = 0, int(_EXEC_LATENCY_BY_KIND[int(kinds[i])])
-                store = False
-            steps.append((bool(fetch_fast[i]), int(iline_ids[i]), code, arg, store))
-        self.steps = steps
+    @property
+    def steps(self) -> List[tuple]:
+        """Per-instruction ``(fetch_fast, iline, code, arg, store)``
+        tuples (lazily materialised and cached on the program)."""
+        return self.program.steps
 
     # ------------------------------------------------------------------
     def _sets_matrix(self, rii_draws: np.ndarray, num_sets: int, lanes: int):
@@ -422,13 +400,25 @@ class _TemplatePlan:
 
     def execute(self, requests: Sequence[RunRequest]) -> List[RunOutcome]:
         """Run one lane chunk; one bit-identical outcome per request."""
+        return self.execute_lanes(
+            [(request.index, request.seed, 1) for request in requests]
+        )
+
+    def execute_lanes(self, triples: Sequence[tuple]) -> List[RunOutcome]:
+        """Run one lane chunk of ``(index, seed, attempt)`` triples.
+
+        The triple form is what the pool's wave dispatch ships to shard
+        workers; ``attempt`` is carried through to the outcome so retry
+        accounting survives the batch path.
+        """
         started = perf_counter()
-        lanes = len(requests)
+        lanes = len(triples)
         config = self.config
         scenario = self.scenario
         core = self.core
         nc = config.num_cores
-        seeds = np.array([request.seed for request in requests], dtype=np.uint64)
+        seeds = np.array([seed for _index, seed, _attempt in triples],
+                         dtype=np.uint64)
 
         # build_platform's SplitMix64(run_seed) draw schedule, 1-based:
         # IL1[c] consumes draws (2c+1, 2c+2), DL1[c] (2nc+2c+1,
@@ -564,14 +554,14 @@ class _TemplatePlan:
         wall_each = (perf_counter() - started) / lanes
         scenario_label = scenario.label()
         outcomes = []
-        for lane, request in enumerate(requests):
+        for lane, (index, seed, attempt) in enumerate(triples):
             result = RunResult(
                 scenario_label=scenario_label,
                 mode=scenario.mode,
                 cores=[
                     CoreResult(
                         core=core,
-                        task=self.trace.name,
+                        task=self.task,
                         cycles=int(end_wb[lane]),
                         instructions=self.instructions,
                         il1_misses=int(il1.misses[lane]),
@@ -593,16 +583,37 @@ class _TemplatePlan:
             )
             outcomes.append(
                 RunOutcome(
-                    index=request.index,
-                    seed=request.seed,
+                    index=index,
+                    seed=seed,
                     result=result,
                     error=None,
                     wall_time_s=wall_each,
-                    attempts=1,
-                    checksum=result_checksum(request.index, request.seed, result),
+                    attempts=attempt,
+                    checksum=result_checksum(index, seed, result),
                 )
             )
         return outcomes
+
+
+def _batch_obstacle(requests: Sequence[RunRequest]) -> Optional[str]:
+    """Why a request batch cannot run vectorised (None if it can).
+
+    Shared by :class:`BatchBackend` and :class:`ShardedBatchBackend`:
+    both need the campaign to be a homogeneous analysis-mode template
+    with no in-process fault plan installed.
+    """
+    if _backend_mod._FAULT_PLAN is not None:
+        return "a fault-injection plan is installed (chaos testing is per-run)"
+    reason = batch_ineligibility(requests[0])
+    if reason is not None:
+        return reason
+    template = requests[0].template_key()
+    if any(request.template_key() != template for request in requests[1:]):
+        return (
+            "requests are heterogeneous (mixed traces, configs or "
+            "scenarios); lanes must share one template"
+        )
+    return None
 
 
 class BatchBackend(ExecutionBackend):
@@ -628,6 +639,7 @@ class BatchBackend(ExecutionBackend):
         fallback: Optional[ExecutionBackend] = None,
         strict: bool = False,
         max_lanes: int = 1024,
+        plan_cache: Optional[PlanCache] = None,
     ) -> None:
         if max_lanes < 1:
             raise ConfigurationError(
@@ -636,22 +648,14 @@ class BatchBackend(ExecutionBackend):
         self.fallback = fallback if fallback is not None else SerialBackend()
         self.strict = strict
         self.max_lanes = max_lanes
+        self.plan_cache = (
+            plan_cache if plan_cache is not None else GLOBAL_PLAN_CACHE
+        )
         self.name = "batch"
 
     def _ineligibility(self, requests: Sequence[RunRequest]) -> Optional[str]:
         """Why this request batch cannot run vectorised (None if it can)."""
-        if _backend_mod._FAULT_PLAN is not None:
-            return "a fault-injection plan is installed (chaos testing is per-run)"
-        reason = batch_ineligibility(requests[0])
-        if reason is not None:
-            return reason
-        template = requests[0].template_key()
-        if any(request.template_key() != template for request in requests[1:]):
-            return (
-                "requests are heterogeneous (mixed traces, configs or "
-                "scenarios); lanes must share one template"
-            )
-        return None
+        return _batch_obstacle(requests)
 
     def _delegate(
         self,
@@ -683,7 +687,7 @@ class BatchBackend(ExecutionBackend):
                 )
             return self._delegate(requests, observer, reason)
         try:
-            plan = _TemplatePlan(requests[0])
+            plan = _TemplatePlan.for_request(requests[0], self.plan_cache)
         except Exception as exc:  # noqa: BLE001 — scalar engine decides
             if self.strict:
                 raise
@@ -703,3 +707,259 @@ class BatchBackend(ExecutionBackend):
                 _notify(observer, outcome)
             outcomes.extend(chunk_outcomes)
         return outcomes
+
+
+# ----------------------------------------------------------------------
+# sharded batch: lock-step lanes inside the process pool's wave dispatch
+# ----------------------------------------------------------------------
+def shard_lanes(
+    jobs: Sequence[tuple],
+    shards: int,
+    max_size: Optional[int] = None,
+) -> List[List[tuple]]:
+    """Partition ``jobs`` into contiguous, balanced shards.
+
+    Deterministic: the partition depends only on ``(len(jobs), shards,
+    max_size)``, sizes differ by at most one, order is preserved and
+    every job lands in exactly one shard (``tests/test_shard.py``
+    proves this by hypothesis).  ``max_size`` (the engine's
+    ``max_lanes``) raises the shard count so no single sweep exceeds
+    the lane-width bound.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shard count must be positive, got {shards}")
+    if max_size is not None and max_size < 1:
+        raise ConfigurationError(
+            f"shard size bound must be positive, got {max_size}"
+        )
+    jobs = list(jobs)
+    count = len(jobs)
+    if count == 0:
+        return []
+    shards = min(shards, count)
+    if max_size is not None:
+        shards = max(shards, -(-count // max_size))
+    base, extra = divmod(count, shards)
+    out = []
+    start = 0
+    for shard in range(shards):
+        size = base + (1 if shard < extra else 0)
+        out.append(jobs[start:start + size])
+        start += size
+    return out
+
+
+@dataclass(frozen=True)
+class _ShardHandle:
+    """Everything a shard worker needs to rebuild its ``_TemplatePlan``.
+
+    Pickled once per worker at pool bootstrap.  The heavy trace arrays
+    travel as a :class:`~repro.sim.plancache.SharedProgramHandle`
+    (name + layout of the parent's shared-memory block), so the pickle
+    stays a few hundred bytes regardless of trace size.
+    """
+
+    config: object
+    scenario: object
+    core_id: int
+    program: SharedProgramHandle
+
+    def materialise(self) -> _TemplatePlan:
+        return _TemplatePlan(
+            self.config, self.scenario, self.core_id, self.program.attach()
+        )
+
+
+# Worker-side state of ShardedBatchBackend: the materialised plan,
+# built once per worker from the shared-memory handle at bootstrap.
+_WORKER_PLAN: Optional[_TemplatePlan] = None
+
+
+def _bootstrap_shard_worker(handle: _ShardHandle, fault_plan=None) -> None:
+    global _WORKER_PLAN
+    _WORKER_PLAN = handle.materialise()
+    _backend_mod._FAULT_PLAN = fault_plan
+    _backend_mod._IN_WORKER = True
+
+
+def _run_shard(triples: Sequence[tuple]) -> List[RunOutcome]:
+    """Execute one shard of ``(index, seed, attempt)`` triples lock-step.
+
+    Fault injection (chaos tests) acts before the sweep: a lane whose
+    plan says "crash"/"hang" takes the whole shard with it — that is
+    the sharded blast radius, and the parent's wave machinery retries
+    exactly those lanes.  "corrupt" mutates only its own lane's result
+    after the checksum stamp, so the parent's integrity re-check
+    retries that lane alone.
+    """
+    plan = _WORKER_PLAN
+    if plan is None:  # pragma: no cover — would be a harness bug
+        raise RuntimeError("shard worker used before bootstrap")
+    fault_plan = _backend_mod._FAULT_PLAN
+    corrupt = set()
+    if fault_plan is not None:
+        for index, _seed, attempt in triples:
+            fault = fault_plan.fault_for(index, attempt)
+            if fault == "corrupt":
+                corrupt.add(index)
+            elif fault is not None:
+                _backend_mod._trigger_fault(fault, fault_plan)
+    try:
+        outcomes = plan.execute_lanes(triples)
+    except Exception as exc:  # noqa: BLE001 — captured per lane
+        error = traceback.format_exc()
+        kind = classify_exception(exc)
+        return [
+            RunOutcome(
+                index=index, seed=seed, result=None, error=error,
+                wall_time_s=0.0, error_kind=kind, attempts=attempt,
+            )
+            for index, seed, attempt in triples
+        ]
+    for outcome in outcomes:
+        if outcome.index in corrupt:
+            # Simulate a bit-flip in IPC transit: mutate the payload
+            # *after* its integrity stamp, as _run_one does.
+            outcome.result.cores[0].cycles += 1
+    return outcomes
+
+
+class ShardedBatchBackend(ProcessPoolBackend):
+    """Multi-core lane sharding: batch sweeps inside the wave dispatch.
+
+    Partitions a campaign's lanes into deterministic contiguous shards
+    (:func:`shard_lanes`) and executes each shard with the lock-step
+    ``_TemplatePlan`` sweep inside :class:`ProcessPoolBackend`'s wave
+    machinery — inheriting its retry policy, progress watchdog, hard
+    worker-death detection and checksum re-verification.  The compiled
+    plan's arrays travel to workers zero-copy through one
+    ``multiprocessing.shared_memory`` block; the per-worker pickle is a
+    fixed-size :class:`_ShardHandle`.
+
+    Bit-identity holds by construction: lanes never interact, each
+    lane's PRNG streams derive from its own run seed, and a retried
+    shard re-executes the same pure ``(plan, index, seed)`` functions
+    — so samples, records, checksums and seeds equal single-process
+    batch, which equals scalar.
+
+    Eligibility matches :class:`BatchBackend` (homogeneous
+    analysis-mode campaigns); ``strict=True`` (the CLI's
+    ``--engine sharded`` contract) rejects ineligible work with a
+    :class:`~repro.errors.ConfigurationError`, otherwise it falls back
+    to serial execution.  On a single usable CPU the pool degrades to
+    the in-process batch engine unless ``force_pool=True``.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        mp_context: Optional[str] = None,
+        retry=None,
+        run_timeout_s: Optional[float] = None,
+        fault_plan=None,
+        force_pool: bool = False,
+        strict: bool = False,
+        plan_cache: Optional[PlanCache] = None,
+        max_lanes: int = 1024,
+    ) -> None:
+        if workers is None:
+            workers = usable_cpus()
+        super().__init__(
+            workers=workers,
+            mp_context=mp_context,
+            retry=retry,
+            run_timeout_s=run_timeout_s,
+            fault_plan=fault_plan,
+            force_pool=force_pool,
+        )
+        if max_lanes < 1:
+            raise ConfigurationError(
+                f"sharded batch engine needs max_lanes >= 1, got {max_lanes}"
+            )
+        self.strict = strict
+        self.plan_cache = (
+            plan_cache if plan_cache is not None else GLOBAL_PLAN_CACHE
+        )
+        self.max_lanes = max_lanes
+        self.name = f"sharded[{workers}]"
+        self._shard_template: Optional[_ShardHandle] = None
+
+    # -- wave-dispatch hooks -------------------------------------------
+    def _chunks(self, jobs: List[tuple]) -> List[List[tuple]]:
+        return shard_lanes(jobs, self.workers, self.max_lanes)
+
+    def _pool_initializer(self, template: RunRequest) -> Tuple[Callable, tuple]:
+        if self._shard_template is None:  # pragma: no cover — harness bug
+            raise RuntimeError("sharded dispatch without a shared plan")
+        return _bootstrap_shard_worker, (self._shard_template, self.fault_plan)
+
+    def _runner(self) -> Callable:
+        return _run_shard
+
+    # -- entry ---------------------------------------------------------
+    def _delegate_scalar(
+        self,
+        requests: Sequence[RunRequest],
+        observer: Optional[RunObserver],
+        reason: str,
+    ) -> List[RunOutcome]:
+        if observer is not None:
+            observer.on_message(
+                f"sharded batch engine unavailable ({reason}); "
+                f"falling back to the serial backend"
+            )
+        serial = SerialBackend(retry=self.retry)
+        if self.fault_plan is not None:
+            with installed_fault_plan(self.fault_plan):
+                return serial.execute(requests, observer)
+        return serial.execute(requests, observer)
+
+    def execute(
+        self,
+        requests: Sequence[RunRequest],
+        observer: Optional[RunObserver] = None,
+    ) -> List[RunOutcome]:
+        requests = list(requests)
+        if not requests:
+            return []
+        reason = _batch_obstacle(requests)
+        if reason is not None:
+            if self.strict:
+                raise ConfigurationError(
+                    f"sharded batch engine cannot run this campaign: {reason}"
+                )
+            return self._delegate_scalar(requests, observer, reason)
+        try:
+            plan = _TemplatePlan.for_request(requests[0], self.plan_cache)
+        except Exception as exc:  # noqa: BLE001 — scalar engine decides
+            if self.strict:
+                raise
+            return self._delegate_scalar(requests, observer, str(exc))
+        if (self.workers == 1 or len(requests) == 1
+                or self._degrades(requests, observer)):
+            # One shard is just the batch engine; run it in-process
+            # (chaos plans stay per-run serial, as batch requires).
+            if self.fault_plan is not None:
+                serial = SerialBackend(retry=self.retry)
+                with installed_fault_plan(self.fault_plan):
+                    return serial.execute(requests, observer)
+            inner = BatchBackend(
+                fallback=SerialBackend(retry=self.retry),
+                strict=self.strict,
+                max_lanes=self.max_lanes,
+                plan_cache=self.plan_cache,
+            )
+            return inner.execute(requests, observer)
+        shared = SharedProgram.create(plan.program)
+        self._shard_template = _ShardHandle(
+            config=requests[0].config,
+            scenario=requests[0].scenario,
+            core_id=requests[0].core_id,
+            program=shared.handle,
+        )
+        context = multiprocessing.get_context(self.mp_context)
+        try:
+            return self._execute_waves(context, requests[0], requests, observer)
+        finally:
+            self._shard_template = None
+            shared.dispose()

@@ -36,8 +36,15 @@ from repro.sim.backend import (
     RunObserver,
     RunRecord,
     SerialBackend,
+    usable_cpus,
 )
-from repro.sim.batch import ENGINE_NAMES, BatchBackend
+from repro.sim.batch import (
+    ENGINE_NAMES,
+    SHARDED_AUTO_MIN_RUNS,
+    BatchBackend,
+    ShardedBatchBackend,
+)
+from repro.sim.plancache import PlanCache
 from repro.sim.checkpoint import CampaignCheckpoint, CheckpointWriter
 from repro.sim.config import Scenario, SystemConfig
 from repro.sim.simulator import RunRequest
@@ -73,6 +80,10 @@ class CampaignResult:
     #: Extra attempts spent recovering transient failures (sum of
     #: ``attempts - 1`` over the executed runs).
     retried_runs: int = 0
+    #: Plan-cache lookups this campaign answered from / added to the
+    #: cache (batch/sharded engines only; 0/0 for scalar campaigns).
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     def _require_sample(self, statistic: str) -> None:
         """Refuse sample statistics on an empty sample, with provenance.
@@ -126,27 +137,66 @@ class CampaignResult:
 
 
 def _select_backend(
-    engine: str, backend: Optional[ExecutionBackend]
+    engine: str,
+    backend: Optional[ExecutionBackend],
+    workers: Optional[int] = None,
+    runs: Optional[int] = None,
+    plan_cache: Optional[PlanCache] = None,
 ) -> ExecutionBackend:
-    """Resolve the (engine, backend) pair to one execution backend.
+    """Resolve the (engine, backend, workers) triple to one backend.
 
-    ``auto`` upgrades to the batch engine only when the caller kept the
-    default execution semantics: no backend, or a plain retry-free
+    ``auto`` upgrades to a vectorised engine only when the caller kept
+    the default execution semantics: no backend, or a plain retry-free
     :class:`SerialBackend` (exact type — subclasses carry their own
-    per-run behaviour and stay scalar).  The upgrade is safe because
-    :class:`BatchBackend` re-checks eligibility per request batch and
-    falls back to the scalar engine it wraps.
+    per-run behaviour and stay scalar).  Within that, it picks the
+    sharded engine when there is real parallelism to win — more than
+    one usable CPU and either an explicit multi-worker request or a
+    campaign of at least :data:`~repro.sim.batch.SHARDED_AUTO_MIN_RUNS`
+    runs — and the single-process batch engine otherwise.  The upgrade
+    is safe because both engines re-check eligibility per request
+    batch and fall back to scalar execution.
+
+    ``workers`` means *shards* and only composes with the batch /
+    sharded engines (``--engine batch --workers N`` is N shards); any
+    other combination is a labelled :class:`ConfigurationError` rather
+    than a silently ignored flag.
     """
     if engine not in ENGINE_NAMES:
         names = ", ".join(ENGINE_NAMES)
         raise ConfigurationError(f"unknown engine {engine!r}; expected one of {names}")
+    if engine == "sharded":
+        return ShardedBatchBackend(
+            workers=workers, strict=True, plan_cache=plan_cache
+        )
     if engine == "batch":
-        return BatchBackend(fallback=backend, strict=True)
-    if engine == "auto" and (
-        backend is None
-        or (type(backend) is SerialBackend and backend.retry is None)
-    ):
-        return BatchBackend(fallback=backend)
+        if workers is not None and workers != 1:
+            # N shards: the sharded engine is the batch engine's
+            # multi-process form, under the same strict contract.
+            return ShardedBatchBackend(
+                workers=workers, strict=True, plan_cache=plan_cache
+            )
+        return BatchBackend(fallback=backend, strict=True, plan_cache=plan_cache)
+    default_semantics = backend is None or (
+        type(backend) is SerialBackend and backend.retry is None
+    )
+    if engine == "auto" and default_semantics:
+        if usable_cpus() > 1 and (
+            (workers is not None and workers > 1)
+            or (workers is None and runs is not None
+                and runs >= SHARDED_AUTO_MIN_RUNS)
+        ):
+            return ShardedBatchBackend(workers=workers, plan_cache=plan_cache)
+        if workers is None or workers == 1:
+            return BatchBackend(fallback=backend, plan_cache=plan_cache)
+        # workers > 1 on one CPU: honour the request, let the backend
+        # degrade (with its observer warning) rather than refuse.
+        return ShardedBatchBackend(workers=workers, plan_cache=plan_cache)
+    if workers is not None:
+        raise ConfigurationError(
+            f"workers={workers} means shard workers and requires the batch "
+            f"or sharded engine; engine {engine!r} with this backend "
+            f"executes per-run and takes no shards"
+        )
     return backend if backend is not None else SerialBackend()
 
 
@@ -162,6 +212,8 @@ def collect_execution_times(
     checkpoint: Optional[CampaignCheckpoint] = None,
     cycle_budget: Optional[int] = None,
     engine: str = "auto",
+    workers: Optional[int] = None,
+    plan_cache: Optional[PlanCache] = None,
 ) -> CampaignResult:
     """Collect ``runs`` end-to-end execution times of ``trace``.
 
@@ -183,7 +235,16 @@ def collect_execution_times(
     forces the per-run interpreter; ``"batch"`` demands vectorised
     execution and raises :class:`~repro.errors.ConfigurationError`
     naming the obstacle when the campaign is ineligible, instead of
-    silently falling back.
+    silently falling back; ``"sharded"`` demands the multi-process
+    sharded batch engine under the same strict contract.
+
+    ``workers`` sets the shard count for the batch/sharded engines
+    (``engine="batch", workers=N`` runs N shards); combining it with a
+    configuration that cannot shard raises a labelled
+    :class:`~repro.errors.ConfigurationError`.  ``plan_cache`` lets
+    sweeps reuse compiled trace programs across campaigns; the
+    result's ``plan_cache_hits``/``plan_cache_misses`` record this
+    campaign's share of the cache traffic.
     Per-run failures are captured by the backend and re-raised here as
     :class:`~repro.errors.CampaignRunError` naming every failing
     ``(index, seed, message, kind)`` — the surviving runs' work is not
@@ -199,12 +260,18 @@ def collect_execution_times(
     """
     if runs <= 0:
         raise ConfigurationError(f"a campaign needs at least one run, got {runs}")
-    backend = _select_backend(engine, backend)
+    backend = _select_backend(
+        engine, backend, workers=workers, runs=runs, plan_cache=plan_cache
+    )
+    cache = getattr(backend, "plan_cache", None)
+    cache_before = cache.snapshot() if cache is not None else (0, 0)
     seeds = derive_seeds(master_seed, runs)
     resumed: Dict[int, RunRecord] = {}
     effective_observer = observer
     if checkpoint is not None:
-        resumed = checkpoint.open(trace, config, scenario, master_seed, runs)
+        resumed = checkpoint.open(
+            trace, config, scenario, master_seed, runs, backend=backend.name
+        )
         for index, record in resumed.items():
             if index < 0 or index >= runs:
                 raise CheckpointError(
@@ -276,6 +343,12 @@ def collect_execution_times(
         wall_time_s=wall_time_s,
         resumed_runs=len(resumed),
         retried_runs=sum(max(0, outcome.attempts - 1) for outcome in outcomes),
+        plan_cache_hits=(
+            cache.hits - cache_before[0] if cache is not None else 0
+        ),
+        plan_cache_misses=(
+            cache.misses - cache_before[1] if cache is not None else 0
+        ),
     )
     if observer is not None:
         observer.on_campaign_end(result)

@@ -14,7 +14,10 @@ uninterrupted campaign's exactly.
 **Journal format** (one JSON object per line):
 
 * line 1 — header: ``{"version", "task", "scenario", "master_seed",
-  "runs", "fingerprint"}``.  The fingerprint digests the trace
+  "runs", "fingerprint"}`` plus an optional ``"backend"`` provenance
+  label (which engine wrote the journal; never checked on resume,
+  because the sample is backend-independent).  The fingerprint
+  digests the trace
   content, the platform config, the scenario, the master seed and the
   run count; a journal whose fingerprint does not match the campaign
   being resumed is *refused* (:class:`~repro.errors.CheckpointError`)
@@ -117,12 +120,18 @@ class CampaignCheckpoint:
         scenario: Scenario,
         master_seed: int,
         runs: int,
+        backend: Optional[str] = None,
     ) -> Dict[int, RunRecord]:
         """Load the journal and position it for appending.
 
         Returns the already-completed runs as ``{index: record}`` —
         empty for a fresh journal.  Tolerates a torn trailing line
         (crash mid-write) by truncating back to the last durable line.
+        ``backend`` records which backend produced the journal in the
+        header of a *fresh* journal — provenance only: the sample is
+        backend-independent, so resuming never checks it (a campaign
+        checkpointed under the sharded engine resumes bit-identically
+        under serial, and vice versa).
         """
         fingerprint = campaign_fingerprint(
             trace, config, scenario, master_seed, runs
@@ -146,6 +155,8 @@ class CampaignCheckpoint:
                 "runs": runs,
                 "fingerprint": fingerprint,
             }
+            if backend is not None:
+                header["backend"] = backend
             self._file.write(json.dumps(header, separators=(",", ":")) + "\n")
             self._file.flush()
         self._completed = len(entries)

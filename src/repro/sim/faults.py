@@ -32,6 +32,14 @@ Because retries re-execute pure functions of ``(template, index,
 seed)``, a campaign under any fault plan yields ``execution_times``
 bit-identical to a fault-free serial campaign — the property the
 chaos suite asserts.
+
+Under the :class:`~repro.sim.batch.ShardedBatchBackend` the blast
+radius changes shape but not the contract: a "crash" or "hang" fires
+before its shard's lock-step sweep, so the *whole shard* is lost and
+re-dispatched (each lane's attempt counter advancing), while a
+"corrupt" mutates only its own lane's payload after the integrity
+stamp and is retried alone.  Either way, recovery re-executes pure
+functions and the final sample stays bit-identical.
 """
 
 from __future__ import annotations
@@ -136,6 +144,22 @@ class FaultPlan:
             if kind is not None:
                 counts[kind] += 1
         return counts
+
+    def fault_indices(self, kind: str, runs: int, attempt: int = 1) -> list:
+        """The run indices that draw fault ``kind`` at ``attempt``.
+
+        Chaos tests use this to predict a plan's blast radius up
+        front — e.g. which lanes a sharded campaign must retry because
+        their shard hosted a crashing index.
+        """
+        if kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+            )
+        return [
+            index for index in range(runs)
+            if self.fault_for(index, attempt) == kind
+        ]
 
 
 class FaultInjectingBackend(ExecutionBackend):

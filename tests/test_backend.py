@@ -107,7 +107,7 @@ class TestBackendEquivalence:
         )
         parallel = collect_execution_times(
             stream_trace, CONFIG, scenario, runs=8, master_seed=7,
-            backend=ProcessPoolBackend(workers=2),
+            backend=ProcessPoolBackend(workers=2, force_pool=True),
         )
         assert parallel.execution_times == serial.execution_times
         assert parallel.seeds == serial.seeds
@@ -140,7 +140,7 @@ class TestBackendEquivalence:
         )
         chunked = collect_execution_times(
             stream_trace, CONFIG, scenario, runs=7, master_seed=3,
-            backend=ProcessPoolBackend(workers=2, chunk_size=3),
+            backend=ProcessPoolBackend(workers=2, chunk_size=3, force_pool=True),
         )
         assert chunked.execution_times == baseline.execution_times
 
@@ -155,7 +155,8 @@ class TestBackendEquivalence:
         collector = Collector()
         collect_execution_times(
             stream_trace, CONFIG, Scenario.efl(250), runs=6, master_seed=1,
-            backend=ProcessPoolBackend(workers=2), observer=collector,
+            backend=ProcessPoolBackend(workers=2, force_pool=True),
+            observer=collector,
         )
         assert sorted(collector.indices) == list(range(6))
 
@@ -185,7 +186,7 @@ class TestFailureCapture:
         template = RunRequest.isolation(trace, CONFIG, Scenario.efl(250), 0)
         requests = [template.with_run(i, seed)
                     for i, seed in enumerate(derive_seeds(5, 6))]
-        outcomes = ProcessPoolBackend(workers=2).execute(requests)
+        outcomes = ProcessPoolBackend(workers=2, force_pool=True).execute(requests)
         # Every run's failure is captured individually; none is lost.
         assert len(outcomes) == 6
         assert [outcome.index for outcome in outcomes] == list(range(6))
@@ -277,6 +278,53 @@ class TestBackendConstruction:
             stream_trace, CONFIG, Scenario.efl(250), 9
         )
 
+    def test_single_cpu_degrades_to_serial_with_warning(
+        self, stream_trace, monkeypatch
+    ):
+        import repro.sim.backend as backend_module
+
+        messages = []
+
+        class Recorder(RunObserver):
+            def on_message(self, message):
+                messages.append(message)
+
+        monkeypatch.setattr(backend_module, "usable_cpus", lambda: 1)
+        serial = collect_execution_times(
+            stream_trace, CONFIG, Scenario.efl(250), runs=6, master_seed=2,
+            engine="scalar",
+        )
+        degraded = collect_execution_times(
+            stream_trace, CONFIG, Scenario.efl(250), runs=6, master_seed=2,
+            backend=ProcessPoolBackend(workers=4), observer=Recorder(),
+        )
+        assert degraded.execution_times == serial.execution_times
+        assert any("degrading" in message for message in messages)
+
+    def test_force_pool_overrides_single_cpu_degrade(
+        self, stream_trace, monkeypatch
+    ):
+        import repro.sim.backend as backend_module
+
+        messages = []
+
+        class Recorder(RunObserver):
+            def on_message(self, message):
+                messages.append(message)
+
+        monkeypatch.setattr(backend_module, "usable_cpus", lambda: 1)
+        serial = collect_execution_times(
+            stream_trace, CONFIG, Scenario.efl(250), runs=6, master_seed=2,
+            engine="scalar",
+        )
+        forced = collect_execution_times(
+            stream_trace, CONFIG, Scenario.efl(250), runs=6, master_seed=2,
+            backend=ProcessPoolBackend(workers=2, force_pool=True),
+            observer=Recorder(),
+        )
+        assert forced.execution_times == serial.execution_times
+        assert not any("degrading" in message for message in messages)
+
     def test_keyboard_interrupt_terminates_pool(self, stream_trace, monkeypatch):
         import multiprocessing as mp
 
@@ -300,7 +348,7 @@ class TestBackendConstruction:
         requests = [template.with_run(index, seed)
                     for index, seed in enumerate(derive_seeds(5, 6))]
         with pytest.raises(KeyboardInterrupt):
-            ProcessPoolBackend(workers=2).execute(requests)
+            ProcessPoolBackend(workers=2, force_pool=True).execute(requests)
         monkeypatch.undo()
         for child in mp.active_children():
             child.join(timeout=5)

@@ -215,7 +215,7 @@ class TestEngineSelection:
             )
 
     def test_engine_names_exported(self):
-        assert ENGINE_NAMES == ("auto", "scalar", "batch")
+        assert ENGINE_NAMES == ("auto", "scalar", "batch", "sharded")
 
 
 class TestStrictEligibility:

@@ -193,7 +193,8 @@ class TestKillAndResume:
         with pytest.raises(KeyboardInterrupt):
             run(trace, journal, observer=KillAfter(7))
         resumed = run(
-            trace, journal, backend=ProcessPoolBackend(workers=2, chunk_size=3)
+            trace, journal,
+            backend=ProcessPoolBackend(workers=2, chunk_size=3, force_pool=True),
         )
         assert resumed.execution_times == reference.execution_times
         assert resumed.resumed_runs >= 7

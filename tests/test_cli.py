@@ -35,7 +35,7 @@ class TestParser:
         assert make_parser().parse_args(["fig3"]).engine == "auto"
 
     def test_engine_options(self):
-        for engine in ("auto", "scalar", "batch"):
+        for engine in ("auto", "scalar", "batch", "sharded"):
             assert make_parser().parse_args(
                 ["--engine", engine, "fig3"]
             ).engine == engine
@@ -183,6 +183,36 @@ class TestWorkerValidation:
                      "--backend", "process", "--workers", "2", "iid"])
         assert code == 0
         assert "single-CPU host" not in capsys.readouterr().err
+
+
+class TestWorkerEngineConflicts:
+    def test_process_backend_conflicts_with_batch_engine(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError,
+                           match="--backend process conflicts"):
+            main(["--backend", "process", "--engine", "batch", "fig3"])
+
+    def test_process_backend_conflicts_with_sharded_engine(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError, match="--engine sharded"):
+            main(["--backend", "process", "--engine", "sharded", "fig3"])
+
+    def test_workers_with_scalar_engine_rejected(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError, match="--engine scalar"):
+            main(["--engine", "scalar", "--workers", "2", "fig3"])
+
+    def test_workers_route_to_shards_without_process_backend(self, capsys):
+        # --engine batch --workers 2 means two shards: the run must
+        # complete and print the same table a scalar run prints.
+        code = main(["--scale", "tiny", "--seed", "3", "--engine", "scalar",
+                     "iid"])
+        assert code == 0
+        scalar_out = capsys.readouterr().out
+        code = main(["--scale", "tiny", "--seed", "3", "--engine", "batch",
+                     "--workers", "2", "iid"])
+        assert code == 0
+        assert capsys.readouterr().out == scalar_out
 
 
 class TestProfileFlag:

@@ -67,7 +67,7 @@ class TestPWCETTable:
         bit-for-bit: seeds are per run, never per worker."""
         parallel = PWCETTable(
             scale=ExperimentScale.tiny(), seed=7,
-            backend=ProcessPoolBackend(workers=2),
+            backend=ProcessPoolBackend(workers=2, force_pool=True),
         )
         assert parallel.pwcet("RS", "efl", 250) == table.pwcet("RS", "efl", 250)
         serial_campaign = table.campaign("RS", "efl", 250)
@@ -101,7 +101,7 @@ class TestDeploymentSamples:
         serial = _deployment_samples(table, traces, scenario, rep_seeds, "wl")
         parallel_table = PWCETTable(
             scale=ExperimentScale.tiny(), seed=7,
-            backend=ProcessPoolBackend(workers=2),
+            backend=ProcessPoolBackend(workers=2, force_pool=True),
         )
         parallel = _deployment_samples(
             parallel_table, traces, scenario, rep_seeds, "wl"

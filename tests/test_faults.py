@@ -209,7 +209,7 @@ class TestPoolChaos:
         events = CrashCounter()
         backend = FaultInjectingBackend(
             ProcessPoolBackend(
-                workers=2, chunk_size=4,
+                workers=2, chunk_size=4, force_pool=True,
                 retry=RetryPolicy(max_attempts=4, backoff_s=0.01),
                 run_timeout_s=2.0,
             ),
@@ -225,6 +225,62 @@ class TestPoolChaos:
         assert chaotic.retried_runs > 0
         assert events.retries > 0
 
+    def test_sharded_shard_kill_matches_fault_free_serial(self):
+        # Sharded blast radius: a "crash" fires before its shard's
+        # lock-step sweep, so the whole shard is lost and re-dispatched;
+        # a "corrupt" in a surviving shard mutates only its own lane and
+        # is retried alone.  Either way the final sample must equal the
+        # fault-free serial reference bit for bit.
+        from repro.sim.batch import ShardedBatchBackend, shard_lanes
+
+        trace = make_stream_trace("shardchaos", 200)
+        runs = 40
+        master_seed = 0xFEED
+        reference = collect_execution_times(
+            trace, CONFIG, SCENARIO, runs=runs, master_seed=master_seed,
+            engine="scalar",
+        )
+        plan = FaultPlan(seed=3, crash_rate=0.08, corrupt_rate=0.10)
+        crashed = plan.fault_indices("crash", runs)
+        corrupt = plan.fault_indices("corrupt", runs)
+        assert crashed and corrupt  # the plan must exercise both paths
+        # Predict the blast radius: every lane sharing a shard with a
+        # crashing index is lost with it, corrupt lanes retry alone.
+        jobs = [(index, seed, 1)
+                for index, seed in enumerate(derive_seeds(master_seed, runs))]
+        doomed = set(corrupt)
+        for shard in shard_lanes(jobs, 2):
+            if any(index in crashed for index, _seed, _attempt in shard):
+                doomed.update(index for index, _seed, _attempt in shard)
+
+        class RetryCollector(CrashCounter):
+            def __init__(self):
+                super().__init__()
+                self.indices = set()
+
+            def on_retry(self, index, seed, attempt, error):
+                super().on_retry(index, seed, attempt, error)
+                self.indices.add(index)
+
+        events = RetryCollector()
+        backend = FaultInjectingBackend(
+            ShardedBatchBackend(
+                workers=2, force_pool=True,
+                retry=RetryPolicy(max_attempts=4, backoff_s=0.01),
+            ),
+            plan,
+        )
+        chaotic = collect_execution_times(
+            trace, CONFIG, SCENARIO, runs=runs, master_seed=master_seed,
+            backend=backend, observer=events,
+        )
+        assert chaotic.execution_times == reference.execution_times
+        assert chaotic.seeds == reference.seeds
+        assert chaotic.retried_runs > 0
+        assert events.crashes >= 1
+        assert events.retries >= len(doomed)
+        assert events.indices >= doomed
+
     def test_pool_deterministic_failure_not_retried(self, stream_trace):
         # A tight cycle budget fails every run identically; the pool
         # must surface it after exactly one attempt despite its retry
@@ -235,7 +291,8 @@ class TestPoolChaos:
         requests = [template.with_run(index, seed)
                     for index, seed in enumerate(derive_seeds(3, 4))]
         outcomes = ProcessPoolBackend(
-            workers=2, retry=RetryPolicy(max_attempts=4, backoff_s=0.0)
+            workers=2, force_pool=True,
+            retry=RetryPolicy(max_attempts=4, backoff_s=0.0),
         ).execute(requests)
         assert all(outcome.failed for outcome in outcomes)
         assert all(outcome.error_kind == ERROR_KIND_DETERMINISTIC

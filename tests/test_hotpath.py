@@ -199,7 +199,7 @@ class TestProfilingObserver:
             self._requests_batch(profile=True), observer=serial_observer
         )
         process_observer = ProfilingObserver()
-        ProcessPoolBackend(workers=2).execute(
+        ProcessPoolBackend(workers=2, force_pool=True).execute(
             self._requests_batch(profile=True), observer=process_observer
         )
         assert len(process_observer.snapshots) == 4
