@@ -33,9 +33,16 @@ from repro.errors import (
     ConfigurationError,
     ReproError,
     RunTimeoutError,
+    ServiceError,
     SimulationError,
     TraceError,
     TransientRunError,
+)
+from repro.observability import (
+    MetricsRegistry,
+    StructuredLogger,
+    Telemetry,
+    Tracer,
 )
 from repro.core import (
     AccessControlUnit,
@@ -107,6 +114,8 @@ from repro.analysis import (
     run_iid_compliance,
 )
 from repro.rtos import CyclicExecutive, FrameSchedule, MinorFrame, Task
+from repro.service import CampaignJob, JobQueue, ResultStore
+from repro.sim.telemetry import TelemetryObserver
 
 __version__ = "1.0.0"
 
@@ -119,6 +128,7 @@ __all__ = [
     "TransientRunError",
     "RunTimeoutError",
     "CheckpointError",
+    "ServiceError",
     "AnalysisError",
     "TraceError",
     # EFL (the paper's contribution)
@@ -168,6 +178,16 @@ __all__ = [
     "CampaignCheckpoint",
     "FaultPlan",
     "FaultInjectingBackend",
+    # observability
+    "Telemetry",
+    "TelemetryObserver",
+    "StructuredLogger",
+    "MetricsRegistry",
+    "Tracer",
+    # campaign service
+    "CampaignJob",
+    "JobQueue",
+    "ResultStore",
     # PTA
     "ExecutionTimeProfile",
     "GumbelFit",

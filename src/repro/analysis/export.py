@@ -10,6 +10,7 @@ of data rows written.
 from __future__ import annotations
 
 import csv
+import json
 from typing import TextIO
 
 from repro.analysis.experiments import (
@@ -44,6 +45,23 @@ def write_campaign_csv(result: CampaignResult, stream: TextIO) -> int:
             record.memory_reads, record.memory_writes,
             f"{record.wall_time_s:.6f}",
         ])
+    return len(result.records)
+
+
+def write_campaign_json(
+    result: CampaignResult, stream: TextIO, indent: int = 2
+) -> int:
+    """Full campaign provenance as one JSON document.
+
+    The machine-readable sibling of :func:`write_campaign_csv`: the
+    exact :meth:`~repro.sim.campaign.CampaignResult.to_dict` payload
+    the result store persists and the service API serves, so a file
+    written here round-trips through
+    :meth:`~repro.sim.campaign.CampaignResult.from_dict`.  Returns the
+    number of runs serialised.
+    """
+    json.dump(result.to_dict(), stream, indent=indent)
+    stream.write("\n")
     return len(result.records)
 
 

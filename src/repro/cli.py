@@ -29,13 +29,33 @@ with ``--resume`` picks the sweep up from the journals instead of
 restarting it.  ``--run-timeout`` arms the pool backend's per-run
 wall-clock watchdog; ``--cycle-budget`` bounds each run's simulated
 cycles (a livelock guard).
+
+The campaign service adds two verbs::
+
+    repro-efl submit --store results/ --bench RS --scenario EFL500
+    repro-efl status --store results/ --json
+
+``submit`` routes one campaign through the content-addressed result
+store: a byte-identical resubmission (same trace content, config,
+scenario, seed and runs) simulates **zero** runs and serves the stored
+sample, bit-identical to the original.  ``--json`` emits the full
+machine-readable result, ``--telemetry-dir DIR`` dumps the
+submission's metrics and trace spans.  ``status`` lists a store's
+entries, re-verifying each entry's integrity checksum.
+
+``--log-level {debug,info,warning,error,quiet}`` and ``--log-format
+{plain,kv,json}`` control progress logging; the defaults reproduce the
+historical ``--verbose`` text output exactly, while ``kv``/``json``
+emit machine-parseable records for log aggregation.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.experiments import (
@@ -44,14 +64,22 @@ from repro.analysis.experiments import (
     run_fig4,
     run_iid_compliance,
 )
-from repro.analysis.export import write_fig3_csv, write_fig4_csv, write_iid_csv
+from repro.analysis.export import (
+    write_campaign_json,
+    write_fig3_csv,
+    write_fig4_csv,
+    write_iid_csv,
+)
 from repro.analysis.reporting import (
+    render_campaign,
     render_fig3,
     render_fig4,
     render_iid,
     render_profile,
 )
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ResultIntegrityError
+from repro.observability import LEVELS, LOG_FORMATS, StructuredLogger, Telemetry
+from repro.service import CampaignJob, JobQueue, ResultStore
 from repro.sim.backend import (
     BACKEND_NAMES,
     ProfilingObserver,
@@ -60,8 +88,22 @@ from repro.sim.backend import (
     usable_cpus,
 )
 from repro.sim.batch import ENGINE_NAMES
-from repro.sim.config import SystemConfig
+from repro.sim.config import Scenario, SystemConfig
 from repro.workloads.scale import ExperimentScale
+from repro.workloads.suite import BENCHMARK_IDS, build_benchmark
+
+
+def _cli_logger(args: argparse.Namespace) -> StructuredLogger:
+    """The structured logger the CLI's flags describe.
+
+    Defaults (``--log-level info --log-format plain``) reproduce the
+    historical text output byte for byte; ``--log-format kv|json``
+    switches to machine-parseable records and ``--log-level quiet``
+    silences progress entirely (the service mode).
+    """
+    return StructuredLogger(
+        stream=sys.stderr, level=args.log_level, fmt=args.log_format
+    )
 
 
 def _build_table(args: argparse.Namespace) -> PWCETTable:
@@ -76,7 +118,10 @@ def _build_table(args: argparse.Namespace) -> PWCETTable:
             "execution (results are unaffected)",
             file=sys.stderr,
         )
-    observer = StreamObserver(sys.stderr) if args.verbose else None
+    observer = (
+        StreamObserver(sys.stderr, logger=_cli_logger(args))
+        if args.verbose else None
+    )
     if args.profile:
         observer = ProfilingObserver(observer)
     # --workers N means pool workers with --backend process, shard
@@ -158,6 +203,109 @@ def _cmd_all(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_telemetry(args: argparse.Namespace, telemetry: Telemetry) -> None:
+    """Dump metrics and trace spans to --telemetry-dir as JSON files."""
+    if not getattr(args, "telemetry_dir", None):
+        return
+    directory = Path(args.telemetry_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    metrics_path = directory / "metrics.json"
+    metrics_path.write_text(telemetry.metrics.to_json(indent=2) + "\n")
+    spans_path = directory / "spans.json"
+    spans_path.write_text(telemetry.tracer.to_json(indent=2) + "\n")
+    print(f"(wrote {metrics_path} and {spans_path})", file=sys.stderr)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one campaign through the service's dedup front door.
+
+    The fingerprint decides the work: a store hit simulates nothing
+    and serves the persisted sample (bit-identical to the original
+    submission); a miss runs the campaign through the job queue and
+    persists the result before returning.
+    """
+    scale = ExperimentScale.from_name(args.scale)
+    trace = build_benchmark(args.bench, scale.trace_scale)
+    scenario = Scenario.from_label(args.scenario)
+    runs = args.runs if args.runs is not None else scale.analysis_runs
+    telemetry = Telemetry(logger=_cli_logger(args))
+    store = ResultStore(args.store)
+    job = CampaignJob(
+        trace,
+        SystemConfig(),
+        scenario,
+        runs=runs,
+        master_seed=args.seed,
+        engine=args.engine,
+        workers=args.workers,
+        cycle_budget=args.cycle_budget,
+    )
+    with JobQueue(workers=1, telemetry=telemetry) as queue:
+        resolved = store.get_or_submit(job, queue)
+        result = resolved.wait()
+    source = job.source or resolved.source or "simulated"
+    simulated = telemetry.metrics.value("runs_simulated")
+    print(
+        f"(job {resolved.job_id}: {job.state}, source {source}, "
+        f"{simulated} runs simulated, fingerprint {job.fingerprint})",
+        file=sys.stderr,
+    )
+    if args.json:
+        write_campaign_json(result, sys.stdout)
+    else:
+        print(render_campaign(result))
+    _write_telemetry(args, telemetry)
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    """Report every entry in a result store, integrity-verified."""
+    store = ResultStore(args.store)
+    entries = []
+    corrupt = 0
+    for fingerprint in store.fingerprints():
+        try:
+            result = store.get(fingerprint)
+        except ResultIntegrityError as exc:
+            corrupt += 1
+            entries.append({
+                "fingerprint": fingerprint,
+                "ok": False,
+                "error": str(exc).strip().splitlines()[-1],
+            })
+        else:
+            entries.append({
+                "fingerprint": fingerprint,
+                "ok": True,
+                "task": result.task,
+                "scenario": result.scenario_label,
+                "runs": result.runs,
+                "backend": result.backend,
+                "max_time": result.max_time,
+            })
+    if args.json:
+        print(json.dumps(
+            {"store": str(store.root), "entries": entries}, indent=2
+        ))
+    elif not entries:
+        print(f"store {store.root}: empty")
+    else:
+        print(f"store {store.root}: {len(entries)} entries"
+              + (f" ({corrupt} corrupt)" if corrupt else ""))
+        for entry in entries:
+            if entry["ok"]:
+                print(
+                    f"  {entry['fingerprint']}  {entry['task']:>4} under "
+                    f"{entry['scenario']:<8} {entry['runs']} runs "
+                    f"({entry['backend']}, HWM {entry['max_time']})"
+                )
+            else:
+                print(
+                    f"  {entry['fingerprint']}  CORRUPT: {entry['error']}"
+                )
+    return 1 if corrupt else 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -214,6 +362,27 @@ def make_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--verbose", action="store_true", help="print per-campaign progress"
+    )
+    parser.add_argument(
+        "--log-level",
+        default="info",
+        choices=tuple(LEVELS),
+        help=(
+            "progress-log threshold: 'debug' adds per-run records, "
+            "'quiet' silences progress entirely (service mode); the "
+            "default 'info' with --log-format plain reproduces the "
+            "historical text output exactly (default: info)"
+        ),
+    )
+    parser.add_argument(
+        "--log-format",
+        default="plain",
+        choices=LOG_FORMATS,
+        help=(
+            "progress-log record format: 'plain' (historical text), "
+            "'kv' (key=value pairs) or 'json' (one JSON object per "
+            "line) (default: plain)"
+        ),
     )
     parser.add_argument(
         "--checkpoint-dir",
@@ -295,6 +464,60 @@ def make_parser() -> argparse.ArgumentParser:
         "--no-average", action="store_true", help="skip deployment co-runs"
     )
     sub_all.set_defaults(func=_cmd_all)
+
+    sub_submit = subparsers.add_parser(
+        "submit",
+        help=(
+            "submit one campaign to the content-addressed result store: "
+            "a byte-identical resubmission simulates zero runs and "
+            "serves the stored sample"
+        ),
+    )
+    sub_submit.add_argument(
+        "--store", metavar="DIR", required=True,
+        help="result-store directory (created if missing)",
+    )
+    sub_submit.add_argument(
+        "--bench", required=True, choices=BENCHMARK_IDS,
+        help="benchmark id to run",
+    )
+    sub_submit.add_argument(
+        "--scenario", required=True, metavar="LABEL",
+        help=(
+            "scenario label: EFL<mid> (e.g. EFL500), CP<ways> "
+            "(e.g. CP2 or CP1-2-2-3) or SHARED"
+        ),
+    )
+    sub_submit.add_argument(
+        "--runs", type=int, default=None, metavar="N",
+        help="campaign runs (default: the scale preset's analysis runs)",
+    )
+    sub_submit.add_argument(
+        "--json", action="store_true",
+        help="print the full campaign result as JSON instead of the table",
+    )
+    sub_submit.add_argument(
+        "--telemetry-dir", metavar="DIR", default=None,
+        help=(
+            "also write the submission's metrics (metrics.json) and "
+            "trace spans (spans.json) to DIR"
+        ),
+    )
+    sub_submit.set_defaults(func=_cmd_submit)
+
+    sub_status = subparsers.add_parser(
+        "status",
+        help="list a result store's entries (integrity-verified)",
+    )
+    sub_status.add_argument(
+        "--store", metavar="DIR", required=True,
+        help="result-store directory to inspect",
+    )
+    sub_status.add_argument(
+        "--json", action="store_true",
+        help="print the store summary as JSON",
+    )
+    sub_status.set_defaults(func=_cmd_status)
     return parser
 
 
@@ -324,6 +547,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.resume and args.checkpoint_dir is None:
         raise ConfigurationError(
             "--resume needs --checkpoint-dir to know where the journals live"
+        )
+    if args.command == "submit" and args.backend != "serial":
+        raise ConfigurationError(
+            "submit runs through the service's engine selection and takes "
+            "no --backend; use --engine/--workers to pick the interpreter"
         )
     return args.func(args)
 

@@ -87,6 +87,18 @@ class RunTimeoutError(ReproError):
         self.transient = transient
 
 
+class ServiceError(ReproError):
+    """The campaign service cannot satisfy a request.
+
+    Raised by the job layer for lifecycle misuse (waiting on a
+    cancelled job, submitting to a stopped queue) and by
+    :meth:`~repro.service.jobs.CampaignJob.wait` when the underlying
+    campaign failed — the job's captured error (traceback text) rides
+    in the message, so a service client sees why without access to the
+    worker's stderr.
+    """
+
+
 class CheckpointError(ReproError):
     """A campaign checkpoint journal cannot be used.
 

@@ -1,0 +1,124 @@
+"""Observability: structured logging, metrics and span tracing.
+
+Three leaf modules plus one facade:
+
+* :mod:`repro.observability.logging` — leveled, context-bound
+  :class:`StructuredLogger` (plain / key=value / JSON formats);
+* :mod:`repro.observability.metrics` — process-wide
+  :class:`MetricsRegistry` of counters and histograms (runs simulated,
+  cache hits served, retries, wave latencies);
+* :mod:`repro.observability.tracing` — nested-span :class:`Tracer`
+  (``campaign → wave``), exportable as JSON;
+* :class:`Telemetry` — one bundle of the three, passed through
+  :func:`~repro.sim.campaign.collect_execution_times` and the service
+  layer, and *attached* thread-locally so deep seams (wave dispatch,
+  the plan cache) can emit without threading a handle through every
+  signature.
+
+**Bit-neutrality contract.**  Telemetry observes, never decides:
+samples, seeds and checksums are bit-identical with and without a
+:class:`Telemetry` attached, across every engine.  The telemetry
+test-suite enforces this standing contract.
+
+This package imports nothing from the simulation stack, so any layer
+(backends, the plan cache, the service) may import it freely.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, TextIO
+
+from repro.observability.logging import (
+    LEVELS,
+    LOG_FORMATS,
+    StructuredLogger,
+    null_logger,
+)
+from repro.observability.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.observability.tracing import Span, Tracer, default_tracer
+
+
+@dataclass
+class Telemetry:
+    """One logger + metrics registry + tracer, handed around as a unit."""
+
+    logger: StructuredLogger = field(default_factory=null_logger)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Tracer = field(default_factory=Tracer)
+
+    @classmethod
+    def create(
+        cls,
+        stream: Optional[TextIO] = None,
+        level: str = "info",
+        fmt: str = "kv",
+    ) -> "Telemetry":
+        """A fresh, fully isolated telemetry bundle (the service default)."""
+        return cls(
+            logger=StructuredLogger(stream=stream, level=level, fmt=fmt),
+            metrics=MetricsRegistry(),
+            tracer=Tracer(),
+        )
+
+    @classmethod
+    def shared(cls) -> "Telemetry":
+        """A bundle over the process-wide default registry and tracer."""
+        return cls(
+            logger=null_logger(),
+            metrics=default_registry(),
+            tracer=default_tracer(),
+        )
+
+
+# Thread-local attachment: each campaign attaches its telemetry on the
+# thread that drives it, so concurrent service jobs never observe each
+# other's bundle and detaching one cannot blind another mid-wave.
+_ATTACHED = threading.local()
+
+
+def current_telemetry() -> Optional[Telemetry]:
+    """The telemetry attached to this thread, if any."""
+    return getattr(_ATTACHED, "telemetry", None)
+
+
+@contextlib.contextmanager
+def attached_telemetry(telemetry: Optional[Telemetry]) -> Iterator[None]:
+    """Attach ``telemetry`` for the duration of a block (thread-local).
+
+    Deep seams that cannot take a parameter — wave dispatch inside
+    :class:`~repro.sim.backend.ProcessPoolBackend`, plan-cache lookups —
+    read :func:`current_telemetry` instead.  ``None`` detaches (useful
+    for asserting a block emits nothing).
+    """
+    previous = current_telemetry()
+    _ATTACHED.telemetry = telemetry
+    try:
+        yield
+    finally:
+        _ATTACHED.telemetry = previous
+
+
+__all__ = [
+    "LEVELS",
+    "LOG_FORMATS",
+    "StructuredLogger",
+    "null_logger",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "Span",
+    "Tracer",
+    "default_tracer",
+    "Telemetry",
+    "current_telemetry",
+    "attached_telemetry",
+]

@@ -1,0 +1,154 @@
+"""Structured logging for the campaign service.
+
+A :class:`StructuredLogger` emits one *record* per event: a level, an
+event name and arbitrary key/value fields (job ids, campaign labels,
+run counts).  Three wire formats cover every consumer the service has:
+
+* ``"plain"`` — the CLI's historical human format, ``  [message]``
+  per line, bit-identical to what :class:`~repro.sim.backend.StreamObserver`
+  printed before the service refactor (the default CLI output must not
+  change);
+* ``"kv"`` — one ``key=value`` line per record, greppable and
+  machine-parsable without a JSON decoder;
+* ``"json"`` — one JSON object per line (JSONL), for log shippers.
+
+Loggers are cheap value objects: :meth:`bind` returns a child logger
+with extra context fields (e.g. ``job=job-000001``) merged into every
+record it emits, which is how the service stamps job/campaign ids on
+everything below it without threading ids through call signatures.
+
+This module deliberately depends on nothing inside :mod:`repro` —
+observability is a leaf layer the simulation stack may import freely.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Callable, Optional, TextIO
+
+#: Severity ranks.  ``quiet`` is not a record level — it is a logger
+#: threshold that suppresses every record (service batch mode).
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40, "quiet": 100}
+
+#: Formats a logger can emit; see the module docstring.
+LOG_FORMATS = ("plain", "kv", "json")
+
+
+def _quote(value: object) -> str:
+    """Render one key=value payload, quoting only when necessary."""
+    text = str(value)
+    if text == "" or any(ch in text for ch in (" ", '"', "=")):
+        return json.dumps(text)
+    return text
+
+
+class StructuredLogger:
+    """Leveled, context-bound, multi-format event logger.
+
+    Parameters
+    ----------
+    stream:
+        Text stream records are written to (default ``sys.stderr``).
+    level:
+        Minimum severity emitted (``"debug"``/``"info"``/``"warning"``/
+        ``"error"``); ``"quiet"`` suppresses everything.
+    fmt:
+        ``"plain"``, ``"kv"`` or ``"json"`` (see module docstring).
+    clock:
+        Injectable wall-clock source (tests pin it for stable output).
+    context:
+        Fields stamped on every record this logger (and its
+        :meth:`bind` children) emits.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        level: str = "info",
+        fmt: str = "kv",
+        clock: Callable[[], float] = time.time,
+        **context: object,
+    ) -> None:
+        if level not in LEVELS:
+            raise ValueError(
+                f"unknown log level {level!r}; expected one of {sorted(LEVELS)}"
+            )
+        if fmt not in LOG_FORMATS:
+            raise ValueError(
+                f"unknown log format {fmt!r}; expected one of {LOG_FORMATS}"
+            )
+        self.stream = stream if stream is not None else sys.stderr
+        self.level = level
+        self.fmt = fmt
+        self.clock = clock
+        self.context = dict(context)
+
+    # ------------------------------------------------------------------
+    def bind(self, **fields: object) -> "StructuredLogger":
+        """A child logger with ``fields`` merged into its context."""
+        merged = dict(self.context)
+        merged.update(fields)
+        child = StructuredLogger(
+            stream=self.stream, level=self.level, fmt=self.fmt, clock=self.clock
+        )
+        child.context = merged
+        return child
+
+    def is_enabled(self, level: str) -> bool:
+        """Whether records at ``level`` pass this logger's threshold."""
+        return LEVELS[level] >= LEVELS[self.level]
+
+    # ------------------------------------------------------------------
+    def log(
+        self,
+        level: str,
+        event: str,
+        message: Optional[str] = None,
+        **fields: object,
+    ) -> None:
+        """Emit one record (a no-op below the logger's threshold)."""
+        if level not in LEVELS or level == "quiet":
+            raise ValueError(f"unknown record level {level!r}")
+        if not self.is_enabled(level):
+            return
+        if self.fmt == "plain":
+            # The historical CLI shape: the message (or bare event name)
+            # in brackets, everything structured dropped.
+            print(f"  [{message if message is not None else event}]",
+                  file=self.stream)
+            return
+        record = {"ts": round(self.clock(), 6), "level": level, "event": event}
+        record.update(self.context)
+        record.update(fields)
+        if message is not None:
+            record["message"] = message
+        if self.fmt == "json":
+            print(json.dumps(record, separators=(",", ":"), default=str),
+                  file=self.stream)
+        else:
+            print(" ".join(f"{key}={_quote(value)}"
+                           for key, value in record.items()),
+                  file=self.stream)
+
+    def debug(self, event: str, message: Optional[str] = None,
+              **fields: object) -> None:
+        self.log("debug", event, message, **fields)
+
+    def info(self, event: str, message: Optional[str] = None,
+             **fields: object) -> None:
+        self.log("info", event, message, **fields)
+
+    def warning(self, event: str, message: Optional[str] = None,
+                **fields: object) -> None:
+        self.log("warning", event, message, **fields)
+
+    def error(self, event: str, message: Optional[str] = None,
+              **fields: object) -> None:
+        self.log("error", event, message, **fields)
+
+
+def null_logger() -> StructuredLogger:
+    """A logger that drops everything (service components' default)."""
+    return StructuredLogger(level="quiet")

@@ -1,0 +1,196 @@
+"""Process-wide metrics: monotonic counters and latency histograms.
+
+The campaign service answers "what did this process do" questions
+without log archaeology: how many runs were simulated versus served
+from the result store, how many retries and worker crashes the
+resilience layer absorbed, how wave latency is distributed.  A
+:class:`MetricsRegistry` holds named :class:`Counter` and
+:class:`Histogram` instruments behind one lock; instruments are
+created on first use, so emitting a metric is a one-liner at the
+emission site and the registry is the single place that can render
+everything as a JSON snapshot.
+
+The **reconciliation invariant** the service test-suite enforces lives
+here by convention: for every submitted campaign,
+
+    ``runs_requested == runs_simulated + runs_served_from_cache``
+
+(on success paths) — simulation work is either performed or answered
+from storage, never silently dropped and never duplicated.
+
+Like the rest of :mod:`repro.observability`, this module imports
+nothing from the simulation stack — it is a leaf every layer above may
+use.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, List, Optional, Sequence
+
+#: Default histogram bucket upper bounds (seconds) — spans the range
+#: from a single tiny-scale run to a paper-scale sharded wave.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0
+)
+
+
+class Counter:
+    """A monotonically increasing named value."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.value = 0
+        self._lock = lock
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative: counters never go down)."""
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))"
+            )
+        with self._lock:
+            self.value += amount
+
+
+class Histogram:
+    """A bucketed distribution with exact count/sum/min/max sidecars.
+
+    ``buckets`` are cumulative upper bounds (Prometheus ``le``
+    convention); one implicit overflow bucket catches everything above
+    the last bound.
+    """
+
+    __slots__ = ("name", "buckets", "bucket_counts", "count", "total",
+                 "min", "max", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        lock: threading.Lock,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = tuple(sorted(buckets))
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        self.name = name
+        self.buckets = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            slot = len(self.buckets)
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    slot = index
+                    break
+            self.bucket_counts[slot] += 1
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 before the first observation)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        """This histogram as a plain JSON-ready dict."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                **{f"le_{bound:g}": count
+                   for bound, count in zip(self.buckets, self.bucket_counts)},
+                "inf": self.bucket_counts[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named instruments behind one lock, snapshot-able as JSON.
+
+    Instruments are created on first use (``registry.counter("x").inc()``)
+    and live for the registry's lifetime.  One registry is process-wide
+    (:func:`default_registry`); services that need isolation (tests,
+    per-tenant accounting) construct their own.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """Get-or-create the counter ``name``."""
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = Counter(name, self._lock)
+                self._counters[name] = counter
+            return counter
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """Get-or-create the histogram ``name`` (buckets fixed at birth)."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = Histogram(name, self._lock, buckets)
+                self._histograms[name] = histogram
+            return histogram
+
+    def value(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        with self._lock:
+            counter = self._counters.get(name)
+            return counter.value if counter is not None else 0
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Everything this registry holds, as one JSON-ready dict."""
+        with self._lock:
+            return {
+                "counters": {name: c.value
+                             for name, c in sorted(self._counters.items())},
+                "histograms": {name: h.summary()
+                               for name, h in sorted(self._histograms.items())},
+            }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The :meth:`snapshot` serialised as JSON."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def counters(self) -> List[str]:
+        """Names of every registered counter."""
+        with self._lock:
+            return sorted(self._counters)
+
+    def reset(self) -> None:
+        """Drop every instrument (test isolation for the default registry)."""
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
+
+
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry backends emit to when none is injected."""
+    return _DEFAULT

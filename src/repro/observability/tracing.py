@@ -1,0 +1,164 @@
+"""Span-based tracing: where a campaign's wall clock actually went.
+
+A :class:`Tracer` records a tree of timed :class:`Span` objects —
+``campaign → wave → …`` — so a slow submission can be read as a
+waterfall instead of re-profiled.  Spans nest via a thread-local
+stack: ``tracer.span("wave")`` opened while a ``campaign`` span is
+active on the same thread becomes its child, while spans opened on
+other threads (job-queue workers) start independent roots.  Finished
+root spans accumulate on the tracer (bounded by ``max_roots``) and
+export as plain JSON for artifacts and dashboards.
+
+Spans measure, never decide: the simulation's samples are bit-identical
+with and without a tracer attached, which the telemetry test-suite
+enforces as a standing contract.
+
+Leaf module — imports nothing from the simulation stack.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+import time
+from typing import Callable, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed operation, possibly with children."""
+
+    __slots__ = ("name", "attributes", "start_s", "end_s", "children", "status")
+
+    def __init__(self, name: str, attributes: Dict[str, object],
+                 start_s: float) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.start_s = start_s
+        self.end_s: Optional[float] = None
+        self.children: List["Span"] = []
+        self.status = "ok"
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def set(self, **attributes: object) -> None:
+        """Attach or overwrite attributes on an open span."""
+        self.attributes.update(attributes)
+
+    def to_dict(self) -> Dict[str, object]:
+        """This span (and its subtree) as a JSON-ready dict."""
+        entry: Dict[str, object] = {
+            "name": self.name,
+            "start_s": round(self.start_s, 6),
+            "duration_s": round(self.duration_s, 6),
+            "status": self.status,
+        }
+        if self.attributes:
+            entry["attributes"] = dict(self.attributes)
+        if self.children:
+            entry["children"] = [child.to_dict() for child in self.children]
+        return entry
+
+
+class Tracer:
+    """Collects nested spans per thread; exports finished roots as JSON.
+
+    Parameters
+    ----------
+    clock:
+        Injectable monotonic time source (tests pin it).
+    max_roots:
+        Bound on retained finished root spans — a long-running service
+        must not grow without bound, so the oldest roots are dropped
+        (and counted in ``dropped_roots``) once the cap is reached.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        max_roots: int = 1024,
+    ) -> None:
+        if max_roots < 1:
+            raise ValueError(f"max_roots must be positive, got {max_roots}")
+        self.clock = clock
+        self.max_roots = max_roots
+        self.dropped_roots = 0
+        self._roots: List[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Span]:
+        """Open a span around a block; nests under the current span.
+
+        An exception escaping the block marks the span ``status="error"``
+        (with the exception type recorded) and re-raises — tracing never
+        swallows failures.
+        """
+        stack = self._stack()
+        span = Span(name, dict(attributes), self.clock())
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = "error"
+            span.attributes.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            span.end_s = self.clock()
+            stack.pop()
+            if not stack:
+                with self._lock:
+                    self._roots.append(span)
+                    while len(self._roots) > self.max_roots:
+                        self._roots.pop(0)
+                        self.dropped_roots += 1
+
+    # ------------------------------------------------------------------
+    def roots(self) -> List[Span]:
+        """Finished root spans, oldest first."""
+        with self._lock:
+            return list(self._roots)
+
+    def export(self) -> List[Dict[str, object]]:
+        """Every finished root span tree as JSON-ready dicts."""
+        return [span.to_dict() for span in self.roots()]
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The :meth:`export` list serialised as JSON."""
+        return json.dumps(self.export(), indent=indent)
+
+    def reset(self) -> None:
+        """Drop finished roots (open spans on live threads are kept)."""
+        with self._lock:
+            self._roots.clear()
+            self.dropped_roots = 0
+
+
+_DEFAULT = Tracer()
+
+
+def default_tracer() -> Tracer:
+    """The process-wide tracer used when none is injected."""
+    return _DEFAULT

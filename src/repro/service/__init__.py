@@ -1,0 +1,52 @@
+"""Campaign-as-a-service: job queue + content-addressed result store.
+
+The one-shot campaign API (:func:`~repro.sim.campaign.collect_execution_times`)
+answers "run this campaign now, here, once".  This package answers the
+service-shaped questions layered on top of it:
+
+* :mod:`repro.service.jobs` — :class:`CampaignJob` (a campaign
+  submission with a ``queued → running → done/failed/cached``
+  lifecycle) and :class:`JobQueue` (bounded worker threads executing
+  jobs through the existing engine-selection policy);
+* :mod:`repro.service.store` — :class:`ResultStore`, a
+  content-addressed store keyed by
+  :func:`~repro.sim.checkpoint.campaign_fingerprint` whose
+  :meth:`~ResultStore.get_or_submit` deduplicates byte-identical
+  submissions against disk (state ``cached``, zero runs simulated) and
+  against in-flight twins (coalescing), with sha256 integrity
+  re-verification on every load.
+
+Everything here is scheduling and persistence, never semantics: a
+sample obtained through the service is bit-identical to one obtained
+by calling the campaign function directly.
+"""
+
+from repro.service.jobs import (
+    JOB_CACHED,
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JOB_STATES,
+    TERMINAL_STATES,
+    CampaignJob,
+    JobQueue,
+)
+from repro.service.store import STORE_VERSION, ResultStore, payload_checksum
+
+__all__ = [
+    "CampaignJob",
+    "JobQueue",
+    "ResultStore",
+    "payload_checksum",
+    "STORE_VERSION",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "JOB_DONE",
+    "JOB_FAILED",
+    "JOB_CACHED",
+    "JOB_CANCELLED",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+]

@@ -1,0 +1,408 @@
+"""Campaign jobs and the bounded-worker job queue.
+
+The one-shot CLI runs a campaign and forgets it; the service layer
+makes campaigns *jobs*: a :class:`CampaignJob` names everything the
+campaign depends on (trace, config, scenario, runs, master seed,
+engine choice), carries its lifecycle state, and resolves to a
+:class:`~repro.sim.campaign.CampaignResult`.  A :class:`JobQueue`
+executes jobs on a bounded pool of worker threads through the existing
+engine-selection policy (:func:`~repro.sim.campaign.collect_execution_times`),
+so everything already built under that seam — backends, sharding,
+retries, telemetry — serves queued submissions unchanged.
+
+**Job lifecycle**::
+
+    queued ──► running ──► done
+       │           └─────► failed
+       ├─────────────────► cancelled        (cancel() before a worker
+       │                                     picked the job up)
+       └─────────────────► cached           (ResultStore answered the
+                                             submission from storage —
+                                             such jobs never enqueue)
+
+Threads (not processes) are the right worker substrate here: a job's
+heavy lifting already fans out through the process-pool/sharded
+backends, so queue workers spend their time waiting, and threads share
+the in-process :class:`~repro.sim.plancache.PlanCache` and telemetry
+registry for free.
+
+Determinism: a job is a pure function of ``(trace, config, scenario,
+runs, master_seed)`` — the queue adds scheduling, never semantics, so
+a job's sample is bit-identical to calling
+:func:`~repro.sim.campaign.collect_execution_times` directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue as queue_mod
+import threading
+import time
+import traceback
+from typing import Callable, Dict, List, Optional
+
+from repro.cpu.trace import Trace
+from repro.errors import ConfigurationError, ServiceError
+from repro.observability import Telemetry
+from repro.sim.campaign import CampaignResult, collect_execution_times
+from repro.sim.checkpoint import campaign_fingerprint
+from repro.sim.config import Scenario, SystemConfig
+
+#: Job lifecycle states (see the module docstring for the transitions).
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+JOB_CACHED = "cached"
+JOB_CANCELLED = "cancelled"
+JOB_STATES = (
+    JOB_QUEUED, JOB_RUNNING, JOB_DONE, JOB_FAILED, JOB_CACHED, JOB_CANCELLED
+)
+
+#: States a job can never leave.
+TERMINAL_STATES = (JOB_DONE, JOB_FAILED, JOB_CACHED, JOB_CANCELLED)
+
+
+class CampaignJob:
+    """One campaign submission and its lifecycle.
+
+    Construction captures the campaign's identity; the queue (or the
+    result store, for cache hits) drives the state machine.  ``wait``
+    blocks until the job is terminal and returns the result — every
+    concurrent waiter gets the same object, which is how in-flight
+    coalescing hands one simulation to many submitters.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        config: SystemConfig,
+        scenario: Scenario,
+        runs: int,
+        master_seed: int = 0,
+        engine: str = "auto",
+        workers: Optional[int] = None,
+        cycle_budget: Optional[int] = None,
+    ) -> None:
+        if runs <= 0:
+            raise ConfigurationError(
+                f"a campaign job needs at least one run, got {runs}"
+            )
+        self.trace = trace
+        self.config = config
+        self.scenario = scenario
+        self.runs = runs
+        self.master_seed = master_seed
+        self.engine = engine
+        self.workers = workers
+        self.cycle_budget = cycle_budget
+        #: Content fingerprint — the dedup key of the result store.
+        self.fingerprint = campaign_fingerprint(
+            trace, config, scenario, master_seed, runs
+        )
+        self.job_id: Optional[str] = None
+        self.state = JOB_QUEUED
+        self.result: Optional[CampaignResult] = None
+        self.error: Optional[str] = None
+        #: How the result was obtained: ``"simulated"`` (a worker ran
+        #: it), ``"store"`` (answered from the result store) or
+        #: ``"coalesced"`` (attached to an identical in-flight job).
+        self.source: Optional[str] = None
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self._lock = threading.Lock()
+        self._terminal = threading.Event()
+        self._callbacks: List[Callable[["CampaignJob"], None]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self._terminal.is_set()
+
+    def add_callback(self, callback: Callable[["CampaignJob"], None]) -> None:
+        """Run ``callback(job)`` when the job turns terminal.
+
+        Fires immediately if the job already is.  Callbacks run on the
+        worker thread that finished the job (or the caller's, for
+        already-terminal jobs); exceptions propagate to that thread's
+        error handling, so persistence hooks should catch their own.
+        """
+        fire = False
+        with self._lock:
+            if self.state in TERMINAL_STATES:
+                fire = True
+            else:
+                self._callbacks.append(callback)
+        if fire:
+            callback(self)
+
+    def _finish(self, state: str) -> None:
+        """Transition to a terminal state and release every waiter.
+
+        Callbacks run *before* the terminal event is set so that
+        persistence hooks (the result store's write-through) complete
+        before any waiter wakes: a submitter that saw its job finish
+        can immediately re-hit the store.  The event is set even if a
+        callback raises — a broken hook must never strand waiters.
+        """
+        with self._lock:
+            self.state = state
+            self.finished_at = time.time()
+            callbacks = list(self._callbacks)
+            self._callbacks.clear()
+        try:
+            for callback in callbacks:
+                callback(self)
+        finally:
+            self._terminal.set()
+
+    def cancel(self) -> bool:
+        """Cancel the job if no worker picked it up yet.
+
+        Returns ``True`` when the job moved to ``cancelled``; ``False``
+        when it already left the queue (running or terminal) — a
+        campaign mid-execution is not interrupted, because its partial
+        work is already journalled/observable and killing it buys
+        nothing deterministic.
+        """
+        with self._lock:
+            if self.state != JOB_QUEUED:
+                return False
+            self.state = JOB_CANCELLED
+        self._finish(JOB_CANCELLED)
+        return True
+
+    def wait(self, timeout: Optional[float] = None) -> CampaignResult:
+        """Block until terminal; return the result or raise.
+
+        Raises :class:`~repro.errors.ServiceError` on failure,
+        cancellation or timeout — the job's captured error text rides
+        in the message.
+        """
+        if not self._terminal.wait(timeout):
+            raise ServiceError(
+                f"job {self.job_id or '<unsubmitted>'} did not finish "
+                f"within {timeout}s (state {self.state!r})"
+            )
+        if self.state == JOB_CANCELLED:
+            raise ServiceError(f"job {self.job_id} was cancelled")
+        if self.state == JOB_FAILED:
+            detail = (self.error or "unknown error").strip()
+            raise ServiceError(f"job {self.job_id} failed:\n{detail}")
+        assert self.result is not None
+        return self.result
+
+    def to_dict(self) -> dict:
+        """Status summary as a JSON-ready dict (no sample payload)."""
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "task": self.trace.name,
+            "scenario": self.scenario.label(),
+            "runs": self.runs,
+            "master_seed": self.master_seed,
+            "engine": self.engine,
+            "fingerprint": self.fingerprint,
+            "source": self.source,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": (self.error.strip().splitlines()[-1]
+                      if self.error else None),
+        }
+
+
+class JobQueue:
+    """Executes :class:`CampaignJob` submissions on bounded workers.
+
+    Parameters
+    ----------
+    workers:
+        Worker *threads* (not processes — see the module docstring).
+        Each runs one job at a time, so this bounds the number of
+        concurrent campaigns, not their internal parallelism.
+    telemetry:
+        :class:`~repro.observability.Telemetry` threaded into every
+        executed campaign (metrics/spans/logs); also receives the
+        queue's own ``jobs_submitted`` / ``jobs_completed`` /
+        ``jobs_failed`` / ``jobs_cancelled`` counters and
+        ``job_queue_wait_s`` latency histogram.
+    start:
+        Start the workers immediately (default).  Tests pass ``False``
+        to stage submissions deterministically, then call
+        :meth:`start`.
+
+    Use as a context manager for deterministic teardown::
+
+        with JobQueue(workers=2) as queue:
+            job = queue.submit(CampaignJob(...))
+            result = job.wait()
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        telemetry: Optional[Telemetry] = None,
+        start: bool = True,
+    ) -> None:
+        if workers <= 0:
+            raise ConfigurationError(
+                f"job queue needs at least one worker, got {workers}"
+            )
+        self.workers = workers
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._queue: "queue_mod.Queue[Optional[CampaignJob]]" = queue_mod.Queue()
+        self._jobs: Dict[str, CampaignJob] = {}
+        self._lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._ids = itertools.count(1)
+        self._started = False
+        self._stopped = False
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the worker threads (idempotent)."""
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+            for index in range(self.workers):
+                thread = threading.Thread(
+                    target=self._worker,
+                    name=f"campaign-worker-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+
+    def submit(self, job: CampaignJob) -> CampaignJob:
+        """Assign an id, enqueue, return the (same) job."""
+        with self._lock:
+            if self._stopped:
+                raise ServiceError("job queue is shut down; cannot submit")
+            job.job_id = f"job-{next(self._ids):06d}"
+            self._jobs[job.job_id] = job
+        self.telemetry.metrics.counter("jobs_submitted").inc()
+        self.telemetry.logger.info(
+            "job_submitted",
+            message=f"job {job.job_id} queued: {job.trace.name} under "
+                    f"{job.scenario.label()} ({job.runs} runs)",
+            job=job.job_id, task=job.trace.name,
+            scenario=job.scenario.label(), runs=job.runs,
+            fingerprint=job.fingerprint,
+        )
+        self._queue.put(job)
+        return job
+
+    def status(self, job_id: str) -> CampaignJob:
+        """Look a submitted job up by id."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job id {job_id!r}")
+        return job
+
+    def jobs(self) -> List[CampaignJob]:
+        """Every job this queue has seen, in submission order."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a still-queued job by id (see :meth:`CampaignJob.cancel`)."""
+        cancelled = self.status(job_id).cancel()
+        if cancelled:
+            self.telemetry.metrics.counter("jobs_cancelled").inc()
+        return cancelled
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; optionally drain and join the workers.
+
+        Queued jobs still in the pipe are executed before the workers
+        exit (a submission accepted is a submission answered).
+        """
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            started = self._started
+        if not started:
+            # Workers never existed: nothing will drain the queue, so
+            # fail queued jobs loudly rather than strand their waiters.
+            while True:
+                try:
+                    job = self._queue.get_nowait()
+                except queue_mod.Empty:
+                    break
+                if job is not None and job.cancel():
+                    self.telemetry.metrics.counter("jobs_cancelled").inc()
+            return
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            if job.done:  # cancelled while queued
+                continue
+            self._execute(job)
+
+    def _execute(self, job: CampaignJob) -> None:
+        with job._lock:
+            if job.state != JOB_QUEUED:
+                return
+            job.state = JOB_RUNNING
+            job.started_at = time.time()
+        self.telemetry.metrics.histogram("job_queue_wait_s").observe(
+            job.started_at - job.submitted_at
+        )
+        try:
+            result = collect_execution_times(
+                job.trace,
+                job.config,
+                job.scenario,
+                job.runs,
+                master_seed=job.master_seed,
+                engine=job.engine,
+                workers=job.workers,
+                cycle_budget=job.cycle_budget,
+                telemetry=self.telemetry,
+                job_id=job.job_id,
+            )
+        except Exception:  # noqa: BLE001 — captured onto the job
+            job.error = traceback.format_exc()
+            self.telemetry.metrics.counter("jobs_failed").inc()
+            self.telemetry.logger.error(
+                "job_failed",
+                message=f"job {job.job_id} failed: "
+                        f"{job.error.strip().splitlines()[-1]}",
+                job=job.job_id,
+            )
+            job._finish(JOB_FAILED)
+            return
+        job.result = result
+        job.source = "simulated"
+        self.telemetry.metrics.counter("jobs_completed").inc()
+        self.telemetry.logger.info(
+            "job_done",
+            message=f"job {job.job_id} done: {result.runs} runs in "
+                    f"{result.wall_time_s:.2f}s ({result.backend})",
+            job=job.job_id, runs=result.runs,
+            wall_time_s=round(result.wall_time_s, 6), backend=result.backend,
+        )
+        job._finish(JOB_DONE)

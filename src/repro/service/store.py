@@ -1,0 +1,290 @@
+"""Content-addressed result store with in-flight coalescing.
+
+A campaign is a pure function of ``(trace content, config, scenario,
+master seed, runs)``; :func:`~repro.sim.checkpoint.campaign_fingerprint`
+digests exactly that tuple.  The store uses the fingerprint as the
+address: one JSON entry per fingerprint, holding the full
+:meth:`~repro.sim.campaign.CampaignResult.to_dict` payload plus a
+sha256 checksum over its canonical serialisation.
+
+**Dedup contract** (the service's headline guarantee): resubmitting a
+byte-identical campaign performs **zero** simulation runs and returns
+a result whose samples, seeds and per-run records are bit-identical to
+the first submission's.  Three paths deliver it:
+
+* **store hit** — the fingerprint is on disk: the entry is loaded,
+  its checksum re-verified, and the job completes in state ``cached``
+  without ever entering the queue;
+* **in-flight coalescing** — an identical campaign is *currently*
+  running: the new submission attaches to the running job and both
+  waiters receive the same result object when it finishes;
+* **miss** — the campaign is simulated once, and a completion
+  callback persists the result before any waiter is released (so a
+  submission that observed a ``done`` job can immediately hit the
+  store).
+
+Integrity is never assumed: :meth:`ResultStore.get` recomputes the
+checksum on every load and raises
+:class:`~repro.errors.ResultIntegrityError` on mismatch —
+:meth:`get_or_submit` treats a corrupt entry as a miss and re-simulates
+(counted by ``store_integrity_failures``), so bit-rot degrades to a
+cache miss, never to a wrong sample.
+
+**Accounting** (metrics on the queue's registry)::
+
+    runs_requested == runs_simulated + runs_served_from_cache
+
+``runs_requested`` counts every run asked of :meth:`get_or_submit`;
+``runs_served_from_cache`` covers store hits *and* coalesced
+attachments (their runs were requested but not re-simulated);
+``runs_simulated`` is incremented per executed run by the
+:class:`~repro.sim.telemetry.TelemetryObserver`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import ResultIntegrityError, ServiceError
+from repro.sim.campaign import CampaignResult
+from repro.service.jobs import JOB_CACHED, CampaignJob, JobQueue
+
+#: Entry format version — bumped if the payload schema ever changes.
+STORE_VERSION = 1
+
+
+def _canonical(payload: dict) -> bytes:
+    """The byte string the entry checksum covers.
+
+    Sorted keys and fixed separators make the serialisation canonical:
+    the same payload dict always hashes identically, independent of
+    insertion order or writer version.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def payload_checksum(payload: dict) -> str:
+    """sha256 over the canonical serialisation of a result payload."""
+    return hashlib.sha256(_canonical(payload)).hexdigest()
+
+
+class ResultStore:
+    """Directory of content-addressed campaign results.
+
+    Entries live at ``<root>/<fingerprint>.json``.  Writes are atomic
+    (temp file + ``os.replace``) so a crash mid-write leaves either the
+    old entry or none — never a torn one; the checksum catches anything
+    that slips through anyway.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        #: fingerprint -> running job, for in-flight coalescing.
+        self._inflight: Dict[str, CampaignJob] = {}
+
+    # ------------------------------------------------------------------
+    # plain store API
+    # ------------------------------------------------------------------
+    def path_for(self, fingerprint: str) -> Path:
+        """Where the entry for ``fingerprint`` lives."""
+        return self.root / f"{fingerprint}.json"
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.path_for(fingerprint).exists()
+
+    def fingerprints(self) -> List[str]:
+        """Every stored fingerprint, sorted."""
+        return sorted(path.stem for path in self.root.glob("*.json"))
+
+    def put(self, fingerprint: str, result: CampaignResult) -> Path:
+        """Persist a result under its fingerprint (atomic, idempotent)."""
+        payload = result.to_dict()
+        entry = {
+            "version": STORE_VERSION,
+            "fingerprint": fingerprint,
+            "checksum": payload_checksum(payload),
+            "payload": payload,
+        }
+        path = self.path_for(fingerprint)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(entry, indent=2))
+        os.replace(tmp, path)
+        return path
+
+    def get(self, fingerprint: str) -> CampaignResult:
+        """Load and integrity-verify the entry for ``fingerprint``.
+
+        Raises :class:`~repro.errors.ServiceError` when absent and
+        :class:`~repro.errors.ResultIntegrityError` when the entry is
+        unparsable, structurally wrong, or fails its checksum.
+        """
+        path = self.path_for(fingerprint)
+        if not path.exists():
+            raise ServiceError(
+                f"result store {self.root} has no entry for "
+                f"fingerprint {fingerprint}"
+            )
+        try:
+            entry = json.loads(path.read_text())
+            version = entry["version"]
+            stored_fp = entry["fingerprint"]
+            checksum = entry["checksum"]
+            payload = entry["payload"]
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise ResultIntegrityError(
+                f"store entry {path} is malformed: {exc}"
+            ) from exc
+        if version != STORE_VERSION:
+            raise ResultIntegrityError(
+                f"store entry {path} has version {version!r}, "
+                f"this library reads version {STORE_VERSION}"
+            )
+        if stored_fp != fingerprint:
+            raise ResultIntegrityError(
+                f"store entry {path} claims fingerprint {stored_fp}, "
+                f"expected {fingerprint}"
+            )
+        actual = payload_checksum(payload)
+        if actual != checksum:
+            raise ResultIntegrityError(
+                f"store entry {path} failed integrity verification: "
+                f"checksum {actual} != recorded {checksum}"
+            )
+        try:
+            return CampaignResult.from_dict(payload)
+        except (KeyError, TypeError) as exc:
+            raise ResultIntegrityError(
+                f"store entry {path} payload cannot be rebuilt: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # dedup front door
+    # ------------------------------------------------------------------
+    def get_or_submit(self, job: CampaignJob, queue: JobQueue) -> CampaignJob:
+        """Answer ``job`` from storage, an in-flight twin, or the queue.
+
+        Always returns a job that will resolve to the campaign's
+        result — possibly ``job`` itself (simulated), possibly an
+        already-running identical job (coalesced).  See the module
+        docstring for the three paths and the accounting contract.
+        """
+        metrics = queue.telemetry.metrics
+        metrics.counter("runs_requested").inc(job.runs)
+        fingerprint = job.fingerprint
+
+        # The whole hit/coalesce/miss decision happens under the store
+        # lock: concurrent identical submissions must resolve to exactly
+        # one simulation, so checking the in-flight table, probing the
+        # disk entry and claiming the in-flight slot must be atomic
+        # (a lock-free check-then-claim would let two threads both miss
+        # and simulate the same campaign twice).
+        result = None
+        integrity_error: Optional[ResultIntegrityError] = None
+        with self._lock:
+            running = self._inflight.get(fingerprint)
+            if running is not None and running.done:
+                running = None  # finished; its entry is on disk below
+            if running is None:
+                if self.path_for(fingerprint).exists():
+                    try:
+                        result = self.get(fingerprint)
+                    except ResultIntegrityError as exc:
+                        integrity_error = exc
+                        self.path_for(fingerprint).unlink(missing_ok=True)
+                if result is None:
+                    # Miss: claim the slot before releasing the lock.
+                    self._inflight[fingerprint] = job
+
+        if running is not None:
+            # In-flight coalescing: ride the running job.
+            metrics.counter("jobs_coalesced").inc()
+            metrics.counter("runs_served_from_cache").inc(job.runs)
+            job.job_id = running.job_id
+            job.source = "coalesced"
+            queue.telemetry.logger.info(
+                "job_coalesced",
+                message=f"submission coalesced onto running job "
+                        f"{running.job_id} (fingerprint {fingerprint})",
+                job=running.job_id, fingerprint=fingerprint,
+            )
+            return running
+
+        if result is not None:
+            metrics.counter("store_hits").inc()
+            metrics.counter("runs_served_from_cache").inc(job.runs)
+            job.job_id = f"cached-{fingerprint}"
+            job.result = result
+            job.source = "store"
+            queue.telemetry.logger.info(
+                "job_cached",
+                message=f"campaign served from store "
+                        f"(fingerprint {fingerprint}, "
+                        f"{result.runs} runs, 0 simulated)",
+                job=job.job_id, fingerprint=fingerprint,
+                runs=result.runs,
+            )
+            job._finish(JOB_CACHED)
+            return job
+
+        if integrity_error is not None:
+            # Corrupt entry was dropped above; re-simulate.
+            metrics.counter("store_integrity_failures").inc()
+            queue.telemetry.logger.warning(
+                "store_integrity_failure",
+                message=f"store entry for {fingerprint} failed "
+                        f"verification; re-simulating "
+                        f"({str(integrity_error).strip().splitlines()[-1]})",
+                fingerprint=fingerprint,
+            )
+        metrics.counter("store_misses").inc()
+        job.add_callback(lambda done: self._persist(done, queue))
+        return queue.submit(job)
+
+    def _persist(self, job: CampaignJob, queue: JobQueue) -> None:
+        """Completion callback: write done jobs, clear the in-flight slot.
+
+        Runs on the worker thread *before* waiters are released
+        (``CampaignJob._finish`` fires callbacks ahead of the terminal
+        event), so a submitter that observed a ``done`` job can
+        immediately hit the store.  The entry is written *before* the
+        in-flight slot clears — a new submission always finds the slot
+        or the entry, never a gap that would trigger a duplicate
+        simulation.  A failed write degrades to a cache miss on the
+        next submission — logged, never fatal to the job.
+        """
+        try:
+            if job.result is not None and job.state != JOB_CACHED:
+                try:
+                    self.put(job.fingerprint, job.result)
+                except OSError as exc:
+                    queue.telemetry.logger.error(
+                        "store_write_failed",
+                        message=f"could not persist job {job.job_id} "
+                                f"(fingerprint {job.fingerprint}): {exc}",
+                        job=job.job_id, fingerprint=job.fingerprint,
+                    )
+        finally:
+            with self._lock:
+                if self._inflight.get(job.fingerprint) is job:
+                    del self._inflight[job.fingerprint]
+
+    def submit(
+        self, job: CampaignJob, queue: Optional[JobQueue] = None, **queue_opts
+    ) -> CampaignResult:
+        """One-call convenience: dedup-submit and wait for the result.
+
+        With no ``queue``, a private single-worker queue is created and
+        torn down around the call (the CLI ``submit`` verb's path);
+        ``queue_opts`` are forwarded to it.
+        """
+        if queue is not None:
+            return self.get_or_submit(job, queue).wait()
+        with JobQueue(workers=1, **queue_opts) as private:
+            return self.get_or_submit(job, private).wait()

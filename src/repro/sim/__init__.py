@@ -21,6 +21,10 @@
   MBPTA layer;
 * :mod:`repro.sim.checkpoint` — per-campaign JSONL run journals so
   interrupted campaigns resume bit-identically;
+* :mod:`repro.sim.telemetry` — the :class:`TelemetryObserver` bridge
+  from the :class:`RunObserver` seam into the
+  :mod:`repro.observability` metrics/logs/spans (bit-neutral: the
+  sample is identical with and without it);
 * :mod:`repro.sim.faults` — deterministic fault injection for
   exercising the retry/crash-recovery/watchdog machinery.
 """
@@ -58,6 +62,7 @@ from repro.sim.campaign import collect_execution_times, CampaignResult
 from repro.sim.checkpoint import CampaignCheckpoint, campaign_fingerprint
 from repro.sim.faults import FaultInjectingBackend, FaultPlan
 from repro.sim.plancache import PlanCache
+from repro.sim.telemetry import TelemetryObserver
 
 __all__ = [
     "SystemConfig",
@@ -90,6 +95,7 @@ __all__ = [
     "CampaignResult",
     "CampaignCheckpoint",
     "campaign_fingerprint",
+    "TelemetryObserver",
     "FaultPlan",
     "FaultInjectingBackend",
 ]

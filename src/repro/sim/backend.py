@@ -72,6 +72,7 @@ from repro.errors import (
     WorkerCrashError,
     classify_exception,
 )
+from repro.observability import StructuredLogger, current_telemetry
 from repro.sim.profiler import ProfileSnapshot
 from repro.sim.simulator import RunRequest, RunResult, execute_request
 
@@ -115,6 +116,30 @@ class RunRecord:
     wall_time_s: float
     #: Per-component attribution snapshot (profiled runs only).
     profile: Optional[ProfileSnapshot] = None
+
+    #: Fields persisted by the checkpoint journal and the result store
+    #: (everything but the profile, which is a measurement, not
+    #: semantics).
+    PERSISTED_FIELDS = (
+        "index", "seed", "cycles", "instructions",
+        "llc_hits", "llc_misses", "llc_forced_evictions",
+        "efl_stall_cycles", "efl_evictions",
+        "memory_reads", "memory_writes", "wall_time_s",
+    )
+
+    def to_dict(self) -> dict:
+        """The persisted fields as a JSON-ready dict."""
+        return {name: getattr(self, name) for name in self.PERSISTED_FIELDS}
+
+    @classmethod
+    def from_dict(cls, entry: dict) -> "RunRecord":
+        """Rebuild a record from :meth:`to_dict` output.
+
+        Raises ``KeyError``/``TypeError`` on malformed entries; callers
+        (the checkpoint journal, the result store) wrap these into
+        their own labelled errors.
+        """
+        return cls(**{name: entry[name] for name in cls.PERSISTED_FIELDS})
 
     @classmethod
     def from_result(
@@ -293,12 +318,29 @@ class RunObserver:
 
 
 class StreamObserver(RunObserver):
-    """Prints campaign progress, throughput and resilience events to a
-    text stream."""
+    """Prints campaign progress, throughput and resilience events.
 
-    def __init__(self, stream: IO[str], every: int = 0) -> None:
+    Output is routed through a :class:`~repro.observability.StructuredLogger`;
+    the default logger reproduces the historical plain-text format
+    (``  [message]`` lines on ``stream``) bit-for-bit, while a caller
+    (or the CLI's ``--log-level``/``--log-format`` flags) can swap in a
+    quiet, key=value or JSON logger for service use.  Progress events
+    log at ``info``, retries and worker crashes at ``warning``, final
+    run failures at ``error``.
+    """
+
+    def __init__(
+        self,
+        stream: IO[str],
+        every: int = 0,
+        logger: Optional[StructuredLogger] = None,
+    ) -> None:
         self.stream = stream
         self.every = every
+        self.logger = (
+            logger if logger is not None
+            else StructuredLogger(stream=stream, level="info", fmt="plain")
+        )
         self._done = 0
         self._runs = 0
         self._failed = 0
@@ -309,53 +351,72 @@ class StreamObserver(RunObserver):
         self._runs = runs
         self._failed = 0
         self._retried = 0
-        print(f"  [campaign: {task} under {scenario_label} ({runs} runs)]",
-              file=self.stream)
+        self.logger.info(
+            "campaign_start",
+            message=f"campaign: {task} under {scenario_label} ({runs} runs)",
+            task=task, scenario=scenario_label, runs=runs,
+        )
 
     def on_run(self, record: RunRecord) -> None:
         self._done += 1
         if self.every and self._done % self.every == 0:
-            print(f"  [{self._done}/{self._runs} runs]", file=self.stream)
+            self.logger.info(
+                "progress",
+                message=f"{self._done}/{self._runs} runs",
+                done=self._done, runs=self._runs,
+            )
 
     def on_run_failed(self, index: int, seed: int, error: str) -> None:
         self._failed += 1
         last = error.strip().splitlines()[-1] if error else "unknown error"
-        print(f"  [run {index} FAILED (seed {seed:#x}): {last}]", file=self.stream)
+        self.logger.error(
+            "run_failed",
+            message=f"run {index} FAILED (seed {seed:#x}): {last}",
+            index=index, seed=f"{seed:#x}", error=last,
+        )
 
     def on_retry(self, index: int, seed: int, attempt: int, error: str) -> None:
         self._retried += 1
         last = error.strip().splitlines()[-1] if error else "unknown error"
-        print(
-            f"  [run {index} retrying after attempt {attempt} "
-            f"(seed {seed:#x}): {last}]",
-            file=self.stream,
+        self.logger.warning(
+            "run_retry",
+            message=f"run {index} retrying after attempt {attempt} "
+                    f"(seed {seed:#x}): {last}",
+            index=index, seed=f"{seed:#x}", attempt=attempt, error=last,
         )
 
     def on_worker_crash(self, dead_workers: int) -> None:
-        print(
-            f"  [{dead_workers} worker(s) died hard; rebuilding pool and "
-            f"re-dispatching unfinished runs]",
-            file=self.stream,
+        self.logger.warning(
+            "worker_crash",
+            message=f"{dead_workers} worker(s) died hard; rebuilding pool "
+                    f"and re-dispatching unfinished runs",
+            dead_workers=dead_workers,
         )
 
     def on_checkpoint(self, index: int, seed: int, completed: int,
                       total: int) -> None:
         if self.every and completed % self.every == 0:
-            print(f"  [checkpoint: {completed}/{total} runs journalled]",
-                  file=self.stream)
+            self.logger.info(
+                "checkpoint",
+                message=f"checkpoint: {completed}/{total} runs journalled",
+                completed=completed, total=total,
+            )
 
     def on_campaign_end(self, result: object) -> None:
         wall = getattr(result, "wall_time_s", 0.0)
         runs = getattr(result, "runs", 0)
         if wall > 0:
-            print(
-                f"  [{runs} runs in {wall:.2f}s: {runs / wall:.1f} runs/s, "
-                f"{self._failed} failed, {self._retried} retried]",
-                file=self.stream,
+            self.logger.info(
+                "campaign_end",
+                message=f"{runs} runs in {wall:.2f}s: {runs / wall:.1f} "
+                        f"runs/s, {self._failed} failed, "
+                        f"{self._retried} retried",
+                runs=runs, wall_time_s=round(wall, 6),
+                failed=self._failed, retried=self._retried,
             )
 
     def on_message(self, message: str) -> None:
-        print(f"  [{message}]", file=self.stream)
+        self.logger.info("message", message=message)
 
 
 class ProfilingObserver(RunObserver):
@@ -781,11 +842,26 @@ class ProcessPoolBackend(ExecutionBackend):
             for request in requests
         }
         final: Dict[int, RunOutcome] = {}
+        telemetry = current_telemetry()
         wave = 0
         while pending:
             wave += 1
             jobs = sorted(pending.values())
-            returned, reason = self._run_wave(context, template, jobs, observer)
+            if telemetry is not None:
+                wave_started = time.monotonic()
+                with telemetry.tracer.span(
+                    "wave", wave=wave, runs=len(jobs), backend=self.name
+                ):
+                    returned, reason = self._run_wave(
+                        context, template, jobs, observer
+                    )
+                telemetry.metrics.counter("waves_dispatched").inc()
+                telemetry.metrics.histogram("wave_latency_s").observe(
+                    time.monotonic() - wave_started
+                )
+            else:
+                returned, reason = self._run_wave(context, template, jobs,
+                                                  observer)
             for index, seed, attempt in jobs:
                 outcome = returned.get(index)
                 if outcome is None:

@@ -42,6 +42,7 @@ cannot reproduce exactly is declared ineligible up front
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import traceback
 from dataclasses import dataclass
@@ -51,6 +52,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError, classify_exception
+from repro.observability import current_telemetry
 from repro.sim import backend as _backend_mod
 from repro.sim.backend import (
     ExecutionBackend,
@@ -693,11 +695,18 @@ class BatchBackend(ExecutionBackend):
                 raise
             return self._delegate(requests, observer, str(exc))
         self.name = "batch"
+        telemetry = current_telemetry()
         outcomes: List[RunOutcome] = []
         for begin in range(0, len(requests), self.max_lanes):
             chunk = requests[begin:begin + self.max_lanes]
+            sweep_span = (
+                telemetry.tracer.span("batch_sweep", lanes=len(chunk),
+                                      task=chunk[0].traces[0].name)
+                if telemetry is not None else contextlib.nullcontext()
+            )
             try:
-                chunk_outcomes = plan.execute(chunk)
+                with sweep_span:
+                    chunk_outcomes = plan.execute(chunk)
             except Exception as exc:  # noqa: BLE001 — scalar engine decides
                 if self.strict:
                     raise

@@ -20,6 +20,7 @@ the resumed sample is bit-identical to an uninterrupted one.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Optional
@@ -31,6 +32,7 @@ from repro.errors import (
     ConfigurationError,
     SimulationError,
 )
+from repro.observability import Telemetry, attached_telemetry
 from repro.sim.backend import (
     ExecutionBackend,
     RunObserver,
@@ -48,6 +50,7 @@ from repro.sim.plancache import PlanCache
 from repro.sim.checkpoint import CampaignCheckpoint, CheckpointWriter
 from repro.sim.config import Scenario, SystemConfig
 from repro.sim.simulator import RunRequest
+from repro.sim.telemetry import TelemetryObserver
 from repro.utils.rng import derive_seeds
 
 
@@ -135,6 +138,64 @@ class CampaignResult:
             return 0.0
         return self.runs / self.wall_time_s
 
+    # ------------------------------------------------------------------
+    # machine-readable form (the service's wire format)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """This result as a JSON-ready dict (full provenance).
+
+        Per-run records keep their persisted fields only (profiles are
+        measurements, not semantics — same rule as the checkpoint
+        journal), so :meth:`from_dict` round-trips everything the
+        result store and the service API serve.
+        """
+        return {
+            "task": self.task,
+            "scenario_label": self.scenario_label,
+            "execution_times": list(self.execution_times),
+            "instructions": self.instructions,
+            "runs": self.runs,
+            "master_seed": self.master_seed,
+            "seeds": list(self.seeds),
+            "records": [record.to_dict() for record in self.records],
+            "backend": self.backend,
+            "wall_time_s": self.wall_time_s,
+            "resumed_runs": self.resumed_runs,
+            "retried_runs": self.retried_runs,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The :meth:`to_dict` payload serialised as JSON."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CampaignResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Raises ``KeyError``/``TypeError`` on malformed payloads; the
+        result store wraps these into
+        :class:`~repro.errors.ResultIntegrityError`.
+        """
+        return cls(
+            task=payload["task"],
+            scenario_label=payload["scenario_label"],
+            execution_times=list(payload["execution_times"]),
+            instructions=payload["instructions"],
+            runs=payload["runs"],
+            master_seed=payload["master_seed"],
+            seeds=list(payload["seeds"]),
+            records=[RunRecord.from_dict(entry)
+                     for entry in payload["records"]],
+            backend=payload["backend"],
+            wall_time_s=payload["wall_time_s"],
+            resumed_runs=payload["resumed_runs"],
+            retried_runs=payload["retried_runs"],
+            plan_cache_hits=payload["plan_cache_hits"],
+            plan_cache_misses=payload["plan_cache_misses"],
+        )
+
 
 def _select_backend(
     engine: str,
@@ -214,6 +275,8 @@ def collect_execution_times(
     engine: str = "auto",
     workers: Optional[int] = None,
     plan_cache: Optional[PlanCache] = None,
+    telemetry: Optional[Telemetry] = None,
+    job_id: Optional[str] = None,
 ) -> CampaignResult:
     """Collect ``runs`` end-to-end execution times of ``trace``.
 
@@ -255,6 +318,16 @@ def collect_execution_times(
     Journalled seeds are validated against the campaign's derived
     seeds (:class:`~repro.errors.CheckpointError` on mismatch).
 
+    ``telemetry`` attaches a :class:`~repro.observability.Telemetry`
+    bundle for the duration of the campaign: a
+    :class:`~repro.sim.telemetry.TelemetryObserver` is spliced in front
+    of the observer chain (metrics + structured logs), a ``campaign``
+    span wraps execution (with ``wave`` / ``batch_sweep`` children from
+    the backends), and the plan cache mirrors its traffic.  Telemetry
+    observes, never decides: the sample is bit-identical with and
+    without it.  ``job_id`` stamps the service's job id on every log
+    record and the campaign span.
+
     Returns a :class:`CampaignResult` whose ``execution_times`` are the
     MBPTA input sample.
     """
@@ -285,9 +358,18 @@ def collect_execution_times(
                     f"campaign derives seed {seeds[index]:#x} for it"
                 )
         effective_observer = CheckpointWriter(checkpoint, observer, total=runs)
+    # Campaign-level events fire on the telemetry observer when one is
+    # attached (it forwards down the chain to the user observer), on the
+    # user observer otherwise — exactly one notification either way.
+    head: Optional[RunObserver] = observer
+    if telemetry is not None:
+        effective_observer = TelemetryObserver(
+            telemetry, inner=effective_observer, job_id=job_id
+        )
+        head = effective_observer
     try:
-        if observer is not None:
-            observer.on_campaign_start(trace.name, scenario.label(), runs)
+        if head is not None:
+            head.on_campaign_start(trace.name, scenario.label(), runs)
         template = RunRequest.isolation(
             trace, config, scenario, seeds[0], index=0, profile=profile,
             cycle_budget=cycle_budget,
@@ -298,8 +380,21 @@ def collect_execution_times(
             if index not in resumed
         ]
         started = perf_counter()
-        outcomes = backend.execute(requests, observer=effective_observer) \
-            if requests else []
+        if not requests:
+            outcomes = []
+        elif telemetry is not None:
+            span_attrs = {
+                "task": trace.name, "scenario": scenario.label(),
+                "runs": runs, "backend": backend.name,
+            }
+            if job_id is not None:
+                span_attrs["job"] = job_id
+            with attached_telemetry(telemetry), \
+                    telemetry.tracer.span("campaign", **span_attrs):
+                outcomes = backend.execute(requests,
+                                           observer=effective_observer)
+        else:
+            outcomes = backend.execute(requests, observer=effective_observer)
         wall_time_s = perf_counter() - started
     finally:
         if checkpoint is not None:
@@ -350,6 +445,6 @@ def collect_execution_times(
             cache.misses - cache_before[1] if cache is not None else 0
         ),
     )
-    if observer is not None:
-        observer.on_campaign_end(result)
+    if head is not None:
+        head.on_campaign_end(result)
     return result

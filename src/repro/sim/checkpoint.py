@@ -47,14 +47,6 @@ from repro.sim.config import Scenario, SystemConfig
 #: Journal schema version; bumped on any incompatible format change.
 JOURNAL_VERSION = 1
 
-#: RunRecord fields journalled per run (everything but the profile).
-_RECORD_FIELDS = (
-    "index", "seed", "cycles", "instructions",
-    "llc_hits", "llc_misses", "llc_forced_evictions",
-    "efl_stall_cycles", "efl_evictions",
-    "memory_reads", "memory_writes", "wall_time_s",
-)
-
 
 def campaign_fingerprint(
     trace: Trace,
@@ -78,13 +70,10 @@ def campaign_fingerprint(
     return digest.hexdigest()[:16]
 
 
-def _record_to_entry(record: RunRecord) -> dict:
-    return {name: getattr(record, name) for name in _RECORD_FIELDS}
-
-
 def _entry_to_record(entry: dict) -> RunRecord:
+    """One journal line back into a record (shared RunRecord schema)."""
     try:
-        return RunRecord(**{name: entry[name] for name in _RECORD_FIELDS})
+        return RunRecord.from_dict(entry)
     except (KeyError, TypeError) as exc:
         raise CheckpointError(f"malformed journal entry {entry!r}") from exc
 
@@ -213,7 +202,7 @@ class CampaignCheckpoint:
         if self._file is None:
             raise CheckpointError("checkpoint journal used before open()")
         self._file.write(
-            json.dumps(_record_to_entry(record), separators=(",", ":")) + "\n"
+            json.dumps(record.to_dict(), separators=(",", ":")) + "\n"
         )
         self._file.flush()
         self._completed += 1

@@ -178,6 +178,44 @@ class Scenario:
         """
         return cls(mechanism="none", mode=mode)
 
+    @classmethod
+    def from_label(
+        cls,
+        label: str,
+        num_cores: int = 4,
+        mode: OperationMode = OperationMode.ANALYSIS,
+    ) -> "Scenario":
+        """Parse a :meth:`label`-style tag back into a scenario.
+
+        The inverse of :meth:`label` for the tags the CLI and the
+        campaign service accept: ``EFL<mid>`` (e.g. ``EFL500``),
+        ``CP<ways>`` (uniform, e.g. ``CP2``) or ``CP<a>-<b>-…``
+        (per-core counts), and ``SHARED``.  ``mode`` defaults to
+        analysis — what a pWCET campaign submission means.
+        """
+        tag = label.strip().upper()
+        try:
+            if tag.startswith("EFL"):
+                return cls.efl(int(tag[3:]), mode=mode)
+            if tag.startswith("CP"):
+                body = tag[2:]
+                if "-" in body:
+                    return cls.cache_partitioning(
+                        tuple(int(part) for part in body.split("-")),
+                        num_cores=num_cores, mode=mode,
+                    )
+                return cls.cache_partitioning(
+                    int(body), num_cores=num_cores, mode=mode
+                )
+            if tag == "SHARED":
+                return cls.uncontrolled(mode=mode)
+        except ValueError:
+            pass
+        raise ConfigurationError(
+            f"cannot parse scenario label {label!r}; expected EFL<mid> "
+            f"(e.g. EFL500), CP<ways> (e.g. CP2 or CP1-2-2-3) or SHARED"
+        )
+
     # ------------------------------------------------------------------
     def efl_config(self) -> EFLConfig:
         """The per-core EFL register file implied by this scenario."""

@@ -38,6 +38,7 @@ import numpy as np
 from repro.cpu.isa import OpKind
 from repro.cpu.pipeline import _EXEC_LATENCY_BY_KIND
 from repro.errors import ConfigurationError
+from repro.observability import current_telemetry
 
 #: Array fields of a :class:`TraceProgram`, in shared-memory layout
 #: order.  Everything else on a program is a small scalar that travels
@@ -233,13 +234,18 @@ class PlanCache:
 
     def program(self, trace, config) -> TraceProgram:
         """The compiled program of ``(trace, config)``; compile on miss."""
+        telemetry = current_telemetry()
         key = (id(trace), repr(config))
         entry = self._entries.get(key)
         if entry is not None and entry[0] is trace:
             self.hits += 1
+            if telemetry is not None:
+                telemetry.metrics.counter("plan_cache_hits").inc()
             self._entries.move_to_end(key)
             return entry[1]
         self.misses += 1
+        if telemetry is not None:
+            telemetry.metrics.counter("plan_cache_misses").inc()
         program = TraceProgram.compile(trace, config)
         self._entries[key] = (trace, program)
         self._entries.move_to_end(key)

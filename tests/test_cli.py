@@ -237,3 +237,140 @@ class TestProfileFlag:
         assert code == 0
         profiled = capsys.readouterr().out
         assert profiled.startswith(plain.rstrip("\n"))
+
+
+class TestLogFlags:
+    def test_defaults(self):
+        args = make_parser().parse_args(["iid"])
+        assert args.log_level == "info"
+        assert args.log_format == "plain"
+
+    def test_rejects_unknown_level_and_format(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["--log-level", "loud", "iid"])
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["--log-format", "xml", "iid"])
+
+    def test_verbose_plain_output_unchanged(self, capsys):
+        # The default --log-level/--log-format must reproduce the
+        # historical --verbose text output byte for byte.
+        code = main(["--scale", "tiny", "--seed", "3", "--verbose", "iid"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "  [campaign:" in err
+        assert "0 failed, 0 retried]" in err
+
+    def test_quiet_silences_progress(self, capsys):
+        code = main(["--scale", "tiny", "--seed", "3", "--verbose",
+                     "--log-level", "quiet", "iid"])
+        assert code == 0
+        assert "[campaign" not in capsys.readouterr().err
+
+    def test_json_log_format_emits_jsonl(self, capsys):
+        import json as json_mod
+
+        code = main(["--scale", "tiny", "--seed", "3", "--verbose",
+                     "--log-format", "json", "iid"])
+        assert code == 0
+        lines = [line for line in capsys.readouterr().err.splitlines()
+                 if line.startswith("{")]
+        assert lines
+        events = {json_mod.loads(line)["event"] for line in lines}
+        assert "campaign_start" in events
+
+
+class TestSubmitStatus:
+    def test_submit_parser_options(self):
+        args = make_parser().parse_args(
+            ["submit", "--store", "s", "--bench", "RS",
+             "--scenario", "EFL500", "--runs", "7", "--json"]
+        )
+        assert args.store == "s"
+        assert args.bench == "RS"
+        assert args.scenario == "EFL500"
+        assert args.runs == 7
+        assert args.json is True
+
+    def test_submit_requires_store_bench_scenario(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["submit", "--bench", "RS",
+                                      "--scenario", "EFL500"])
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["submit", "--store", "s"])
+
+    def test_submit_rejects_process_backend(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="no --backend"):
+            main(["--backend", "process", "submit",
+                  "--store", str(tmp_path), "--bench", "RS",
+                  "--scenario", "EFL100"])
+
+    def test_submit_then_cached_resubmit(self, tmp_path, capsys):
+        import json as json_mod
+
+        store = str(tmp_path / "store")
+        argv = ["--scale", "tiny", "--seed", "3", "submit",
+                "--store", store, "--bench", "RS",
+                "--scenario", "EFL100", "--runs", "6", "--json"]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        first = json_mod.loads(captured.out)
+        assert "source simulated" in captured.err
+        assert "6 runs simulated" in captured.err
+
+        # Byte-identical resubmission: zero runs simulated, identical
+        # payload served from the store.
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "source store" in captured.err
+        assert "0 runs simulated" in captured.err
+        assert json_mod.loads(captured.out) == first
+
+    def test_submit_writes_telemetry_artifacts(self, tmp_path, capsys):
+        import json as json_mod
+
+        store = str(tmp_path / "store")
+        teldir = tmp_path / "telemetry"
+        assert main(["--scale", "tiny", "--seed", "3", "submit",
+                     "--store", store, "--bench", "RS",
+                     "--scenario", "EFL100", "--runs", "4",
+                     "--telemetry-dir", str(teldir)]) == 0
+        capsys.readouterr()
+        metrics = json_mod.loads((teldir / "metrics.json").read_text())
+        spans = json_mod.loads((teldir / "spans.json").read_text())
+        assert metrics["counters"]["runs_simulated"] == 4
+        assert metrics["counters"]["runs_requested"] == 4
+        assert spans[0]["name"] == "campaign"
+
+    def test_status_lists_entries(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["--scale", "tiny", "--seed", "3", "submit",
+                     "--store", store, "--bench", "RS",
+                     "--scenario", "EFL100", "--runs", "4"]) == 0
+        capsys.readouterr()
+        assert main(["status", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "1 entries" in out
+        assert "RS under EFL100" in out
+
+    def test_status_json_and_corrupt_detection(self, tmp_path, capsys):
+        import json as json_mod
+
+        store_dir = tmp_path / "store"
+        assert main(["--scale", "tiny", "--seed", "3", "submit",
+                     "--store", str(store_dir), "--bench", "RS",
+                     "--scenario", "EFL100", "--runs", "4"]) == 0
+        capsys.readouterr()
+        # Tamper with the single entry.
+        entry_path = next(store_dir.glob("*.json"))
+        entry = json_mod.loads(entry_path.read_text())
+        entry["payload"]["execution_times"][0] += 1
+        entry_path.write_text(json_mod.dumps(entry))
+        assert main(["status", "--store", str(store_dir), "--json"]) == 1
+        summary = json_mod.loads(capsys.readouterr().out)
+        assert summary["entries"][0]["ok"] is False
+
+    def test_status_empty_store(self, tmp_path, capsys):
+        assert main(["status", "--store", str(tmp_path / "empty")]) == 0
+        assert "empty" in capsys.readouterr().out

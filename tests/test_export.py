@@ -16,6 +16,7 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.export import (
     write_campaign_csv,
+    write_campaign_json,
     write_fig3_csv,
     write_fig4_csv,
     write_iid_csv,
@@ -54,6 +55,33 @@ class TestCampaignCsv:
         assert rows[1][0] == "ID"
         assert rows[1][3] == hex(1000)
         assert rows[3][4] == "5020"
+
+
+class TestCampaignJson:
+    def test_round_trips_through_from_dict(self, campaign_result):
+        import json
+
+        stream = io.StringIO()
+        count = write_campaign_json(campaign_result, stream)
+        assert count == 3
+        payload = json.loads(stream.getvalue())
+        rebuilt = CampaignResult.from_dict(payload)
+        assert rebuilt.to_dict() == campaign_result.to_dict()
+        assert rebuilt.execution_times == campaign_result.execution_times
+        assert rebuilt.records[1].seed == 1001
+
+    def test_payload_matches_to_dict(self, campaign_result):
+        import json
+
+        stream = io.StringIO()
+        write_campaign_json(campaign_result, stream)
+        assert json.loads(stream.getvalue()) == campaign_result.to_dict()
+
+    def test_from_dict_rejects_missing_fields(self, campaign_result):
+        payload = campaign_result.to_dict()
+        del payload["seeds"]
+        with pytest.raises(KeyError):
+            CampaignResult.from_dict(payload)
 
 
 @pytest.fixture

@@ -1,0 +1,351 @@
+"""Campaign service: job lifecycle, content-addressed dedup, accounting.
+
+The headline contract under test: resubmitting a byte-identical
+campaign performs **zero** simulation runs and yields a result whose
+samples, seeds and records are bit-identical to the first
+submission's — whether the duplicate hits the store (state ``cached``)
+or coalesces onto an in-flight twin.  Tampered store entries are
+rejected by checksum and transparently re-simulated.  Throughout, the
+metrics reconcile: ``runs_requested == runs_simulated +
+runs_served_from_cache``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ResultIntegrityError,
+    ServiceError,
+)
+from repro.observability import Telemetry
+from repro.service import (
+    JOB_CACHED,
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_FAILED,
+    CampaignJob,
+    JobQueue,
+    ResultStore,
+)
+from repro.sim.campaign import collect_execution_times
+from repro.sim.config import Scenario
+
+from .conftest import make_stream_trace
+
+
+@pytest.fixture
+def scenario() -> Scenario:
+    return Scenario.efl(mid=100)
+
+
+def make_job(tiny_config, scenario, runs=8, seed=5, name="svc", **kwargs):
+    trace = make_stream_trace(name=name, words=32, sweeps=2)
+    kwargs.setdefault("engine", "scalar")
+    return CampaignJob(
+        trace, tiny_config, scenario, runs=runs, master_seed=seed, **kwargs
+    )
+
+
+def _sample(result):
+    """The deterministic part of a result (host wall times excluded)."""
+    def deterministic(record):
+        entry = record.to_dict()
+        entry.pop("wall_time_s")
+        return entry
+
+    return (
+        result.execution_times,
+        result.seeds,
+        [deterministic(record) for record in result.records],
+    )
+
+
+def assert_reconciled(telemetry: Telemetry) -> None:
+    metrics = telemetry.metrics
+    assert metrics.value("runs_requested") == (
+        metrics.value("runs_simulated")
+        + metrics.value("runs_served_from_cache")
+    )
+
+
+# ----------------------------------------------------------------------
+# jobs + queue
+# ----------------------------------------------------------------------
+class TestCampaignJob:
+    def test_rejects_non_positive_runs(self, tiny_config, scenario):
+        with pytest.raises(ConfigurationError):
+            make_job(tiny_config, scenario, runs=0)
+
+    def test_fingerprint_depends_on_campaign_identity(
+        self, tiny_config, scenario
+    ):
+        a = make_job(tiny_config, scenario, seed=1)
+        twin = make_job(tiny_config, scenario, seed=1)
+        other_seed = make_job(tiny_config, scenario, seed=2)
+        other_runs = make_job(tiny_config, scenario, seed=1, runs=9)
+        assert a.fingerprint == twin.fingerprint
+        assert a.fingerprint != other_seed.fingerprint
+        assert a.fingerprint != other_runs.fingerprint
+
+    def test_to_dict_is_json_ready(self, tiny_config, scenario):
+        job = make_job(tiny_config, scenario)
+        payload = json.loads(json.dumps(job.to_dict()))
+        assert payload["state"] == "queued"
+        assert payload["scenario"] == "EFL100"
+        assert payload["runs"] == 8
+
+
+class TestJobQueue:
+    def test_executes_job_matching_direct_call(self, tiny_config, scenario):
+        job = make_job(tiny_config, scenario)
+        direct = collect_execution_times(
+            job.trace, tiny_config, scenario, job.runs,
+            master_seed=job.master_seed, engine="scalar",
+        )
+        with JobQueue(workers=1) as queue:
+            result = queue.submit(job).wait(timeout=60)
+        assert job.state == JOB_DONE
+        assert job.source == "simulated"
+        assert _sample(result) == _sample(direct)
+
+    def test_failed_job_raises_service_error_with_cause(
+        self, tiny_config, scenario
+    ):
+        job = make_job(tiny_config, scenario, cycle_budget=1)
+        with JobQueue(workers=1) as queue:
+            queue.submit(job)
+            with pytest.raises(ServiceError, match="failed"):
+                job.wait(timeout=60)
+        assert job.state == JOB_FAILED
+        assert "cycle" in job.error.lower() or "budget" in job.error.lower()
+
+    def test_cancel_before_start(self, tiny_config, scenario):
+        queue = JobQueue(workers=1, start=False)
+        job = queue.submit(make_job(tiny_config, scenario))
+        assert queue.cancel(job.job_id) is True
+        assert job.state == JOB_CANCELLED
+        with pytest.raises(ServiceError, match="cancelled"):
+            job.wait(timeout=1)
+        # Cancelling a terminal job is a no-op, not an error.
+        assert queue.cancel(job.job_id) is False
+        queue.shutdown()
+
+    def test_cancel_after_completion_returns_false(
+        self, tiny_config, scenario
+    ):
+        with JobQueue(workers=1) as queue:
+            job = queue.submit(make_job(tiny_config, scenario))
+            job.wait(timeout=60)
+            assert queue.cancel(job.job_id) is False
+        assert job.state == JOB_DONE
+
+    def test_submit_after_shutdown_rejected(self, tiny_config, scenario):
+        queue = JobQueue(workers=1)
+        queue.shutdown()
+        with pytest.raises(ServiceError, match="shut down"):
+            queue.submit(make_job(tiny_config, scenario))
+
+    def test_unknown_job_id_rejected(self):
+        queue = JobQueue(workers=1)
+        with pytest.raises(ServiceError, match="unknown job id"):
+            queue.status("job-999999")
+        queue.shutdown()
+
+    def test_queue_counts_jobs(self, tiny_config, scenario):
+        telemetry = Telemetry()
+        with JobQueue(workers=2, telemetry=telemetry) as queue:
+            jobs = [
+                queue.submit(make_job(tiny_config, scenario, seed=seed))
+                for seed in (1, 2, 3)
+            ]
+            for job in jobs:
+                job.wait(timeout=60)
+        assert telemetry.metrics.value("jobs_submitted") == 3
+        assert telemetry.metrics.value("jobs_completed") == 3
+        assert len(queue.jobs()) == 3
+        assert {job.job_id for job in jobs} == {
+            "job-000001", "job-000002", "job-000003"
+        }
+
+
+# ----------------------------------------------------------------------
+# result store
+# ----------------------------------------------------------------------
+class TestResultStore:
+    def test_put_get_round_trip(self, tmp_path, tiny_config, scenario):
+        job = make_job(tiny_config, scenario)
+        result = collect_execution_times(
+            job.trace, tiny_config, scenario, job.runs,
+            master_seed=job.master_seed, engine="scalar",
+        )
+        store = ResultStore(tmp_path / "store")
+        store.put(job.fingerprint, result)
+        assert job.fingerprint in store
+        loaded = store.get(job.fingerprint)
+        assert loaded.to_dict() == result.to_dict()
+
+    def test_get_missing_raises(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ServiceError, match="no entry"):
+            store.get("deadbeefdeadbeef")
+
+    def test_tampered_entry_rejected(self, tmp_path, tiny_config, scenario):
+        job = make_job(tiny_config, scenario)
+        store = ResultStore(tmp_path)
+        with JobQueue(workers=1) as queue:
+            store.get_or_submit(job, queue).wait(timeout=60)
+        path = store.path_for(job.fingerprint)
+        entry = json.loads(path.read_text())
+        entry["payload"]["execution_times"][0] += 1  # flip the sample
+        path.write_text(json.dumps(entry))
+        with pytest.raises(ResultIntegrityError, match="integrity"):
+            store.get(job.fingerprint)
+
+    def test_malformed_entry_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.path_for("cafe").write_text("not json {")
+        with pytest.raises(ResultIntegrityError, match="malformed"):
+            store.get("cafe")
+
+
+# ----------------------------------------------------------------------
+# the dedup contract
+# ----------------------------------------------------------------------
+class TestDedup:
+    def test_resubmission_simulates_zero_runs_bit_identically(
+        self, tmp_path, tiny_config, scenario
+    ):
+        store = ResultStore(tmp_path)
+        telemetry = Telemetry()
+        with JobQueue(workers=1, telemetry=telemetry) as queue:
+            first = make_job(tiny_config, scenario)
+            original = store.get_or_submit(first, queue).wait(timeout=60)
+            simulated_after_first = telemetry.metrics.value("runs_simulated")
+
+            second = make_job(tiny_config, scenario)
+            served = store.get_or_submit(second, queue).wait(timeout=60)
+
+        assert first.state == JOB_DONE
+        assert second.state == JOB_CACHED
+        assert second.source == "store"
+        # Zero additional simulation work...
+        assert telemetry.metrics.value("runs_simulated") == simulated_after_first
+        assert telemetry.metrics.value("store_hits") == 1
+        # ...and a bit-identical result, checksums included.
+        assert served.to_dict() == original.to_dict()
+        assert served.seeds == original.seeds
+        assert_reconciled(telemetry)
+
+    def test_tampered_entry_is_resimulated(
+        self, tmp_path, tiny_config, scenario
+    ):
+        store = ResultStore(tmp_path)
+        telemetry = Telemetry()
+        with JobQueue(workers=1, telemetry=telemetry) as queue:
+            first = make_job(tiny_config, scenario)
+            original = store.get_or_submit(first, queue).wait(timeout=60)
+
+            path = store.path_for(first.fingerprint)
+            entry = json.loads(path.read_text())
+            entry["payload"]["execution_times"][0] += 1
+            path.write_text(json.dumps(entry))
+
+            second = make_job(tiny_config, scenario)
+            recovered = store.get_or_submit(second, queue).wait(timeout=60)
+
+        # The corrupt entry counted as a miss and was re-simulated...
+        assert second.state == JOB_DONE
+        assert second.source == "simulated"
+        assert telemetry.metrics.value("store_integrity_failures") == 1
+        assert telemetry.metrics.value("runs_simulated") == first.runs * 2
+        # ...reproducing the original sample and repairing the store.
+        assert _sample(recovered) == _sample(original)
+        assert store.get(first.fingerprint).execution_times \
+            == original.execution_times
+        assert_reconciled(telemetry)
+
+    def test_inflight_coalescing_shares_one_simulation(
+        self, tmp_path, tiny_config, scenario
+    ):
+        store = ResultStore(tmp_path)
+        telemetry = Telemetry()
+        # start=False: both submissions are staged before any worker
+        # runs, so the second deterministically sees the first in
+        # flight rather than in the store.
+        queue = JobQueue(workers=1, telemetry=telemetry, start=False)
+        first = make_job(tiny_config, scenario)
+        second = make_job(tiny_config, scenario)
+        resolved_first = store.get_or_submit(first, queue)
+        resolved_second = store.get_or_submit(second, queue)
+        assert resolved_second is resolved_first
+        assert second.source == "coalesced"
+        queue.start()
+        result_first = resolved_first.wait(timeout=60)
+        result_second = resolved_second.wait(timeout=60)
+        queue.shutdown()
+        assert result_second is result_first
+        assert telemetry.metrics.value("jobs_coalesced") == 1
+        assert telemetry.metrics.value("runs_simulated") == first.runs
+        assert telemetry.metrics.value("runs_requested") == first.runs * 2
+        assert_reconciled(telemetry)
+
+    def test_concurrent_identical_submissions_reconcile(
+        self, tmp_path, tiny_config, scenario
+    ):
+        """Hammer one fingerprint from many threads; accounting holds."""
+        store = ResultStore(tmp_path)
+        telemetry = Telemetry()
+        results = []
+        errors = []
+        with JobQueue(workers=2, telemetry=telemetry) as queue:
+            def submit_one():
+                try:
+                    job = make_job(tiny_config, scenario)
+                    results.append(
+                        store.get_or_submit(job, queue).wait(timeout=60)
+                    )
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=submit_one) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        assert len(results) == 6
+        reference = results[0].to_dict()
+        assert all(result.to_dict() == reference for result in results)
+        runs = reference["runs"]
+        assert telemetry.metrics.value("runs_requested") == 6 * runs
+        # Exactly one submission simulated; the rest were served.
+        assert telemetry.metrics.value("runs_simulated") == runs
+        assert_reconciled(telemetry)
+
+    def test_different_campaigns_do_not_collide(
+        self, tmp_path, tiny_config, scenario
+    ):
+        store = ResultStore(tmp_path)
+        telemetry = Telemetry()
+        with JobQueue(workers=1, telemetry=telemetry) as queue:
+            a = make_job(tiny_config, scenario, seed=1)
+            b = make_job(tiny_config, scenario, seed=2)
+            result_a = store.get_or_submit(a, queue).wait(timeout=60)
+            result_b = store.get_or_submit(b, queue).wait(timeout=60)
+        assert a.fingerprint != b.fingerprint
+        assert result_a.seeds != result_b.seeds
+        assert sorted(store.fingerprints()) \
+            == sorted([a.fingerprint, b.fingerprint])
+        assert telemetry.metrics.value("store_misses") == 2
+        assert_reconciled(telemetry)
+
+    def test_convenience_submit_wrapper(self, tmp_path, tiny_config, scenario):
+        store = ResultStore(tmp_path)
+        first = store.submit(make_job(tiny_config, scenario))
+        again = store.submit(make_job(tiny_config, scenario))
+        assert again.to_dict() == first.to_dict()
