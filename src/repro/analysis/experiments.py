@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import re
 import zlib
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import improvement, summarise_improvements
 from repro.analysis.partitions import (
@@ -97,9 +98,10 @@ class PWCETTable:
         #: Per-run simulated-cycle budget (livelock guard); ``None``
         #: disables the guard entirely (no hot-path cost).
         self.cycle_budget = cycle_budget
-        #: Run interpreter for analysis campaigns: ``"auto"`` (batch /
-        #: sharded where eligible), ``"scalar"``, ``"batch"`` or
-        #: ``"sharded"`` (the latter two strict).
+        #: Run interpreter for analysis campaigns: ``"auto"`` (kernel /
+        #: sharded-kernel where eligible), ``"scalar"``, ``"batch"``,
+        #: ``"sharded"`` or ``"kernel"`` (the non-auto vector engines
+        #: are strict: they raise rather than fall back).
         self.engine = engine
         #: Shard workers for the batch/sharded engines (None = policy
         #: default); mutually exclusive with a process backend.
@@ -134,6 +136,26 @@ class PWCETTable:
         return CampaignCheckpoint(
             self.checkpoint_dir / f"{safe}.jsonl", resume=self.resume
         )
+
+    @contextmanager
+    def bench_row(self, bench_id: str) -> Iterator[None]:
+        """Pin ``bench_id``'s compiled plans for the scope of one row.
+
+        A Figure-3/4 row scans one benchmark across every MID and
+        way-count setup; all those campaigns share one compiled
+        :class:`~repro.sim.plancache.TraceProgram`.  Pinning the
+        ``(trace, config)`` entry for the row's duration guarantees the
+        plan cache's LRU eviction cannot drop the program between two
+        setups of the *same* benchmark (which would silently recompile
+        it); the pin is always released when the row finishes — also on
+        error — so a long sweep never accumulates stale pins.
+        """
+        trace = self.traces[bench_id]
+        self.plan_cache.pin(trace, self.config)
+        try:
+            yield
+        finally:
+            self.plan_cache.unpin(trace, self.config)
 
     def campaign(self, bench_id: str, kind: str, value: int) -> CampaignResult:
         """Execution-time sample of one (benchmark, setup) campaign."""
@@ -229,7 +251,8 @@ def run_iid_compliance(
         mid = table.scale.mid_options[len(table.scale.mid_options) // 2]
     rows = []
     for bench_id in bench_ids:
-        campaign = table.campaign(bench_id, "efl", mid)
+        with table.bench_row(bench_id):
+            campaign = table.campaign(bench_id, "efl", mid)
         verdict: IIDResult = iid_test(campaign.execution_times)
         rows.append(
             IIDRow(
@@ -296,10 +319,11 @@ def run_fig3(
     pwcet: Dict[str, Dict[str, float]] = {}
     normalised: Dict[str, Dict[str, float]] = {}
     for bench_id in bench_ids:
-        pwcet[bench_id] = {
-            label: table.pwcet(bench_id, kind, value)
-            for label, kind, value in setups
-        }
+        with table.bench_row(bench_id):
+            pwcet[bench_id] = {
+                label: table.pwcet(bench_id, kind, value)
+                for label, kind, value in setups
+            }
         base = pwcet[bench_id][baseline_label]
         normalised[bench_id] = {
             label: value / base for label, value in pwcet[bench_id].items()
@@ -324,7 +348,7 @@ def _deployment_samples(
     label: str,
 ) -> List[float]:
     """Co-run one workload ``len(rep_seeds)`` times through the backend."""
-    if table.engine in ("batch", "sharded"):
+    if table.engine in ("batch", "sharded", "kernel"):
         raise ConfigurationError(
             f"the {table.engine} engine only vectorises analysis-mode "
             "isolation campaigns; deployment co-runs interleave cores "

@@ -13,15 +13,15 @@ Every command accepts ``--scale {tiny,quick,default,paper}`` and
 and ``--workers N`` to fan simulation runs out over worker processes
 (results are bit-identical across backends — seeds are derived per
 run, not per worker); results print as plain-text tables.
-``--engine {auto,scalar,batch,sharded}`` picks the run interpreter
-for analysis campaigns: ``auto`` (default) vectorises eligible
-campaigns on the lock-step NumPy batch engine — sharding the lanes
-over worker processes when the host has CPUs to use — ``scalar``
-forces the per-run interpreter, ``batch`` / ``sharded`` fail loudly
-instead of falling back; samples are bit-identical across engines.
-``--engine batch --workers N`` runs N shards (``--workers`` composes
-with either the process backend or the batch/sharded engines, never
-both at once).
+``--engine {auto,scalar,batch,sharded,kernel}`` picks the run
+interpreter for analysis campaigns: ``auto`` (default) compiles
+eligible campaigns onto the grouped-opcode kernel engine — sharding
+the lanes over worker processes when the host has CPUs to use —
+``scalar`` forces the per-run interpreter, ``batch`` / ``sharded`` /
+``kernel`` fail loudly instead of falling back; samples are
+bit-identical across engines.  ``--engine kernel --workers N`` runs N
+shards (``--workers`` composes with either the process backend or the
+batch/sharded/kernel engines, never both at once).
 
 Long sweeps survive interruption with ``--checkpoint-dir DIR``: every
 analysis campaign journals its completed runs there, and rerunning
@@ -349,13 +349,14 @@ def make_parser() -> argparse.ArgumentParser:
         choices=ENGINE_NAMES,
         help=(
             "run interpreter for analysis campaigns: 'auto' uses the "
-            "lock-step NumPy batch engine where eligible — sharded over "
+            "grouped-opcode kernel engine where eligible — sharded over "
             "worker processes when the host and campaign are big enough "
             "— and falls back to the scalar interpreter otherwise, "
             "'scalar' forces per-run interpretation, 'batch' demands "
-            "vectorised execution ('--workers N' shards it N ways) and "
-            "'sharded' demands the multi-process form; both fail "
-            "(naming the obstacle) on ineligible campaigns, e.g. "
+            "lock-step NumPy execution, 'kernel' demands the compiled "
+            "grouped-opcode form ('--workers N' shards either N ways) "
+            "and 'sharded' demands the multi-process form; all three "
+            "fail (naming the obstacle) on ineligible campaigns, e.g. "
             "deployment runs or --profile; samples are bit-identical "
             "across engines (default: auto)"
         ),
@@ -529,7 +530,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         raise ConfigurationError(
             f"--workers must be a positive integer, got {args.workers}"
         )
-    if args.backend == "process" and args.engine in ("batch", "sharded"):
+    if args.backend == "process" and args.engine in ("batch", "sharded",
+                                                     "kernel"):
         raise ConfigurationError(
             f"--backend process conflicts with --engine {args.engine}: the "
             f"process backend interprets runs one at a time, while the "

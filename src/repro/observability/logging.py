@@ -84,6 +84,11 @@ class StructuredLogger:
         self.fmt = fmt
         self.clock = clock
         self.context = dict(context)
+        #: Dedupe keys already emitted by *this* logger instance.  A
+        #: :meth:`bind` child starts with a fresh set, so the dedupe
+        #: scope is the bound context's lifetime (e.g. one campaign's
+        #: telemetry observer), not the whole process.
+        self._emitted: set = set()
 
     # ------------------------------------------------------------------
     def bind(self, **fields: object) -> "StructuredLogger":
@@ -108,11 +113,24 @@ class StructuredLogger:
         message: Optional[str] = None,
         **fields: object,
     ) -> None:
-        """Emit one record (a no-op below the logger's threshold)."""
+        """Emit one record (a no-op below the logger's threshold).
+
+        A ``dedupe`` field is consumed here, never rendered: records
+        carrying the same dedupe key are emitted once per logger
+        instance.  Backends use this to keep repeatable advisories
+        (the single-CPU degrade warning, say) to one log record per
+        campaign no matter how many times the emitting decision is
+        consulted.
+        """
         if level not in LEVELS or level == "quiet":
             raise ValueError(f"unknown record level {level!r}")
+        dedupe = fields.pop("dedupe", None)
         if not self.is_enabled(level):
             return
+        if dedupe is not None:
+            if dedupe in self._emitted:
+                return
+            self._emitted.add(dedupe)
         if self.fmt == "plain":
             # The historical CLI shape: the message (or bare event name)
             # in brackets, everything structured dropped.

@@ -60,8 +60,16 @@ class Histogram:
     """A bucketed distribution with exact count/sum/min/max sidecars.
 
     ``buckets`` are cumulative upper bounds (Prometheus ``le``
-    convention); one implicit overflow bucket catches everything above
-    the last bound.
+    convention): a sample equal to a bound lands in that bound's
+    bucket, deterministically.  One implicit overflow bucket catches
+    everything above the last bound.  Bounds are deduplicated at
+    construction (a duplicated bound would leave a permanently empty
+    shadow bucket whose ``le_...`` key collides in :meth:`summary`,
+    silently dropping counts from the rendered JSON) and must be
+    finite — ``inf`` would shadow the implicit overflow bucket and
+    ``nan`` compares false with everything, leaving a dead slot.  The
+    invariant the service suite asserts: the rendered bucket counts
+    always sum to ``count``.
     """
 
     __slots__ = ("name", "buckets", "bucket_counts", "count", "total",
@@ -73,9 +81,21 @@ class Histogram:
         lock: threading.Lock,
         buckets: Sequence[float] = DEFAULT_BUCKETS,
     ) -> None:
-        bounds = tuple(sorted(buckets))
+        bounds = tuple(sorted({float(bound) for bound in buckets}))
         if not bounds:
             raise ValueError(f"histogram {name!r} needs at least one bucket")
+        for bound in bounds:
+            if bound != bound or bound in (float("inf"), float("-inf")):
+                raise ValueError(
+                    f"histogram {name!r} bucket bounds must be finite, "
+                    f"got {bound!r}"
+                )
+        keys = [f"le_{bound:g}" for bound in bounds]
+        if len(set(keys)) != len(keys):
+            raise ValueError(
+                f"histogram {name!r} has distinct bounds that render to "
+                f"the same le_... key: {bounds!r} -> {keys!r}"
+            )
         self.name = name
         self.buckets = bounds
         self.bucket_counts = [0] * (len(bounds) + 1)

@@ -52,7 +52,13 @@ from typing import Dict, List, Optional
 
 from repro.errors import ResultIntegrityError, ServiceError
 from repro.sim.campaign import CampaignResult
-from repro.service.jobs import JOB_CACHED, CampaignJob, JobQueue
+from repro.service.jobs import (
+    JOB_CACHED,
+    JOB_CANCELLED,
+    JOB_FAILED,
+    CampaignJob,
+    JobQueue,
+)
 
 #: Entry format version — bumped if the payload schema ever changes.
 STORE_VERSION = 1
@@ -191,6 +197,20 @@ class ResultStore:
             running = self._inflight.get(fingerprint)
             if running is not None and running.done:
                 running = None  # finished; its entry is on disk below
+            elif running is not None and running.state in (
+                JOB_FAILED, JOB_CANCELLED
+            ):
+                # Dead claim: a failed or cancelled job never writes a
+                # store entry, so its slot no longer represents a
+                # simulation in flight — coalescing onto it would hand
+                # this submitter the old failure instead of a fresh
+                # simulation.  ``state`` (set before the terminal event)
+                # is checked deliberately: it closes the window where
+                # the dead job's cleanup callback has not yet released
+                # the slot.  Done jobs keep the ``done`` check above —
+                # their entry is only guaranteed on disk once the
+                # terminal event fires.
+                running = None
             if running is None:
                 if self.path_for(fingerprint).exists():
                     try:
@@ -245,7 +265,27 @@ class ResultStore:
             )
         metrics.counter("store_misses").inc()
         job.add_callback(lambda done: self._persist(done, queue))
-        return queue.submit(job)
+        try:
+            return queue.submit(job)
+        except Exception as exc:
+            # The claim slot was taken under the lock above; a job the
+            # queue refused (shut down, say) will never reach a terminal
+            # state on its own, so the slot would leak and every later
+            # duplicate would coalesce onto a job that never finishes.
+            # Release the claim, fail the job (which releases any
+            # waiters), then let the submission error propagate.
+            with self._lock:
+                if self._inflight.get(fingerprint) is job:
+                    del self._inflight[fingerprint]
+            job.error = f"submission failed: {exc}"
+            job._finish(JOB_FAILED)
+            queue.telemetry.logger.error(
+                "submit_failed",
+                message=f"queue refused campaign submission "
+                        f"(fingerprint {fingerprint}): {exc}",
+                fingerprint=fingerprint,
+            )
+            raise
 
     def _persist(self, job: CampaignJob, queue: JobQueue) -> None:
         """Completion callback: write done jobs, clear the in-flight slot.

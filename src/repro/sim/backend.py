@@ -769,6 +769,11 @@ class ProcessPoolBackend(ExecutionBackend):
         self.fault_plan = fault_plan
         self.force_pool = force_pool
         self.name = f"process[{workers}]"
+        #: Whether the single-CPU degrade warning fired for the
+        #: campaign currently executing — reset at every ``execute()``
+        #: entry so the advisory is once per campaign, not once per
+        #: consultation of :meth:`_degrades`.
+        self._degrade_warned = False
 
     def _chunks(self, jobs: List[tuple]) -> List[List[tuple]]:
         size = self.chunk_size
@@ -793,6 +798,7 @@ class ProcessPoolBackend(ExecutionBackend):
                     "only in (index, seed); split heterogeneous work into "
                     "one execute() call per template"
                 )
+        self._degrade_warned = False  # new campaign: the advisory may fire once
         if len(requests) == 1 or self.workers == 1 or self._degrades(requests,
                                                                      observer):
             # Not worth a pool; semantics are identical by construction.
@@ -815,12 +821,20 @@ class ProcessPoolBackend(ExecutionBackend):
         (``BENCH_campaign.json`` measured 0.65×), so degrade to
         in-process execution — bit-identical by construction — unless
         the caller opted out with ``force_pool=True``.
+
+        The observer advisory fires at most once per campaign (per
+        :meth:`execute` call): the decision may be consulted again
+        within one campaign (wave re-dispatch, subclass delegation),
+        and repeating an unchanged advisory per wave is noise.  The
+        structured-log side is additionally deduped by
+        :class:`~repro.sim.telemetry.TelemetryObserver`.
         """
         if self.force_pool or self.workers <= 1 or len(requests) <= 1:
             return False
         if usable_cpus() != 1:
             return False
-        if observer is not None:
+        if observer is not None and not self._degrade_warned:
+            self._degrade_warned = True
             observer.on_message(
                 f"only 1 usable CPU for {self.workers} workers; degrading "
                 f"to in-process serial execution (results are "

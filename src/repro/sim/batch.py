@@ -81,8 +81,10 @@ from repro.utils.hashing import set_index_array
 from repro.utils.rng import MWCArray, splitmix64_draw
 
 #: Engine names accepted by ``collect_execution_times(engine=...)`` and
-#: the CLI's ``--engine`` flag.
-ENGINE_NAMES = ("auto", "scalar", "batch", "sharded")
+#: the CLI's ``--engine`` flag.  ``kernel`` is the grouped-opcode
+#: compiler (:mod:`repro.sim.kernels`) running on this engine's lane
+#: state; ``auto`` prefers it wherever plain ``batch`` would apply.
+ENGINE_NAMES = ("auto", "scalar", "batch", "sharded", "kernel")
 
 #: Campaign size below which the ``auto`` engine policy keeps the
 #: single-process batch engine even on a multi-core host: sharding a
@@ -319,6 +321,120 @@ class _LaneCRG:
             pending = mask & (self.next_time <= now)
 
 
+class _LaneEnv:
+    """One sweep's lane state: caches, EFL units and path counters.
+
+    Built by :meth:`_TemplatePlan._lane_env` and driven by two
+    runtimes — the per-step interpreter below and the grouped-opcode
+    kernel (:mod:`repro.sim.kernels`).  Both advance exactly this
+    state through the same :meth:`fill` choreography, which is what
+    makes their outcomes bit-identical by construction: the kernel
+    only changes *how many Python-level operations* it takes to get
+    here, never the order of cache transactions or PRNG draws.
+
+    The ``cache_cls`` / ``acu_cls`` / ``crg_cls`` hooks let the kernel
+    substitute draw-plan-backed implementations that consume the same
+    per-lane PRNG sequences through precomputed blocks.
+    """
+
+    __slots__ = (
+        "lanes", "il1", "dl1", "llc", "acu", "crgs", "all_mask",
+        "path_llc_hits", "path_llc_misses", "memory_reads",
+        "memory_writes", "bus_cycles", "llc_hit_latency", "memory_cycles",
+    )
+
+    def __init__(self, plan: "_TemplatePlan", triples: Sequence[tuple],
+                 cache_cls, acu_cls, crg_cls) -> None:
+        lanes = len(triples)
+        config = plan.config
+        scenario = plan.scenario
+        core = plan.core
+        nc = config.num_cores
+        seeds = np.array([seed for _index, seed, _attempt in triples],
+                         dtype=np.uint64)
+
+        # build_platform's SplitMix64(run_seed) draw schedule, 1-based:
+        # IL1[c] consumes draws (2c+1, 2c+2), DL1[c] (2nc+2c+1,
+        # 2nc+2c+2), the LLC (4nc+1, 4nc+2), the bus seed 4nc+3
+        # (unused in analysis) and the EFL seed 4nc+4.  SplitMix64 is
+        # counter-based, so only the analysed core's draws are computed.
+        l1_sets = config.l1_geometry.num_sets
+        l1_ways = config.l1_geometry.ways
+        llc_sets = config.llc_geometry.num_sets
+        llc_ways = config.llc_geometry.ways
+        lru = not plan.eom
+
+        def lane_cache(rii_k, rng_k, num_sets, ways, candidates):
+            rng = MWCArray(splitmix64_draw(seeds, rng_k)) if plan.eom else None
+            matrix = plan._sets_matrix(
+                splitmix64_draw(seeds, rii_k), num_sets, lanes
+            )
+            return cache_cls(lanes, num_sets, ways, candidates, matrix, rng, lru)
+
+        self.lanes = lanes
+        self.il1 = lane_cache(2 * core + 1, 2 * core + 2, l1_sets, l1_ways,
+                              l1_ways)
+        self.dl1 = lane_cache(2 * nc + 2 * core + 1, 2 * nc + 2 * core + 2,
+                              l1_sets, l1_ways, l1_ways)
+        self.llc = lane_cache(4 * nc + 1, 4 * nc + 2, llc_sets, llc_ways,
+                              plan.llc_candidates)
+
+        self.acu = None
+        self.crgs: List[object] = []
+        if scenario.mechanism == "efl":
+            # EFLController's inner SplitMix64(efl_seed): ACU seeds for
+            # cores 0..nc-1 first, then CRG seeds for the interfering
+            # cores in core order.
+            efl_seeds = splitmix64_draw(seeds, 4 * nc + 4)
+            mid = scenario.mid
+            randomise = scenario.randomise_mid
+            self.acu = acu_cls(
+                mid, randomise,
+                MWCArray(splitmix64_draw(efl_seeds, core + 1)), lanes,
+            )
+            position = 0
+            for other in range(nc):
+                if other == core:
+                    continue
+                position += 1
+                self.crgs.append(crg_cls(
+                    mid, randomise,
+                    MWCArray(splitmix64_draw(efl_seeds, nc + position)),
+                    llc_sets, lanes,
+                ))
+
+        self.path_llc_hits = np.zeros(lanes, dtype=np.int64)
+        self.path_llc_misses = np.zeros(lanes, dtype=np.int64)
+        self.memory_reads = np.zeros(lanes, dtype=np.int64)
+        self.memory_writes = np.zeros(lanes, dtype=np.int64)
+        self.all_mask = np.ones(lanes, dtype=bool)
+        self.bus_cycles = plan.bus_cycles
+        self.llc_hit_latency = plan.llc_hit_latency
+        self.memory_cycles = plan.memory_cycles
+
+    def fill(self, line_id: int, issue: np.ndarray,
+             mask: np.ndarray) -> np.ndarray:
+        """``MemoryPath.fill`` (analysis mode) for the masked lanes."""
+        arrival = issue + self.bus_cycles
+        llc = self.llc
+        for crg in self.crgs:
+            crg.fire_until(arrival, mask, llc)
+        lookup = arrival + self.llc_hit_latency
+        hit, miss, vids, vdirty = llc.demand(line_id, mask, write=False)
+        np.add(self.path_llc_hits, hit, out=self.path_llc_hits)
+        np.add(self.path_llc_misses, miss, out=self.path_llc_misses)
+        if vids is None:  # demand saw no miss
+            return lookup
+        if self.acu is not None:
+            grant = self.acu.grant_record(lookup, miss)
+        else:
+            grant = lookup
+        np.add(self.memory_reads, miss, out=self.memory_reads)
+        # Dirty LLC victims are posted write-backs (no added latency).
+        np.add(self.memory_writes, miss & vdirty, out=self.memory_writes)
+        return np.where(miss, grant + self.memory_cycles, lookup)
+
+
 class _TemplatePlan:
     """One campaign's executable plan: program + scenario constants.
 
@@ -406,6 +522,70 @@ class _TemplatePlan:
             [(request.index, request.seed, 1) for request in requests]
         )
 
+    #: Lane-state implementations; the kernel plan substitutes
+    #: draw-plan-backed subclasses (:mod:`repro.sim.kernels`).
+    cache_cls = _LaneCache
+    acu_cls = _LaneACU
+    crg_cls = _LaneCRG
+
+    def _lane_env(self, triples: Sequence[tuple]) -> _LaneEnv:
+        """Fresh lane state (caches, EFL units, counters) for one sweep."""
+        return _LaneEnv(self, triples, self.cache_cls, self.acu_cls,
+                        self.crg_cls)
+
+    def _finalise(
+        self,
+        triples: Sequence[tuple],
+        env: _LaneEnv,
+        end_wb: np.ndarray,
+        started: float,
+    ) -> List[RunOutcome]:
+        """Package one sweep's lane state into per-run outcomes."""
+        il1, dl1, llc, acu = env.il1, env.dl1, env.llc, env.acu
+        wall_each = (perf_counter() - started) / env.lanes
+        scenario_label = self.scenario.label()
+        core = self.core
+        outcomes = []
+        for lane, (index, seed, attempt) in enumerate(triples):
+            result = RunResult(
+                scenario_label=scenario_label,
+                mode=self.scenario.mode,
+                cores=[
+                    CoreResult(
+                        core=core,
+                        task=self.task,
+                        cycles=int(end_wb[lane]),
+                        instructions=self.instructions,
+                        il1_misses=int(il1.misses[lane]),
+                        il1_accesses=int(il1.hits[lane] + il1.misses[lane])
+                        + self.fast_ihits,
+                        dl1_misses=int(dl1.misses[lane]),
+                        dl1_accesses=int(dl1.hits[lane] + dl1.misses[lane])
+                        + self.fast_dhits,
+                        efl_stall_cycles=int(acu.stall[lane]) if acu else 0,
+                        efl_evictions=int(acu.evictions[lane]) if acu else 0,
+                    )
+                ],
+                llc_hits=int(env.path_llc_hits[lane]),
+                llc_misses=int(env.path_llc_misses[lane]),
+                llc_forced_evictions=int(llc.forced[lane]),
+                memory_reads=int(env.memory_reads[lane]),
+                memory_writes=int(env.memory_writes[lane]),
+                profile=None,
+            )
+            outcomes.append(
+                RunOutcome(
+                    index=index,
+                    seed=seed,
+                    result=result,
+                    error=None,
+                    wall_time_s=wall_each,
+                    attempts=attempt,
+                    checksum=result_checksum(index, seed, result),
+                )
+            )
+        return outcomes
+
     def execute_lanes(self, triples: Sequence[tuple]) -> List[RunOutcome]:
         """Run one lane chunk of ``(index, seed, attempt)`` triples.
 
@@ -415,93 +595,12 @@ class _TemplatePlan:
         """
         started = perf_counter()
         lanes = len(triples)
-        config = self.config
-        scenario = self.scenario
-        core = self.core
-        nc = config.num_cores
-        seeds = np.array([seed for _index, seed, _attempt in triples],
-                         dtype=np.uint64)
-
-        # build_platform's SplitMix64(run_seed) draw schedule, 1-based:
-        # IL1[c] consumes draws (2c+1, 2c+2), DL1[c] (2nc+2c+1,
-        # 2nc+2c+2), the LLC (4nc+1, 4nc+2), the bus seed 4nc+3
-        # (unused in analysis) and the EFL seed 4nc+4.  SplitMix64 is
-        # counter-based, so only the analysed core's draws are computed.
-        l1_sets = config.l1_geometry.num_sets
-        l1_ways = config.l1_geometry.ways
-        llc_sets = config.llc_geometry.num_sets
-        llc_ways = config.llc_geometry.ways
-        lru = not self.eom
-
-        def lane_cache(rii_k, rng_k, num_sets, ways, candidates):
-            rng = MWCArray(splitmix64_draw(seeds, rng_k)) if self.eom else None
-            matrix = self._sets_matrix(splitmix64_draw(seeds, rii_k), num_sets, lanes)
-            return _LaneCache(lanes, num_sets, ways, candidates, matrix, rng, lru)
-
-        il1 = lane_cache(2 * core + 1, 2 * core + 2, l1_sets, l1_ways, l1_ways)
-        dl1 = lane_cache(
-            2 * nc + 2 * core + 1, 2 * nc + 2 * core + 2, l1_sets, l1_ways, l1_ways
-        )
-        llc = lane_cache(4 * nc + 1, 4 * nc + 2, llc_sets, llc_ways,
-                         self.llc_candidates)
-
-        acu = None
-        crgs: List[_LaneCRG] = []
-        if scenario.mechanism == "efl":
-            # EFLController's inner SplitMix64(efl_seed): ACU seeds for
-            # cores 0..nc-1 first, then CRG seeds for the interfering
-            # cores in core order.
-            efl_seeds = splitmix64_draw(seeds, 4 * nc + 4)
-            mid = scenario.mid
-            randomise = scenario.randomise_mid
-            acu = _LaneACU(
-                mid, randomise, MWCArray(splitmix64_draw(efl_seeds, core + 1)), lanes
-            )
-            position = 0
-            for other in range(nc):
-                if other == core:
-                    continue
-                position += 1
-                crgs.append(
-                    _LaneCRG(
-                        mid,
-                        randomise,
-                        MWCArray(splitmix64_draw(efl_seeds, nc + position)),
-                        llc_sets,
-                        lanes,
-                    )
-                )
-
-        path_llc_hits = np.zeros(lanes, dtype=np.int64)
-        path_llc_misses = np.zeros(lanes, dtype=np.int64)
-        memory_reads = np.zeros(lanes, dtype=np.int64)
-        memory_writes = np.zeros(lanes, dtype=np.int64)
-
-        bus_cycles = self.bus_cycles
-        llc_hit_latency = self.llc_hit_latency
-        memory_cycles = self.memory_cycles
+        env = self._lane_env(triples)
+        il1, dl1, llc = env.il1, env.dl1, env.llc
+        all_mask = env.all_mask
+        fill = env.fill
+        memory_writes = env.memory_writes
         l1_hit = self.l1_hit
-        all_mask = np.ones(lanes, dtype=bool)
-
-        def fill(line_id: int, issue: np.ndarray, mask: np.ndarray) -> np.ndarray:
-            """MemoryPath.fill (analysis mode) for the masked lanes."""
-            arrival = issue + bus_cycles
-            for crg in crgs:
-                crg.fire_until(arrival, mask, llc)
-            lookup = arrival + llc_hit_latency
-            hit, miss, _vids, vdirty = llc.demand(line_id, mask, write=False)
-            np.add(path_llc_hits, hit, out=path_llc_hits)
-            np.add(path_llc_misses, miss, out=path_llc_misses)
-            if not miss.any():
-                return lookup
-            if acu is not None:
-                grant = acu.grant_record(lookup, miss)
-            else:
-                grant = lookup
-            np.add(memory_reads, miss, out=memory_reads)
-            # Dirty LLC victims are posted write-backs (no added latency).
-            np.add(memory_writes, miss & vdirty, out=memory_writes)
-            return np.where(miss, grant + memory_cycles, lookup)
 
         # Pipeline state: five per-lane time vectors, exactly the five
         # scalars InOrderPipeline keeps, plus the single miss port.
@@ -553,48 +652,7 @@ class _TemplatePlan:
             np.maximum(end_mem, end_wb, out=start_wb)
             np.add(start_wb, 1, out=end_wb)
 
-        wall_each = (perf_counter() - started) / lanes
-        scenario_label = scenario.label()
-        outcomes = []
-        for lane, (index, seed, attempt) in enumerate(triples):
-            result = RunResult(
-                scenario_label=scenario_label,
-                mode=scenario.mode,
-                cores=[
-                    CoreResult(
-                        core=core,
-                        task=self.task,
-                        cycles=int(end_wb[lane]),
-                        instructions=self.instructions,
-                        il1_misses=int(il1.misses[lane]),
-                        il1_accesses=int(il1.hits[lane] + il1.misses[lane])
-                        + self.fast_ihits,
-                        dl1_misses=int(dl1.misses[lane]),
-                        dl1_accesses=int(dl1.hits[lane] + dl1.misses[lane])
-                        + self.fast_dhits,
-                        efl_stall_cycles=int(acu.stall[lane]) if acu else 0,
-                        efl_evictions=int(acu.evictions[lane]) if acu else 0,
-                    )
-                ],
-                llc_hits=int(path_llc_hits[lane]),
-                llc_misses=int(path_llc_misses[lane]),
-                llc_forced_evictions=int(llc.forced[lane]),
-                memory_reads=int(memory_reads[lane]),
-                memory_writes=int(memory_writes[lane]),
-                profile=None,
-            )
-            outcomes.append(
-                RunOutcome(
-                    index=index,
-                    seed=seed,
-                    result=result,
-                    error=None,
-                    wall_time_s=wall_each,
-                    attempts=attempt,
-                    checksum=result_checksum(index, seed, result),
-                )
-            )
-        return outcomes
+        return self._finalise(triples, env, end_wb, started)
 
 
 def _batch_obstacle(requests: Sequence[RunRequest]) -> Optional[str]:
@@ -642,6 +700,7 @@ class BatchBackend(ExecutionBackend):
         strict: bool = False,
         max_lanes: int = 1024,
         plan_cache: Optional[PlanCache] = None,
+        kernel: bool = False,
     ) -> None:
         if max_lanes < 1:
             raise ConfigurationError(
@@ -653,7 +712,16 @@ class BatchBackend(ExecutionBackend):
         self.plan_cache = (
             plan_cache if plan_cache is not None else GLOBAL_PLAN_CACHE
         )
-        self.name = "batch"
+        self.kernel = kernel
+        self.name = "kernel" if kernel else "batch"
+
+    def _plan_for(self, request: RunRequest) -> _TemplatePlan:
+        """The sweep plan for one request: interpreter or kernel."""
+        if self.kernel:
+            from repro.sim.kernels import KernelTemplatePlan
+
+            return KernelTemplatePlan.for_request(request, self.plan_cache)
+        return _TemplatePlan.for_request(request, self.plan_cache)
 
     def _ineligibility(self, requests: Sequence[RunRequest]) -> Optional[str]:
         """Why this request batch cannot run vectorised (None if it can)."""
@@ -689,12 +757,12 @@ class BatchBackend(ExecutionBackend):
                 )
             return self._delegate(requests, observer, reason)
         try:
-            plan = _TemplatePlan.for_request(requests[0], self.plan_cache)
+            plan = self._plan_for(requests[0])
         except Exception as exc:  # noqa: BLE001 — scalar engine decides
             if self.strict:
                 raise
             return self._delegate(requests, observer, str(exc))
-        self.name = "batch"
+        self.name = "kernel" if self.kernel else "batch"
         telemetry = current_telemetry()
         outcomes: List[RunOutcome] = []
         for begin in range(0, len(requests), self.max_lanes):
@@ -772,11 +840,21 @@ class _ShardHandle:
     scenario: object
     core_id: int
     program: SharedProgramHandle
+    kernel: bool = False
 
     def materialise(self) -> _TemplatePlan:
-        return _TemplatePlan(
-            self.config, self.scenario, self.core_id, self.program.attach()
-        )
+        attached = self.program.attach()
+        if self.kernel:
+            from repro.sim.kernels import KernelTemplatePlan
+
+            # The kernel plan recompiles worker-side from the attached
+            # program: the compile is a single cheap pass over the step
+            # arrays, far below the cost of shipping the op list.
+            return KernelTemplatePlan(
+                self.config, self.scenario, self.core_id, attached
+            )
+        return _TemplatePlan(self.config, self.scenario, self.core_id,
+                             attached)
 
 
 # Worker-side state of ShardedBatchBackend: the materialised plan,
@@ -870,6 +948,7 @@ class ShardedBatchBackend(ProcessPoolBackend):
         strict: bool = False,
         plan_cache: Optional[PlanCache] = None,
         max_lanes: int = 1024,
+        kernel: bool = False,
     ) -> None:
         if workers is None:
             workers = usable_cpus()
@@ -890,6 +969,7 @@ class ShardedBatchBackend(ProcessPoolBackend):
             plan_cache if plan_cache is not None else GLOBAL_PLAN_CACHE
         )
         self.max_lanes = max_lanes
+        self.kernel = kernel
         self.name = f"sharded[{workers}]"
         self._shard_template: Optional[_ShardHandle] = None
 
@@ -931,6 +1011,7 @@ class ShardedBatchBackend(ProcessPoolBackend):
         requests = list(requests)
         if not requests:
             return []
+        self._degrade_warned = False  # new campaign: the advisory may fire once
         reason = _batch_obstacle(requests)
         if reason is not None:
             if self.strict:
@@ -957,6 +1038,7 @@ class ShardedBatchBackend(ProcessPoolBackend):
                 strict=self.strict,
                 max_lanes=self.max_lanes,
                 plan_cache=self.plan_cache,
+                kernel=self.kernel,
             )
             return inner.execute(requests, observer)
         shared = SharedProgram.create(plan.program)
@@ -965,6 +1047,7 @@ class ShardedBatchBackend(ProcessPoolBackend):
             scenario=requests[0].scenario,
             core_id=requests[0].core_id,
             program=shared.handle,
+            kernel=self.kernel,
         )
         context = multiprocessing.get_context(self.mp_context)
         try:

@@ -213,14 +213,17 @@ def _select_backend(
     sharded engine when there is real parallelism to win — more than
     one usable CPU and either an explicit multi-worker request or a
     campaign of at least :data:`~repro.sim.batch.SHARDED_AUTO_MIN_RUNS`
-    runs — and the single-process batch engine otherwise.  The upgrade
-    is safe because both engines re-check eligibility per request
-    batch and fall back to scalar execution.
+    runs — and the single-process grouped-opcode kernel engine
+    otherwise (the kernel is the batch engine's compiled form: same
+    lane state, fewer Python-level operations, bit-identical output).
+    Sharded selections run kernel sweeps inside their workers for the
+    same reason.  The upgrade is safe because every engine re-checks
+    eligibility per request batch and falls back to scalar execution.
 
     ``workers`` means *shards* and only composes with the batch /
-    sharded engines (``--engine batch --workers N`` is N shards); any
-    other combination is a labelled :class:`ConfigurationError` rather
-    than a silently ignored flag.
+    sharded / kernel engines (``--engine kernel --workers N`` is N
+    kernel shards); any other combination is a labelled
+    :class:`ConfigurationError` rather than a silently ignored flag.
     """
     if engine not in ENGINE_NAMES:
         names = ", ".join(ENGINE_NAMES)
@@ -229,14 +232,17 @@ def _select_backend(
         return ShardedBatchBackend(
             workers=workers, strict=True, plan_cache=plan_cache
         )
-    if engine == "batch":
+    if engine in ("batch", "kernel"):
+        kernel = engine == "kernel"
         if workers is not None and workers != 1:
             # N shards: the sharded engine is the batch engine's
             # multi-process form, under the same strict contract.
             return ShardedBatchBackend(
-                workers=workers, strict=True, plan_cache=plan_cache
+                workers=workers, strict=True, plan_cache=plan_cache,
+                kernel=kernel,
             )
-        return BatchBackend(fallback=backend, strict=True, plan_cache=plan_cache)
+        return BatchBackend(fallback=backend, strict=True,
+                            plan_cache=plan_cache, kernel=kernel)
     default_semantics = backend is None or (
         type(backend) is SerialBackend and backend.retry is None
     )
@@ -246,12 +252,15 @@ def _select_backend(
             or (workers is None and runs is not None
                 and runs >= SHARDED_AUTO_MIN_RUNS)
         ):
-            return ShardedBatchBackend(workers=workers, plan_cache=plan_cache)
+            return ShardedBatchBackend(workers=workers, plan_cache=plan_cache,
+                                       kernel=True)
         if workers is None or workers == 1:
-            return BatchBackend(fallback=backend, plan_cache=plan_cache)
+            return BatchBackend(fallback=backend, plan_cache=plan_cache,
+                                kernel=True)
         # workers > 1 on one CPU: honour the request, let the backend
         # degrade (with its observer warning) rather than refuse.
-        return ShardedBatchBackend(workers=workers, plan_cache=plan_cache)
+        return ShardedBatchBackend(workers=workers, plan_cache=plan_cache,
+                                   kernel=True)
     if workers is not None:
         raise ConfigurationError(
             f"workers={workers} means shard workers and requires the batch "
@@ -289,17 +298,20 @@ def collect_execution_times(
     guard — exceeding it is a deterministic failure, never retried).
 
     ``engine`` picks the run interpreter. ``"auto"`` (default) runs the
-    campaign on the lock-step NumPy batch engine
-    (:class:`~repro.sim.batch.BatchBackend`) whenever it applies — the
-    campaign is analysis-mode and the caller did not hand over a
-    backend with its own per-run semantics (process pool, retry policy,
-    fault injection) — and falls back to the scalar interpreter
-    otherwise; the sample is bit-identical either way.  ``"scalar"``
-    forces the per-run interpreter; ``"batch"`` demands vectorised
-    execution and raises :class:`~repro.errors.ConfigurationError`
-    naming the obstacle when the campaign is ineligible, instead of
-    silently falling back; ``"sharded"`` demands the multi-process
-    sharded batch engine under the same strict contract.
+    campaign on the grouped-opcode kernel engine — the
+    :class:`~repro.sim.batch.BatchBackend` executing the compiled
+    :class:`~repro.sim.kernels.KernelPlan` form of the trace —
+    whenever it applies (the campaign is analysis-mode and the caller
+    did not hand over a backend with its own per-run semantics:
+    process pool, retry policy, fault injection) and falls back to the
+    scalar interpreter otherwise; the sample is bit-identical either
+    way.  ``"scalar"`` forces the per-run interpreter; ``"batch"``
+    demands the per-instruction vectorised engine and raises
+    :class:`~repro.errors.ConfigurationError` naming the obstacle when
+    the campaign is ineligible, instead of silently falling back;
+    ``"kernel"`` demands the compiled grouped-opcode form under the
+    same strict contract; ``"sharded"`` likewise demands the
+    multi-process sharded batch engine.
 
     ``workers`` sets the shard count for the batch/sharded engines
     (``engine="batch", workers=N`` runs N shards); combining it with a

@@ -1,0 +1,905 @@
+"""Grouped-opcode kernel plans: a ``TraceProgram`` lowered to fused ops.
+
+The batch engine (:mod:`repro.sim.batch`) already turned R scalar runs
+into lock-step NumPy lanes, but its sweep still dispatches one Python
+loop iteration — roughly ten NumPy calls — per trace instruction, and
+its PRNG draws go through generic masked rejection sampling, another
+~15 NumPy calls each.  Profiling an EFL campaign shows those two
+overheads *are* the runtime: the arithmetic on 1000-lane vectors is
+nearly free; the per-call constant cost is not.
+
+This module compiles a :class:`~repro.sim.plancache.TraceProgram` into
+a **kernel plan** that attacks both:
+
+**1. Max-plus chain fusion (the grouped opcodes).**  Between cache
+accesses, the in-order pipeline's recurrence is a max-plus affine map
+over the five state times ``(end_fetch, start_decode, start_mem,
+start_wb, end_wb)`` — every deterministic phase is ``out = max(in_j +
+w_j)`` with compile-time constants.  Max-plus maps compose, so a
+maximal run of deterministic phases — fetch-fast-hit streaks,
+non-memory ALU stretches, fast hits to already-resident data lines —
+collapses into **one** precomputed matrix, applied at runtime with a
+single gather + ``np.maximum.reduceat`` regardless of how many
+instructions it fused.  Irreducible steps — IL1 accesses, full DL1
+accesses, and through them the CRG injection points, EoM victim draws
+and first-touch fills — fall back to exactly the interpreter's step
+code over the same :class:`~repro.sim.batch._LaneEnv` lane state.
+Composition is over exact ``int64`` add/max, so fusion cannot change a
+single bit of the result.
+
+**2. Draw-stream linearisation.**  Every hardware PRNG the analysis
+hot path consumes draws with *compile-time-constant parameters*: a
+cache's victim draws are always ``randrange(k)`` for its fixed
+candidate count, an ACU reload is always ``randint(0, 2*MID)``, a
+CRG's stream alternates ``randrange(num_sets)`` / ``randint(0,
+2*MID)``.  Each lane's draw *sequence* from one generator is therefore
+known ahead of time even though the *schedule* (which step consumes
+the next draw) is not.  The kernel precomputes each stream as a
+``[rank, lane]`` block of full-width unmasked draws and consumes it
+through per-lane cursors — three NumPy calls per draw site instead of
+~15.  Per lane, the values consumed are exactly the values the masked
+on-demand draws would produce (MWC streams are private per lane per
+generator; drawing ahead changes only the generator's final state,
+which nothing observes), so bit-identity is again structural.  A CRG's
+whole firing timeline additionally becomes a cumulative-sum table, so
+its drain loop touches only the shared LLC victim stream at runtime.
+
+An optional Numba ``njit`` path accelerates the chain application when
+numba is importable; the probe degrades silently (pure NumPy) when it
+is not — this container and CI run the NumPy path.
+
+Compilation quality is observable: :func:`compile_kernel_plan` bumps
+per-group-class counters (``kernel_steps_fetch_streak``,
+``kernel_steps_alu``, ``kernel_steps_data_fast``,
+``kernel_steps_ifetch``, ``kernel_steps_dmem``, ``kernel_chains``) on
+the attached :class:`~repro.observability.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.observability import current_telemetry
+from repro.sim.batch import (
+    _LaneACU,
+    _LaneCache,
+    _TemplatePlan,
+)
+from repro.sim.plancache import GLOBAL_PLAN_CACHE, PlanCache
+from repro.utils.rng import MWCArray
+
+#: Kernel state rows: end_fetch, start_decode, start_mem, start_wb,
+#: end_wb, plus the transient end_mem written by DL1-access ops and
+#: read only by the immediately following write-back phase.
+EF, SD, SM, SW, EW, EM = range(6)
+N_STATE = 6
+
+
+# ----------------------------------------------------------------------
+# numba feature probe (optional acceleration, silent degrade)
+# ----------------------------------------------------------------------
+def _probe_numba():
+    """An ``njit``-compiled chain applier, or ``None`` without numba."""
+    try:
+        from numba import njit  # type: ignore
+    except Exception:  # pragma: no cover — numba not installed here
+        return None
+
+    @njit(cache=False)  # pragma: no cover — exercised only with numba
+    def chain_apply(state, out_rows, src, weights, starts, scratch):
+        m = out_rows.shape[0]
+        total = src.shape[0]
+        lanes = state.shape[1]
+        for i in range(m):
+            lo = starts[i]
+            hi = starts[i + 1] if i + 1 < m else total
+            for lane in range(lanes):
+                best = state[src[lo], lane] + weights[lo]
+                for t in range(lo + 1, hi):
+                    value = state[src[t], lane] + weights[t]
+                    if value > best:
+                        best = value
+                scratch[i, lane] = best
+        for i in range(m):
+            row = out_rows[i]
+            for lane in range(lanes):
+                state[row, lane] = scratch[i, lane]
+
+    return chain_apply
+
+
+_NUMBA_CHAIN = _probe_numba()
+
+
+def numba_available() -> bool:
+    """Whether the optional numba chain applier compiled at import."""
+    return _NUMBA_CHAIN is not None
+
+
+# ----------------------------------------------------------------------
+# kernel ops
+# ----------------------------------------------------------------------
+#: Max-plus padding weight: added to any state time it stays far below
+#: every real candidate without approaching int64 overflow.
+_PAD_WEIGHT = -(1 << 60)
+
+
+class ChainOp:
+    """One fused max-plus map over the kernel state matrix.
+
+    ``out_rows[i]`` receives ``max(state[src[t]] + weights[t])`` over
+    the segment ``starts[i] <= t < starts[i+1]`` — the composed effect
+    of every deterministic pipeline phase the chain swallowed.
+
+    Segments are additionally padded to one rectangular ``(rows,
+    width)`` block (``pad_src`` / ``pad_wcol``): padding terms carry
+    :data:`_PAD_WEIGHT`, so the runtime reduction is a dense
+    ``max(axis=1)`` over the reshaped gather — far cheaper than a
+    ragged ``reduceat``.  The ragged arrays stay for the numba path.
+    """
+
+    kind = "chain"
+    __slots__ = ("out_rows", "src", "weights", "wcol", "starts", "fused",
+                 "pad_src", "pad_wcol", "rows_n", "width")
+
+    def __init__(self, out_rows, src, weights, starts, fused: int) -> None:
+        self.out_rows = out_rows
+        self.src = src
+        self.weights = weights
+        self.wcol = weights[:, None]
+        self.starts = starts
+        self.fused = fused
+        rows_n = out_rows.shape[0]
+        bounds = np.append(starts, src.shape[0])
+        width = int((bounds[1:] - bounds[:-1]).max())
+        pad_src = np.zeros((rows_n, width), dtype=np.intp)
+        pad_w = np.full((rows_n, width), _PAD_WEIGHT, dtype=np.int64)
+        for i in range(rows_n):
+            lo, hi = bounds[i], bounds[i + 1]
+            pad_src[i, : hi - lo] = src[lo:hi]
+            pad_w[i, : hi - lo] = weights[lo:hi]
+        self.pad_src = pad_src.reshape(-1)
+        self.pad_wcol = pad_w.reshape(-1, 1)
+        self.rows_n = rows_n
+        self.width = width
+
+
+class FetchOp:
+    """Irreducible IL1 instruction fetch (possible miss + fill)."""
+
+    kind = "fetch"
+    __slots__ = ("line",)
+
+    def __init__(self, line: int) -> None:
+        self.line = line
+
+
+class MemOp:
+    """Irreducible full DL1 access (possible miss, fill, write-back)."""
+
+    kind = "mem"
+    __slots__ = ("line", "store")
+
+    def __init__(self, line: int, store: bool) -> None:
+        self.line = line
+        self.store = store
+
+
+class KernelPlan:
+    """A compiled grouped-opcode program: ops + compilation stats.
+
+    Depends only on ``(trace, config)`` — exactly the
+    :class:`~repro.sim.plancache.TraceProgram` key — so the
+    :class:`~repro.sim.plancache.PlanCache` caches it alongside the
+    program it lowers.
+    """
+
+    __slots__ = ("ops", "stats", "instructions")
+
+    def __init__(self, ops: List[object], stats: dict,
+                 instructions: int) -> None:
+        self.ops = ops
+        self.stats = stats
+        self.instructions = instructions
+
+
+def _identity_matrix() -> List[dict]:
+    return [{row: 0} for row in range(N_STATE)]
+
+
+def _emit_chain(matrix: List[dict], fused: int,
+                dead: frozenset) -> Optional[ChainOp]:
+    """Lower a composed max-plus matrix to a reduceat-ready op.
+
+    Identity rows are skipped (the state they govern is untouched), as
+    are the ``dead`` rows — outputs the next op overwrites before
+    anything reads them.  ``EM`` is always dead: its only reader is
+    the write-back phase, which every compilation path re-derives from
+    a fresher write before reading.
+    """
+    out_rows: List[int] = []
+    src: List[int] = []
+    weights: List[int] = []
+    starts: List[int] = []
+    for row in range(N_STATE):
+        if row == EM or row in dead:
+            continue
+        terms = matrix[row]
+        if len(terms) == 1 and terms.get(row) == 0:
+            continue
+        starts.append(len(src))
+        out_rows.append(row)
+        for base in sorted(terms):
+            src.append(base)
+            weights.append(terms[base])
+    if not out_rows:
+        return None
+    return ChainOp(
+        np.array(out_rows, dtype=np.intp),
+        np.array(src, dtype=np.intp),
+        np.array(weights, dtype=np.int64),
+        np.array(starts, dtype=np.intp),
+        fused,
+    )
+
+
+def compile_kernel_plan(program, config) -> KernelPlan:
+    """Lower ``program`` under ``config`` into a :class:`KernelPlan`.
+
+    Scans the instruction steps once, accumulating deterministic
+    pipeline phases into a composing max-plus matrix and flushing it to
+    a :class:`ChainOp` whenever an irreducible cache access interrupts
+    the run.  Decode phases compose into the chain *before* a DL1
+    access (the access reads the decoded time), write-back phases
+    *after* it (they read the access's ``end_mem``).
+    """
+    l1_hit = int(config.l1_hit_latency)
+    ops: List[object] = []
+    stats = {
+        "fetch_streak": 0,  # fetch-fast-hit phases fused into chains
+        "alu": 0,           # non-memory execute phases fused
+        "data_fast": 0,     # resident-line fast-hit phases fused
+        "ifetch": 0,        # irreducible IL1 access steps
+        "dmem": 0,          # irreducible DL1 access steps
+        "chains": 0,
+        "fused_phases": 0,
+    }
+    matrix = _identity_matrix()
+    dirty = False
+    fused = 0
+
+    def assign(out: int, terms) -> None:
+        nonlocal dirty, fused
+        row: dict = {}
+        for source, weight in terms:
+            for base, base_weight in matrix[source].items():
+                candidate = base_weight + weight
+                previous = row.get(base)
+                if previous is None or previous < candidate:
+                    row[base] = candidate
+        matrix[out] = row
+        dirty = True
+        fused += 1
+
+    _LIVE = frozenset()
+    #: A DL1-access op recomputes start_mem from decode/write-back
+    #: state without reading it, so a chain feeding one need not
+    #: materialise its own start_mem.
+    _PRE_MEM_DEAD = frozenset((SM,))
+    #: Past the last instruction only end_wb (the run's execution
+    #: time) is ever read.
+    _FINAL_DEAD = frozenset((EF, SD, SM, SW))
+
+    def flush(dead: frozenset = _LIVE) -> None:
+        nonlocal matrix, dirty, fused
+        if dirty:
+            op = _emit_chain(matrix, fused, dead)
+            if op is not None:
+                ops.append(op)
+                stats["chains"] += 1
+                stats["fused_phases"] += fused
+        matrix = _identity_matrix()
+        dirty = False
+        fused = 0
+
+    for fetch_fast, iline, mem_code, mem_arg, is_store in program.steps:
+        if fetch_fast:
+            # start_fetch = max(end_fetch, start_decode); +L.
+            assign(EF, ((EF, l1_hit), (SD, l1_hit)))
+            stats["fetch_streak"] += 1
+        else:
+            flush()
+            ops.append(FetchOp(iline))
+            stats["ifetch"] += 1
+        # Decode: start_decode = max(end_fetch, start_mem).
+        assign(SD, ((EF, 0), (SM, 0)))
+        if mem_code == 2:
+            flush(_PRE_MEM_DEAD)
+            ops.append(MemOp(mem_arg, bool(is_store)))
+            stats["dmem"] += 1
+        else:
+            # start_mem = max(end_decode, start_wb); end_mem = +latency.
+            latency = mem_arg if mem_code == 0 else l1_hit
+            assign(SM, ((SD, 1), (SW, 0)))
+            assign(EM, ((SM, latency),))
+            stats["alu" if mem_code == 0 else "data_fast"] += 1
+        # Write-back: start_wb = max(end_mem, end_wb); end_wb = +1.
+        assign(SW, ((EM, 0), (EW, 0)))
+        assign(EW, ((SW, 1),))
+    flush(_FINAL_DEAD)
+
+    telemetry = current_telemetry()
+    if telemetry is not None:
+        metrics = telemetry.metrics
+        for group in ("fetch_streak", "alu", "data_fast", "ifetch", "dmem"):
+            if stats[group]:
+                metrics.counter(f"kernel_steps_{group}").inc(stats[group])
+        if stats["chains"]:
+            metrics.counter("kernel_chains").inc(stats["chains"])
+    return KernelPlan(ops, stats, program.instructions)
+
+
+# ----------------------------------------------------------------------
+# draw-stream linearisation
+# ----------------------------------------------------------------------
+class _DrawCursor:
+    """Precomputed draw block for one constant-parameter MWC stream.
+
+    ``take(mask)`` returns each lane's next value and advances only the
+    masked lanes' cursors — the same per-lane consumption the masked
+    on-demand draw performs, at a fraction of the call count.  The
+    block grows geometrically; the countdown bounds how many takes can
+    pass before any lane could outrun it (each take advances a lane's
+    cursor by at most one).
+    """
+
+    __slots__ = ("rng", "n", "lanes", "_ids", "_block", "_cursor",
+                 "_countdown")
+
+    def __init__(self, rng: MWCArray, n: int, lanes: int,
+                 initial_rows: int = 8) -> None:
+        self.rng = rng
+        self.n = n
+        self.lanes = lanes
+        self._ids = np.arange(lanes)
+        self._block = np.empty((0, lanes), dtype=np.int64)
+        self._cursor = np.zeros(lanes, dtype=np.int64)
+        self._countdown = 0
+        self._grow(initial_rows)
+
+    def _grow(self, rows: int) -> None:
+        fresh = np.empty((rows, self.lanes), dtype=np.int64)
+        for rank in range(rows):
+            fresh[rank] = self.rng.randrange_unmasked(self.n)
+        self._block = np.concatenate([self._block, fresh], axis=0)
+
+    def take(self, mask: np.ndarray) -> np.ndarray:
+        self._countdown -= 1
+        if self._countdown < 0:
+            high = int(self._cursor.max())
+            rows = self._block.shape[0]
+            if high + 1 >= rows:
+                self._grow(rows)
+                rows = self._block.shape[0]
+            self._countdown = rows - high - 2
+        out = self._block[self._cursor, self._ids]
+        self._cursor += mask
+        return out
+
+    def take_events(self, ev_lanes: np.ndarray,
+                    delta: np.ndarray) -> np.ndarray:
+        """Consume ``delta[lane]`` values per lane, event-aligned.
+
+        ``ev_lanes`` lists each event's lane with every lane's events
+        contiguous and in order, so gathering at ``cursor[lane] +
+        within-lane-offset`` yields exactly the values ``delta[lane]``
+        sequential :meth:`take` calls would return.
+        """
+        total = ev_lanes.shape[0]
+        end = self._cursor + delta
+        needed = int(end.max())
+        rows = self._block.shape[0]
+        if needed >= rows:
+            # Grow to the exact demand (plus slack): a large drain can
+            # outpace doubling, and overdrawing costs real MWC steps.
+            self._grow(needed + 8 - rows)
+            rows = self._block.shape[0]
+        starts = np.cumsum(delta) - delta
+        offsets = np.arange(total) - np.repeat(starts, delta)
+        positions = np.repeat(self._cursor, delta) + offsets
+        out = self._block[positions, ev_lanes]
+        self._cursor = end
+        self._countdown = 0
+        return out
+
+
+class _KernelCache(_LaneCache):
+    """:class:`_LaneCache` with victim draws from a linearised stream
+    and, under EoM replacement, a line-residency map.
+
+    Every victim draw of one cache is ``randrange(k)`` for the cache's
+    fixed candidate count, in the same per-lane order the base class
+    consumes it — demand misses and CRG forced evictions interleave
+    identically, they just read a precomputed block.
+
+    Under EoM (no LRU stamps) the hit test also changes shape: each
+    line occupies at most one fixed ``(set, way)`` frame per lane, so
+    residency and dirtiness live in ``[line, lane]`` boolean maps and
+    a demand hit is one row read instead of a ``(lanes, ways)`` tag
+    gather + compare.  The ``tags`` planes stay authoritative for
+    victim identity (what a fill or forced eviction displaces); the
+    maps mirror them.  LRU caches keep the base-class behaviour — the
+    stamp planes need the full frame view.
+    """
+
+    def __init__(self, lanes, num_sets, ways, candidates, sets, rng,
+                 lru) -> None:
+        super().__init__(lanes, num_sets, ways, candidates, sets, rng, lru)
+        self._draws = (
+            _DrawCursor(rng, candidates, lanes)
+            if rng is not None and candidates > 1 else None
+        )
+        if lru:
+            self._res = None
+            self._line_dirty = None
+        else:
+            self._res = np.zeros((sets.shape[0], lanes), dtype=bool)
+            self._line_dirty = np.zeros((sets.shape[0], lanes), dtype=bool)
+        self._full = np.ones(lanes, dtype=bool)
+        self._accesses = 0
+
+    def _victims(self, set_idx: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        if self._draws is not None:
+            return self._draws.take(mask)
+        return super()._victims(set_idx, mask)
+
+    def _miss_fill(self, line_id: int, miss: np.ndarray, write: bool):
+        """Victim choice + displace + fill for the missed lanes."""
+        set_idx = self.sets[line_id]
+        vway = self._victims(set_idx, miss)
+        ml = self._lane_ids[miss]
+        ms = set_idx[miss]
+        mw = vway[miss]
+        vt = self.tags[ml, ms, mw]
+        victim_ids = np.full(self.lanes, -1, dtype=np.int64)
+        victim_ids[miss] = vt
+        victim_dirty = np.zeros(self.lanes, dtype=bool)
+        valid = vt >= 0
+        if valid.any():
+            lv = ml[valid]
+            tv = vt[valid]
+            dirty_small = np.zeros(vt.shape[0], dtype=bool)
+            dirty_small[valid] = self._line_dirty[tv, lv]
+            victim_dirty[miss] = dirty_small
+            self._res[tv, lv] = False
+        self.tags[ml, ms, mw] = line_id
+        self._res[line_id][miss] = True
+        self._line_dirty[line_id][miss] = bool(write)
+        return victim_ids, victim_dirty
+
+    def demand(self, line_id: int, mask: np.ndarray, write: bool):
+        if self._res is None:
+            return super().demand(line_id, mask, write)
+        row = self._res[line_id]
+        hit = row & mask
+        miss = mask ^ hit  # hit ⊆ mask, so xor is mask & ~hit
+        self.hits += hit
+        self.misses += miss
+        if write:
+            dirty_row = self._line_dirty[line_id]
+            np.logical_or(dirty_row, hit, out=dirty_row)
+        if not miss.any():
+            return hit, miss, None, None
+        victim_ids, victim_dirty = self._miss_fill(line_id, miss, write)
+        return hit, miss, victim_ids, victim_dirty
+
+    def demand_full(self, line_id: int, write: bool):
+        """All-lanes demand — the kernel op loop's L1 access shape.
+
+        Returns ``(miss, victim_ids, victim_dirty)``, all ``None``
+        when every lane hit.  Hit counting is deferred: the access
+        count is a compile-time constant per sweep, so
+        :meth:`finalise_counters` derives ``hits = accesses - misses``
+        once at the end instead of accumulating a vector per access —
+        the all-hit fast path is a single residency reduction.
+        """
+        if self._res is None:
+            _hit, miss, vids, vdirty = super().demand(
+                line_id, self._full, write
+            )
+            if vids is None:
+                return None, None, None
+            return miss, vids, vdirty
+        row = self._res[line_id]
+        self._accesses += 1
+        if write:
+            dirty_row = self._line_dirty[line_id]
+            np.logical_or(dirty_row, row, out=dirty_row)
+        if row.all():
+            return None, None, None
+        miss = ~row
+        self.misses += miss
+        victim_ids, victim_dirty = self._miss_fill(line_id, miss, write)
+        return miss, victim_ids, victim_dirty
+
+    def finalise_counters(self) -> None:
+        """Materialise the deferred hit counters (EoM fast path)."""
+        if self._accesses:
+            np.subtract(self._accesses, self.misses, out=self.hits)
+            self._accesses = 0
+
+    def writeback(self, line_ids: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        if self._res is None:
+            return super().writeback(line_ids, mask)
+        safe = np.where(mask, line_ids, 0)
+        resident = self._res[safe, self._lane_ids]
+        resident &= mask
+        if resident.any():
+            rl = self._lane_ids[resident]
+            self._line_dirty[safe[resident], rl] = True
+            self.hits += resident
+        return resident
+
+    def force_evict_events(self, ev_lanes: np.ndarray, ev_sets: np.ndarray,
+                           delta: np.ndarray) -> None:
+        """One CRG drain's forced evictions as a single flat scatter.
+
+        EoM only: the victim draw is state-independent and the
+        displace writes constants (``tag = -1``), so within one drain
+        only each lane's rank order matters — which the event list
+        preserves — and duplicate ``(lane, set, way)`` events commute.
+        """
+        self.forced += delta
+        if self._draws is not None:
+            ways = self._draws.take_events(ev_lanes, delta)
+        else:
+            ways = np.zeros(ev_lanes.shape[0], dtype=np.int64)
+        vt = self.tags[ev_lanes, ev_sets, ways]
+        valid = vt >= 0
+        if valid.any():
+            self._res[vt[valid], ev_lanes[valid]] = False
+        self.tags[ev_lanes, ev_sets, ways] = -1
+
+
+class _KernelACU(_LaneACU):
+    """:class:`_LaneACU` with cdc reloads from a linearised stream."""
+
+    def __init__(self, mid, randomise, rng, lanes) -> None:
+        super().__init__(mid, randomise, rng, lanes)
+        self._draws = (
+            _DrawCursor(rng, 2 * mid + 1, lanes) if randomise else None
+        )
+
+    def grant_record(self, now: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        grant = np.maximum(self.eab, now)
+        self.stall += np.where(mask, grant - now, 0)
+        self.evictions += mask
+        if self._draws is not None:
+            delay = self._draws.take(mask)
+        else:
+            delay = self.mid
+        np.copyto(self.eab, grant + delay, where=mask)
+        return grant
+
+
+class _KernelCRG:
+    """CRG with a precomputed firing timeline (sets + arrival times).
+
+    The generator's private stream alternates a set draw and a gap draw
+    per firing, so the whole per-lane schedule — which set rank ``r``
+    evicts and when — is computable ahead of the sweep.  The runtime
+    drain then touches only the LLC victim stream: gather the pending
+    lanes' next set, force the eviction, advance the rank cursors.
+    """
+
+    __slots__ = ("mid", "randomise", "rng", "num_sets", "lanes", "_ids",
+                 "_sets", "_times", "_fired", "next_time", "_top_min")
+
+    def __init__(self, mid: int, randomise: bool, rng: MWCArray,
+                 num_sets: int, lanes: int) -> None:
+        self.mid = mid
+        self.randomise = randomise
+        self.rng = rng
+        self.num_sets = num_sets
+        self.lanes = lanes
+        self._ids = np.arange(lanes)
+        if randomise:
+            first = rng.randint_inclusive(0, 2 * mid).astype(np.int64)
+        else:
+            first = np.full(lanes, mid, dtype=np.int64)
+        self._sets = np.empty((0, lanes), dtype=np.int64)
+        self._times = first[None, :].copy()
+        self._fired = np.zeros(lanes, dtype=np.int64)
+        self.next_time = first.copy()
+        self._grow(8)
+
+    def _grow(self, rows: int) -> None:
+        drawn = self._sets.shape[0]
+        sets_new = np.empty((rows, self.lanes), dtype=np.int64)
+        times_new = np.empty((rows, self.lanes), dtype=np.int64)
+        current = self._times[drawn]
+        for rank in range(rows):
+            sets_new[rank] = self.rng.randrange_unmasked(self.num_sets)
+            if self.randomise:
+                gap = self.rng.randrange_unmasked(2 * self.mid + 1)
+                # A zero gap still advances time by one cycle (at most
+                # one forced eviction per cycle per core).
+                increment = np.maximum(gap.astype(np.int64), 1)
+            else:
+                increment = self.mid if self.mid > 0 else 1
+            current = current + increment
+            times_new[rank] = current
+        self._sets = np.concatenate([self._sets, sets_new], axis=0)
+        self._times = np.concatenate([self._times, times_new], axis=0)
+        self._top_min = int(self._times[-1].min())
+
+    def fire_until(self, now: np.ndarray, mask: np.ndarray, llc) -> None:
+        pending = mask & (self.next_time <= now)
+        if not pending.any():
+            return
+        if llc._res is None:
+            # LRU LLC: forced evictions demote through a shared stamp
+            # counter whose value depends on the round structure, so
+            # replay the base engine's per-round drain exactly.
+            self._fire_rounds(now, mask, llc, pending)
+            return
+        fired = self._fired
+        ids = self._ids
+        # Extend the timeline until every masked lane's next undrawn
+        # arrival lies beyond its `now`.  The scalar pre-filter (min
+        # of the top row vs max `now`) skips the full check on almost
+        # every drain; over-growing merely precomputes more of each
+        # lane's private stream, draws stay in rank order.
+        if self._top_min <= int(now.max()):
+            while (mask & (self._times[-1] <= now)).any():
+                self._grow(self._sets.shape[0])
+        # Arrival times are strictly increasing per lane and `now` is
+        # non-decreasing across drains, so each lane's pending ranks
+        # are exactly rows [fired, new_fired) of the timeline.  One
+        # vectorised round advances every pending lane by its first
+        # rank — almost always the only one — and the few lanes with
+        # deeper backlogs finish on compacted arrays.
+        new_fired = fired + pending
+        step = mask & (self._times[new_fired, ids] <= now)
+        if step.any():
+            # Deep backlogs are sparse: advance only those lanes, on
+            # compacted arrays, instead of dragging every lane through
+            # more full-width rounds.
+            times = self._times
+            act = np.nonzero(step)[0]
+            sub = new_fired[act] + 1
+            sub_now = now[act]
+            more = times[sub, act] <= sub_now
+            while more.any():
+                sub += more
+                more = times[sub, act] <= sub_now
+            new_fired[act] = sub
+        delta = new_fired - fired
+        total = int(delta.sum())
+        if total:
+            ev_lanes = np.repeat(ids, delta)
+            starts = np.cumsum(delta) - delta
+            offsets = np.arange(total) - np.repeat(starts, delta)
+            ev_ranks = np.repeat(fired, delta) + offsets
+            ev_sets = self._sets[ev_ranks, ev_lanes]
+            llc.force_evict_events(ev_lanes, ev_sets, delta)
+            self._fired = new_fired
+            self.next_time = self._times[new_fired, ids]
+
+    def _fire_rounds(self, now: np.ndarray, mask: np.ndarray, llc,
+                     pending: np.ndarray) -> None:
+        fired = self._fired
+        ids = self._ids
+        while True:
+            sets = self._sets[fired, ids]
+            llc.force_evict_at(sets, pending)
+            fired += pending
+            if int(fired.max()) >= self._sets.shape[0]:
+                self._grow(self._sets.shape[0])
+            self.next_time = self._times[fired, ids]
+            pending = mask & (self.next_time <= now)
+            if not pending.any():
+                return
+
+
+class _KernelCRGBank(_KernelCRG):
+    """Every interfering core's CRG of one campaign, drained as one.
+
+    Under EoM replacement the forced evictions of one drain commute
+    (their writes are constants and their victim-way draws are
+    state-independent), and each CRG owns a private per-lane MWC
+    stream — so the k per-core generators can advance side by side as
+    ``k * lanes`` *virtual* lanes.  The interleave is lane-major
+    (virtual lane ``lane*k + crg``) so the flat event batch lists, for
+    each lane, CRG 0's pending ranks, then CRG 1's, ... — exactly the
+    order the scalar engine fires evictions and consumes victim draws
+    in.  One bank drain replaces k per-CRG drains; the drain is numpy
+    call-overhead-bound, so the merge cuts most of that overhead.
+
+    Only built for EoM LLCs: the LRU drain (:meth:`_fire_rounds`)
+    demotes through a shared stamp counter whose value depends on the
+    per-CRG round structure, which merging would reorder.
+    """
+
+    __slots__ = ("k", "_real", "_rlanes", "_next_min")
+
+    def __init__(self, crgs: Sequence[_KernelCRG]) -> None:
+        k = len(crgs)
+        first = crgs[0]
+        self.k = k
+        self.mid = first.mid
+        self.randomise = first.randomise
+        self.num_sets = first.num_sets
+        self._rlanes = first.lanes
+        self.lanes = first.lanes * k  # virtual lanes, for _grow
+        self._ids = np.arange(self.lanes)
+        self._real = np.repeat(np.arange(first.lanes), k)
+        # Interleave the private streams and the already-drawn
+        # timeline prefixes; per-stream draw sequences are untouched.
+        rng = MWCArray.__new__(MWCArray)
+        rng._x = np.stack([c.rng._x for c in crgs], axis=1).ravel()
+        rng._c = np.stack([c.rng._c for c in crgs], axis=1).ravel()
+        self.rng = rng
+        rows = crgs[0]._sets.shape[0]
+        self._sets = np.stack(
+            [c._sets for c in crgs], axis=2).reshape(rows, -1)
+        self._times = np.stack(
+            [c._times for c in crgs], axis=2).reshape(rows + 1, -1)
+        self._fired = np.zeros(self.lanes, dtype=np.int64)
+        self.next_time = np.stack(
+            [c.next_time for c in crgs], axis=1).ravel()
+        self._top_min = int(self._times[-1].min())
+        self._next_min = int(self.next_time.min())
+
+    def fire_until(self, now: np.ndarray, mask: np.ndarray, llc) -> None:
+        now_max = int(now.max())
+        if now_max < self._next_min:
+            return
+        k = self.k
+        now_v = np.repeat(now, k)
+        mask_v = np.repeat(mask, k)
+        pending = mask_v & (self.next_time <= now_v)
+        if not pending.any():
+            return
+        fired = self._fired
+        ids = self._ids
+        if self._top_min <= now_max:
+            while (mask_v & (self._times[-1] <= now_v)).any():
+                self._grow(self._sets.shape[0])
+        new_fired = fired + pending
+        step = mask_v & (self._times[new_fired, ids] <= now_v)
+        if step.any():
+            # Deep backlogs are sparse: advance only those lanes, on
+            # compacted arrays, instead of dragging every lane through
+            # more full-width rounds.
+            times = self._times
+            act = np.nonzero(step)[0]
+            sub = new_fired[act] + 1
+            sub_now = now_v[act]
+            more = times[sub, act] <= sub_now
+            while more.any():
+                sub += more
+                more = times[sub, act] <= sub_now
+            new_fired[act] = sub
+        delta = new_fired - fired
+        total = int(delta.sum())
+        if total:
+            # Events sorted by virtual lane = sorted by real lane with
+            # per-lane CRG order preserved; the LLC consumes one flat
+            # batch with per-REAL-lane event counts.
+            ev_v = np.repeat(ids, delta)
+            ev_lanes = self._real[ev_v]
+            starts = np.cumsum(delta) - delta
+            offsets = np.arange(total) - np.repeat(starts, delta)
+            ev_ranks = np.repeat(fired, delta) + offsets
+            ev_sets = self._sets[ev_ranks, ev_v]
+            delta_real = delta.reshape(self._rlanes, k).sum(axis=1)
+            llc.force_evict_events(ev_lanes, ev_sets, delta_real)
+            self._fired = new_fired
+            self.next_time = self._times[new_fired, ids]
+            self._next_min = int(self.next_time.min())
+
+
+# ----------------------------------------------------------------------
+# the kernel runtime
+# ----------------------------------------------------------------------
+class KernelTemplatePlan(_TemplatePlan):
+    """A :class:`_TemplatePlan` executed through a grouped-opcode plan.
+
+    Same scenario constants, same lane state (via the draw-plan-backed
+    subclasses), same outcome packaging — only the sweep loop differs:
+    it walks the compiled op list instead of the instruction steps.
+    """
+
+    cache_cls = _KernelCache
+    acu_cls = _KernelACU
+    crg_cls = _KernelCRG
+
+    def __init__(self, config, scenario, core_id: int, program,
+                 kernel_plan: Optional[KernelPlan] = None) -> None:
+        super().__init__(config, scenario, core_id, program)
+        self.kernel = (
+            kernel_plan if kernel_plan is not None
+            else compile_kernel_plan(program, config)
+        )
+
+    @classmethod
+    def for_request(
+        cls, request, plan_cache: Optional[PlanCache] = None
+    ) -> "KernelTemplatePlan":
+        cache = plan_cache if plan_cache is not None else GLOBAL_PLAN_CACHE
+        # One call resolves both halves: the cache returns the program
+        # alongside the kernel so a kernel campaign costs exactly one
+        # program hit/miss, same as the batch engine (compile-once
+        # accounting is engine-agnostic).
+        program, kernel_plan = cache.kernel_plan(
+            request.traces[0], request.config, compile_kernel_plan
+        )
+        return cls(request.config, request.scenario, request.core_id,
+                   program, kernel_plan)
+
+    def execute_lanes(self, triples: Sequence[tuple]):
+        started = perf_counter()
+        lanes = len(triples)
+        env = self._lane_env(triples)
+        il1, dl1, llc = env.il1, env.dl1, env.llc
+        if len(env.crgs) > 1 and llc._res is not None:
+            env.crgs = [_KernelCRGBank(env.crgs)]
+        fill = env.fill
+        memory_writes = env.memory_writes
+        l1_hit = self.l1_hit
+
+        state = np.zeros((N_STATE, lanes), dtype=np.int64)
+        port_free = np.zeros(lanes, dtype=np.int64)
+        scratch = np.empty(lanes, dtype=np.int64)
+        chain_scratch = (
+            np.empty((N_STATE, lanes), dtype=np.int64)
+            if _NUMBA_CHAIN is not None else None
+        )
+
+        for op in self.kernel.ops:
+            kind = op.kind
+            if kind == "chain":
+                if chain_scratch is not None:  # pragma: no cover — numba
+                    _NUMBA_CHAIN(state, op.out_rows, op.src, op.weights,
+                                 op.starts, chain_scratch)
+                else:
+                    gathered = state[op.pad_src]
+                    gathered += op.pad_wcol
+                    state[op.out_rows] = gathered.reshape(
+                        op.rows_n, op.width, lanes
+                    ).max(axis=1)
+            elif kind == "fetch":
+                # Fetch (latch frees when the previous instruction
+                # decoded) — the interpreter's step, on state rows.
+                np.maximum(state[EF], state[SD], out=scratch)
+                miss, vids, _d = il1.demand_full(op.line, False)
+                np.add(scratch, l1_hit, out=state[EF])
+                if miss is not None:
+                    issue = np.maximum(scratch, port_free)
+                    done = fill(op.line, issue, miss)
+                    np.copyto(port_free, done, where=miss)
+                    np.copyto(state[EF], done, where=miss)
+            else:
+                # Full DL1 access; decode already composed into the
+                # preceding chain, write-back into the following one.
+                np.add(state[SD], 1, out=scratch)
+                np.maximum(scratch, state[SW], out=state[SM])
+                miss, vids, vdirty = dl1.demand_full(op.line, op.store)
+                np.add(state[SM], l1_hit, out=state[EM])
+                if miss is not None:
+                    issue = np.maximum(state[SM], port_free)
+                    done = fill(op.line, issue, miss)
+                    np.copyto(port_free, done, where=miss)
+                    np.copyto(state[EM], done, where=miss)
+                    dirty_victims = miss & vdirty
+                    if dirty_victims.any():
+                        resident = llc.writeback(vids, dirty_victims)
+                        memory_writes += dirty_victims & ~resident
+
+        il1.finalise_counters()
+        dl1.finalise_counters()
+        return self._finalise(triples, env, state[EW], started)

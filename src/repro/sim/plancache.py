@@ -207,14 +207,43 @@ class TraceProgram:
         shm.close()
 
 
+class _CacheEntry:
+    """One plan-cache slot: the trace it pins and what was compiled.
+
+    ``trace`` is held strongly so the identity key can never be
+    recycled while the entry (or a pin on it) lives.  ``program`` and
+    ``kernel`` compile lazily and independently — a pin taken before
+    the first campaign creates the slot without compiling anything.
+    """
+
+    __slots__ = ("trace", "program", "kernel", "pins")
+
+    def __init__(self, trace) -> None:
+        self.trace = trace
+        self.program: Optional[TraceProgram] = None
+        self.kernel = None
+        self.pins = 0
+
+
 class PlanCache:
-    """LRU cache of :class:`TraceProgram` keyed by (trace, config).
+    """LRU cache of compiled trace plans keyed by (trace, config).
 
     The key uses the trace's *identity* (compiling content fingerprints
     would cost as much as compiling the program) plus the config's
     value.  Each entry pins its trace object, so an id can never be
-    recycled while its entry lives.  ``hits``/``misses`` count lookups,
+    recycled while its entry lives.  ``hits``/``misses`` count program
+    lookups (``kernel_hits``/``kernel_misses`` the kernel-plan ones),
     letting sweeps assert the compile-once property.
+
+    **Pinning:** a sweep that must not lose its working set mid-row —
+    a :class:`~repro.analysis.experiments.PWCETTable` scanning one
+    benchmark across many scenarios — takes :meth:`pin` on the
+    ``(trace, config)`` it is using and releases it with :meth:`unpin`
+    when the row completes.  Eviction skips pinned entries, even if
+    that temporarily holds the cache above ``max_entries``; capacity is
+    re-enforced when the pin releases.  Unpinning a key that holds no
+    pin is a caller bug and raises (a silently ignored double-unpin is
+    how stale-pin leaks hide).
     """
 
     def __init__(self, max_entries: int = 32) -> None:
@@ -225,41 +254,136 @@ class PlanCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
-        self._entries: "OrderedDict[tuple, Tuple[object, TraceProgram]]" = (
-            OrderedDict()
-        )
+        self.kernel_hits = 0
+        self.kernel_misses = 0
+        #: Pin accounting: a pin *hit* protects an entry that already
+        #: holds a compiled program (the pin saved a potential
+        #: recompile); a pin *miss* creates or pre-warms an empty slot.
+        self.pin_hits = 0
+        self.pin_misses = 0
+        self._entries: "OrderedDict[tuple, _CacheEntry]" = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    @staticmethod
+    def _key(trace, config) -> tuple:
+        return (id(trace), repr(config))
+
+    def _slot(self, trace, config) -> _CacheEntry:
+        """The live entry for ``(trace, config)``, created if absent.
+
+        A stale slot (same id, different object — impossible while the
+        old entry pinned its trace, but checked defensively) is
+        replaced wholesale, dropping any pins with the dead trace.
+        """
+        key = self._key(trace, config)
+        entry = self._entries.get(key)
+        if entry is None or entry.trace is not trace:
+            entry = _CacheEntry(trace)
+            self._entries[key] = entry
+        self._entries.move_to_end(key)
+        return entry
+
+    def _evict(self) -> None:
+        """Drop least-recently-used unpinned entries over capacity.
+
+        Pinned entries are never dropped: a pinned-but-in-use program
+        disappearing mid-sweep would silently recompile (or, for a
+        shared program, dangle); the cache instead rides above
+        ``max_entries`` until the pins release.
+        """
+        if len(self._entries) <= self.max_entries:
+            return
+        for key in list(self._entries):
+            entry = self._entries[key]
+            if entry.pins == 0:
+                del self._entries[key]
+                if len(self._entries) <= self.max_entries:
+                    return
+
     def program(self, trace, config) -> TraceProgram:
         """The compiled program of ``(trace, config)``; compile on miss."""
         telemetry = current_telemetry()
-        key = (id(trace), repr(config))
-        entry = self._entries.get(key)
-        if entry is not None and entry[0] is trace:
+        entry = self._slot(trace, config)
+        if entry.program is not None:
             self.hits += 1
             if telemetry is not None:
                 telemetry.metrics.counter("plan_cache_hits").inc()
-            self._entries.move_to_end(key)
-            return entry[1]
+            return entry.program
         self.misses += 1
         if telemetry is not None:
             telemetry.metrics.counter("plan_cache_misses").inc()
-        program = TraceProgram.compile(trace, config)
-        self._entries[key] = (trace, program)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-        return program
+        entry.program = TraceProgram.compile(trace, config)
+        self._evict()
+        return entry.program
+
+    def kernel_plan(self, trace, config, compiler):
+        """The ``(program, kernel plan)`` pair of ``(trace, config)``.
+
+        ``compiler`` is :func:`repro.sim.kernels.compile_kernel_plan`
+        (passed in to keep this module free of a dependency on the
+        kernel layer); it receives ``(program, config)`` and runs only
+        on a kernel-plan miss.  The program itself is resolved through
+        :meth:`program` and returned alongside the kernel so the
+        caller never performs a second program lookup — a kernel
+        campaign costs exactly one program hit/miss, the same as the
+        batch engine's, which is what lets sweeps assert compile-once
+        without knowing which engine ran them.
+        """
+        telemetry = current_telemetry()
+        program = self.program(trace, config)
+        entry = self._slot(trace, config)
+        if entry.kernel is not None:
+            self.kernel_hits += 1
+            if telemetry is not None:
+                telemetry.metrics.counter("kernel_plan_hits").inc()
+            return program, entry.kernel
+        self.kernel_misses += 1
+        if telemetry is not None:
+            telemetry.metrics.counter("kernel_plan_misses").inc()
+        entry.kernel = compiler(program, config)
+        return program, entry.kernel
+
+    # -- pinning -------------------------------------------------------
+    def pin(self, trace, config) -> None:
+        """Protect ``(trace, config)`` from eviction until unpinned."""
+        entry = self._slot(trace, config)
+        if entry.program is not None or entry.kernel is not None:
+            self.pin_hits += 1
+        else:
+            self.pin_misses += 1
+        entry.pins += 1
+
+    def unpin(self, trace, config) -> None:
+        """Release one :meth:`pin`; re-enforce capacity if it was the
+        last.  Raises on a key that holds no pin."""
+        key = self._key(trace, config)
+        entry = self._entries.get(key)
+        if entry is None or entry.trace is not trace or entry.pins <= 0:
+            raise ConfigurationError(
+                f"plan cache unpin without a matching pin for trace "
+                f"{getattr(trace, 'name', trace)!r}"
+            )
+        entry.pins -= 1
+        if entry.pins == 0:
+            self._evict()
+
+    def pinned(self, trace, config) -> bool:
+        """Whether ``(trace, config)`` currently holds any pin."""
+        key = self._key(trace, config)
+        entry = self._entries.get(key)
+        return entry is not None and entry.trace is trace and entry.pins > 0
 
     def snapshot(self) -> Tuple[int, int]:
         """Current ``(hits, misses)`` counters (for delta accounting)."""
         return (self.hits, self.misses)
 
     def clear(self) -> None:
-        """Drop every entry (counters are kept)."""
-        self._entries.clear()
+        """Drop every unpinned entry (counters and pins are kept)."""
+        for key in list(self._entries):
+            if self._entries[key].pins == 0:
+                del self._entries[key]
 
 
 #: Process-wide default cache: campaigns that do not thread their own

@@ -137,6 +137,12 @@ class TelemetryObserver(RunObserver):
             self.inner.on_campaign_end(result)
 
     def on_message(self, message: str) -> None:
-        self.log.info("message", message=message)
+        # Backend advisories can repeat within one campaign (a degrade
+        # decision consulted per wave, a per-chunk fallback with the
+        # same reason): the structured log carries each distinct
+        # advisory once per campaign — the dedupe scope is this
+        # observer's bound logger — while the inner observer chain
+        # still receives every emission unchanged.
+        self.log.info("message", message=message, dedupe=f"message:{message}")
         if self.inner is not None:
             self.inner.on_message(message)

@@ -240,6 +240,31 @@ class MWCArray:
                 pending &= ~accepted
         return out
 
+    def randrange_unmasked(self, n: int) -> np.ndarray:
+        """Full-width ``randrange(n)``: every lane draws, no mask.
+
+        Bit-identical per lane to ``randrange(n, mask)`` on a masked
+        lane — same rejection rule, same step count — but optimised
+        for the all-lanes case: one unmasked step, then rejection
+        repair only for the (rare) lanes whose draw fell in the
+        truncated tail.  When ``n`` divides ``2**32`` no draw can be
+        rejected and the comparison is skipped entirely.
+        """
+        if n <= 0:
+            raise ConfigurationError(f"randrange() bound must be positive, got {n}")
+        limit = (0x100000000 // n) * n
+        v = self.next_u32()
+        if limit != 0x100000000:
+            rejected = v >= np.uint64(limit)
+            while rejected.any():
+                # next_u32 writes rejected lanes in place; `v` is the
+                # state vector, so it sees the redraws directly.
+                self.next_u32(rejected)
+                rejected &= v >= np.uint64(limit)
+        if n & (n - 1) == 0:
+            return v & np.uint64(n - 1)
+        return v % np.uint64(n)
+
     def randint_inclusive(
         self, lo: int, hi: int, mask: Optional[np.ndarray] = None
     ) -> np.ndarray:

@@ -301,6 +301,92 @@ class TestBackendConstruction:
         assert degraded.execution_times == serial.execution_times
         assert any("degrading" in message for message in messages)
 
+    def test_degrade_warning_emitted_once_per_campaign(
+        self, stream_trace, monkeypatch
+    ):
+        import repro.sim.backend as backend_module
+
+        messages = []
+
+        class Recorder(RunObserver):
+            def on_message(self, message):
+                messages.append(message)
+
+        monkeypatch.setattr(backend_module, "usable_cpus", lambda: 1)
+        backend = ProcessPoolBackend(workers=4)
+        recorder = Recorder()
+        for master_seed in (2, 3):
+            collect_execution_times(
+                stream_trace, CONFIG, Scenario.efl(250), runs=6,
+                master_seed=master_seed, backend=backend, observer=recorder,
+            )
+        degrades = [m for m in messages if "degrading" in m]
+        # Exactly one advisory per campaign — the backend instance was
+        # reused, so a stale once-ever guard would show 1 and a
+        # per-consultation emission could show more.
+        assert len(degrades) == 2
+
+    def test_degrade_warning_not_repeated_within_one_campaign(
+        self, stream_trace, monkeypatch
+    ):
+        import repro.sim.backend as backend_module
+
+        messages = []
+
+        class Recorder(RunObserver):
+            def on_message(self, message):
+                messages.append(message)
+
+        monkeypatch.setattr(backend_module, "usable_cpus", lambda: 1)
+        backend = ProcessPoolBackend(workers=4)
+        recorder = Recorder()
+        requests = [
+            RunRequest.isolation(
+                stream_trace, CONFIG, Scenario.efl(250), seed, index=index
+            )
+            for index, seed in enumerate((11, 12, 13))
+        ]
+        backend.execute(requests, observer=recorder)
+        # Consulting the degrade decision again mid-campaign (as a
+        # per-wave re-dispatch would) must stay silent...
+        assert backend._degrades(requests, recorder) is True
+        assert backend._degrades(requests, recorder) is True
+        assert sum("degrading" in m for m in messages) == 1
+        # ...while the next campaign warns afresh.
+        backend.execute(requests, observer=recorder)
+        assert sum("degrading" in m for m in messages) == 2
+
+    def test_degrade_warning_deduped_in_structured_log(
+        self, stream_trace, monkeypatch
+    ):
+        import io
+        import json as json_mod
+
+        import repro.sim.backend as backend_module
+        from repro.observability import (
+            MetricsRegistry,
+            StructuredLogger,
+            Telemetry,
+            Tracer,
+        )
+
+        monkeypatch.setattr(backend_module, "usable_cpus", lambda: 1)
+        stream = io.StringIO()
+        telemetry = Telemetry(
+            logger=StructuredLogger(stream=stream, level="info", fmt="json"),
+            metrics=MetricsRegistry(),
+            tracer=Tracer(),
+        )
+        collect_execution_times(
+            stream_trace, CONFIG, Scenario.efl(250), runs=6, master_seed=2,
+            backend=ProcessPoolBackend(workers=4), telemetry=telemetry,
+        )
+        records = [json_mod.loads(line)
+                   for line in stream.getvalue().splitlines()]
+        degrades = [r for r in records
+                    if "degrading" in str(r.get("message", ""))]
+        assert len(degrades) == 1
+
     def test_force_pool_overrides_single_cpu_degrade(
         self, stream_trace, monkeypatch
     ):

@@ -166,7 +166,9 @@ class TestEngineSelection:
         result = collect_execution_times(
             trace, CONFIG, Scenario.efl(250), runs=5, master_seed=1
         )
-        assert result.backend == "batch"
+        # auto prefers the grouped-opcode kernel form of the batch
+        # engine on default semantics.
+        assert result.backend == "kernel"
         assert all(r.wall_time_s > 0 for r in result.records)
         assert result.runs_per_second > 0
 
@@ -175,7 +177,7 @@ class TestEngineSelection:
             trace, CONFIG, Scenario.efl(250), runs=5, master_seed=1,
             backend=SerialBackend(),
         )
-        assert result.backend == "batch"
+        assert result.backend == "kernel"
 
     def test_auto_keeps_retrying_serial_backend(self, trace):
         result = collect_execution_times(
@@ -215,7 +217,7 @@ class TestEngineSelection:
             )
 
     def test_engine_names_exported(self):
-        assert ENGINE_NAMES == ("auto", "scalar", "batch", "sharded")
+        assert ENGINE_NAMES == ("auto", "scalar", "batch", "sharded", "kernel")
 
 
 class TestStrictEligibility:

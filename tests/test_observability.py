@@ -12,11 +12,13 @@ from __future__ import annotations
 
 import io
 import json
+import threading
 
 import pytest
 
 from repro.observability import (
     LEVELS,
+    Histogram,
     MetricsRegistry,
     StructuredLogger,
     Telemetry,
@@ -92,6 +94,30 @@ class TestStructuredLogger:
             StructuredLogger(stream=io.StringIO(), fmt="xml")
         assert set(LEVELS) >= {"debug", "info", "warning", "error", "quiet"}
 
+    def test_dedupe_key_emits_once_per_logger(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(stream=stream, level="info", fmt="kv")
+        logger.info("message", message="degrading to serial", dedupe="degrade")
+        logger.info("message", message="degrading to serial", dedupe="degrade")
+        logger.info("message", message="other advisory", dedupe="other")
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        # The dedupe key is consumed, never rendered into the record.
+        assert all("dedupe" not in line for line in lines)
+
+    def test_dedupe_scope_is_the_bound_child(self):
+        # bind() children start with a fresh dedupe set: the scope is
+        # one bound context (e.g. one campaign's telemetry observer),
+        # not the whole process.
+        stream = io.StringIO()
+        base = StructuredLogger(stream=stream, level="info", fmt="kv")
+        first = base.bind(job="job-1")
+        second = base.bind(job="job-2")
+        first.info("message", message="advisory", dedupe="advisory")
+        first.info("message", message="advisory", dedupe="advisory")
+        second.info("message", message="advisory", dedupe="advisory")
+        assert len(stream.getvalue().strip().splitlines()) == 2
+
 
 # ----------------------------------------------------------------------
 # metrics
@@ -129,6 +155,57 @@ class TestMetrics:
         snapshot = json.loads(registry.to_json())
         assert snapshot["counters"]["a"] == 3
         assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_histogram_edge_sample_lands_in_its_bound_bucket(self):
+        # Prometheus le convention: a sample exactly equal to a bound
+        # belongs to that bound's bucket, deterministically — never to
+        # the next one up.
+        registry = MetricsRegistry()
+        hist = registry.histogram("edges", buckets=(0.1, 1.0, 5.0))
+        for value in (0.1, 1.0, 5.0):
+            hist.observe(value)
+        buckets = hist.summary()["buckets"]
+        assert buckets == {"le_0.1": 1, "le_1": 1, "le_5": 1, "inf": 0}
+
+    def test_histogram_bucket_counts_sum_to_count(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("sums", buckets=(0.5, 0.5, 2.0))
+        samples = (0.0, 0.5, 0.5000001, 1.9, 2.0, 2.0000001, 100.0)
+        for value in samples:
+            hist.observe(value)
+        summary = json.loads(registry.to_json())["histograms"]["sums"]
+        assert summary["count"] == len(samples)
+        assert sum(summary["buckets"].values()) == summary["count"]
+
+    def test_histogram_duplicate_bounds_collapse(self):
+        # A duplicated bound used to create a permanently empty shadow
+        # bucket whose le_... key collided in the rendered JSON,
+        # silently dropping counts; construction now dedupes.
+        hist = Histogram("dup", threading.Lock(), buckets=(1.0, 1.0, 2.0))
+        assert hist.buckets == (1.0, 2.0)
+        hist.observe(1.0)
+        hist.observe(1.5)
+        buckets = hist.summary()["buckets"]
+        assert buckets == {"le_1": 1, "le_2": 1, "inf": 0}
+        assert sum(buckets.values()) == hist.count
+
+    def test_histogram_rejects_non_finite_bounds(self):
+        lock = threading.Lock()
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                Histogram("bad", lock, buckets=(0.1, bad))
+        with pytest.raises(ValueError):
+            Histogram("empty", lock, buckets=())
+
+    def test_histogram_nan_sample_counts_in_overflow(self):
+        # NaN compares false with every bound, so it deterministically
+        # falls through to the overflow bucket — counted, not lost.
+        hist = Histogram("nan", threading.Lock(), buckets=(1.0,))
+        hist.observe(float("nan"))
+        summary = hist.summary()
+        assert summary["count"] == 1
+        assert summary["buckets"]["inf"] == 1
+        assert sum(summary["buckets"].values()) == summary["count"]
 
 
 # ----------------------------------------------------------------------

@@ -349,3 +349,107 @@ class TestDedup:
         first = store.submit(make_job(tiny_config, scenario))
         again = store.submit(make_job(tiny_config, scenario))
         assert again.to_dict() == first.to_dict()
+
+
+class TestClaimSlotRelease:
+    """A dead in-flight job must never capture later duplicates."""
+
+    def test_cancel_then_resubmit_resimulates(
+        self, tmp_path, tiny_config, scenario
+    ):
+        store = ResultStore(tmp_path)
+        telemetry = Telemetry()
+        # start=False: the first submission is staged (claiming the
+        # in-flight slot) and cancelled before any worker runs, so the
+        # duplicate deterministically meets a cancelled claimant.
+        queue = JobQueue(workers=1, telemetry=telemetry, start=False)
+        first = store.get_or_submit(make_job(tiny_config, scenario), queue)
+        assert queue.cancel(first.job_id) is True
+        assert first.state == JOB_CANCELLED
+
+        second = make_job(tiny_config, scenario)
+        resolved = store.get_or_submit(second, queue)
+        # Not coalesced onto the cancelled job: a fresh simulation.
+        assert resolved is second
+        assert telemetry.metrics.value("jobs_coalesced") == 0
+        assert telemetry.metrics.value("store_misses") == 2
+        queue.start()
+        result = resolved.wait(timeout=60)
+        queue.shutdown()
+        assert second.state == JOB_DONE
+        assert second.source == "simulated"
+        assert result.runs == second.runs
+        # Reconciliation holds only on success paths: the cancelled
+        # job's runs were requested but (correctly) never simulated
+        # nor served, so they are the exact shortfall.
+        metrics = telemetry.metrics
+        assert metrics.value("runs_requested") == (
+            metrics.value("runs_simulated")
+            + metrics.value("runs_served_from_cache")
+            + first.runs
+        )
+
+    def test_failed_inflight_claim_is_dead_even_before_cleanup(
+        self, tmp_path, tiny_config, scenario
+    ):
+        # The cleanup callback releases the slot *after* the job turns
+        # terminal; a duplicate arriving inside that window (job state
+        # terminal, slot still claimed) must not coalesce onto the
+        # corpse.  Plant exactly that window.
+        store = ResultStore(tmp_path)
+        telemetry = Telemetry()
+        dead = make_job(tiny_config, scenario)
+        dead.state = JOB_FAILED  # terminal state, event not yet set
+        store._inflight[dead.fingerprint] = dead
+        with JobQueue(workers=1, telemetry=telemetry) as queue:
+            fresh = make_job(tiny_config, scenario)
+            result = store.get_or_submit(fresh, queue).wait(timeout=60)
+        assert fresh.state == JOB_DONE
+        assert fresh.source == "simulated"
+        assert telemetry.metrics.value("jobs_coalesced") == 0
+        assert result.runs == fresh.runs
+
+    def test_failed_job_then_resubmit_resimulates(
+        self, tmp_path, tiny_config, scenario
+    ):
+        store = ResultStore(tmp_path)
+        telemetry = Telemetry()
+        with JobQueue(workers=1, telemetry=telemetry) as queue:
+            # cycle_budget is not part of the fingerprint, so the
+            # failing job and the healthy resubmission are duplicates.
+            doomed = make_job(tiny_config, scenario, cycle_budget=1)
+            store.get_or_submit(doomed, queue)
+            with pytest.raises(ServiceError, match="failed"):
+                doomed.wait(timeout=60)
+            retry = make_job(tiny_config, scenario)
+            result = store.get_or_submit(retry, queue).wait(timeout=60)
+        assert doomed.state == JOB_FAILED
+        assert retry.state == JOB_DONE
+        assert retry.source == "simulated"
+        assert result.runs == retry.runs
+        assert telemetry.metrics.value("jobs_coalesced") == 0
+
+    def test_refused_submission_releases_claim_and_fails_job(
+        self, tmp_path, tiny_config, scenario
+    ):
+        store = ResultStore(tmp_path)
+        telemetry = Telemetry()
+        refused = JobQueue(workers=1, telemetry=telemetry)
+        refused.shutdown()
+        job = make_job(tiny_config, scenario)
+        with pytest.raises(ServiceError, match="shut down"):
+            store.get_or_submit(job, refused)
+        # The claim slot was released and the job failed terminally —
+        # waiters are not stranded.
+        assert store._inflight == {}
+        assert job.state == JOB_FAILED
+        assert job.done
+        with pytest.raises(ServiceError, match="failed"):
+            job.wait(timeout=1)
+        # A later duplicate re-simulates on a healthy queue instead of
+        # coalescing onto the refused job.
+        with JobQueue(workers=1, telemetry=telemetry) as healthy:
+            retry = make_job(tiny_config, scenario)
+            result = store.get_or_submit(retry, healthy).wait(timeout=60)
+        assert retry.source == "simulated"
+        assert result.runs == retry.runs

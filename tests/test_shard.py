@@ -372,6 +372,90 @@ class TestPlanCache:
         assert cache.misses == len(benches)
         assert cache.hits == len(benches) * (len(setups) - 1)
 
+    def test_eviction_never_drops_pinned_entries(self, trace):
+        cache = PlanCache(max_entries=1)
+        program = cache.program(trace, CONFIG)
+        cache.pin(trace, CONFIG)
+        # Flood far past capacity: the pinned entry must survive every
+        # eviction pass (the cache rides above max_entries instead).
+        floods = [
+            make_stream_trace(f"flood{i}", words=8, sweeps=1) for i in range(4)
+        ]
+        for t in floods:
+            cache.program(t, CONFIG)
+        assert cache.program(trace, CONFIG) is program  # no recompile
+        hits_before = cache.hits
+        cache.unpin(trace, CONFIG)
+        # Capacity is re-enforced once the pin releases; the entry was
+        # most recently used, so it is the one that stays.
+        assert len(cache) == 1
+        assert cache.program(trace, CONFIG) is program
+        assert cache.hits == hits_before + 1
+
+    def test_pin_hit_miss_counters(self, trace):
+        cache = PlanCache()
+        # Pinning an empty slot pre-warms it: a pin miss.
+        cache.pin(trace, CONFIG)
+        assert (cache.pin_hits, cache.pin_misses) == (0, 1)
+        cache.program(trace, CONFIG)
+        # Pinning a slot that already holds a compiled program is a
+        # pin hit (the pin protects real work).
+        cache.pin(trace, CONFIG)
+        assert (cache.pin_hits, cache.pin_misses) == (1, 1)
+        cache.unpin(trace, CONFIG)
+        cache.unpin(trace, CONFIG)
+        assert not cache.pinned(trace, CONFIG)
+
+    def test_unpin_without_pin_raises(self, trace):
+        cache = PlanCache()
+        cache.program(trace, CONFIG)
+        with pytest.raises(ConfigurationError, match="unpin"):
+            cache.unpin(trace, CONFIG)
+        # Double-unpin after a single pin is equally a caller bug.
+        cache.pin(trace, CONFIG)
+        cache.unpin(trace, CONFIG)
+        with pytest.raises(ConfigurationError, match="unpin"):
+            cache.unpin(trace, CONFIG)
+
+    def test_clear_keeps_pinned_entries(self, trace):
+        cache = PlanCache()
+        program = cache.program(trace, CONFIG)
+        other = make_stream_trace("clearme", words=8, sweeps=1)
+        cache.program(other, CONFIG)
+        cache.pin(trace, CONFIG)
+        cache.clear()
+        assert len(cache) == 1
+        assert cache.program(trace, CONFIG) is program
+        cache.unpin(trace, CONFIG)
+
+    def test_pwcet_table_bench_row_pins_and_unpins(self):
+        from repro.analysis.experiments import PWCETTable
+        from repro.workloads.scale import ExperimentScale
+
+        table = PWCETTable(scale=ExperimentScale.tiny(), seed=3)
+        bench = next(iter(table.traces))
+        trace = table.traces[bench]
+        cache = table.plan_cache
+        with table.bench_row(bench):
+            assert cache.pinned(trace, table.config)
+            table.campaign(bench, "efl", 100)
+            table.campaign(bench, "efl", 250)
+        # Row finished: the pin is released (a stale pin here would
+        # hold the entry above capacity forever)...
+        assert not cache.pinned(trace, table.config)
+        # ...and it was a pre-warm pin: the slot was empty at pin time.
+        assert (cache.pin_hits, cache.pin_misses) == (0, 1)
+
+    def test_iid_compliance_leaves_no_stale_pins(self):
+        from repro.analysis.experiments import PWCETTable, run_iid_compliance
+        from repro.workloads.scale import ExperimentScale
+
+        table = PWCETTable(scale=ExperimentScale.tiny(), seed=3)
+        run_iid_compliance(table, mid=100, bench_ids=list(table.traces)[:2])
+        cache = table.plan_cache
+        for bench, trace in table.traces.items():
+            assert not cache.pinned(trace, table.config), bench
+
     def test_render_campaign_reports_plan_cache(self, trace):
         from repro.analysis.reporting import render_campaign
 
