@@ -41,7 +41,25 @@ scenario, seed and runs) simulates **zero** runs and serves the stored
 sample, bit-identical to the original.  ``--json`` emits the full
 machine-readable result, ``--telemetry-dir DIR`` dumps the
 submission's metrics and trace spans.  ``status`` lists a store's
-entries, re-verifying each entry's integrity checksum.
+entries, re-verifying each entry's integrity checksum
+(``status --job ID`` inspects one entry).
+
+The durable service adds a third verb::
+
+    repro-efl --checkpoint-dir ckpt/ serve \\
+        --journal jobs.jsonl --store results/ \\
+        --bench RS --scenario EFL500 --runs 1000
+
+``serve`` runs a crash-safe queue: every admission is write-ahead
+journalled to ``--journal`` and every executed campaign checkpoints
+its runs under ``--checkpoint-dir``, so a SIGKILLed serve can be
+rerun with ``--resume-jobs`` and will re-admit interrupted jobs,
+resume their campaigns run-for-run, and produce final samples
+bit-identical to an uninterrupted run.  ``--store-quota
+bytes[:entries[:age]]`` bounds the store with LRU eviction;
+``--max-queue`` / ``--deadline`` / ``--retry-budget`` /
+``--breaker-threshold`` configure admission control (overload sheds
+with labelled errors instead of queueing unboundedly).
 
 ``--log-level {debug,info,warning,error,quiet}`` and ``--log-format
 {plain,kv,json}`` control progress logging; the defaults reproduce the
@@ -77,9 +95,21 @@ from repro.analysis.reporting import (
     render_iid,
     render_profile,
 )
-from repro.errors import ConfigurationError, ResultIntegrityError
+from repro.errors import (
+    ConfigurationError,
+    ResultIntegrityError,
+    ServiceError,
+)
 from repro.observability import LEVELS, LOG_FORMATS, StructuredLogger, Telemetry
-from repro.service import CampaignJob, JobQueue, ResultStore
+from repro.service import (
+    AdmissionPolicy,
+    CampaignJob,
+    JobJournal,
+    JobQueue,
+    ResultStore,
+    StoreQuota,
+    recover_jobs,
+)
 from repro.sim.backend import (
     BACKEND_NAMES,
     ProfilingObserver,
@@ -258,12 +288,121 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run a durable, admission-controlled campaign service pass.
+
+    Admissions are write-ahead journalled; with ``--resume-jobs`` the
+    journal's interrupted jobs are re-admitted first (completed-before
+    -crash work answers from the store, mid-campaign work resumes
+    through its checkpoint — samples bit-identical either way).  Exits
+    0 when every job ended ``done``/``cached``, 1 otherwise.
+    """
+    telemetry = Telemetry(logger=_cli_logger(args))
+    quota = (
+        StoreQuota.parse(args.store_quota) if args.store_quota else None
+    )
+    store = ResultStore(args.store, quota=quota)
+    journal = JobJournal(args.journal)
+    admission = AdmissionPolicy(
+        max_queue_depth=args.max_queue,
+        deadline_s=args.deadline,
+        retry_budget=args.retry_budget,
+        breaker_threshold=args.breaker_threshold,
+    )
+    queue = JobQueue(
+        workers=args.queue_workers,
+        telemetry=telemetry,
+        admission=admission,
+        journal=journal,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    jobs = []
+    shed = 0
+    try:
+        if args.resume_jobs:
+            jobs.extend(recover_jobs(journal, queue, store=store))
+        if args.bench is not None:
+            scale = ExperimentScale.from_name(args.scale)
+            trace = build_benchmark(args.bench, scale.trace_scale)
+            scenario = Scenario.from_label(args.scenario)
+            runs = args.runs if args.runs is not None else scale.analysis_runs
+            job = CampaignJob(
+                trace,
+                SystemConfig(),
+                scenario,
+                runs=runs,
+                master_seed=args.seed,
+                engine=args.engine,
+                workers=args.workers,
+                cycle_budget=args.cycle_budget,
+            )
+            try:
+                jobs.append(store.get_or_submit(job, queue))
+            except ServiceError as exc:
+                shed += 1
+                print(f"(submission shed: {exc})", file=sys.stderr)
+        failed = 0
+        for job in jobs:
+            try:
+                job.wait()
+            except ServiceError as exc:
+                failed += 1
+                print(
+                    f"(job {job.job_id} did not complete: "
+                    f"{str(exc).strip().splitlines()[0]})",
+                    file=sys.stderr,
+                )
+        queue.shutdown(wait=True)
+        health = queue.health()
+    finally:
+        queue.shutdown(wait=False)
+        journal.close()
+    for job in jobs:
+        print(
+            f"(job {job.job_id}: {job.state}, source "
+            f"{job.source or 'n/a'}, fingerprint {job.fingerprint})",
+            file=sys.stderr,
+        )
+    if args.json:
+        print(json.dumps(health, indent=2, sort_keys=True))
+    else:
+        runs_block = health["runs"]
+        print(
+            f"serve: {len(jobs)} jobs ({failed} failed, {shed} shed at "
+            f"admission); runs requested={runs_block['requested']} "
+            f"simulated={runs_block['simulated']} "
+            f"resumed={runs_block['resumed']} "
+            f"cached={runs_block['served_from_cache']} "
+            f"shed={runs_block['shed']}"
+        )
+    _write_telemetry(args, telemetry)
+    return 1 if (failed or shed) else 0
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     """Report every entry in a result store, integrity-verified."""
     store = ResultStore(args.store)
+    if args.job is not None:
+        fingerprint = args.job
+        if fingerprint.startswith("cached-"):
+            fingerprint = fingerprint[len("cached-"):]
+        if fingerprint.startswith("job-"):
+            raise ConfigurationError(
+                f"job id {args.job!r} is queue-local and cannot be "
+                f"resolved from a store on disk; use the campaign "
+                f"fingerprint (or a cached-<fingerprint> id) instead"
+            )
+        if fingerprint not in store:
+            raise ConfigurationError(
+                f"unknown job id {args.job!r}: store {store.root} has "
+                f"no entry for fingerprint {fingerprint}"
+            )
     entries = []
     corrupt = 0
-    for fingerprint in store.fingerprints():
+    fingerprints = store.fingerprints()
+    if args.job is not None:
+        fingerprints = [fingerprint]
+    for fingerprint in fingerprints:
         try:
             result = store.get(fingerprint)
         except ResultIntegrityError as exc:
@@ -506,6 +645,92 @@ def make_parser() -> argparse.ArgumentParser:
     )
     sub_submit.set_defaults(func=_cmd_submit)
 
+    sub_serve = subparsers.add_parser(
+        "serve",
+        help=(
+            "run a durable campaign service pass: write-ahead job "
+            "journal, admission control, store quota; rerun with "
+            "--resume-jobs after a crash to recover bit-identically"
+        ),
+    )
+    sub_serve.add_argument(
+        "--journal", metavar="FILE", required=True,
+        help="write-ahead job journal (created if missing)",
+    )
+    sub_serve.add_argument(
+        "--store", metavar="DIR", required=True,
+        help="result-store directory (created if missing)",
+    )
+    sub_serve.add_argument(
+        "--resume-jobs", action="store_true",
+        help=(
+            "re-admit the journal's interrupted jobs before taking new "
+            "work: completed-before-crash jobs answer from the store, "
+            "mid-campaign jobs resume through their checkpoints"
+        ),
+    )
+    sub_serve.add_argument(
+        "--store-quota", metavar="SPEC", default=None,
+        help=(
+            "bound the store as bytes[:entries[:age]] with k/m/g and "
+            "s/m/h/d suffixes (e.g. '100m:500:7d'; empty segment = "
+            "unbounded); LRU entries past the quota are evicted"
+        ),
+    )
+    sub_serve.add_argument(
+        "--max-queue", type=int, default=None, metavar="N",
+        help="bound queued jobs; submissions past it shed (queue_full)",
+    )
+    sub_serve.add_argument(
+        "--queue-workers", type=int, default=1, metavar="N",
+        help="queue worker threads (default: 1)",
+    )
+    sub_serve.add_argument(
+        "--retry-budget", type=int, default=0, metavar="N",
+        help=(
+            "whole-job re-queues allowed after a transient campaign "
+            "failure (default: 0)"
+        ),
+    )
+    sub_serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help=(
+            "shed jobs still queued after this long (labelled "
+            "'deadline'; default: no deadline)"
+        ),
+    )
+    sub_serve.add_argument(
+        "--breaker-threshold", type=int, default=None, metavar="N",
+        help=(
+            "open the circuit for a campaign fingerprint after N "
+            "deterministic failures (default: breaker disabled)"
+        ),
+    )
+    sub_serve.add_argument(
+        "--bench", default=None, choices=BENCHMARK_IDS,
+        help="also submit this benchmark (needs --scenario)",
+    )
+    sub_serve.add_argument(
+        "--scenario", default=None, metavar="LABEL",
+        help="scenario label for --bench (EFL<mid>, CP<ways> or SHARED)",
+    )
+    sub_serve.add_argument(
+        "--runs", type=int, default=None, metavar="N",
+        help="campaign runs (default: the scale preset's analysis runs)",
+    )
+    sub_serve.add_argument(
+        "--json", action="store_true",
+        help="print the final health() snapshot as JSON",
+    )
+    sub_serve.add_argument(
+        "--telemetry-dir", metavar="DIR", default=None,
+        help=(
+            "also write the service's metrics (metrics.json) and trace "
+            "spans (spans.json) to DIR"
+        ),
+    )
+    sub_serve.set_defaults(func=_cmd_serve)
+
     sub_status = subparsers.add_parser(
         "status",
         help="list a result store's entries (integrity-verified)",
@@ -513,6 +738,13 @@ def make_parser() -> argparse.ArgumentParser:
     sub_status.add_argument(
         "--store", metavar="DIR", required=True,
         help="result-store directory to inspect",
+    )
+    sub_status.add_argument(
+        "--job", metavar="ID", default=None,
+        help=(
+            "inspect one entry by job id (cached-<fingerprint>) or "
+            "bare fingerprint"
+        ),
     )
     sub_status.add_argument(
         "--json", action="store_true",
@@ -550,11 +782,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         raise ConfigurationError(
             "--resume needs --checkpoint-dir to know where the journals live"
         )
-    if args.command == "submit" and args.backend != "serial":
+    if args.command in ("submit", "serve") and args.backend != "serial":
         raise ConfigurationError(
-            "submit runs through the service's engine selection and takes "
-            "no --backend; use --engine/--workers to pick the interpreter"
+            f"{args.command} runs through the service's engine selection "
+            f"and takes no --backend; use --engine/--workers to pick the "
+            f"interpreter"
         )
+    if args.command == "serve":
+        if (args.bench is None) != (args.scenario is None):
+            raise ConfigurationError(
+                "serve needs --bench and --scenario together (or neither, "
+                "to only recover journalled jobs)"
+            )
+        if args.bench is None and not args.resume_jobs:
+            raise ConfigurationError(
+                "serve with no --bench does nothing unless --resume-jobs "
+                "re-admits journalled work"
+            )
+        if args.queue_workers <= 0:
+            raise ConfigurationError(
+                f"--queue-workers must be a positive integer, "
+                f"got {args.queue_workers}"
+            )
     return args.func(args)
 
 

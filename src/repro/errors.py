@@ -99,6 +99,65 @@ class ServiceError(ReproError):
     """
 
 
+class AdmissionError(ServiceError):
+    """The service shed a submission instead of queueing it.
+
+    Backpressure made explicit: a bounded queue that is full, a circuit
+    breaker that is open for the submission's fingerprint, or a job
+    that missed its deadline before a worker picked it up all *shed*
+    the work with this labelled error rather than queueing unboundedly
+    or failing silently.  :attr:`reason` carries the machine-readable
+    shed classification (one of
+    :data:`~repro.service.admission.SHED_REASONS`), and shed work is
+    accounted on the ``runs_shed`` counter so the service invariant
+
+        ``runs_requested == runs_simulated + runs_resumed
+        + runs_served_from_cache + runs_shed``
+
+    stays exact under overload.
+    """
+
+    def __init__(self, message: str, reason: str) -> None:
+        super().__init__(message)
+        #: Machine-readable shed classification (``queue_full``,
+        #: ``circuit_open`` or ``deadline``).
+        self.reason = reason
+
+
+class JobFailedError(ServiceError):
+    """A campaign job reached the ``failed`` state.
+
+    Raised by :meth:`~repro.service.jobs.CampaignJob.wait` in place of
+    a bare :class:`ServiceError`: beyond the captured error text it
+    carries the per-run failure classification the backend assigned —
+    :attr:`failures` holds the ``(index, seed, message, kind)``
+    quadruples of a :class:`CampaignRunError`, and
+    :attr:`transient_failures` / :attr:`deterministic_failures` give
+    the breakdown the admission layer's circuit breaker keys on.
+    """
+
+    def __init__(self, job_id, detail: str, failures=None) -> None:
+        self.job_id = job_id
+        #: ``(index, seed, message, kind)`` quadruples when the failure
+        #: was a :class:`CampaignRunError`; empty otherwise.
+        self.failures = [tuple(failure) for failure in (failures or [])]
+        self.transient_failures = sum(
+            1 for failure in self.failures
+            if failure[3] == ERROR_KIND_TRANSIENT
+        )
+        self.deterministic_failures = (
+            len(self.failures) - self.transient_failures
+        )
+        breakdown = ""
+        if self.failures:
+            breakdown = (
+                f" ({len(self.failures)} failed runs: "
+                f"{self.transient_failures} transient, "
+                f"{self.deterministic_failures} deterministic)"
+            )
+        super().__init__(f"job {job_id} failed{breakdown}:\n{detail}")
+
+
 class CheckpointError(ReproError):
     """A campaign checkpoint journal cannot be used.
 

@@ -13,10 +13,12 @@ everything as a JSON snapshot.
 The **reconciliation invariant** the service test-suite enforces lives
 here by convention: for every submitted campaign,
 
-    ``runs_requested == runs_simulated + runs_served_from_cache``
+    ``runs_requested == runs_simulated + runs_resumed
+    + runs_served_from_cache + runs_shed``
 
-(on success paths) — simulation work is either performed or answered
-from storage, never silently dropped and never duplicated.
+— simulation work is performed, taken over from a crashed process's
+checkpoint, answered from storage, or refused with a labelled error;
+never silently dropped and never duplicated.
 
 Like the rest of :mod:`repro.observability`, this module imports
 nothing from the simulation stack — it is a leaf every layer above may
@@ -27,7 +29,7 @@ from __future__ import annotations
 
 import json
 import threading
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 #: Default histogram bucket upper bounds (seconds) — spans the range
 #: from a single tiny-scale run to a paper-scale sharded wave.
@@ -153,6 +155,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: Dict[str, Counter] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._gauges: Dict[str, Callable[[], object]] = {}
 
     # ------------------------------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -175,6 +178,33 @@ class MetricsRegistry:
                 self._histograms[name] = histogram
             return histogram
 
+    def gauge(self, name: str, supplier: Callable[[], object]) -> None:
+        """Register (or replace) a live-value gauge.
+
+        Unlike counters, a gauge is *read*, not written: ``supplier``
+        is called at snapshot/health time and should return the
+        instantaneous value (queue depth, in-flight jobs).  Replacing
+        an existing name is deliberate — when a new service object
+        (say a restarted :class:`~repro.service.jobs.JobQueue`) reuses
+        a registry, its gauges must reflect the live object, not a
+        dead predecessor.
+        """
+        with self._lock:
+            self._gauges[name] = supplier
+
+    def gauges(self) -> Dict[str, object]:
+        """Every gauge evaluated now, as ``{name: value}``.
+
+        Suppliers run *outside* the registry lock: they commonly read
+        service-object state guarded by that object's own lock, and a
+        service object emitting a counter holds its lock before the
+        registry's — evaluating under the registry lock would invert
+        that order and invite deadlock.
+        """
+        with self._lock:
+            suppliers = sorted(self._gauges.items())
+        return {name: supplier() for name, supplier in suppliers}
+
     def value(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never incremented)."""
         with self._lock:
@@ -184,10 +214,12 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, object]:
         """Everything this registry holds, as one JSON-ready dict."""
+        gauges = self.gauges()  # evaluated outside the lock (see gauges())
         with self._lock:
             return {
                 "counters": {name: c.value
                              for name, c in sorted(self._counters.items())},
+                "gauges": gauges,
                 "histograms": {name: h.summary()
                                for name, h in sorted(self._histograms.items())},
             }
@@ -206,6 +238,7 @@ class MetricsRegistry:
         with self._lock:
             self._counters.clear()
             self._histograms.clear()
+            self._gauges.clear()
 
 
 _DEFAULT = MetricsRegistry()

@@ -14,13 +14,32 @@ service-shaped questions layered on top of it:
   :meth:`~ResultStore.get_or_submit` deduplicates byte-identical
   submissions against disk (state ``cached``, zero runs simulated) and
   against in-flight twins (coalescing), with sha256 integrity
-  re-verification on every load.
+  re-verification on every load, bounded by an optional
+  :class:`StoreQuota` with LRU eviction;
+* :mod:`repro.service.admission` — :class:`AdmissionPolicy` (bounded
+  queue depth, deadlines, job-level retry budgets) and
+  :class:`CircuitBreaker` (stops re-admitting deterministically
+  failing campaigns), both feeding labelled
+  :class:`~repro.errors.AdmissionError` sheds;
+* :mod:`repro.service.journal` — :class:`JobJournal`, a crash-safe
+  write-ahead journal of job admissions so a SIGKILLed queue can be
+  rebuilt on restart (:func:`recover_jobs`) with samples bit-identical
+  to an uninterrupted run.
 
 Everything here is scheduling and persistence, never semantics: a
 sample obtained through the service is bit-identical to one obtained
-by calling the campaign function directly.
+by calling the campaign function directly — including after crashes,
+restarts, sheds and evictions.
 """
 
+from repro.service.admission import (
+    SHED_CIRCUIT_OPEN,
+    SHED_DEADLINE,
+    SHED_QUEUE_FULL,
+    SHED_REASONS,
+    AdmissionPolicy,
+    CircuitBreaker,
+)
 from repro.service.jobs import (
     JOB_CACHED,
     JOB_CANCELLED,
@@ -28,25 +47,55 @@ from repro.service.jobs import (
     JOB_FAILED,
     JOB_QUEUED,
     JOB_RUNNING,
+    JOB_SHED,
     JOB_STATES,
     TERMINAL_STATES,
     CampaignJob,
     JobQueue,
 )
-from repro.service.store import STORE_VERSION, ResultStore, payload_checksum
+from repro.service.journal import (
+    JOB_JOURNAL_VERSION,
+    JobJournal,
+    JournalEntry,
+    job_from_spec,
+    job_spec,
+    recover_jobs,
+)
+from repro.service.store import (
+    STORE_VERSION,
+    ResultStore,
+    StoreEntry,
+    StoreQuota,
+    payload_checksum,
+)
 
 __all__ = [
     "CampaignJob",
     "JobQueue",
     "ResultStore",
+    "StoreEntry",
+    "StoreQuota",
     "payload_checksum",
     "STORE_VERSION",
+    "AdmissionPolicy",
+    "CircuitBreaker",
+    "SHED_QUEUE_FULL",
+    "SHED_CIRCUIT_OPEN",
+    "SHED_DEADLINE",
+    "SHED_REASONS",
+    "JobJournal",
+    "JournalEntry",
+    "job_spec",
+    "job_from_spec",
+    "recover_jobs",
+    "JOB_JOURNAL_VERSION",
     "JOB_QUEUED",
     "JOB_RUNNING",
     "JOB_DONE",
     "JOB_FAILED",
     "JOB_CACHED",
     "JOB_CANCELLED",
+    "JOB_SHED",
     "JOB_STATES",
     "TERMINAL_STATES",
 ]

@@ -1,0 +1,161 @@
+"""Admission control for the campaign service: bounded queues, deadlines,
+retry budgets and a deterministic-failure circuit breaker.
+
+The simulated platform's whole thesis is that a shared resource without
+admission limits has no analysable worst case — the service layer obeys
+the same rule.  A :class:`~repro.service.jobs.JobQueue` configured with
+an :class:`AdmissionPolicy` *sheds* work it cannot absorb instead of
+queueing unboundedly:
+
+* **queue_full** — the bounded queue is at ``max_queue_depth``;
+* **circuit_open** — a :class:`CircuitBreaker` has seen this job's
+  fingerprint fail *deterministically* ``breaker_threshold`` times, so
+  re-admitting it would burn a worker on a failure that reproduces
+  bit-identically every attempt;
+* **deadline** — the job waited in the queue longer than its deadline,
+  so by the time a worker picked it up the answer was already late.
+
+Shedding is always *labelled* (:class:`~repro.errors.AdmissionError`
+with a machine-readable ``reason``) and *accounted* (the ``runs_shed``
+counter), extending the service reconciliation invariant to
+
+    ``runs_requested == runs_simulated + runs_resumed
+    + runs_served_from_cache + runs_shed``
+
+— overloaded or not, no requested run is ever silently dropped.
+
+Retry *budgets* complement the per-run
+:class:`~repro.sim.backend.RetryPolicy`: the run-level policy retries
+individual transient run failures inside one campaign execution, while
+the job-level ``retry_budget`` re-queues a whole job whose campaign
+failed transiently (e.g. a chaos-killed queue worker), resuming through
+the job's checkpoint so already-completed runs are never re-simulated.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Shed because the bounded queue was at ``max_queue_depth``.
+SHED_QUEUE_FULL = "queue_full"
+#: Shed because the circuit breaker is open for the job's fingerprint.
+SHED_CIRCUIT_OPEN = "circuit_open"
+#: Shed because the job outlived its deadline while still queued.
+SHED_DEADLINE = "deadline"
+#: Every machine-readable shed classification, in admission order.
+SHED_REASONS = (SHED_QUEUE_FULL, SHED_CIRCUIT_OPEN, SHED_DEADLINE)
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """What a :class:`~repro.service.jobs.JobQueue` will and won't absorb.
+
+    The default policy is fully permissive (no bound, no deadline, no
+    retries, no breaker) — exactly the pre-admission behaviour — so
+    existing queue users are unaffected until they opt in.
+
+    ``deadline_s`` is the *queue-wide* default; an individual
+    :class:`~repro.service.jobs.CampaignJob` may carry its own
+    ``deadline_s`` which takes precedence.  A deadline is measured from
+    submission to worker pickup: once a worker starts a campaign it
+    finishes it (results are cached content-addressed, so late work is
+    never wasted), but stale queued work is shed before burning a
+    worker on it.
+    """
+
+    #: Maximum jobs waiting in the queue (``None`` = unbounded).
+    max_queue_depth: Optional[int] = None
+    #: Default seconds a job may wait before pickup (``None`` = forever).
+    deadline_s: Optional[float] = None
+    #: Whole-job re-queues allowed after a *transient* campaign failure.
+    retry_budget: int = 0
+    #: Deterministic failures per fingerprint before the breaker opens
+    #: (``None`` disables the breaker).
+    breaker_threshold: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ConfigurationError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
+        if self.retry_budget < 0:
+            raise ConfigurationError(
+                f"retry_budget must be non-negative, got {self.retry_budget}"
+            )
+        if self.breaker_threshold is not None and self.breaker_threshold < 1:
+            raise ConfigurationError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+
+
+class CircuitBreaker:
+    """Per-fingerprint deterministic-failure tracking.
+
+    A campaign whose failure classifies as *deterministic* (same seeds,
+    same trace → same failure, bit-identically, every attempt) cannot
+    be fixed by re-running it.  The breaker counts deterministic
+    failures per campaign fingerprint; once a fingerprint accumulates
+    ``threshold`` of them the breaker *opens* for that fingerprint and
+    the queue sheds further submissions of the same campaign at
+    admission (reason ``circuit_open``) instead of burning workers.
+
+    A success for a fingerprint closes its circuit and clears its
+    count (the world may have changed: new code, new trace file).
+    Transient failures never count — they are the retry budget's
+    domain.  ``threshold=None`` disables the breaker entirely.
+    """
+
+    def __init__(self, threshold: Optional[int]) -> None:
+        if threshold is not None and threshold < 1:
+            raise ConfigurationError(
+                f"breaker threshold must be >= 1, got {threshold}"
+            )
+        self.threshold = threshold
+        self._lock = threading.Lock()
+        self._failures: Dict[str, int] = {}
+
+    def record_failure(self, fingerprint: str) -> None:
+        """Count one deterministic failure against ``fingerprint``."""
+        if self.threshold is None:
+            return
+        with self._lock:
+            self._failures[fingerprint] = self._failures.get(fingerprint, 0) + 1
+
+    def record_success(self, fingerprint: str) -> None:
+        """A success closes the fingerprint's circuit and clears its count."""
+        with self._lock:
+            self._failures.pop(fingerprint, None)
+
+    def is_open(self, fingerprint: str) -> bool:
+        """Whether admissions of ``fingerprint`` should be shed."""
+        if self.threshold is None:
+            return False
+        with self._lock:
+            return self._failures.get(fingerprint, 0) >= self.threshold
+
+    def open_fingerprints(self) -> Tuple[str, ...]:
+        """Every fingerprint whose circuit is currently open (sorted)."""
+        if self.threshold is None:
+            return ()
+        with self._lock:
+            return tuple(sorted(
+                fingerprint
+                for fingerprint, count in self._failures.items()
+                if count >= self.threshold
+            ))
+
+    def reset(self, fingerprint: Optional[str] = None) -> None:
+        """Manually close one fingerprint's circuit, or all of them."""
+        with self._lock:
+            if fingerprint is None:
+                self._failures.clear()
+            else:
+                self._failures.pop(fingerprint, None)

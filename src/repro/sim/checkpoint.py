@@ -48,6 +48,42 @@ from repro.sim.config import Scenario, SystemConfig
 JOURNAL_VERSION = 1
 
 
+def scan_durable_jsonl(raw: bytes):
+    """Parse the durable prefix of an append-only JSONL journal.
+
+    The shared crash-tolerance primitive of every journal in this
+    code base (campaign checkpoints here, the service's write-ahead
+    job journal): a crash mid-append can leave a torn final line, so a
+    loader must accept exactly the prefix of complete,
+    newline-terminated JSON lines and drop whatever follows.  Returns
+    ``(objects, durable_bytes)`` — the parsed objects and the byte
+    offset the journal should be truncated to before appending again.
+
+    A final line that parses as JSON but lacks its terminating newline
+    is *not* durable: appending after it would corrupt the record, so
+    it is dropped (re-journalling that record costs one line; splicing
+    two records into one would cost the journal).
+    """
+    objects = []
+    durable = 0
+    position = 0
+    for line in raw.splitlines(keepends=True):
+        position += len(line)
+        stripped = line.strip()
+        if not stripped:
+            durable = position
+            continue
+        try:
+            obj = json.loads(stripped)
+        except ValueError:
+            break  # torn tail from a crash mid-write; drop it
+        if not line.endswith(b"\n"):
+            break
+        objects.append(obj)
+        durable = position
+    return objects, durable
+
+
 def campaign_fingerprint(
     trace: Trace,
     config: SystemConfig,
@@ -156,45 +192,22 @@ class CampaignCheckpoint:
         """Parse the existing journal; returns (entries, durable bytes)."""
         with open(self.path, "rb") as stream:
             raw = stream.read()
+        objects, durable = scan_durable_jsonl(raw)
+        if not objects:
+            return {}, 0  # empty or torn-at-header file: rewrite from scratch
+        header = objects[0]
+        found = header.get("fingerprint")
+        if header.get("version") != JOURNAL_VERSION or found != fingerprint:
+            raise CheckpointError(
+                f"checkpoint journal {self.path} belongs to a "
+                f"different campaign (fingerprint {found!r}, "
+                f"this campaign is {fingerprint!r}); delete it or "
+                f"point --checkpoint-dir elsewhere"
+            )
         entries: Dict[int, RunRecord] = {}
-        durable = 0
-        position = 0
-        header: Optional[dict] = None
-        for line in raw.splitlines(keepends=True):
-            position += len(line)
-            stripped = line.strip()
-            if not stripped:
-                durable = position
-                continue
-            try:
-                obj = json.loads(stripped)
-            except ValueError:
-                break  # torn tail from a crash mid-write; drop it
-            if header is None:
-                header = obj
-                found = header.get("fingerprint")
-                if header.get("version") != JOURNAL_VERSION or found != fingerprint:
-                    raise CheckpointError(
-                        f"checkpoint journal {self.path} belongs to a "
-                        f"different campaign (fingerprint {found!r}, "
-                        f"this campaign is {fingerprint!r}); delete it or "
-                        f"point --checkpoint-dir elsewhere"
-                    )
-            else:
-                record = _entry_to_record(obj)
-                entries[record.index] = record
-            # A complete JSON line without a trailing newline is durable
-            # too, but appending after it needs the newline restored —
-            # only count newline-terminated lines, re-journalling the
-            # last run in that rare case.
-            if line.endswith(b"\n"):
-                durable = position
-            else:
-                if header is not None and entries and obj is not header:
-                    entries.pop(record.index, None)
-                break
-        if header is None:
-            return {}, 0  # empty file: rewrite from scratch
+        for obj in objects[1:]:
+            record = _entry_to_record(obj)
+            entries[record.index] = record
         return entries, durable
 
     def append(self, record: RunRecord) -> None:

@@ -44,6 +44,7 @@ functions and the final sample stays bit-identical.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional
 
@@ -160,6 +161,138 @@ class FaultPlan:
             index for index in range(runs)
             if self.fault_for(index, attempt) == kind
         ]
+
+
+#: Fault kinds a service-level plan can inject, in cumulative-rate order.
+SERVICE_FAULT_KINDS = ("kill", "torn_journal", "corrupt_entry")
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """Deterministic chaos for the *service* layer.
+
+    Where :class:`FaultPlan` attacks individual simulation runs, this
+    plan attacks the machinery around them — the job queue, the
+    write-ahead job journal and the result store:
+
+    =================  ==================================================
+    ``kill``           a queue worker dies mid-job
+                       (:class:`~repro.errors.WorkerCrashError`) →
+                       exercises the admission layer's job-level retry
+                       budget and checkpoint-based resume
+    ``torn_journal``   a crash mid-append leaves a torn journal tail →
+                       exercises the durable-prefix loader
+                       (:func:`~repro.sim.checkpoint.scan_durable_jsonl`)
+    ``corrupt_entry``  a store entry is corrupted mid-write / by bit-rot
+                       → exercises checksum rejection + re-simulation
+    =================  ==================================================
+
+    Everything is a pure function of ``(seed, index, attempt)`` through
+    SplitMix64 — the same plan injects the same faults on every host,
+    so a service chaos test that fails in CI fails identically locally.
+    As with :class:`FaultPlan`, faults fire only while ``attempt <=
+    max_faulty_attempts``, so a bounded retry budget always converges.
+    """
+
+    seed: int
+    kill_rate: float = 0.0
+    torn_journal_rate: float = 0.0
+    corrupt_entry_rate: float = 0.0
+    #: Inject faults only on attempts up to this number, so bounded
+    #: job-level retry budgets always converge.
+    max_faulty_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        rates = (self.kill_rate, self.torn_journal_rate,
+                 self.corrupt_entry_rate)
+        if any(rate < 0 for rate in rates):
+            raise ConfigurationError(
+                f"service fault rates must be non-negative: {rates}"
+            )
+        if sum(rates) > 1.0:
+            raise ConfigurationError(
+                f"service fault rates must sum to at most 1, got {sum(rates)}"
+            )
+        if self.max_faulty_attempts < 0:
+            raise ConfigurationError(
+                "max_faulty_attempts must be non-negative, "
+                f"got {self.max_faulty_attempts}"
+            )
+
+    def _stream(self, index: int, attempt: int, domain: int) -> SplitMix64:
+        # Domain-separated from FaultPlan's draws: the same seed driving
+        # both a run-level and a service-level plan must not correlate.
+        mixer = SplitMix64((self.seed ^ 0xA5A5_5A5A_C3C3_3C3C) & 0xFFFFFFFFFFFFFFFF)
+        key = (index * 0x9E3779B97F4A7C15 + attempt * 0xBF58476D1CE4E5B9
+               + domain) & 0xFFFFFFFFFFFFFFFF
+        return SplitMix64(mixer.next_u64() ^ key)
+
+    def fault_for(self, index: int, attempt: int = 1) -> Optional[str]:
+        """The fault injected into attempt ``attempt`` of admission ``index``.
+
+        Returns one of :data:`SERVICE_FAULT_KINDS` or ``None``; pure in
+        ``(seed, index, attempt)``.
+        """
+        if attempt > self.max_faulty_attempts:
+            return None
+        draw = self._stream(index, attempt, domain=1).next_u64() / 2.0 ** 64
+        cumulative = 0.0
+        for kind, rate in zip(
+            SERVICE_FAULT_KINDS,
+            (self.kill_rate, self.torn_journal_rate, self.corrupt_entry_rate),
+        ):
+            cumulative += rate
+            if draw < cumulative:
+                return kind
+        return None
+
+    def torn_tail_bytes(self, index: int, max_bytes: int) -> int:
+        """Deterministic tear size (1..max_bytes) for a torn-journal fault."""
+        if max_bytes <= 0:
+            raise ConfigurationError(
+                f"torn_tail_bytes needs a positive max, got {max_bytes}"
+            )
+        return 1 + self._stream(index, 1, domain=2).next_u64() % max_bytes
+
+    def corrupt_offset(self, index: int, size: int) -> int:
+        """Deterministic byte offset (0..size-1) for a corrupt-entry fault."""
+        if size <= 0:
+            raise ConfigurationError(
+                f"corrupt_offset needs a positive file size, got {size}"
+            )
+        return self._stream(index, 1, domain=3).next_u64() % size
+
+
+def tear_file_tail(path, nbytes: int) -> int:
+    """Truncate the last ``nbytes`` of ``path`` (a crash mid-append).
+
+    Returns the number of bytes actually removed (the whole file, if
+    shorter).  The service chaos suite applies this to job journals and
+    asserts the durable-prefix loader recovers everything before the
+    tear.
+    """
+    size = os.path.getsize(path)
+    removed = min(max(nbytes, 0), size)
+    os.truncate(path, size - removed)
+    return removed
+
+
+def flip_file_byte(path, offset: int) -> None:
+    """XOR one byte of ``path`` (mid-write corruption / bit-rot).
+
+    The service chaos suite applies this to result-store entries and
+    asserts the checksum rejects the entry and the campaign is
+    re-simulated bit-identically.
+    """
+    with open(path, "r+b") as stream:
+        stream.seek(offset)
+        byte = stream.read(1)
+        if not byte:
+            raise ConfigurationError(
+                f"cannot corrupt byte {offset} of {path}: past end of file"
+            )
+        stream.seek(offset)
+        stream.write(bytes([byte[0] ^ 0xFF]))
 
 
 class FaultInjectingBackend(ExecutionBackend):

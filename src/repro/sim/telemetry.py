@@ -29,6 +29,38 @@ Metric names emitted here (and by the seams reading
 ``wave_latency_s``         histogram of per-wave host seconds (backend seam)
 ``campaign_latency_s``     histogram of per-campaign host seconds
 =========================  ====================================================
+
+Service-layer names (emitted by :mod:`repro.service` on the queue's
+registry; listed here so the full metric namespace has one home):
+
+===============================  ==============================================
+``jobs_submitted/completed/...`` job lifecycle counters (``failed``,
+                                 ``cancelled``, ``coalesced``)
+``jobs_shed``                    submissions refused by admission control
+``jobs_shed_<reason>``           per-reason shed breakdown (``queue_full``,
+                                 ``circuit_open``, ``deadline``)
+``jobs_requeued``                job-level transient retries (retry budget)
+``jobs_recovered``               journalled jobs re-admitted after a restart
+``journal_rebuild_failures``     journal entries that could not be rebuilt
+``runs_requested``               runs asked of the store front door
+``runs_resumed``                 runs taken over from a dead process's
+                                 checkpoint (simulated before this process)
+``runs_served_from_cache``       runs answered by store hits / coalescing
+``runs_shed``                    runs of shed or cancelled front-door jobs
+``store_hits/misses``            result-store lookups
+``store_integrity_failures``     corrupt entries dropped and re-simulated
+``store_evictions``              entries GC removed to satisfy the quota
+``store_evicted_bytes``          bytes reclaimed by those evictions
+``job_queue_wait_s``             histogram of queue-wait seconds
+``job_queue_depth``              gauge: jobs waiting for a worker
+``jobs_inflight``                gauge: jobs currently executing
+===============================  ==============================================
+
+with the service reconciliation invariant ``runs_requested ==
+runs_simulated + runs_resumed + runs_served_from_cache + runs_shed``
+holding on every success-or-shed path (``runs_resumed`` is non-zero
+only after crash recovery: those runs were simulated — and counted —
+by a previous process incarnation).
 """
 
 from __future__ import annotations
