@@ -34,6 +34,8 @@ from repro.analysis.partitions import (
 )
 from repro.core.config import OperationMode
 from repro.errors import AnalysisError, CampaignRunError, ConfigurationError
+from repro.pta.adaptive import ConvergencePolicy
+from repro.pta.evt import validate_exceedance
 from repro.pta.iid import IIDResult, iid_test
 from repro.pta.mbpta import MBPTAResult, estimate_pwcet
 from repro.sim.backend import ExecutionBackend, RunObserver, SerialBackend
@@ -65,6 +67,14 @@ class PWCETTable:
     journalled runs are loaded, not re-executed, and the resumed
     estimates are bit-identical to an uninterrupted sweep's.
     ``resume=False`` keeps journalling but discards any prior journal.
+
+    ``adaptive`` (a :class:`~repro.pta.adaptive.ConvergencePolicy`)
+    switches every analysis campaign from fixed-R to streaming
+    convergence: each (benchmark, setup) campaign requests the policy's
+    ``max_runs`` and stops at its own convergence point.  The executed
+    samples are bit-identical prefixes of the fixed-R samples, so a
+    tight-``rtol`` adaptive table reproduces the fixed table's figures
+    at a fraction of the simulated runs.
     """
 
     def __init__(
@@ -81,13 +91,21 @@ class PWCETTable:
         cycle_budget: Optional[int] = None,
         engine: str = "auto",
         workers: Optional[int] = None,
+        adaptive: Optional[ConvergencePolicy] = None,
     ) -> None:
         self.scale = scale if scale is not None else ExperimentScale.default()
         # Default to the scale's proportionally shrunk platform; an
         # explicit config overrides (e.g. for ablations).
         self.config = config if config is not None else self.scale.system_config()
         self.seed = seed
-        self.exceedance_prob = exceedance_prob
+        # Reject a bad cutoff here, at construction, rather than deep
+        # in the first campaign's Gumbel fit.
+        self.exceedance_prob = validate_exceedance(
+            exceedance_prob, label="PWCETTable exceedance_prob"
+        )
+        #: Streaming-convergence policy for analysis campaigns (None =
+        #: fixed-R at the scale's ``analysis_runs``).
+        self.adaptive = adaptive
         self.backend = backend if backend is not None else SerialBackend()
         self.observer = observer if observer is not None else RunObserver()
         #: When set, every run is profiled and its attribution snapshot
@@ -166,11 +184,18 @@ class PWCETTable:
             # hash(): the latter is salted per process and would make
             # campaigns irreproducible across invocations).
             key_digest = zlib.crc32(f"{bench_id}/{scenario.label()}".encode())
+            # Adaptive campaigns request the policy's run ceiling (the
+            # checkpoint fingerprint is taken on max_runs, so a fixed-R
+            # journal at the same ceiling resumes interchangeably).
+            runs = (
+                self.adaptive.max_runs if self.adaptive is not None
+                else self.scale.analysis_runs
+            )
             self._campaigns[key] = collect_execution_times(
                 self.traces[bench_id],
                 self.config,
                 scenario,
-                runs=self.scale.analysis_runs,
+                runs=runs,
                 master_seed=self.seed ^ key_digest,
                 backend=self.backend,
                 observer=self.observer,
@@ -180,6 +205,7 @@ class PWCETTable:
                 engine=self.engine,
                 workers=self.workers,
                 plan_cache=self.plan_cache,
+                adaptive=self.adaptive,
             )
         return self._campaigns[key]
 

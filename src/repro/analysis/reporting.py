@@ -56,6 +56,18 @@ def render_campaign(result: CampaignResult) -> str:
             f"  throughput: {result.runs_per_second:.1f} runs/s "
             f"({result.wall_time_s:.2f}s wall)"
         )
+    if result.adaptive:
+        requested = result.runs_executed + result.runs_saved
+        achieved = (
+            f"{result.pwcet_rtol_achieved:.2e}"
+            if result.pwcet_rtol_achieved is not None else "n/a"
+        )
+        verdict = "converged" if result.converged else "did NOT converge"
+        lines.append(
+            f"  convergence: {verdict} after {result.runs_executed} of "
+            f"{requested} runs ({result.runs_saved} saved; quantile "
+            f"movement {achieved}, rtol {result.pwcet_rtol_requested:g})"
+        )
     if result.resumed_runs or result.retried_runs:
         lines.append(
             f"  resilience: {result.resumed_runs} runs resumed from "

@@ -65,6 +65,18 @@ with labelled errors instead of queueing unboundedly).
 {plain,kv,json}`` control progress logging; the defaults reproduce the
 historical ``--verbose`` text output exactly, while ``kv``/``json``
 emit machine-parseable records for log aggregation.
+
+``--adaptive`` turns every analysis campaign into an early-stopping
+one: runs are dispatched wave by wave and the campaign stops as soon
+as the pWCET quantile has been stable (moved less than
+``--pwcet-rtol``, default 0.005, for two consecutive waves) and the
+i.i.d. tests pass, instead of always simulating the scale's fixed run
+count.  The executed sample is bit-identical to the prefix of the
+fixed-R campaign's sample, so results are reproducible; ``--min-runs``
+/ ``--max-runs`` bound the sample size (``--min-runs R --max-runs R``
+reproduces a fixed-R campaign exactly).  The flags compose with
+``submit``/``serve`` — adaptive jobs carry their convergence policy in
+the store fingerprint, so they never answer a fixed-R submission.
 """
 
 from __future__ import annotations
@@ -101,6 +113,7 @@ from repro.errors import (
     ServiceError,
 )
 from repro.observability import LEVELS, LOG_FORMATS, StructuredLogger, Telemetry
+from repro.pta import ConvergencePolicy
 from repro.service import (
     AdmissionPolicy,
     CampaignJob,
@@ -133,6 +146,29 @@ def _cli_logger(args: argparse.Namespace) -> StructuredLogger:
     """
     return StructuredLogger(
         stream=sys.stderr, level=args.log_level, fmt=args.log_format
+    )
+
+
+def _adaptive_policy(
+    args: argparse.Namespace, scale: ExperimentScale
+) -> Optional[ConvergencePolicy]:
+    """The convergence policy the CLI flags describe, or None.
+
+    ``--max-runs`` (or, for the service verbs, ``--runs``) caps the
+    sample; everything else defaults from the scale preset.  The
+    rtol/min/max flags were already validated to require ``--adaptive``
+    in :func:`main`.
+    """
+    if not args.adaptive:
+        return None
+    kwargs = {}
+    if args.pwcet_rtol is not None:
+        kwargs["rtol"] = args.pwcet_rtol
+    max_runs = args.max_runs
+    if max_runs is None:
+        max_runs = getattr(args, "runs", None)
+    return ConvergencePolicy.for_scale(
+        scale, min_runs=args.min_runs, max_runs=max_runs, **kwargs
     )
 
 
@@ -173,6 +209,7 @@ def _build_table(args: argparse.Namespace) -> PWCETTable:
         cycle_budget=args.cycle_budget,
         engine=args.engine,
         workers=shard_workers,
+        adaptive=_adaptive_policy(args, scale),
     )
 
 
@@ -257,7 +294,11 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     scale = ExperimentScale.from_name(args.scale)
     trace = build_benchmark(args.bench, scale.trace_scale)
     scenario = Scenario.from_label(args.scenario)
-    runs = args.runs if args.runs is not None else scale.analysis_runs
+    adaptive = _adaptive_policy(args, scale)
+    if adaptive is not None:
+        runs = adaptive.max_runs
+    else:
+        runs = args.runs if args.runs is not None else scale.analysis_runs
     telemetry = Telemetry(logger=_cli_logger(args))
     store = ResultStore(args.store)
     job = CampaignJob(
@@ -269,6 +310,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         engine=args.engine,
         workers=args.workers,
         cycle_budget=args.cycle_budget,
+        adaptive=adaptive,
     )
     with JobQueue(workers=1, telemetry=telemetry) as queue:
         resolved = store.get_or_submit(job, queue)
@@ -325,7 +367,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             scale = ExperimentScale.from_name(args.scale)
             trace = build_benchmark(args.bench, scale.trace_scale)
             scenario = Scenario.from_label(args.scenario)
-            runs = args.runs if args.runs is not None else scale.analysis_runs
+            adaptive = _adaptive_policy(args, scale)
+            if adaptive is not None:
+                runs = adaptive.max_runs
+            else:
+                runs = (
+                    args.runs if args.runs is not None
+                    else scale.analysis_runs
+                )
             job = CampaignJob(
                 trace,
                 SystemConfig(),
@@ -335,6 +384,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 engine=args.engine,
                 workers=args.workers,
                 cycle_budget=args.cycle_budget,
+                adaptive=adaptive,
             )
             try:
                 jobs.append(store.get_or_submit(job, queue))
@@ -373,7 +423,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"simulated={runs_block['simulated']} "
             f"resumed={runs_block['resumed']} "
             f"cached={runs_block['served_from_cache']} "
-            f"shed={runs_block['shed']}"
+            f"shed={runs_block['shed']} "
+            f"saved={runs_block['saved_converged']}"
         )
     _write_telemetry(args, telemetry)
     return 1 if (failed or shed) else 0
@@ -563,6 +614,50 @@ def make_parser() -> argparse.ArgumentParser:
             "abort any run exceeding this many simulated cycles "
             "(livelock guard; such failures are deterministic and "
             "never retried; default: unbounded)"
+        ),
+    )
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help=(
+            "stop each analysis campaign as soon as the pWCET quantile "
+            "is stable (streaming EVT convergence) instead of always "
+            "simulating the scale's fixed run count; the executed "
+            "sample is bit-identical to the fixed campaign's prefix"
+        ),
+    )
+    parser.add_argument(
+        "--pwcet-rtol",
+        type=float,
+        default=None,
+        metavar="RTOL",
+        help=(
+            "adaptive convergence tolerance: stop once the pWCET "
+            "quantile moves less than this relative amount for two "
+            "consecutive waves (needs --adaptive; default: 0.005)"
+        ),
+    )
+    parser.add_argument(
+        "--min-runs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "never declare convergence before N runs (needs "
+            "--adaptive; default: the smallest prefix the Gumbel fit "
+            "and i.i.d. tests accept)"
+        ),
+    )
+    parser.add_argument(
+        "--max-runs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "adaptive run ceiling: stop at N runs even if not "
+            "converged (needs --adaptive; default: the scale preset's "
+            "fixed run count); --min-runs R --max-runs R reproduces a "
+            "fixed-R campaign exactly"
         ),
     )
     parser.add_argument(
@@ -781,6 +876,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.resume and args.checkpoint_dir is None:
         raise ConfigurationError(
             "--resume needs --checkpoint-dir to know where the journals live"
+        )
+    if not args.adaptive:
+        for flag, value in (("--pwcet-rtol", args.pwcet_rtol),
+                            ("--min-runs", args.min_runs),
+                            ("--max-runs", args.max_runs)):
+            if value is not None:
+                raise ConfigurationError(
+                    f"{flag} only shapes an adaptive campaign's "
+                    f"convergence policy; add --adaptive"
+                )
+    if args.adaptive and args.max_runs is not None \
+            and getattr(args, "runs", None) is not None \
+            and args.max_runs != args.runs:
+        raise ConfigurationError(
+            f"--max-runs {args.max_runs} conflicts with --runs "
+            f"{args.runs}: an adaptive job's run budget is its "
+            f"max_runs; pass just one of the two"
         )
     if args.command in ("submit", "serve") and args.backend != "serial":
         raise ConfigurationError(

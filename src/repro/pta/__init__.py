@@ -12,9 +12,15 @@ paper:
 * :mod:`repro.pta.iid` — Wald-Wolfowitz and Kolmogorov-Smirnov tests
   for the i.i.d. hypotheses MBPTA requires;
 * :mod:`repro.pta.mbpta` — the end-to-end MBPTA procedure tying the
-  above together over a sample of execution times.
+  above together over a sample of execution times;
+* :mod:`repro.pta.adaptive` — streaming EVT convergence: the stopping
+  rule and incremental estimator behind adaptive (early-stopping)
+  campaigns;
+* :mod:`repro.pta.reference` — pure-scalar oracle forms of the
+  vectorised EVT/i.i.d. statistics.
 """
 
+from repro.pta.adaptive import ConvergencePolicy, StreamingGumbelEstimator
 from repro.pta.etp import ExecutionTimeProfile
 from repro.pta.eq1 import (
     miss_probability,
@@ -22,7 +28,13 @@ from repro.pta.eq1 import (
     sequence_miss_probabilities,
     steady_state_miss_ratio,
 )
-from repro.pta.evt import GumbelFit, block_maxima, fit_gumbel_pwm, pwcet_estimate
+from repro.pta.evt import (
+    GumbelFit,
+    block_maxima,
+    fit_gumbel_pwm,
+    pwcet_estimate,
+    validate_exceedance,
+)
 from repro.pta.iid import IIDResult, kolmogorov_smirnov_test, wald_wolfowitz_test, iid_test
 from repro.pta.mbpta import MBPTAResult, estimate_pwcet
 from repro.pta.spta import (
@@ -32,6 +44,8 @@ from repro.pta.spta import (
 )
 
 __all__ = [
+    "ConvergencePolicy",
+    "StreamingGumbelEstimator",
     "ExecutionTimeProfile",
     "miss_probability",
     "miss_probability_exact",
@@ -41,6 +55,7 @@ __all__ = [
     "block_maxima",
     "fit_gumbel_pwm",
     "pwcet_estimate",
+    "validate_exceedance",
     "IIDResult",
     "wald_wolfowitz_test",
     "kolmogorov_smirnov_test",

@@ -1,0 +1,362 @@
+"""Streaming EVT convergence: campaigns stop when the pWCET is stable.
+
+Fixed-R campaigns simulate a worst-case run count even when the Gumbel
+tail stabilised hundreds of runs earlier.  This module turns them into
+bounded-error campaigns, following the MBPTA convergence protocol of
+Cucu-Grosjean et al. (ECRTS 2012): grow the sample wave by wave,
+re-estimate the pWCET after each wave, and stop once the estimate no
+longer moves.
+
+Two pieces:
+
+* :class:`ConvergencePolicy` — the declarative stopping rule.  A
+  campaign converges at a wave boundary when the pWCET quantile moved
+  less than ``rtol`` (relatively) for ``stable_waves`` consecutive
+  waves, the i.i.d. tests (:mod:`repro.pta.iid`) pass on the prefix,
+  and at least ``min_runs`` observations were collected; it always
+  stops at ``max_runs``.  All parameters — including the
+  ``exceedance`` probability, per the construction-time validation
+  rule — are validated here with labelled
+  :class:`~repro.errors.ConfigurationError`\\ s, never deep in a fit.
+
+* :class:`StreamingGumbelEstimator` — the incremental fitter.  It
+  maintains the *sorted order statistics of the block maxima* across
+  waves by merging each wave's new maxima into the running sorted
+  array (``searchsorted`` + ``insert``, O(n + w) per wave — no full
+  re-sort), then re-fits via
+  :func:`~repro.pta.evt.fit_gumbel_pwm_sorted`.
+
+Determinism contract
+--------------------
+The stopping decision is a deterministic pure function of the sample
+*prefix* and the policy: feeding the same observations in the same
+order — whether freshly executed, replayed from a checkpoint journal,
+or produced by a different engine — yields the same per-wave estimates,
+the same convergence wave and therefore the same ``runs_executed``.
+This is what preserves cross-engine bit-identity and checkpoint resume
+for adaptive campaigns: per-run seeds are derived independently of
+dispatch grouping, so an adaptive campaign's sample is always a prefix
+of the fixed-R campaign's sample for the same master seed.
+
+The bit-identity contract with the batch fitters is explicit: after any
+number of waves, :meth:`StreamingGumbelEstimator.fit` equals
+``fit_gumbel_pwm(block_maxima(prefix, block_size))`` and
+:meth:`~StreamingGumbelEstimator.pwcet` equals
+``pwcet_estimate(prefix, exceedance, block_size)`` bit-for-bit
+(property-tested in ``tests/test_adaptive.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.pta.evt import (
+    GumbelFit,
+    block_exceedance,
+    fit_gumbel_pwm_sorted,
+    validate_exceedance,
+)
+from repro.pta.iid import iid_test
+
+#: Default relative tolerance on the pWCET quantile between waves.
+DEFAULT_RTOL = 0.005
+
+#: Default number of consecutive stable waves required to converge.
+DEFAULT_STABLE_WAVES = 2
+
+#: :func:`repro.pta.iid.iid_test`'s own floor; below it the i.i.d.
+#: gate simply reports "not yet" rather than erroring.
+MIN_IID_OBSERVATIONS = 20
+
+
+@dataclass(frozen=True)
+class ConvergencePolicy:
+    """Declarative stopping rule for an adaptive MBPTA campaign.
+
+    ``min_runs``/``max_runs`` bound the sample size, ``wave_size`` is
+    the dispatch granularity (convergence is only evaluated at wave
+    boundaries — the barrier every execution backend already has),
+    ``rtol``/``stable_waves`` define quantile stability, ``exceedance``
+    is the per-run target probability the quantile is tracked at, and
+    ``block_size`` is the block-maxima granularity of the Gumbel fit.
+    ``require_iid=False`` drops the i.i.d. gate (useful for harnesses
+    on tiny synthetic samples; the paper's protocol keeps it on).
+    """
+
+    min_runs: int
+    max_runs: int
+    wave_size: int
+    rtol: float = DEFAULT_RTOL
+    stable_waves: int = DEFAULT_STABLE_WAVES
+    exceedance: float = 1e-15
+    block_size: int = 25
+    require_iid: bool = True
+
+    def __post_init__(self) -> None:
+        validate_exceedance(self.exceedance, label="ConvergencePolicy exceedance")
+        if self.min_runs < 1:
+            raise ConfigurationError(
+                f"ConvergencePolicy min_runs must be >= 1, got {self.min_runs}"
+            )
+        if self.max_runs < self.min_runs:
+            raise ConfigurationError(
+                f"ConvergencePolicy max_runs ({self.max_runs}) must be >= "
+                f"min_runs ({self.min_runs})"
+            )
+        if self.wave_size < 1:
+            raise ConfigurationError(
+                f"ConvergencePolicy wave_size must be >= 1, got {self.wave_size}"
+            )
+        if self.stable_waves < 1:
+            raise ConfigurationError(
+                f"ConvergencePolicy stable_waves must be >= 1, "
+                f"got {self.stable_waves}"
+            )
+        if self.block_size < 1:
+            raise ConfigurationError(
+                f"ConvergencePolicy block_size must be >= 1, "
+                f"got {self.block_size}"
+            )
+        if not (isinstance(self.rtol, float) and math.isfinite(self.rtol)
+                and self.rtol > 0.0):
+            raise ConfigurationError(
+                f"ConvergencePolicy rtol must be a positive finite float, "
+                f"got {self.rtol!r}"
+            )
+        if self.max_runs < 2 * self.block_size:
+            raise ConfigurationError(
+                f"ConvergencePolicy max_runs ({self.max_runs}) can never "
+                f"produce the 2 blocks of {self.block_size} a Gumbel fit "
+                f"needs"
+            )
+
+    @classmethod
+    def for_scale(
+        cls,
+        scale,
+        *,
+        rtol: float = DEFAULT_RTOL,
+        min_runs: Optional[int] = None,
+        max_runs: Optional[int] = None,
+        stable_waves: int = DEFAULT_STABLE_WAVES,
+        exceedance: float = 1e-15,
+        require_iid: bool = True,
+    ) -> "ConvergencePolicy":
+        """Policy matched to an :class:`~repro.workloads.scale.ExperimentScale`.
+
+        ``max_runs`` defaults to the scale's fixed-R ``analysis_runs``
+        (so an adaptive campaign can never exceed the fixed budget),
+        ``wave_size``/``block_size`` to the scale's EVT block size (one
+        whole block per wave), and ``min_runs`` to the smallest prefix
+        both the fit and the i.i.d. tests accept.  Passing
+        ``min_runs == max_runs == R`` reproduces a fixed-R campaign
+        exactly.
+        """
+        block = scale.block_size
+        if max_runs is None:
+            max_runs = scale.analysis_runs
+        if min_runs is None:
+            min_runs = min(max(2 * block, MIN_IID_OBSERVATIONS), max_runs)
+        return cls(
+            min_runs=min_runs,
+            max_runs=max_runs,
+            wave_size=block,
+            rtol=rtol,
+            stable_waves=stable_waves,
+            exceedance=exceedance,
+            block_size=block,
+            require_iid=require_iid,
+        )
+
+    def fingerprint_key(self) -> tuple:
+        """Stable identity tuple for fingerprints and job specs.
+
+        Floats ride as ``repr`` strings so the key survives JSON
+        round-trips without precision surprises.
+        """
+        return (
+            self.min_runs,
+            self.max_runs,
+            self.wave_size,
+            repr(self.rtol),
+            self.stable_waves,
+            repr(self.exceedance),
+            self.block_size,
+            self.require_iid,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the service journal's wire format)."""
+        return {
+            "min_runs": self.min_runs,
+            "max_runs": self.max_runs,
+            "wave_size": self.wave_size,
+            "rtol": self.rtol,
+            "stable_waves": self.stable_waves,
+            "exceedance": self.exceedance,
+            "block_size": self.block_size,
+            "require_iid": self.require_iid,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ConvergencePolicy":
+        """Rebuild a policy from :meth:`to_dict` output."""
+        return cls(
+            min_runs=payload["min_runs"],
+            max_runs=payload["max_runs"],
+            wave_size=payload["wave_size"],
+            rtol=payload["rtol"],
+            stable_waves=payload["stable_waves"],
+            exceedance=payload["exceedance"],
+            block_size=payload["block_size"],
+            require_iid=payload.get("require_iid", True),
+        )
+
+
+class StreamingGumbelEstimator:
+    """Incremental block-maxima Gumbel fit with a convergence verdict.
+
+    Feed whole waves of execution times in collection order via
+    :meth:`observe_wave`; the estimator folds completed blocks into its
+    sorted-maxima array, re-fits, and updates the stability counter.
+    ``observe_wave`` returns (and :attr:`converged` latches) ``True``
+    at the first wave boundary satisfying the policy.
+
+    The estimator is a pure function of the observation prefix — it
+    holds no clocks, no randomness and no engine state — so replaying a
+    checkpoint journal through it reproduces the original stopping
+    decision exactly.
+    """
+
+    def __init__(self, policy: ConvergencePolicy) -> None:
+        self.policy = policy
+        self._block_prob = block_exceedance(policy.exceedance, policy.block_size)
+        self._times: List[float] = []
+        #: Sorted block maxima, merged incrementally (never re-sorted).
+        self._maxima = np.empty(0, dtype=float)
+        self._hwm = -math.inf
+        #: pWCET estimate at each wave boundary (None before 2 blocks).
+        self.history: List[Optional[float]] = []
+        #: Relative quantile movement at each boundary (None when
+        #: either side of the comparison had no estimate yet).
+        self.deltas: List[Optional[float]] = []
+        self._stable = 0
+        self.converged = False
+        self.waves = 0
+
+    @property
+    def runs(self) -> int:
+        """Observations consumed so far."""
+        return len(self._times)
+
+    @property
+    def sorted_maxima(self) -> np.ndarray:
+        """Copy of the incrementally-merged sorted block maxima."""
+        return self._maxima.copy()
+
+    def fit(self) -> Optional[GumbelFit]:
+        """Current Gumbel fit, or None before two blocks completed."""
+        if self._maxima.size < 2:
+            return None
+        return fit_gumbel_pwm_sorted(self._maxima)
+
+    def pwcet(self) -> Optional[float]:
+        """Current pWCET estimate at the policy's exceedance target.
+
+        Bit-identical to ``pwcet_estimate(prefix, exceedance,
+        block_size)`` on the consumed prefix; None before two blocks.
+        """
+        fit = self.fit()
+        if fit is None:
+            return None
+        return max(fit.quantile_of_exceedance(self._block_prob), self._hwm)
+
+    @property
+    def achieved_rtol(self) -> Optional[float]:
+        """Largest relative quantile movement over the deciding window.
+
+        When converged, the maximum delta across the ``stable_waves``
+        boundaries that declared convergence (all strictly below the
+        policy's ``rtol``); otherwise the last measured delta, i.e. how
+        far from stable the campaign still was at ``max_runs``.
+        """
+        if self.converged:
+            window = self.deltas[-self.policy.stable_waves:]
+            return max(window)
+        measured = [delta for delta in self.deltas if delta is not None]
+        return measured[-1] if measured else None
+
+    def observe_wave(self, wave: Sequence[float]) -> bool:
+        """Consume one completed wave; return the convergence verdict.
+
+        The wave must be the next contiguous chunk of the campaign's
+        observations in collection order (resumed runs included — the
+        journal replays through the same code path as fresh execution).
+        """
+        if self.converged:
+            return True
+        values = [float(value) for value in wave]
+        self._times.extend(values)
+        if values:
+            high = max(values)
+            if high > self._hwm:
+                self._hwm = high
+        self._merge_new_blocks()
+        self.waves += 1
+        previous = self.history[-1] if self.history else None
+        estimate = self.pwcet()
+        self.history.append(estimate)
+        if estimate is None or previous is None:
+            self.deltas.append(None)
+            self._stable = 0
+        else:
+            if previous:
+                delta = abs(estimate - previous) / previous
+            else:
+                delta = 0.0 if estimate == previous else math.inf
+            self.deltas.append(delta)
+            if delta < self.policy.rtol:
+                self._stable += 1
+            else:
+                self._stable = 0
+        if (self._stable >= self.policy.stable_waves
+                and self.runs >= self.policy.min_runs
+                and self._iid_passes()):
+            self.converged = True
+        return self.converged
+
+    def _merge_new_blocks(self) -> None:
+        """Fold newly-completed blocks into the sorted-maxima array.
+
+        Blocks are fixed ``block_size`` windows of the observation
+        sequence (a trailing partial block stays pending), so the block
+        maxima are exactly :func:`~repro.pta.evt.block_maxima` of the
+        prefix.  Only the wave's own maxima are sorted; the running
+        array is merged into, never re-sorted.
+        """
+        block = self.policy.block_size
+        total_blocks = len(self._times) // block
+        new_blocks = total_blocks - self._maxima.size
+        if new_blocks <= 0:
+            return
+        start = self._maxima.size * block
+        chunk = np.asarray(
+            self._times[start:start + new_blocks * block], dtype=float
+        )
+        fresh = np.sort(chunk.reshape(new_blocks, block).max(axis=1))
+        self._maxima = np.insert(
+            self._maxima, np.searchsorted(self._maxima, fresh), fresh
+        )
+
+    def _iid_passes(self) -> bool:
+        """i.i.d. gate on the consumed prefix (5% thresholds)."""
+        if not self.policy.require_iid:
+            return True
+        if self.runs < MIN_IID_OBSERVATIONS:
+            return False
+        return iid_test(self._times).passed

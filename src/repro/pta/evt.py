@@ -22,11 +22,41 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, ConfigurationError
 from repro.utils.stats_utils import as_sample
 
 #: Euler-Mascheroni constant (mean of the standard Gumbel).
 EULER_GAMMA = 0.5772156649015329
+
+
+def validate_exceedance(prob: float, label: str = "exceedance probability") -> float:
+    """Validate an exceedance probability once, at construction time.
+
+    Policies and tables that carry an exceedance probability call this
+    in their constructor so a bad value surfaces as a labelled
+    :class:`~repro.errors.ConfigurationError` where it was configured,
+    not as an :class:`~repro.errors.AnalysisError` deep inside a fit
+    hundreds of runs later.  The fit-level checks remain as backstops
+    for direct callers.
+    """
+    if isinstance(prob, bool) or not isinstance(prob, (int, float)):
+        raise ConfigurationError(
+            f"{label} must be a number in (0, 1), got {prob!r}"
+        )
+    if not 0.0 < prob < 1.0:
+        raise ConfigurationError(f"{label} must be in (0, 1), got {prob!r}")
+    return float(prob)
+
+
+def block_exceedance(exceedance_prob: float, block_size: int) -> float:
+    """Per-run exceedance converted to block-maximum exceedance.
+
+    A Gumbel fitted to maxima of ``block_size``-run blocks speaks about
+    block exceedance; a per-run target ``p`` maps to
+    ``1 - (1 - p)**block_size`` (~ ``block_size * p`` for tiny ``p``),
+    computed via ``expm1``/``log1p`` so 1e-19-scale targets survive.
+    """
+    return -math.expm1(block_size * math.log1p(-exceedance_prob))
 
 
 @dataclass(frozen=True)
@@ -101,7 +131,18 @@ def fit_gumbel_pwm(sample: Sequence[float]) -> GumbelFit:
     which every pWCET equals the constant — the correct answer for a
     perfectly deterministic program.
     """
-    arr = np.sort(as_sample(sample))
+    return fit_gumbel_pwm_sorted(np.sort(as_sample(sample)))
+
+
+def fit_gumbel_pwm_sorted(arr: np.ndarray) -> GumbelFit:
+    """PWM Gumbel fit of an *already sorted* float64 sample.
+
+    The streaming estimator (:mod:`repro.pta.adaptive`) maintains its
+    order statistics incrementally across waves, so it skips the sort;
+    because the PWM sums below are computed from the sorted array, the
+    fit is bit-identical whether the caller sorted from scratch or
+    merged incrementally.
+    """
     n = arr.size
     if n < 2:
         raise AnalysisError("Gumbel fit needs at least 2 observations")
@@ -142,7 +183,7 @@ def pwcet_estimate(
     arr = as_sample(execution_times)
     maxima = block_maxima(arr, block_size)
     fit = fit_gumbel_pwm(maxima)
-    block_prob = -math.expm1(block_size * math.log1p(-exceedance_prob))
+    block_prob = block_exceedance(exceedance_prob, block_size)
     estimate = fit.quantile_of_exceedance(block_prob)
     return max(estimate, float(arr.max()))
 
@@ -200,6 +241,7 @@ def pwcet_curve(
     for prob in exceedance_probs:
         if not 0.0 < prob < 1.0:
             raise AnalysisError(f"exceedance probability {prob} not in (0, 1)")
-        block_prob = -math.expm1(block_size * math.log1p(-prob))
-        curve[prob] = max(fit.quantile_of_exceedance(block_prob), hwm)
+        curve[prob] = max(
+            fit.quantile_of_exceedance(block_exceedance(prob, block_size)), hwm
+        )
     return curve

@@ -14,6 +14,12 @@ Both are implemented from first principles (no scipy dependency) with
 the same conventions the MBPTA literature uses: the runs test
 dichotomises about the median (dropping ties), and the KS test compares
 the first and second halves of the observation sequence.
+
+Both statistics are NumPy-vectorised — adaptive campaigns
+(:mod:`repro.pta.adaptive`) re-run them at every wave boundary, which
+makes them per-wave hot paths.  Pure-scalar reference forms live in
+:mod:`repro.pta.reference` and are held equivalent by
+``tests/test_pta_reference.py``.
 """
 
 from __future__ import annotations
@@ -142,9 +148,9 @@ def wald_wolfowitz_test(sample: Sequence[float]) -> RunsTestResult:
     """
     arr = as_sample(sample)
     median = float(np.median(arr))
-    signs = [1 if x > median else 0 for x in arr if x != median]
-    n1 = sum(signs)
-    n0 = len(signs) - n1
+    signs = arr[arr != median] > median
+    n1 = int(np.count_nonzero(signs))
+    n0 = int(signs.size) - n1
     if n1 == 0 or n0 == 0:
         # Degenerate sample: (nearly) constant execution times, so the
         # runs statistic is undefined — and a constant sample carries
@@ -152,7 +158,7 @@ def wald_wolfowitz_test(sample: Sequence[float]) -> RunsTestResult:
         # statistic, which is what a perfectly deterministic program
         # deserves.
         return RunsTestResult(statistic=0.0, runs=0, n_above=n1, n_below=n0)
-    runs = 1 + sum(1 for a, b in zip(signs, signs[1:]) if a != b)
+    runs = 1 + int(np.count_nonzero(signs[1:] != signs[:-1]))
     n = n0 + n1
     mean_runs = 2.0 * n0 * n1 / n + 1.0
     var_runs = 2.0 * n0 * n1 * (2.0 * n0 * n1 - n) / (n * n * (n - 1.0))

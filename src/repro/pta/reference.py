@@ -1,0 +1,115 @@
+"""Pure-scalar reference forms of the vectorised PTA statistics.
+
+The EVT and i.i.d. statistics in :mod:`repro.pta.evt` and
+:mod:`repro.pta.iid` are NumPy-vectorised because adaptive campaigns
+(:mod:`repro.pta.adaptive`) re-evaluate them at every wave boundary.
+This module keeps the pre-vectorisation, ``math``-only forms alive as
+oracles — the same role :mod:`repro.sim.reference` plays for the
+simulator hot path — and ``tests/test_pta_reference.py`` holds the two
+implementations equivalent on randomised samples.
+
+These functions are deliberately slow and simple.  They exist to be
+obviously correct, not to be used in production paths.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.errors import AnalysisError
+from repro.pta.evt import EULER_GAMMA, GumbelFit
+from repro.pta.iid import KSTestResult, RunsTestResult, _ks_p_value
+
+
+def _scalar_sample(values: Sequence[float]) -> List[float]:
+    """Scalar twin of :func:`repro.utils.stats_utils.as_sample`."""
+    sample = [float(value) for value in values]
+    if not sample:
+        raise AnalysisError("sample is empty")
+    if not all(math.isfinite(value) for value in sample):
+        raise AnalysisError("sample contains non-finite values")
+    return sample
+
+
+def _scalar_median(values: List[float]) -> float:
+    """Sample median with NumPy's convention (mean of middle pair)."""
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def block_maxima_reference(
+    sample: Sequence[float], block_size: int
+) -> List[float]:
+    """Scalar twin of :func:`repro.pta.evt.block_maxima`."""
+    values = _scalar_sample(sample)
+    if block_size <= 0:
+        raise AnalysisError(f"block size must be positive, got {block_size}")
+    num_blocks = len(values) // block_size
+    if num_blocks < 2:
+        raise AnalysisError(
+            f"{len(values)} observations give only {num_blocks} blocks of "
+            f"{block_size}; need at least 2"
+        )
+    return [
+        max(values[block * block_size:(block + 1) * block_size])
+        for block in range(num_blocks)
+    ]
+
+
+def fit_gumbel_pwm_reference(sample: Sequence[float]) -> GumbelFit:
+    """Scalar twin of :func:`repro.pta.evt.fit_gumbel_pwm`."""
+    ordered = sorted(_scalar_sample(sample))
+    n = len(ordered)
+    if n < 2:
+        raise AnalysisError("Gumbel fit needs at least 2 observations")
+    b0 = math.fsum(ordered) / n
+    b1 = math.fsum(
+        (rank / (n - 1)) * value for rank, value in enumerate(ordered)
+    ) / n
+    scale = (2.0 * b1 - b0) / math.log(2.0)
+    if scale < 0.0:
+        scale = 0.0
+    location = b0 - EULER_GAMMA * scale
+    return GumbelFit(location=location, scale=scale)
+
+
+def wald_wolfowitz_reference(sample: Sequence[float]) -> RunsTestResult:
+    """Scalar twin of :func:`repro.pta.iid.wald_wolfowitz_test`."""
+    values = _scalar_sample(sample)
+    median = _scalar_median(values)
+    signs = [1 if value > median else 0 for value in values if value != median]
+    n1 = sum(signs)
+    n0 = len(signs) - n1
+    if n1 == 0 or n0 == 0:
+        return RunsTestResult(statistic=0.0, runs=0, n_above=n1, n_below=n0)
+    runs = 1 + sum(1 for a, b in zip(signs, signs[1:]) if a != b)
+    n = n0 + n1
+    mean_runs = 2.0 * n0 * n1 / n + 1.0
+    var_runs = 2.0 * n0 * n1 * (2.0 * n0 * n1 - n) / (n * n * (n - 1.0))
+    if var_runs <= 0.0:
+        raise AnalysisError("runs test variance non-positive (sample too small)")
+    statistic = (runs - mean_runs) / math.sqrt(var_runs)
+    return RunsTestResult(statistic=statistic, runs=runs, n_above=n1, n_below=n0)
+
+
+def kolmogorov_smirnov_reference(
+    first: Sequence[float], second: Sequence[float]
+) -> KSTestResult:
+    """Scalar twin of :func:`repro.pta.iid.kolmogorov_smirnov_test`."""
+    a = sorted(_scalar_sample(first))
+    b = sorted(_scalar_sample(second))
+    n1, n2 = len(a), len(b)
+    if n1 < 2 or n2 < 2:
+        raise AnalysisError("KS test needs at least 2 observations per sample")
+    statistic = 0.0
+    for value in a + b:
+        cdf_a = sum(1 for x in a if x <= value) / n1
+        cdf_b = sum(1 for x in b if x <= value) / n2
+        statistic = max(statistic, abs(cdf_a - cdf_b))
+    n_eff = n1 * n2 / (n1 + n2)
+    lam = (math.sqrt(n_eff) + 0.12 + 0.11 / math.sqrt(n_eff)) * statistic
+    return KSTestResult(statistic=statistic, p_value=_ks_p_value(lam))

@@ -127,6 +127,7 @@ class CampaignJob:
         workers: Optional[int] = None,
         cycle_budget: Optional[int] = None,
         deadline_s: Optional[float] = None,
+        adaptive=None,
     ) -> None:
         if runs <= 0:
             raise ConfigurationError(
@@ -135,6 +136,12 @@ class CampaignJob:
         if deadline_s is not None and deadline_s <= 0:
             raise ConfigurationError(
                 f"a job deadline must be positive, got {deadline_s}"
+            )
+        if adaptive is not None and runs != adaptive.max_runs:
+            raise ConfigurationError(
+                f"adaptive job requested runs={runs} but its "
+                f"ConvergencePolicy caps max_runs={adaptive.max_runs}; "
+                f"submit with runs=policy.max_runs"
             )
         self.trace = trace
         self.config = config
@@ -147,9 +154,16 @@ class CampaignJob:
         #: Per-job queue-wait deadline (seconds); overrides the queue's
         #: :class:`~repro.service.admission.AdmissionPolicy` default.
         self.deadline_s = deadline_s
+        #: Streaming-convergence policy
+        #: (:class:`~repro.pta.adaptive.ConvergencePolicy`); None runs
+        #: the classic fixed-R campaign.
+        self.adaptive = adaptive
         #: Content fingerprint — the dedup key of the result store.
+        #: The convergence policy is part of the identity: an adaptive
+        #: result is a *prefix* sample, so it must never answer a
+        #: fixed-R submission from the store (nor vice versa).
         self.fingerprint = campaign_fingerprint(
-            trace, config, scenario, master_seed, runs
+            trace, config, scenario, master_seed, runs, adaptive=adaptive
         )
         self.job_id: Optional[str] = None
         self.state = JOB_QUEUED
@@ -294,6 +308,8 @@ class CampaignJob:
             "shed_reason": self.shed_reason,
             "attempts": self.attempts,
             "deadline_s": self.deadline_s,
+            "adaptive": (self.adaptive.to_dict()
+                         if self.adaptive is not None else None),
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -548,6 +564,11 @@ class JobQueue:
                 "resumed": metrics.value("runs_resumed"),
                 "served_from_cache": metrics.value("runs_served_from_cache"),
                 "shed": metrics.value("runs_shed"),
+                "saved_converged": metrics.value("runs_saved_converged"),
+            },
+            "convergence": {
+                "adaptive_campaigns": metrics.value("adaptive_campaigns"),
+                "campaigns_converged": metrics.value("campaigns_converged"),
             },
             "store": {
                 "hits": metrics.value("store_hits"),
@@ -733,6 +754,7 @@ class JobQueue:
                 checkpoint=checkpoint,
                 telemetry=self.telemetry,
                 job_id=job.job_id,
+                adaptive=job.adaptive,
             )
         except Exception as exc:  # noqa: BLE001 — captured onto the job
             self._handle_failure(job, exc)
@@ -751,6 +773,21 @@ class JobQueue:
         job.result = result
         job.source = "simulated"
         self.telemetry.metrics.counter("jobs_completed").inc()
+        if result.adaptive:
+            # Early convergence frees this worker slot ``runs_saved``
+            # runs sooner than the fixed-R budget; the campaign layer
+            # already reconciled the saving on ``runs_saved_converged``.
+            self.telemetry.logger.info(
+                "job_converged",
+                message=f"job {job.job_id} "
+                        f"{'converged' if result.converged else 'hit max_runs'}"
+                        f": {result.runs_executed} of "
+                        f"{result.runs_executed + result.runs_saved} runs "
+                        f"({result.runs_saved} saved)",
+                job=job.job_id, converged=result.converged,
+                runs_executed=result.runs_executed,
+                runs_saved=result.runs_saved,
+            )
         self.telemetry.logger.info(
             "job_done",
             message=f"job {job.job_id} done: {result.runs} runs in "

@@ -42,6 +42,7 @@ from typing import Dict, List, Optional
 
 from repro.cpu.trace import Trace
 from repro.errors import ServiceError
+from repro.pta.adaptive import ConvergencePolicy
 from repro.sim.checkpoint import scan_durable_jsonl
 from repro.sim.config import Scenario, SystemConfig
 from repro.core.config import OperationMode
@@ -96,6 +97,8 @@ def job_spec(job: CampaignJob) -> dict:
         "workers": job.workers,
         "cycle_budget": job.cycle_budget,
         "deadline_s": job.deadline_s,
+        "adaptive": (job.adaptive.to_dict()
+                     if job.adaptive is not None else None),
         "fingerprint": job.fingerprint,
     }
 
@@ -124,6 +127,9 @@ def job_from_spec(spec: dict) -> CampaignJob:
             ways_per_core=tuple(ways) if ways is not None else None,
             **scenario_spec,
         )
+        # ``.get``: journals written before the adaptive layer carry no
+        # policy and rebuild as fixed-R jobs.
+        adaptive_spec = spec.get("adaptive")
         job = CampaignJob(
             trace,
             config,
@@ -134,6 +140,8 @@ def job_from_spec(spec: dict) -> CampaignJob:
             workers=spec["workers"],
             cycle_budget=spec["cycle_budget"],
             deadline_s=spec.get("deadline_s"),
+            adaptive=(ConvergencePolicy.from_dict(adaptive_spec)
+                      if adaptive_spec is not None else None),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ServiceError(f"malformed job spec in journal: {exc}") from exc

@@ -47,6 +47,7 @@ bit-identically; GC trades CPU for disk, never samples.
 
     runs_requested == runs_simulated + runs_resumed
                       + runs_served_from_cache + runs_shed
+                      + runs_saved_converged
 
 ``runs_requested`` counts every run asked of :meth:`get_or_submit`;
 ``runs_served_from_cache`` covers store hits *and* coalesced
@@ -57,7 +58,11 @@ covers runs taken over from a dead process's checkpoint after crash
 recovery (simulated — and counted — before this process started);
 ``runs_shed`` covers
 front-door jobs the admission layer refused (queue full, circuit
-open, deadline) or that were cancelled while queued.  Under overload
+open, deadline) or that were cancelled while queued;
+``runs_saved_converged`` covers runs an adaptive campaign's
+:class:`~repro.pta.adaptive.ConvergencePolicy` proved unnecessary —
+requested up to ``max_runs`` but never simulated because the pWCET
+quantile stabilised early.  Under overload
 or not, no requested run is ever silently dropped from the ledger.
 (Jobs that *fail* in simulation sit outside the invariant — their
 runs are requested but neither simulated to completion, served, nor

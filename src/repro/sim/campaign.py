@@ -33,6 +33,7 @@ from repro.errors import (
     SimulationError,
 )
 from repro.observability import Telemetry, attached_telemetry
+from repro.pta.adaptive import ConvergencePolicy, StreamingGumbelEstimator
 from repro.sim.backend import (
     ExecutionBackend,
     RunObserver,
@@ -66,6 +67,13 @@ class CampaignResult:
     throughput of the backend that produced it.  ``resumed_runs`` and
     ``retried_runs`` record how much resilience machinery fired:
     neither affects the sample, only how it was obtained.
+
+    Adaptive campaigns (``adaptive=True``) additionally record the
+    convergence outcome: whether the policy ``converged``, how many
+    runs were ``runs_executed`` versus ``runs_saved`` against the
+    requested ``max_runs``, and the requested-vs-achieved relative
+    pWCET precision.  Their sample is always a bit-identical prefix of
+    the fixed-R campaign's sample for the same master seed.
     """
 
     task: str
@@ -87,6 +95,24 @@ class CampaignResult:
     #: cache (batch/sharded engines only; 0/0 for scalar campaigns).
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    #: Whether this campaign ran under a streaming-convergence policy.
+    adaptive: bool = False
+    #: Whether the convergence policy declared the pWCET stable before
+    #: ``max_runs`` (always False for fixed-R campaigns).
+    converged: bool = False
+    #: Observations actually collected (executed + resumed).  Equals
+    #: ``runs``; kept explicit because for adaptive campaigns it is the
+    #: quantity of interest against the requested ``max_runs``.
+    runs_executed: int = 0
+    #: Runs the convergence policy avoided: ``max_runs - runs_executed``
+    #: (0 for fixed-R campaigns).  The service ledger reconciles this
+    #: on its ``runs_saved_converged`` counter.
+    runs_saved: int = 0
+    #: Relative pWCET-quantile tolerance the policy asked for, and the
+    #: largest movement actually observed over the deciding window
+    #: (None for fixed-R campaigns / before any fit was possible).
+    pwcet_rtol_requested: Optional[float] = None
+    pwcet_rtol_achieved: Optional[float] = None
 
     def _require_sample(self, statistic: str) -> None:
         """Refuse sample statistics on an empty sample, with provenance.
@@ -164,6 +190,12 @@ class CampaignResult:
             "retried_runs": self.retried_runs,
             "plan_cache_hits": self.plan_cache_hits,
             "plan_cache_misses": self.plan_cache_misses,
+            "adaptive": self.adaptive,
+            "converged": self.converged,
+            "runs_executed": self.runs_executed,
+            "runs_saved": self.runs_saved,
+            "pwcet_rtol_requested": self.pwcet_rtol_requested,
+            "pwcet_rtol_achieved": self.pwcet_rtol_achieved,
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -194,6 +226,15 @@ class CampaignResult:
             retried_runs=payload["retried_runs"],
             plan_cache_hits=payload["plan_cache_hits"],
             plan_cache_misses=payload["plan_cache_misses"],
+            # Convergence fields postdate the wire format; stored
+            # results from before the adaptive layer default to the
+            # fixed-R reading.
+            adaptive=payload.get("adaptive", False),
+            converged=payload.get("converged", False),
+            runs_executed=payload.get("runs_executed", payload["runs"]),
+            runs_saved=payload.get("runs_saved", 0),
+            pwcet_rtol_requested=payload.get("pwcet_rtol_requested"),
+            pwcet_rtol_achieved=payload.get("pwcet_rtol_achieved"),
         )
 
 
@@ -270,6 +311,76 @@ def _select_backend(
     return backend if backend is not None else SerialBackend()
 
 
+def _run_adaptive(
+    adaptive: ConvergencePolicy,
+    trace: Trace,
+    scenario: Scenario,
+    runs: int,
+    seeds: List[int],
+    resumed: Dict[int, RunRecord],
+    template: RunRequest,
+    backend: ExecutionBackend,
+    effective_observer: Optional[RunObserver],
+    telemetry: Optional[Telemetry],
+) -> tuple:
+    """Wave-by-wave dispatch with a streaming convergence check.
+
+    Every backend's ``execute`` call is a barrier, so each wave is one
+    ``execute`` of the wave's not-yet-journalled requests; completed
+    waves stream into the :class:`StreamingGumbelEstimator` (resumed
+    runs replay through the same path, which is what makes resume
+    reproduce the original stopping decision).  Issuing stops at the
+    first converged boundary or at ``max_runs``.
+
+    Returns ``(outcomes, estimator, sample_size)`` where
+    ``sample_size`` is the number of leading observations consumed.
+    Per-wave failures raise :class:`CampaignRunError` immediately —
+    later waves were never issued, so no work is discarded.
+    """
+    estimator = StreamingGumbelEstimator(adaptive)
+    outcomes: List = []
+    by_index: Dict[int, RunRecord] = {}
+    position = 0
+    while position < runs:
+        end = min(position + adaptive.wave_size, runs)
+        pending = [index for index in range(position, end)
+                   if index not in resumed]
+        requests = [template.with_run(index, seeds[index])
+                    for index in pending]
+        if not requests:
+            wave_outcomes = []
+        elif telemetry is not None:
+            with telemetry.tracer.span(
+                "adaptive_wave", wave=estimator.waves, runs=len(requests)
+            ):
+                wave_outcomes = backend.execute(
+                    requests, observer=effective_observer
+                )
+        else:
+            wave_outcomes = backend.execute(
+                requests, observer=effective_observer
+            )
+        failures = [
+            (outcome.index, outcome.seed, outcome.error or "",
+             outcome.error_kind)
+            for outcome in wave_outcomes
+            if outcome.failed
+        ]
+        if failures:
+            raise CampaignRunError(trace.name, scenario.label(), failures)
+        for outcome in wave_outcomes:
+            by_index[outcome.index] = outcome.record()
+        outcomes.extend(wave_outcomes)
+        wave_times = [
+            (resumed[index] if index in resumed else by_index[index]).cycles
+            for index in range(position, end)
+        ]
+        position = end
+        if estimator.observe_wave(wave_times):
+            break
+    return outcomes, estimator, position
+
+
 def collect_execution_times(
     trace: Trace,
     config: SystemConfig,
@@ -286,6 +397,7 @@ def collect_execution_times(
     plan_cache: Optional[PlanCache] = None,
     telemetry: Optional[Telemetry] = None,
     job_id: Optional[str] = None,
+    adaptive: Optional[ConvergencePolicy] = None,
 ) -> CampaignResult:
     """Collect ``runs`` end-to-end execution times of ``trace``.
 
@@ -340,11 +452,28 @@ def collect_execution_times(
     without it.  ``job_id`` stamps the service's job id on every log
     record and the campaign span.
 
+    ``adaptive`` turns the fixed-R campaign into a bounded-error one: a
+    :class:`~repro.pta.adaptive.ConvergencePolicy` whose ``max_runs``
+    must equal ``runs``.  Execution then proceeds wave by wave on the
+    same backend, a streaming Gumbel fit re-estimates the pWCET at each
+    wave boundary, and issuing stops at the first boundary the policy
+    declares stable.  Seeds are derived per run independently of wave
+    grouping, so the adaptive sample is the bit-identical prefix of the
+    fixed-R sample, on every engine; the stopping decision is a pure
+    function of that prefix, so checkpoint resume continues converging
+    from the journal and lands on the same ``runs_executed``.
+
     Returns a :class:`CampaignResult` whose ``execution_times`` are the
     MBPTA input sample.
     """
     if runs <= 0:
         raise ConfigurationError(f"a campaign needs at least one run, got {runs}")
+    if adaptive is not None and runs != adaptive.max_runs:
+        raise ConfigurationError(
+            f"adaptive campaign requested runs={runs} but its "
+            f"ConvergencePolicy caps max_runs={adaptive.max_runs}; pass "
+            f"runs=policy.max_runs so checkpoints and fingerprints agree"
+        )
     backend = _select_backend(
         engine, backend, workers=workers, runs=runs, plan_cache=plan_cache
     )
@@ -386,27 +515,45 @@ def collect_execution_times(
             trace, config, scenario, seeds[0], index=0, profile=profile,
             cycle_budget=cycle_budget,
         )
-        requests = [
-            template.with_run(index, seed)
-            for index, seed in enumerate(seeds)
-            if index not in resumed
-        ]
         started = perf_counter()
-        if not requests:
-            outcomes = []
-        elif telemetry is not None:
-            span_attrs = {
-                "task": trace.name, "scenario": scenario.label(),
-                "runs": runs, "backend": backend.name,
-            }
-            if job_id is not None:
-                span_attrs["job"] = job_id
-            with attached_telemetry(telemetry), \
-                    telemetry.tracer.span("campaign", **span_attrs):
+        estimator: Optional[StreamingGumbelEstimator] = None
+        span_attrs = {
+            "task": trace.name, "scenario": scenario.label(),
+            "runs": runs, "backend": backend.name,
+        }
+        if job_id is not None:
+            span_attrs["job"] = job_id
+        if adaptive is not None:
+            span_attrs["adaptive"] = True
+            if telemetry is not None:
+                with attached_telemetry(telemetry), \
+                        telemetry.tracer.span("campaign", **span_attrs):
+                    outcomes, estimator, sample_size = _run_adaptive(
+                        adaptive, trace, scenario, runs, seeds, resumed,
+                        template, backend, effective_observer, telemetry,
+                    )
+            else:
+                outcomes, estimator, sample_size = _run_adaptive(
+                    adaptive, trace, scenario, runs, seeds, resumed,
+                    template, backend, effective_observer, telemetry,
+                )
+        else:
+            sample_size = runs
+            requests = [
+                template.with_run(index, seed)
+                for index, seed in enumerate(seeds)
+                if index not in resumed
+            ]
+            if not requests:
+                outcomes = []
+            elif telemetry is not None:
+                with attached_telemetry(telemetry), \
+                        telemetry.tracer.span("campaign", **span_attrs):
+                    outcomes = backend.execute(requests,
+                                               observer=effective_observer)
+            else:
                 outcomes = backend.execute(requests,
                                            observer=effective_observer)
-        else:
-            outcomes = backend.execute(requests, observer=effective_observer)
         wall_time_s = perf_counter() - started
     finally:
         if checkpoint is not None:
@@ -422,7 +569,10 @@ def collect_execution_times(
     by_index: Dict[int, RunRecord] = dict(resumed)
     for outcome in outcomes:
         by_index[outcome.index] = outcome.record()
-    records = [by_index[index] for index in range(runs)]
+    # An adaptive campaign that converged consumed only the leading
+    # ``sample_size`` observations; journalled runs beyond the stopping
+    # point (e.g. a fixed-R journal resumed adaptively) stay unused.
+    records = [by_index[index] for index in range(sample_size)]
     times = [record.cycles for record in records]
     instructions = records[0].instructions
     for record in records:
@@ -442,13 +592,13 @@ def collect_execution_times(
         scenario_label=scenario.label(),
         execution_times=times,
         instructions=instructions,
-        runs=runs,
+        runs=sample_size,
         master_seed=master_seed,
         seeds=seeds,
         records=records,
         backend=backend.name,
         wall_time_s=wall_time_s,
-        resumed_runs=len(resumed),
+        resumed_runs=sum(1 for index in resumed if index < sample_size),
         retried_runs=sum(max(0, outcome.attempts - 1) for outcome in outcomes),
         plan_cache_hits=(
             cache.hits - cache_before[0] if cache is not None else 0
@@ -456,7 +606,41 @@ def collect_execution_times(
         plan_cache_misses=(
             cache.misses - cache_before[1] if cache is not None else 0
         ),
+        adaptive=adaptive is not None,
+        converged=estimator.converged if estimator is not None else False,
+        runs_executed=sample_size,
+        runs_saved=runs - sample_size,
+        pwcet_rtol_requested=(
+            adaptive.rtol if adaptive is not None else None
+        ),
+        pwcet_rtol_achieved=(
+            estimator.achieved_rtol if estimator is not None else None
+        ),
     )
+    if adaptive is not None:
+        if head is not None:
+            if result.converged:
+                head.on_message(
+                    f"pWCET converged after {result.runs_executed} of "
+                    f"{adaptive.max_runs} runs ({result.runs_saved} saved; "
+                    f"quantile moved {result.pwcet_rtol_achieved:.2e} < "
+                    f"rtol {adaptive.rtol:g} for "
+                    f"{adaptive.stable_waves} waves)"
+                )
+            else:
+                head.on_message(
+                    f"pWCET did not converge within max_runs="
+                    f"{adaptive.max_runs} (rtol {adaptive.rtol:g}); "
+                    f"sample used in full"
+                )
+        if telemetry is not None:
+            telemetry.metrics.counter("adaptive_campaigns").inc()
+            if result.converged:
+                telemetry.metrics.counter("campaigns_converged").inc()
+            if result.runs_saved:
+                telemetry.metrics.counter("runs_saved_converged").inc(
+                    result.runs_saved
+                )
     if head is not None:
         head.on_campaign_end(result)
     return result

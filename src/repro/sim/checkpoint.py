@@ -90,6 +90,7 @@ def campaign_fingerprint(
     scenario: Scenario,
     master_seed: int,
     runs: int,
+    adaptive=None,
 ) -> str:
     """Digest of everything a campaign's sample depends on.
 
@@ -98,11 +99,21 @@ def campaign_fingerprint(
     scenario, master seed and run count.  Config and scenario are
     value-hashed through their dataclass ``repr``; the trace by its
     full instruction stream.
+
+    ``adaptive`` (a :class:`~repro.pta.adaptive.ConvergencePolicy`)
+    folds the stopping rule into the digest: an adaptive campaign's
+    *sample length* depends on the policy, so a cached adaptive result
+    must never be served to a fixed-R request (or vice versa) even
+    though the executed prefix is bit-identical.  Run-journal headers
+    keep ``adaptive=None`` deliberately — the journal stores a prefix
+    of the fixed-R run sequence, which both campaign kinds can resume.
     """
     digest = hashlib.sha256()
     digest.update(repr((JOURNAL_VERSION, trace.name, master_seed, runs)).encode())
     digest.update(repr((config, scenario)).encode())
     digest.update(repr((trace.pcs, trace.kinds, trace.addresses)).encode())
+    if adaptive is not None:
+        digest.update(repr(("adaptive", adaptive.fingerprint_key())).encode())
     return digest.hexdigest()[:16]
 
 

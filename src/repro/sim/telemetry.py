@@ -23,6 +23,9 @@ Metric names emitted here (and by the seams reading
 ``worker_crashes``         hard pool-worker deaths detected
 ``campaigns_started``      campaigns entering execution
 ``campaigns_completed``    campaigns that produced a sample
+``adaptive_campaigns``     campaigns run under a ConvergencePolicy
+``campaigns_converged``    adaptive campaigns that stopped early
+``runs_saved_converged``   runs a convergence policy proved unnecessary
 ``waves_dispatched``       process-pool dispatch waves (backend seam)
 ``plan_cache_hits/misses`` compiled-trace-program cache traffic (plan cache)
 ``run_wall_time_s``        histogram of per-run host seconds
@@ -57,10 +60,16 @@ registry; listed here so the full metric namespace has one home):
 ===============================  ==============================================
 
 with the service reconciliation invariant ``runs_requested ==
-runs_simulated + runs_resumed + runs_served_from_cache + runs_shed``
+runs_simulated + runs_resumed + runs_served_from_cache + runs_shed
++ runs_saved_converged``
 holding on every success-or-shed path (``runs_resumed`` is non-zero
 only after crash recovery: those runs were simulated — and counted —
-by a previous process incarnation).
+by a previous process incarnation; ``runs_saved_converged`` only for
+adaptive campaigns that stopped before their ``max_runs`` ceiling).
+
+Campaign spans gain an ``adaptive`` attribute and per-wave
+``adaptive_wave`` child spans when a convergence policy drives the
+dispatch.
 """
 
 from __future__ import annotations
