@@ -24,7 +24,7 @@ import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.metrics import improvement, summarise_improvements
 from repro.analysis.partitions import (
@@ -74,7 +74,11 @@ class PWCETTable:
     ``max_runs`` and stops at its own convergence point.  The executed
     samples are bit-identical prefixes of the fixed-R samples, so a
     tight-``rtol`` adaptive table reproduces the fixed table's figures
-    at a fraction of the simulated runs.
+    at a fraction of the simulated runs.  Passing the string
+    ``"per-benchmark"`` instead of a policy gives each benchmark its
+    preset tolerance (:data:`~repro.pta.adaptive.BENCHMARK_RTOL`) via
+    :meth:`~repro.pta.adaptive.ConvergencePolicy.for_benchmark`, with
+    every other knob at the scale's defaults.
     """
 
     def __init__(
@@ -91,7 +95,7 @@ class PWCETTable:
         cycle_budget: Optional[int] = None,
         engine: str = "auto",
         workers: Optional[int] = None,
-        adaptive: Optional[ConvergencePolicy] = None,
+        adaptive: Union[ConvergencePolicy, str, None] = None,
     ) -> None:
         self.scale = scale if scale is not None else ExperimentScale.default()
         # Default to the scale's proportionally shrunk platform; an
@@ -104,7 +108,14 @@ class PWCETTable:
             exceedance_prob, label="PWCETTable exceedance_prob"
         )
         #: Streaming-convergence policy for analysis campaigns (None =
-        #: fixed-R at the scale's ``analysis_runs``).
+        #: fixed-R at the scale's ``analysis_runs``;
+        #: ``"per-benchmark"`` = each benchmark's preset tolerance).
+        if not (adaptive is None or adaptive == "per-benchmark"
+                or isinstance(adaptive, ConvergencePolicy)):
+            raise ConfigurationError(
+                f"PWCETTable adaptive must be a ConvergencePolicy, the "
+                f"string 'per-benchmark', or None; got {adaptive!r}"
+            )
         self.adaptive = adaptive
         self.backend = backend if backend is not None else SerialBackend()
         self.observer = observer if observer is not None else RunObserver()
@@ -175,6 +186,12 @@ class PWCETTable:
         finally:
             self.plan_cache.unpin(trace, self.config)
 
+    def _policy_for(self, bench_id: str) -> Optional[ConvergencePolicy]:
+        """This benchmark's convergence policy, or ``None`` (fixed-R)."""
+        if self.adaptive == "per-benchmark":
+            return ConvergencePolicy.for_benchmark(bench_id, self.scale)
+        return self.adaptive
+
     def campaign(self, bench_id: str, kind: str, value: int) -> CampaignResult:
         """Execution-time sample of one (benchmark, setup) campaign."""
         scenario = self._scenario(kind, value)
@@ -184,11 +201,12 @@ class PWCETTable:
             # hash(): the latter is salted per process and would make
             # campaigns irreproducible across invocations).
             key_digest = zlib.crc32(f"{bench_id}/{scenario.label()}".encode())
+            adaptive = self._policy_for(bench_id)
             # Adaptive campaigns request the policy's run ceiling (the
             # checkpoint fingerprint is taken on max_runs, so a fixed-R
             # journal at the same ceiling resumes interchangeably).
             runs = (
-                self.adaptive.max_runs if self.adaptive is not None
+                adaptive.max_runs if adaptive is not None
                 else self.scale.analysis_runs
             )
             self._campaigns[key] = collect_execution_times(
@@ -205,7 +223,7 @@ class PWCETTable:
                 engine=self.engine,
                 workers=self.workers,
                 plan_cache=self.plan_cache,
-                adaptive=self.adaptive,
+                adaptive=adaptive,
             )
         return self._campaigns[key]
 

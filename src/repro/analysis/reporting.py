@@ -57,16 +57,24 @@ def render_campaign(result: CampaignResult) -> str:
             f"({result.wall_time_s:.2f}s wall)"
         )
     if result.adaptive:
-        requested = result.runs_executed + result.runs_saved
+        requested = (
+            result.runs_executed + result.runs_saved
+            + result.runs_speculated_waste
+        )
         achieved = (
             f"{result.pwcet_rtol_achieved:.2e}"
             if result.pwcet_rtol_achieved is not None else "n/a"
         )
         verdict = "converged" if result.converged else "did NOT converge"
+        waste_note = (
+            f", {result.runs_speculated_waste} speculated past stop"
+            if result.runs_speculated_waste else ""
+        )
         lines.append(
             f"  convergence: {verdict} after {result.runs_executed} of "
-            f"{requested} runs ({result.runs_saved} saved; quantile "
-            f"movement {achieved}, rtol {result.pwcet_rtol_requested:g})"
+            f"{requested} runs ({result.runs_saved} saved{waste_note}; "
+            f"quantile movement {achieved}, rtol "
+            f"{result.pwcet_rtol_requested:g})"
         )
     if result.resumed_runs or result.retried_runs:
         lines.append(
@@ -78,6 +86,16 @@ def render_campaign(result: CampaignResult) -> str:
         lines.append(
             f"  plan cache: {result.plan_cache_misses} compile(s), "
             f"{result.plan_cache_hits} hit(s)"
+        )
+    if result.kernel_stats:
+        stats = result.kernel_stats
+        accesses = stats.get("ifetch", 0) + stats.get("dmem", 0)
+        lines.append(
+            f"  kernel plan: {stats.get('chains', 0)} chains "
+            f"({stats.get('fused_phases', 0)} phases fused), "
+            f"{stats.get('segments', 0)} megakernel segments covering "
+            f"{stats.get('fused_accesses', 0)} of {accesses} accesses "
+            f"(fusion ratio {stats.get('fusion_ratio', 0.0):.2f})"
         )
     if result.records:
         runs = len(result.records)

@@ -132,6 +132,7 @@ from repro.sim.backend import (
 )
 from repro.sim.batch import ENGINE_NAMES
 from repro.sim.config import Scenario, SystemConfig
+from repro.utils.xp import ARRAY_BACKEND_NAMES, set_array_backend
 from repro.workloads.scale import ExperimentScale
 from repro.workloads.suite import BENCHMARK_IDS, build_benchmark
 
@@ -149,24 +150,45 @@ def _cli_logger(args: argparse.Namespace) -> StructuredLogger:
     )
 
 
-def _adaptive_policy(
-    args: argparse.Namespace, scale: ExperimentScale
-) -> Optional[ConvergencePolicy]:
+def _rtol_arg(value: str):
+    """``--pwcet-rtol`` value: a float, or the preset-table sentinel."""
+    if value == "per-benchmark":
+        return value
+    try:
+        return float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a float or 'per-benchmark', got {value!r}"
+        ) from None
+
+
+def _adaptive_policy(args, scale, bench=None):
     """The convergence policy the CLI flags describe, or None.
 
     ``--max-runs`` (or, for the service verbs, ``--runs``) caps the
     sample; everything else defaults from the scale preset.  The
     rtol/min/max flags were already validated to require ``--adaptive``
-    in :func:`main`.
+    in :func:`main`.  ``--pwcet-rtol per-benchmark`` selects the
+    benchmark preset table: with a concrete ``bench`` (the service
+    verbs) it resolves to that benchmark's policy here, without one
+    (the analysis table, which spans all ten) it returns the
+    ``"per-benchmark"`` sentinel for :class:`PWCETTable` to resolve
+    per campaign.
     """
     if not args.adaptive:
         return None
-    kwargs = {}
-    if args.pwcet_rtol is not None:
-        kwargs["rtol"] = args.pwcet_rtol
     max_runs = args.max_runs
     if max_runs is None:
         max_runs = getattr(args, "runs", None)
+    if args.pwcet_rtol == "per-benchmark":
+        if bench is None:
+            return "per-benchmark"
+        return ConvergencePolicy.for_benchmark(
+            bench, scale, min_runs=args.min_runs, max_runs=max_runs
+        )
+    kwargs = {}
+    if args.pwcet_rtol is not None:
+        kwargs["rtol"] = args.pwcet_rtol
     return ConvergencePolicy.for_scale(
         scale, min_runs=args.min_runs, max_runs=max_runs, **kwargs
     )
@@ -294,7 +316,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     scale = ExperimentScale.from_name(args.scale)
     trace = build_benchmark(args.bench, scale.trace_scale)
     scenario = Scenario.from_label(args.scenario)
-    adaptive = _adaptive_policy(args, scale)
+    adaptive = _adaptive_policy(args, scale, bench=args.bench)
     if adaptive is not None:
         runs = adaptive.max_runs
     else:
@@ -367,7 +389,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             scale = ExperimentScale.from_name(args.scale)
             trace = build_benchmark(args.bench, scale.trace_scale)
             scenario = Scenario.from_label(args.scenario)
-            adaptive = _adaptive_policy(args, scale)
+            adaptive = _adaptive_policy(args, scale, bench=args.bench)
             if adaptive is not None:
                 runs = adaptive.max_runs
             else:
@@ -464,7 +486,7 @@ def _cmd_status(args: argparse.Namespace) -> int:
                 "error": str(exc).strip().splitlines()[-1],
             })
         else:
-            entries.append({
+            entry = {
                 "fingerprint": fingerprint,
                 "ok": True,
                 "task": result.task,
@@ -472,7 +494,10 @@ def _cmd_status(args: argparse.Namespace) -> int:
                 "runs": result.runs,
                 "backend": result.backend,
                 "max_time": result.max_time,
-            })
+            }
+            if result.kernel_stats:
+                entry["kernel"] = result.kernel_stats
+            entries.append(entry)
     if args.json:
         print(json.dumps(
             {"store": str(store.root), "entries": entries}, indent=2
@@ -552,6 +577,19 @@ def make_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--array-backend",
+        default="auto",
+        choices=ARRAY_BACKEND_NAMES,
+        help=(
+            "array namespace for the vector engines: 'auto' uses CuPy "
+            "when a working GPU stack is importable and NumPy "
+            "otherwise, 'numpy' pins the CPU path, 'cupy' demands the "
+            "GPU and fails (naming the obstacle) when it is missing; "
+            "samples are bit-identical across array backends "
+            "(default: auto)"
+        ),
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="print per-campaign progress"
     )
     parser.add_argument(
@@ -628,13 +666,15 @@ def make_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--pwcet-rtol",
-        type=float,
+        type=_rtol_arg,
         default=None,
         metavar="RTOL",
         help=(
             "adaptive convergence tolerance: stop once the pWCET "
             "quantile moves less than this relative amount for two "
-            "consecutive waves (needs --adaptive; default: 0.005)"
+            "consecutive waves (needs --adaptive; default: 0.005); "
+            "the literal 'per-benchmark' selects each benchmark's "
+            "preset tolerance instead"
         ),
     )
     parser.add_argument(
@@ -894,6 +934,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{args.runs}: an adaptive job's run budget is its "
             f"max_runs; pass just one of the two"
         )
+    # Select the array namespace before any engine touches it: the
+    # compiled plans and lane state allocate through the global ``xp``
+    # seam, so the switch must precede the first campaign.
+    set_array_backend(args.array_backend)
     if args.command in ("submit", "serve") and args.backend != "serial":
         raise ConfigurationError(
             f"{args.command} runs through the service's engine selection "

@@ -20,7 +20,12 @@ paper:
   vectorised EVT/i.i.d. statistics.
 """
 
-from repro.pta.adaptive import ConvergencePolicy, StreamingGumbelEstimator
+from repro.pta.adaptive import (
+    BENCHMARK_RTOL,
+    ConvergencePolicy,
+    StreamingGumbelEstimator,
+    WaveScheduler,
+)
 from repro.pta.etp import ExecutionTimeProfile
 from repro.pta.eq1 import (
     miss_probability,
@@ -44,8 +49,10 @@ from repro.pta.spta import (
 )
 
 __all__ = [
+    "BENCHMARK_RTOL",
     "ConvergencePolicy",
     "StreamingGumbelEstimator",
+    "WaveScheduler",
     "ExecutionTimeProfile",
     "miss_probability",
     "miss_probability_exact",

@@ -565,6 +565,7 @@ class JobQueue:
                 "served_from_cache": metrics.value("runs_served_from_cache"),
                 "shed": metrics.value("runs_shed"),
                 "saved_converged": metrics.value("runs_saved_converged"),
+                "speculated_waste": metrics.value("runs_speculated_waste"),
             },
             "convergence": {
                 "adaptive_campaigns": metrics.value("adaptive_campaigns"),
@@ -782,11 +783,12 @@ class JobQueue:
                 message=f"job {job.job_id} "
                         f"{'converged' if result.converged else 'hit max_runs'}"
                         f": {result.runs_executed} of "
-                        f"{result.runs_executed + result.runs_saved} runs "
+                        f"{result.runs_executed + result.runs_saved + result.runs_speculated_waste} runs "
                         f"({result.runs_saved} saved)",
                 job=job.job_id, converged=result.converged,
                 runs_executed=result.runs_executed,
                 runs_saved=result.runs_saved,
+                runs_speculated_waste=result.runs_speculated_waste,
             )
         self.telemetry.logger.info(
             "job_done",

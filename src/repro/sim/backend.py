@@ -489,6 +489,14 @@ class ExecutionBackend:
     #: Short label recorded on CampaignResult (e.g. ``"serial"``).
     name: str = "?"
 
+    #: Whether one ``execute`` call amortises its dispatch overhead
+    #: over the whole request batch (lane-vectorised engines).  The
+    #: adaptive campaign layer speculates with geometrically growing
+    #: dispatch blocks only on such backends — on a per-run backend,
+    #: overshooting the stopping boundary costs full runs and saves
+    #: nothing.
+    amortised_dispatch: bool = False
+
     def execute(
         self,
         requests: Sequence[RunRequest],

@@ -79,6 +79,7 @@ from repro.sim.simulator import (
 )
 from repro.utils.hashing import set_index_array
 from repro.utils.rng import MWCArray, splitmix64_draw
+from repro.utils.xp import xp
 
 #: Engine names accepted by ``collect_execution_times(engine=...)`` and
 #: the CLI's ``--engine`` flag.  ``kernel`` is the grouped-opcode
@@ -123,12 +124,18 @@ class _LaneCache:
         self.k = candidates
         self.sets = sets  # [lines, lanes]
         self.rng = rng
-        self.tags = np.full((lanes, num_sets, ways), -1, dtype=np.int32)
-        self.dirty = np.zeros((lanes, num_sets, ways), dtype=bool)
-        self.hits = np.zeros(lanes, dtype=np.int64)
-        self.misses = np.zeros(lanes, dtype=np.int64)
-        self.forced = np.zeros(lanes, dtype=np.int64)
-        self._lane_ids = np.arange(lanes)
+        self.tags = xp.full((lanes, num_sets, ways), -1, dtype=np.int32)
+        self.dirty = xp.zeros((lanes, num_sets, ways), dtype=bool)
+        self.hits = xp.zeros(lanes, dtype=np.int64)
+        self.misses = xp.zeros(lanes, dtype=np.int64)
+        # Write-back probe hits live apart from demand hits: the LLC's
+        # reported per-run hit counts are demand hits only (matching
+        # the scalar oracle), so keeping ``hits`` demand-pure lets the
+        # sweep read them off the cache instead of accumulating a
+        # separate path vector on every fill.
+        self.wb_hits = xp.zeros(lanes, dtype=np.int64)
+        self.forced = xp.zeros(lanes, dtype=np.int64)
+        self._lane_ids = xp.arange(lanes)
         if lru:
             # LRU stacks as timestamp planes: stack position maps to
             # stamp order (front = max).  Initial stack [0..w-1] means
@@ -136,8 +143,8 @@ class _LaneCache:
             # growing positive counter, invalidations from a shrinking
             # counter below every initial stamp, so argmin over a
             # set's stamps is exactly LRUReplacement.choose_victim.
-            self.stamps = np.broadcast_to(
-                -(np.arange(ways, dtype=np.int64) + 1), (lanes, num_sets, ways)
+            self.stamps = xp.broadcast_to(
+                -(xp.arange(ways, dtype=np.int64) + 1), (lanes, num_sets, ways)
             ).copy()
             self._pos_stamp = 0
             self._neg_stamp = -(ways + 1)
@@ -245,10 +252,25 @@ class _LaneCache:
             rs = set_idx[resident]
             rw = hw[resident]
             self.dirty[rl, rs, rw] = True
-            self.hits += resident
+            self.wb_hits += resident
             if self.stamps is not None:
                 self._stamp_touch(rl, rs, rw)
         return resident
+
+    def demand_compact(self, line_id: int, mask: np.ndarray, write: bool):
+        """:meth:`demand` with victims in compact form.
+
+        Returns ``(miss, miss_lanes, victim_dirty)`` where the last two
+        are aligned compact vectors over the missed lanes, or ``(None,
+        None, None)`` when every probed lane hit — the fill path needs
+        only the dirty victims' lane ids, so the full-width victim
+        expansion is skipped.
+        """
+        _hit, miss, vids, vdirty = self.demand(line_id, mask, write)
+        if vids is None:
+            return None, None, None
+        ml = np.nonzero(miss)[0]
+        return miss, ml, vdirty[ml]
 
 
 class _LaneACU:
@@ -260,9 +282,9 @@ class _LaneACU:
         self.mid = mid
         self.randomise = randomise
         self.rng = rng
-        self.eab = np.zeros(lanes, dtype=np.int64)
-        self.stall = np.zeros(lanes, dtype=np.int64)
-        self.evictions = np.zeros(lanes, dtype=np.int64)
+        self.eab = xp.zeros(lanes, dtype=np.int64)
+        self.stall = xp.zeros(lanes, dtype=np.int64)
+        self.evictions = xp.zeros(lanes, dtype=np.int64)
 
     def grant_record(self, now: np.ndarray, mask: np.ndarray) -> np.ndarray:
         """``eviction_grant_time`` + ``record_eviction`` fused.
@@ -301,7 +323,7 @@ class _LaneCRG:
         if randomise:
             self.next_time = rng.randint_inclusive(0, 2 * mid).astype(np.int64)
         else:
-            self.next_time = np.full(lanes, mid, dtype=np.int64)
+            self.next_time = xp.full(lanes, mid, dtype=np.int64)
 
     def fire_until(self, now: np.ndarray, mask: np.ndarray, llc: _LaneCache) -> None:
         pending = mask & (self.next_time <= now)
@@ -339,7 +361,6 @@ class _LaneEnv:
 
     __slots__ = (
         "lanes", "il1", "dl1", "llc", "acu", "crgs", "all_mask",
-        "path_llc_hits", "path_llc_misses", "memory_reads",
         "memory_writes", "bus_cycles", "llc_hit_latency", "memory_cycles",
     )
 
@@ -403,35 +424,36 @@ class _LaneEnv:
                     llc_sets, lanes,
                 ))
 
-        self.path_llc_hits = np.zeros(lanes, dtype=np.int64)
-        self.path_llc_misses = np.zeros(lanes, dtype=np.int64)
-        self.memory_reads = np.zeros(lanes, dtype=np.int64)
-        self.memory_writes = np.zeros(lanes, dtype=np.int64)
-        self.all_mask = np.ones(lanes, dtype=bool)
+        self.memory_writes = xp.zeros(lanes, dtype=np.int64)
+        self.all_mask = xp.ones(lanes, dtype=bool)
         self.bus_cycles = plan.bus_cycles
         self.llc_hit_latency = plan.llc_hit_latency
         self.memory_cycles = plan.memory_cycles
 
     def fill(self, line_id: int, issue: np.ndarray,
              mask: np.ndarray) -> np.ndarray:
-        """``MemoryPath.fill`` (analysis mode) for the masked lanes."""
+        """``MemoryPath.fill`` (analysis mode) for the masked lanes.
+
+        Hit/miss/read accounting is NOT accumulated here: the LLC is
+        probed only through this path, so its own demand counters are
+        the path stats — :meth:`_finalise` reads them off the cache,
+        and each fill pays only the compact dirty-victim update.
+        """
         arrival = issue + self.bus_cycles
         llc = self.llc
         for crg in self.crgs:
             crg.fire_until(arrival, mask, llc)
         lookup = arrival + self.llc_hit_latency
-        hit, miss, vids, vdirty = llc.demand(line_id, mask, write=False)
-        np.add(self.path_llc_hits, hit, out=self.path_llc_hits)
-        np.add(self.path_llc_misses, miss, out=self.path_llc_misses)
-        if vids is None:  # demand saw no miss
+        miss, ml, vdirty = llc.demand_compact(line_id, mask, write=False)
+        if miss is None:  # demand saw no miss
             return lookup
         if self.acu is not None:
             grant = self.acu.grant_record(lookup, miss)
         else:
             grant = lookup
-        np.add(self.memory_reads, miss, out=self.memory_reads)
         # Dirty LLC victims are posted write-backs (no added latency).
-        np.add(self.memory_writes, miss & vdirty, out=self.memory_writes)
+        if vdirty.any():
+            self.memory_writes[ml[vdirty]] += 1
         return np.where(miss, grant + self.memory_cycles, lookup)
 
 
@@ -566,10 +588,12 @@ class _TemplatePlan:
                         efl_evictions=int(acu.evictions[lane]) if acu else 0,
                     )
                 ],
-                llc_hits=int(env.path_llc_hits[lane]),
-                llc_misses=int(env.path_llc_misses[lane]),
+                llc_hits=int(llc.hits[lane]),
+                llc_misses=int(llc.misses[lane]),
                 llc_forced_evictions=int(llc.forced[lane]),
-                memory_reads=int(env.memory_reads[lane]),
+                # Every LLC miss through the fill path is one memory
+                # read, so the miss counter doubles as the read count.
+                memory_reads=int(llc.misses[lane]),
                 memory_writes=int(env.memory_writes[lane]),
                 profile=None,
             )
@@ -604,15 +628,15 @@ class _TemplatePlan:
 
         # Pipeline state: five per-lane time vectors, exactly the five
         # scalars InOrderPipeline keeps, plus the single miss port.
-        end_fetch = np.zeros(lanes, dtype=np.int64)
-        start_decode = np.zeros(lanes, dtype=np.int64)
-        start_mem = np.zeros(lanes, dtype=np.int64)
-        start_wb = np.zeros(lanes, dtype=np.int64)
-        end_wb = np.zeros(lanes, dtype=np.int64)
-        port_free = np.zeros(lanes, dtype=np.int64)
-        start_fetch = np.zeros(lanes, dtype=np.int64)
-        end_decode = np.zeros(lanes, dtype=np.int64)
-        end_mem = np.zeros(lanes, dtype=np.int64)
+        end_fetch = xp.zeros(lanes, dtype=np.int64)
+        start_decode = xp.zeros(lanes, dtype=np.int64)
+        start_mem = xp.zeros(lanes, dtype=np.int64)
+        start_wb = xp.zeros(lanes, dtype=np.int64)
+        end_wb = xp.zeros(lanes, dtype=np.int64)
+        port_free = xp.zeros(lanes, dtype=np.int64)
+        start_fetch = xp.zeros(lanes, dtype=np.int64)
+        end_decode = xp.zeros(lanes, dtype=np.int64)
+        end_mem = xp.zeros(lanes, dtype=np.int64)
 
         for fetch_fast, iline, mem_code, mem_arg, is_store in self.steps:
             # Fetch (latch frees when the previous instruction decoded).
@@ -693,6 +717,10 @@ class BatchBackend(ExecutionBackend):
     campaigns run as consecutive chunks, which is still bit-identical
     because lanes never interact.
     """
+
+    #: One sweep serves the whole request batch: adaptive campaigns
+    #: may speculate with growing dispatch blocks on this backend.
+    amortised_dispatch = True
 
     def __init__(
         self,
@@ -936,6 +964,9 @@ class ShardedBatchBackend(ProcessPoolBackend):
     to serial execution.  On a single usable CPU the pool degrades to
     the in-process batch engine unless ``force_pool=True``.
     """
+
+    #: Shards amortise dispatch like the in-process batch engine.
+    amortised_dispatch = True
 
     def __init__(
         self,

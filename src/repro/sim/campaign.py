@@ -33,7 +33,12 @@ from repro.errors import (
     SimulationError,
 )
 from repro.observability import Telemetry, attached_telemetry
-from repro.pta.adaptive import ConvergencePolicy, StreamingGumbelEstimator
+from repro.pta.adaptive import (
+    ConvergencePolicy,
+    DEFAULT_WAVE_GROWTH,
+    StreamingGumbelEstimator,
+    WaveScheduler,
+)
 from repro.sim.backend import (
     ExecutionBackend,
     RunObserver,
@@ -104,15 +109,25 @@ class CampaignResult:
     #: ``runs``; kept explicit because for adaptive campaigns it is the
     #: quantity of interest against the requested ``max_runs``.
     runs_executed: int = 0
-    #: Runs the convergence policy avoided: ``max_runs - runs_executed``
-    #: (0 for fixed-R campaigns).  The service ledger reconciles this
-    #: on its ``runs_saved_converged`` counter.
+    #: Runs the convergence policy avoided:
+    #: ``max_runs - runs_executed - runs_speculated_waste`` (0 for
+    #: fixed-R campaigns).  The service ledger reconciles this on its
+    #: ``runs_saved_converged`` counter.
     runs_saved: int = 0
+    #: Runs the speculative wave scheduler executed past the stopping
+    #: boundary (discarded from the sample, but simulated — they count
+    #: on ``runs_simulated``, not on ``runs_saved``).  0 for fixed-R
+    #: campaigns and for wave-by-wave dispatch.
+    runs_speculated_waste: int = 0
     #: Relative pWCET-quantile tolerance the policy asked for, and the
     #: largest movement actually observed over the deciding window
     #: (None for fixed-R campaigns / before any fit was possible).
     pwcet_rtol_requested: Optional[float] = None
     pwcet_rtol_achieved: Optional[float] = None
+    #: Compile stats of the kernel plan this campaign executed
+    #: (``KernelPlan.stats``: chains, fused segments, fusion ratio...),
+    #: ``None`` for non-kernel engines.
+    kernel_stats: Optional[dict] = None
 
     def _require_sample(self, statistic: str) -> None:
         """Refuse sample statistics on an empty sample, with provenance.
@@ -194,8 +209,10 @@ class CampaignResult:
             "converged": self.converged,
             "runs_executed": self.runs_executed,
             "runs_saved": self.runs_saved,
+            "runs_speculated_waste": self.runs_speculated_waste,
             "pwcet_rtol_requested": self.pwcet_rtol_requested,
             "pwcet_rtol_achieved": self.pwcet_rtol_achieved,
+            "kernel_stats": self.kernel_stats,
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -233,8 +250,10 @@ class CampaignResult:
             converged=payload.get("converged", False),
             runs_executed=payload.get("runs_executed", payload["runs"]),
             runs_saved=payload.get("runs_saved", 0),
+            runs_speculated_waste=payload.get("runs_speculated_waste", 0),
             pwcet_rtol_requested=payload.get("pwcet_rtol_requested"),
             pwcet_rtol_achieved=payload.get("pwcet_rtol_achieved"),
+            kernel_stats=payload.get("kernel_stats"),
         )
 
 
@@ -322,28 +341,43 @@ def _run_adaptive(
     backend: ExecutionBackend,
     effective_observer: Optional[RunObserver],
     telemetry: Optional[Telemetry],
+    scheduler: Optional[WaveScheduler] = None,
 ) -> tuple:
-    """Wave-by-wave dispatch with a streaming convergence check.
+    """Speculative block dispatch with a streaming convergence check.
 
-    Every backend's ``execute`` call is a barrier, so each wave is one
-    ``execute`` of the wave's not-yet-journalled requests; completed
-    waves stream into the :class:`StreamingGumbelEstimator` (resumed
-    runs replay through the same path, which is what makes resume
-    reproduce the original stopping decision).  Issuing stops at the
-    first converged boundary or at ``max_runs``.
+    Dispatch follows the :class:`~repro.pta.adaptive.WaveScheduler`'s
+    blocks — geometrically growing on backends that amortise dispatch
+    over the request batch, one policy wave at a time otherwise — and
+    each completed block streams into the
+    :class:`StreamingGumbelEstimator` at every *policy* wave boundary
+    it covers (resumed runs replay through the same path, which is
+    what makes resume reproduce the original stopping decision).
+    Issuing stops at the first converged boundary or at ``max_runs``;
+    runs already executed past a converged boundary are *waste* —
+    discarded from the sample, returned for the
+    ``runs_speculated_waste`` ledger term.
 
-    Returns ``(outcomes, estimator, sample_size)`` where
-    ``sample_size`` is the number of leading observations consumed.
-    Per-wave failures raise :class:`CampaignRunError` immediately —
-    later waves were never issued, so no work is discarded.
+    Returns ``(outcomes, estimator, sample_size, waste)`` where
+    ``sample_size`` is the number of leading observations consumed and
+    ``waste`` counts the freshly-executed runs past that point.
+    Per-block failures raise :class:`CampaignRunError` immediately —
+    later blocks were never issued, so no completed work is discarded.
     """
+    if scheduler is None:
+        # Per-run backends pay full price for overshoot; speculation
+        # is only free where one sweep serves the whole block.
+        speculative = bool(getattr(backend, "amortised_dispatch", False))
+        scheduler = WaveScheduler(
+            adaptive,
+            growth=DEFAULT_WAVE_GROWTH if speculative else 1.0,
+        )
     estimator = StreamingGumbelEstimator(adaptive)
     outcomes: List = []
     by_index: Dict[int, RunRecord] = {}
-    position = 0
-    while position < runs:
-        end = min(position + adaptive.wave_size, runs)
-        pending = [index for index in range(position, end)
+    fed = 0
+    stop: Optional[int] = None
+    for start, end in scheduler.blocks(runs):
+        pending = [index for index in range(start, end)
                    if index not in resumed]
         requests = [template.with_run(index, seeds[index])
                     for index in pending]
@@ -371,14 +405,28 @@ def _run_adaptive(
         for outcome in wave_outcomes:
             by_index[outcome.index] = outcome.record()
         outcomes.extend(wave_outcomes)
-        wave_times = [
-            (resumed[index] if index in resumed else by_index[index]).cycles
-            for index in range(position, end)
-        ]
-        position = end
-        if estimator.observe_wave(wave_times):
+        # Evaluate every policy wave boundary the dispatched prefix
+        # now covers, in order — the estimator sees exactly the waves
+        # wave-by-wave dispatch would have fed it, so the stopping
+        # decision is dispatch-invariant.
+        while fed < end:
+            wave_end = min(fed + adaptive.wave_size, runs)
+            if wave_end > end:
+                break
+            wave_times = [
+                (resumed[index] if index in resumed
+                 else by_index[index]).cycles
+                for index in range(fed, wave_end)
+            ]
+            fed = wave_end
+            if estimator.observe_wave(wave_times):
+                stop = fed
+                break
+        if stop is not None:
             break
-    return outcomes, estimator, position
+    sample_size = stop if stop is not None else fed
+    waste = sum(1 for outcome in outcomes if outcome.index >= sample_size)
+    return outcomes, estimator, sample_size, waste
 
 
 def collect_execution_times(
@@ -398,6 +446,7 @@ def collect_execution_times(
     telemetry: Optional[Telemetry] = None,
     job_id: Optional[str] = None,
     adaptive: Optional[ConvergencePolicy] = None,
+    scheduler: Optional[WaveScheduler] = None,
 ) -> CampaignResult:
     """Collect ``runs`` end-to-end execution times of ``trace``.
 
@@ -463,6 +512,14 @@ def collect_execution_times(
     function of that prefix, so checkpoint resume continues converging
     from the journal and lands on the same ``runs_executed``.
 
+    ``scheduler`` overrides the dispatch grouping of an adaptive
+    campaign (a :class:`~repro.pta.adaptive.WaveScheduler` built over
+    the same policy).  By default backends that amortise dispatch over
+    the batch speculate with geometrically growing blocks; runs issued
+    past the stopping point surface as ``runs_speculated_waste``.  The
+    grouping never changes the sample or the stopping decision — only
+    how much overshoot the campaign risks per dispatch.
+
     Returns a :class:`CampaignResult` whose ``execution_times`` are the
     MBPTA input sample.
     """
@@ -474,6 +531,18 @@ def collect_execution_times(
             f"ConvergencePolicy caps max_runs={adaptive.max_runs}; pass "
             f"runs=policy.max_runs so checkpoints and fingerprints agree"
         )
+    if scheduler is not None:
+        if adaptive is None:
+            raise ConfigurationError(
+                "a WaveScheduler only applies to adaptive campaigns; pass "
+                "adaptive=scheduler.policy alongside it"
+            )
+        if scheduler.policy != adaptive:
+            raise ConfigurationError(
+                "the WaveScheduler was built over a different "
+                "ConvergencePolicy than this campaign's; build it with "
+                "WaveScheduler(policy=adaptive, ...)"
+            )
     backend = _select_backend(
         engine, backend, workers=workers, runs=runs, plan_cache=plan_cache
     )
@@ -523,19 +592,22 @@ def collect_execution_times(
         }
         if job_id is not None:
             span_attrs["job"] = job_id
+        waste = 0
         if adaptive is not None:
             span_attrs["adaptive"] = True
             if telemetry is not None:
                 with attached_telemetry(telemetry), \
                         telemetry.tracer.span("campaign", **span_attrs):
-                    outcomes, estimator, sample_size = _run_adaptive(
+                    outcomes, estimator, sample_size, waste = _run_adaptive(
                         adaptive, trace, scenario, runs, seeds, resumed,
                         template, backend, effective_observer, telemetry,
+                        scheduler=scheduler,
                     )
             else:
-                outcomes, estimator, sample_size = _run_adaptive(
+                outcomes, estimator, sample_size, waste = _run_adaptive(
                     adaptive, trace, scenario, runs, seeds, resumed,
                     template, backend, effective_observer, telemetry,
+                    scheduler=scheduler,
                 )
         else:
             sample_size = runs
@@ -609,20 +681,34 @@ def collect_execution_times(
         adaptive=adaptive is not None,
         converged=estimator.converged if estimator is not None else False,
         runs_executed=sample_size,
-        runs_saved=runs - sample_size,
+        runs_saved=runs - sample_size - waste,
+        runs_speculated_waste=waste,
         pwcet_rtol_requested=(
             adaptive.rtol if adaptive is not None else None
         ),
         pwcet_rtol_achieved=(
             estimator.achieved_rtol if estimator is not None else None
         ),
+        # Compile stats travel only when the kernel engine actually ran
+        # (a batch campaign sharing the cache must not report a stale
+        # kernel plan's fusion as its own); the peek bumps no counters.
+        kernel_stats=(
+            cache.peek_kernel_stats(trace, config)
+            if cache is not None and getattr(backend, "kernel", False)
+            and "kernel" in backend.name else None
+        ),
     )
     if adaptive is not None:
         if head is not None:
             if result.converged:
+                waste_note = (
+                    f", {result.runs_speculated_waste} speculated past it"
+                    if result.runs_speculated_waste else ""
+                )
                 head.on_message(
                     f"pWCET converged after {result.runs_executed} of "
-                    f"{adaptive.max_runs} runs ({result.runs_saved} saved; "
+                    f"{adaptive.max_runs} runs ({result.runs_saved} saved"
+                    f"{waste_note}; "
                     f"quantile moved {result.pwcet_rtol_achieved:.2e} < "
                     f"rtol {adaptive.rtol:g} for "
                     f"{adaptive.stable_waves} waves)"
@@ -640,6 +726,10 @@ def collect_execution_times(
             if result.runs_saved:
                 telemetry.metrics.counter("runs_saved_converged").inc(
                     result.runs_saved
+                )
+            if result.runs_speculated_waste:
+                telemetry.metrics.counter("runs_speculated_waste").inc(
+                    result.runs_speculated_waste
                 )
     if head is not None:
         head.on_campaign_end(result)

@@ -70,6 +70,7 @@ from repro.sim.batch import (
 )
 from repro.sim.plancache import GLOBAL_PLAN_CACHE, PlanCache
 from repro.utils.rng import MWCArray
+from repro.utils.xp import xp
 
 #: Kernel state rows: end_fetch, start_decode, start_mem, start_wb,
 #: end_wb, plus the transient end_mem written by DL1-access ops and
@@ -188,6 +189,63 @@ class MemOp:
         self.store = store
 
 
+#: Fusion window: close a segment once it covers this many accesses.
+#: Small enough that one non-resident line forfeits little fused work
+#: (the fallback replays the whole window per-op), large enough that
+#: the guard reduction amortises over many skipped dispatches.  Swept
+#: empirically on the EFL campaign shape: 4 beats both 6 and 8 — small
+#: windows pass their guard earlier in the warmup prefix, and the
+#: extra guard checks are two cheap gathers.
+_SEGMENT_ACCESS_CAP = 4
+
+#: Segments below this access count are not worth the guard check: the
+#: fused apply replaces too few per-op dispatches to pay for it.
+_SEGMENT_ACCESS_MIN = 2
+
+
+class SegmentOp:
+    """A fused megakernel segment: a run of ops with an all-hit fast path.
+
+    Covers ``ops[start:end]`` of the plan — a ``[chain?, access]*``
+    run closed just after a chain item, where the transient ``EM`` row
+    is dead.  Only compiled for EoM configs, whose caches keep
+    ``[line, lane]`` residency maps.
+
+    At runtime the guard is two reductions: every IL1 line and every
+    DL1 line the segment touches resident in *every* lane.  When it
+    holds, every access inside the window is a fast L1 hit for every
+    lane, and under EoM a hit mutates nothing but counters — no tags,
+    no residency, no draws, no CRG arrivals (those fire only inside
+    miss fills).  The whole window therefore collapses to ``chain`` —
+    every deterministic phase *and* every access's hit latency
+    composed into one max-plus map at compile time — plus deferred
+    counter updates (access counts, store-line dirty rows).  When the
+    guard fails, the covered ops execute one by one, bit-identically;
+    segment boundaries align with op boundaries, so both paths agree.
+    """
+
+    kind = "segment"
+    __slots__ = ("start", "end", "ops", "chain", "il1_lines", "dl1_lines",
+                 "store_lines", "il1_accesses", "dl1_accesses", "n_lines")
+
+    def __init__(self, start: int, end: int, ops: List[object],
+                 chain: Optional[ChainOp], il1_list: List[int],
+                 dl1_list: List[int], store_list: List[int]) -> None:
+        self.start = start
+        self.end = end
+        self.ops = ops
+        self.chain = chain
+        self.il1_lines = np.unique(np.asarray(il1_list, dtype=np.intp))
+        self.dl1_lines = np.unique(np.asarray(dl1_list, dtype=np.intp))
+        self.store_lines = np.unique(np.asarray(store_list, dtype=np.intp))
+        self.il1_accesses = len(il1_list)
+        self.dl1_accesses = len(dl1_list)
+        # Guard constant: residency tallies never exceed the lane
+        # count, so "every touched line resident in every lane" is one
+        # summed tally hitting lanes * n_lines exactly.
+        self.n_lines = int(self.il1_lines.size + self.dl1_lines.size)
+
+
 class KernelPlan:
     """A compiled grouped-opcode program: ops + compilation stats.
 
@@ -195,23 +253,57 @@ class KernelPlan:
     :class:`~repro.sim.plancache.TraceProgram` key — so the
     :class:`~repro.sim.plancache.PlanCache` caches it alongside the
     program it lowers.
+
+    ``segments`` are the fused megakernel windows
+    (:class:`SegmentOp`), each covering a slice of ``ops``;
+    ``schedule`` interleaves them with the uncovered op spans in
+    program order, which is exactly what the runtime walks.
     """
 
-    __slots__ = ("ops", "stats", "instructions")
+    __slots__ = ("ops", "stats", "instructions", "segments", "schedule",
+                 "hints")
 
-    def __init__(self, ops: List[object], stats: dict,
-                 instructions: int) -> None:
+    def __init__(self, ops: List[object], stats: dict, instructions: int,
+                 segments: Optional[List[SegmentOp]] = None) -> None:
         self.ops = ops
         self.stats = stats
         self.instructions = instructions
+        # Warm-repeat grow hints: {(core, scenario): {stream: rows}}
+        # high-water marks recorded by execute_lanes, so a repeated
+        # campaign pre-draws each linearised stream in one block
+        # instead of rediscovering its length through doubling copies.
+        # Rows consumed are per-lane counts, so the hint transfers
+        # across lane widths (adaptive waves, other R).
+        self.hints: dict = {}
+        self.segments = segments if segments is not None else []
+        schedule: List[tuple] = []
+        position = 0
+        for segment in self.segments:
+            if segment.start > position:
+                schedule.append((None, ops[position:segment.start]))
+            schedule.append((segment, segment.ops))
+            position = segment.end
+        if position < len(ops):
+            schedule.append((None, ops[position:]))
+        self.schedule = schedule
+
+    def chains(self):
+        """Every :class:`ChainOp` — standalone and segment-composed."""
+        for op in self.ops:
+            if op.kind == "chain":
+                yield op
+        for segment in self.segments:
+            if segment.chain is not None:
+                yield segment.chain
 
 
 def _identity_matrix() -> List[dict]:
     return [{row: 0} for row in range(N_STATE)]
 
 
-def _emit_chain(matrix: List[dict], fused: int,
-                dead: frozenset) -> Optional[ChainOp]:
+def _emit_chain(matrix: List[dict], fused: int, dead: frozenset,
+                links: Optional[dict] = None,
+                pool: Optional[dict] = None) -> Optional[ChainOp]:
     """Lower a composed max-plus matrix to a reduceat-ready op.
 
     Identity rows are skipped (the state they govern is untouched), as
@@ -219,6 +311,18 @@ def _emit_chain(matrix: List[dict], fused: int,
     anything reads them.  ``EM`` is always dead: its only reader is
     the write-back phase, which every compilation path re-derives from
     a fresher write before reading.
+
+    ``links`` carries affine invariants of the chain's *base* state —
+    ``{dep: (base, offset)}`` meaning ``state[dep] == state[base] +
+    offset`` holds on entry along every path (e.g. ``EW == SW + 1``
+    after any complete instruction).  A row holding terms on both ends
+    of a link collapses them into one: ``max(state[base] + wa,
+    state[dep] + wb) == state[base] + max(wa, wb + offset)`` exactly,
+    so pruning narrows the runtime gather without touching a bit.
+
+    ``pool`` deduplicates structurally identical chains (loop bodies
+    re-emit the same few maps thousands of times), letting the runtime
+    attach per-sweep scratch to the handful of distinct ops.
     """
     out_rows: List[int] = []
     src: List[int] = []
@@ -230,6 +334,12 @@ def _emit_chain(matrix: List[dict], fused: int,
         terms = matrix[row]
         if len(terms) == 1 and terms.get(row) == 0:
             continue
+        if links:
+            terms = dict(terms)
+            for dep, (base, offset) in links.items():
+                if dep in terms and base in terms:
+                    terms[base] = max(terms[base], terms[dep] + offset)
+                    del terms[dep]
         starts.append(len(src))
         out_rows.append(row)
         for base in sorted(terms):
@@ -237,13 +347,33 @@ def _emit_chain(matrix: List[dict], fused: int,
             weights.append(terms[base])
     if not out_rows:
         return None
-    return ChainOp(
+    if pool is not None:
+        key = (tuple(out_rows), tuple(src), tuple(weights), tuple(starts),
+               fused)
+        op = pool.get(key)
+        if op is not None:
+            return op
+    op = ChainOp(
         np.array(out_rows, dtype=np.intp),
         np.array(src, dtype=np.intp),
         np.array(weights, dtype=np.int64),
         np.array(starts, dtype=np.intp),
         fused,
     )
+    if pool is not None:
+        pool[key] = op
+    return op
+
+
+#: Most recent compile's fusion ratio, exposed as the
+#: ``kernel_fusion_ratio`` gauge (ratios are not additive, so a
+#: counter cannot carry them; the per-plan value lives in
+#: ``KernelPlan.stats["fusion_ratio"]``).
+_LAST_FUSION_RATIO = 0.0
+
+
+def _fusion_ratio_gauge() -> float:
+    return _LAST_FUSION_RATIO
 
 
 def compile_kernel_plan(program, config) -> KernelPlan:
@@ -255,6 +385,16 @@ def compile_kernel_plan(program, config) -> KernelPlan:
     the run.  Decode phases compose into the chain *before* a DL1
     access (the access reads the decoded time), write-back phases
     *after* it (they read the access's ``end_mem``).
+
+    A second, parallel composition drives the **megakernel fusion
+    pass** (EoM configs only): the same phases, plus every access's
+    *hit* form, compose into a per-segment matrix that keeps growing
+    across chain/access boundaries.  Whenever the open window covers
+    :data:`_SEGMENT_ACCESS_CAP` accesses (and at program end), it is
+    closed into a :class:`SegmentOp` at a chain boundary — where the
+    transient ``EM`` row is dead — so the runtime can replace the
+    whole window with one composed chain whenever every touched line
+    is resident in every lane.
     """
     l1_hit = int(config.l1_hit_latency)
     ops: List[object] = []
@@ -266,23 +406,64 @@ def compile_kernel_plan(program, config) -> KernelPlan:
         "dmem": 0,          # irreducible DL1 access steps
         "chains": 0,
         "fused_phases": 0,
+        "segments": 0,        # fused megakernel windows
+        "fused_accesses": 0,  # accesses covered by those windows
+        "fusion_ratio": 0.0,  # fused_accesses / (ifetch + dmem)
     }
     matrix = _identity_matrix()
     dirty = False
     fused = 0
+    # Affine invariants of the *current* runtime state:
+    # {dep: (base, offset)} meaning state[dep] == state[base] + offset.
+    # A chain's src rows index its base state, so each chain captures
+    # the snapshot valid when its base is established — after any
+    # runtime op (FetchOp/MemOp) separating it from the last flush,
+    # which is exactly the first assign() into the fresh matrix.
+    links: dict = {}
+    chain_links: dict = {}
+    base_pending = True
+    pool: dict = {}
+    # Segment composition state: only EoM caches keep the residency
+    # maps the runtime guard needs, and only EoM hits are free of
+    # side effects (LRU hits restamp), so fusion is EoM-only.
+    fusable = config.replacement == "eom"
+    segments: List[SegmentOp] = []
+    seg_matrix = _identity_matrix()
+    seg_fused = 0
+    seg_start = 0
+    seg_links: dict = {}
+    seg_il1: List[int] = []
+    seg_dl1: List[int] = []
+    seg_store: List[int] = []
 
-    def assign(out: int, terms) -> None:
-        nonlocal dirty, fused
+    def write_row(row: int) -> None:
+        # A write to `row` invalidates any invariant naming it.
+        links.pop(row, None)
+        for dep in [d for d, (b, _o) in links.items() if b == row]:
+            del links[dep]
+
+    def compose(target: List[dict], out: int, terms) -> None:
         row: dict = {}
         for source, weight in terms:
-            for base, base_weight in matrix[source].items():
+            for base, base_weight in target[source].items():
                 candidate = base_weight + weight
                 previous = row.get(base)
                 if previous is None or previous < candidate:
                     row[base] = candidate
-        matrix[out] = row
+        target[out] = row
+
+    def assign(out: int, terms) -> None:
+        nonlocal dirty, fused, seg_fused, chain_links, base_pending
+        if base_pending:
+            chain_links = dict(links)
+            base_pending = False
+        compose(matrix, out, terms)
+        write_row(out)
         dirty = True
         fused += 1
+        if fusable:
+            compose(seg_matrix, out, terms)
+            seg_fused += 1
 
     _LIVE = frozenset()
     #: A DL1-access op recomputes start_mem from decode/write-back
@@ -293,10 +474,40 @@ def compile_kernel_plan(program, config) -> KernelPlan:
     #: time) is ever read.
     _FINAL_DEAD = frozenset((EF, SD, SM, SW))
 
+    def seg_boundary(dead: frozenset, final: bool = False) -> None:
+        """Maybe close the open segment (called at chain boundaries).
+
+        The segment chain is emitted with the same dead-row set as the
+        chain just flushed, so the fused and per-op paths leave
+        identical live state at the boundary.
+        """
+        nonlocal seg_matrix, seg_fused, seg_start, seg_links
+        accesses = len(seg_il1) + len(seg_dl1)
+        if accesses >= _SEGMENT_ACCESS_CAP or (
+                final and accesses >= _SEGMENT_ACCESS_MIN):
+            chain = _emit_chain(seg_matrix, seg_fused, dead,
+                                links=seg_links, pool=pool)
+            segments.append(SegmentOp(
+                seg_start, len(ops), ops[seg_start:len(ops)], chain,
+                seg_il1, seg_dl1, seg_store,
+            ))
+            stats["segments"] += 1
+            stats["fused_accesses"] += accesses
+            seg_matrix = _identity_matrix()
+            seg_fused = 0
+            seg_start = len(ops)
+            # The new segment's base is this boundary state (its
+            # accesses compose in hit form, before any runtime write).
+            seg_links = dict(links)
+            seg_il1.clear()
+            seg_dl1.clear()
+            seg_store.clear()
+
     def flush(dead: frozenset = _LIVE) -> None:
-        nonlocal matrix, dirty, fused
+        nonlocal matrix, dirty, fused, base_pending
         if dirty:
-            op = _emit_chain(matrix, fused, dead)
+            op = _emit_chain(matrix, fused, dead,
+                             links=chain_links, pool=pool)
             if op is not None:
                 ops.append(op)
                 stats["chains"] += 1
@@ -304,6 +515,9 @@ def compile_kernel_plan(program, config) -> KernelPlan:
         matrix = _identity_matrix()
         dirty = False
         fused = 0
+        base_pending = True
+        if fusable:
+            seg_boundary(dead)
 
     for fetch_fast, iline, mem_code, mem_arg, is_store in program.steps:
         if fetch_fast:
@@ -313,23 +527,45 @@ def compile_kernel_plan(program, config) -> KernelPlan:
         else:
             flush()
             ops.append(FetchOp(iline))
+            write_row(EF)
             stats["ifetch"] += 1
+            if fusable:
+                # The access's all-hit form, for the segment chain.
+                seg_il1.append(iline)
+                compose(seg_matrix, EF, ((EF, l1_hit), (SD, l1_hit)))
+                seg_fused += 1
         # Decode: start_decode = max(end_fetch, start_mem).
         assign(SD, ((EF, 0), (SM, 0)))
         if mem_code == 2:
             flush(_PRE_MEM_DEAD)
             ops.append(MemOp(mem_arg, bool(is_store)))
+            write_row(SM)
+            write_row(EM)
             stats["dmem"] += 1
+            if fusable:
+                seg_dl1.append(mem_arg)
+                if is_store:
+                    seg_store.append(mem_arg)
+                compose(seg_matrix, SM, ((SD, 1), (SW, 0)))
+                compose(seg_matrix, EM, ((SM, l1_hit),))
+                seg_fused += 2
         else:
             # start_mem = max(end_decode, start_wb); end_mem = +latency.
             latency = mem_arg if mem_code == 0 else l1_hit
             assign(SM, ((SD, 1), (SW, 0)))
             assign(EM, ((SM, latency),))
+            links[EM] = (SM, latency)
             stats["alu" if mem_code == 0 else "data_fast"] += 1
         # Write-back: start_wb = max(end_mem, end_wb); end_wb = +1.
         assign(SW, ((EM, 0), (EW, 0)))
         assign(EW, ((SW, 1),))
+        links[EW] = (SW, 1)
     flush(_FINAL_DEAD)
+    if fusable:
+        seg_boundary(_FINAL_DEAD, final=True)
+    total_accesses = stats["ifetch"] + stats["dmem"]
+    if total_accesses:
+        stats["fusion_ratio"] = stats["fused_accesses"] / total_accesses
 
     telemetry = current_telemetry()
     if telemetry is not None:
@@ -339,7 +575,15 @@ def compile_kernel_plan(program, config) -> KernelPlan:
                 metrics.counter(f"kernel_steps_{group}").inc(stats[group])
         if stats["chains"]:
             metrics.counter("kernel_chains").inc(stats["chains"])
-    return KernelPlan(ops, stats, program.instructions)
+        if stats["segments"]:
+            metrics.counter("kernel_segments_fused").inc(stats["segments"])
+            metrics.counter("kernel_fused_accesses").inc(
+                stats["fused_accesses"]
+            )
+        global _LAST_FUSION_RATIO
+        _LAST_FUSION_RATIO = stats["fusion_ratio"]
+        metrics.gauge("kernel_fusion_ratio", _fusion_ratio_gauge)
+    return KernelPlan(ops, stats, program.instructions, segments)
 
 
 # ----------------------------------------------------------------------
@@ -364,17 +608,40 @@ class _DrawCursor:
         self.rng = rng
         self.n = n
         self.lanes = lanes
-        self._ids = np.arange(lanes)
-        self._block = np.empty((0, lanes), dtype=np.int64)
-        self._cursor = np.zeros(lanes, dtype=np.int64)
+        self._ids = xp.arange(lanes)
+        self._block = xp.empty((0, lanes), dtype=np.int64)
+        self._cursor = xp.zeros(lanes, dtype=np.int64)
         self._countdown = 0
         self._grow(initial_rows)
 
     def _grow(self, rows: int) -> None:
-        fresh = np.empty((rows, self.lanes), dtype=np.int64)
-        for rank in range(rows):
-            fresh[rank] = self.rng.randrange_unmasked(self.n)
-        self._block = np.concatenate([self._block, fresh], axis=0)
+        # One block draw: bit-identical to `rows` successive
+        # randrange_unmasked calls, at a fraction of the call count.
+        # The draw lands directly in the grown block (typed int64 by
+        # the destination) — no temporary, no cast pass.
+        old = self._block
+        filled = old.shape[0]
+        grown = xp.empty((filled + rows, self.lanes), dtype=np.int64)
+        grown[:filled] = old
+        self.rng.randrange_block(self.n, rows, out=grown[filled:])
+        self._block = grown
+
+    def presize(self, rows: int) -> None:
+        """Pre-draw the stream to ``rows`` (one grow, no repeat copies)."""
+        have = self._block.shape[0]
+        if rows > have:
+            self._grow(rows - have)
+
+    def hint_rows(self) -> int:
+        """Final block capacity — the next sweep's presize target.
+
+        Capacity, not consumption: :meth:`take`'s countdown guard
+        grows one row ahead of the deepest cursor, so a block presized
+        to bare consumption still pays a mid-sweep doubling copy.
+        Presizing to the capacity the last sweep ended with reproduces
+        a zero-grow sweep exactly (same rows, same guard outcomes).
+        """
+        return int(self._block.shape[0])
 
     def take(self, mask: np.ndarray) -> np.ndarray:
         self._countdown -= 1
@@ -387,6 +654,26 @@ class _DrawCursor:
             self._countdown = rows - high - 2
         out = self._block[self._cursor, self._ids]
         self._cursor += mask
+        return out
+
+    def take_at(self, lane_ids: np.ndarray) -> np.ndarray:
+        """Compact :meth:`take`: one draw for just the listed lanes.
+
+        ``lane_ids`` must be distinct (a ``nonzero`` of some mask).
+        Values and cursor movement match ``take(mask)[lane_ids]``
+        exactly; the untouched lanes' full-width gather is skipped.
+        """
+        self._countdown -= 1
+        if self._countdown < 0:
+            high = int(self._cursor.max())
+            rows = self._block.shape[0]
+            if high + 1 >= rows:
+                self._grow(rows)
+                rows = self._block.shape[0]
+            self._countdown = rows - high - 2
+        cur = self._cursor[lane_ids]
+        out = self._block[cur, lane_ids]
+        self._cursor[lane_ids] = cur + 1
         return out
 
     def take_events(self, ev_lanes: np.ndarray,
@@ -403,13 +690,15 @@ class _DrawCursor:
         needed = int(end.max())
         rows = self._block.shape[0]
         if needed >= rows:
-            # Grow to the exact demand (plus slack): a large drain can
-            # outpace doubling, and overdrawing costs real MWC steps.
-            self._grow(needed + 8 - rows)
+            # Geometric growth with an exact-demand floor: a large
+            # drain can outpace doubling, while doubling keeps the
+            # frequent small drains from paying a block copy each.
+            self._grow(max(needed + 8 - rows, rows))
             rows = self._block.shape[0]
         starts = np.cumsum(delta) - delta
-        offsets = np.arange(total) - np.repeat(starts, delta)
-        positions = np.repeat(self._cursor, delta) + offsets
+        # positions[e] = cursor[lane] + within-lane-offset, with the
+        # two per-event gathers folded into one repeat.
+        positions = np.arange(total) + np.repeat(self._cursor - starts, delta)
         out = self._block[positions, ev_lanes]
         self._cursor = end
         self._countdown = 0
@@ -445,11 +734,33 @@ class _KernelCache(_LaneCache):
         if lru:
             self._res = None
             self._line_dirty = None
+            self._res_count = None
         else:
-            self._res = np.zeros((sets.shape[0], lanes), dtype=bool)
-            self._line_dirty = np.zeros((sets.shape[0], lanes), dtype=bool)
-        self._full = np.ones(lanes, dtype=bool)
+            # One spare row past the real lines: victim tag -1 (an
+            # empty frame) fancy-indexes the dummy row, so eviction
+            # scatters and the dirty-victim gather need no validity
+            # filtering.  Nothing ever writes True there — the
+            # residency clear writes False, and dirty writes only
+            # target real (resident) lines — so a dummy-row read is
+            # always the empty frame's correct answer: not resident,
+            # not dirty.
+            self._res = xp.zeros((sets.shape[0] + 1, lanes), dtype=bool)
+            self._line_dirty = xp.zeros(
+                (sets.shape[0] + 1, lanes), dtype=bool)
+            # Per-line resident-lane tally, kept exactly equal to
+            # ``_res.sum(axis=1)``: the all-lanes-resident test — the
+            # segment guard and the demand_full fast path — becomes a
+            # scalar compare instead of a [lanes] row reduction.  The
+            # LLC opts out (see execute_lanes): it is never probed
+            # all-lanes, and its forced-eviction drain would pay
+            # scatter-subtract upkeep for nothing.
+            self._res_count = xp.zeros(sets.shape[0], dtype=np.int64)
+        self._full = xp.ones(lanes, dtype=bool)
         self._accesses = 0
+        # Reused _miss_fill outputs: callers consume them before the
+        # next access, so one buffer pair per cache suffices.
+        self._vid_buf = xp.empty(lanes, dtype=np.int64)
+        self._vdirty_buf = xp.empty(lanes, dtype=bool)
 
     def _victims(self, set_idx: np.ndarray, mask: np.ndarray) -> np.ndarray:
         if self._draws is not None:
@@ -457,28 +768,43 @@ class _KernelCache(_LaneCache):
         return super()._victims(set_idx, mask)
 
     def _miss_fill(self, line_id: int, miss: np.ndarray, write: bool):
-        """Victim choice + displace + fill for the missed lanes."""
+        """Victim choice + displace + fill for the missed lanes.
+
+        Displaced victims come back in *compact* form, aligned with
+        the missed lanes: ``(lanes, lines, dirty)`` where ``lines`` is
+        ``-1`` for frames that were empty.  The hot consumers (the
+        kernel op loop's write-back probe) stay in compact space; only
+        the masked :meth:`demand` path expands to lane width.
+        """
         set_idx = self.sets[line_id]
-        vway = self._victims(set_idx, miss)
-        ml = self._lane_ids[miss]
-        ms = set_idx[miss]
-        mw = vway[miss]
+        # One nonzero + fancy gathers: cheaper than compressing three
+        # full-width arrays through the same boolean mask.
+        ml = np.nonzero(miss)[0]
+        ms = set_idx[ml]
+        if self._draws is not None:
+            mw = self._draws.take_at(ml)
+        else:
+            mw = self._victims(set_idx, miss)[ml]
         vt = self.tags[ml, ms, mw]
-        victim_ids = np.full(self.lanes, -1, dtype=np.int64)
-        victim_ids[miss] = vt
-        victim_dirty = np.zeros(self.lanes, dtype=bool)
-        valid = vt >= 0
-        if valid.any():
-            lv = ml[valid]
-            tv = vt[valid]
-            dirty_small = np.zeros(vt.shape[0], dtype=bool)
-            dirty_small[valid] = self._line_dirty[tv, lv]
-            victim_dirty[miss] = dirty_small
-            self._res[tv, lv] = False
+        count = self._res_count
+        # Victim tag -1 (empty frame) indexes the spare dummy row of
+        # the residency/dirty maps — see __init__ — so neither the
+        # dirty gather nor the residency clear filters for validity.
+        dirty_small = self._line_dirty[vt, ml]
+        self._res[vt, ml] = False
+        if count is not None:
+            # bincount + full-vector subtract beats the buffered
+            # np.subtract.at scatter on these victim batch sizes; the
+            # +1 shift keeps empty frames (tag -1) countable, their
+            # bin is discarded by the slice.
+            count -= np.bincount(vt + 1, minlength=count.shape[0] + 1)[1:]
         self.tags[ml, ms, mw] = line_id
-        self._res[line_id][miss] = True
-        self._line_dirty[line_id][miss] = bool(write)
-        return victim_ids, victim_dirty
+        row = self._res[line_id]
+        row[ml] = True
+        self._line_dirty[line_id][ml] = bool(write)
+        if count is not None:
+            count[line_id] += ml.shape[0]
+        return ml, vt, dirty_small
 
     def demand(self, line_id: int, mask: np.ndarray, write: bool):
         if self._res is None:
@@ -493,37 +819,73 @@ class _KernelCache(_LaneCache):
             np.logical_or(dirty_row, hit, out=dirty_row)
         if not miss.any():
             return hit, miss, None, None
-        victim_ids, victim_dirty = self._miss_fill(line_id, miss, write)
+        ml, vt, dirty_small = self._miss_fill(line_id, miss, write)
+        victim_ids = self._vid_buf
+        victim_ids.fill(-1)
+        victim_ids[ml] = vt
+        victim_dirty = self._vdirty_buf
+        victim_dirty.fill(False)
+        victim_dirty[ml] = dirty_small
         return hit, miss, victim_ids, victim_dirty
+
+    def demand_compact(self, line_id: int, mask: np.ndarray, write: bool):
+        """Compact-victim demand without the full-width buffer pass.
+
+        Same contract as the base class; the EoM residency-map probe
+        hands :meth:`_miss_fill`'s compact victims straight through.
+        """
+        if self._res is None:
+            return super().demand_compact(line_id, mask, write)
+        row = self._res[line_id]
+        hit = row & mask
+        miss = mask ^ hit  # hit ⊆ mask, so xor is mask & ~hit
+        self.hits += hit
+        self.misses += miss
+        if write:
+            dirty_row = self._line_dirty[line_id]
+            np.logical_or(dirty_row, hit, out=dirty_row)
+        if not miss.any():
+            return None, None, None
+        ml, _vt, dirty_small = self._miss_fill(line_id, miss, write)
+        return miss, ml, dirty_small
 
     def demand_full(self, line_id: int, write: bool):
         """All-lanes demand — the kernel op loop's L1 access shape.
 
-        Returns ``(miss, victim_ids, victim_dirty)``, all ``None``
-        when every lane hit.  Hit counting is deferred: the access
-        count is a compile-time constant per sweep, so
+        Returns ``(miss, victim_lanes, victim_lines, victim_dirty)``
+        with the victims compact (see :meth:`_miss_fill`), all
+        ``None`` when every lane hit.  Hit counting is deferred: the
+        access count is a compile-time constant per sweep, so
         :meth:`finalise_counters` derives ``hits = accesses - misses``
         once at the end instead of accumulating a vector per access —
-        the all-hit fast path is a single residency reduction.
+        the all-hit fast path is one scalar residency-count compare.
         """
         if self._res is None:
             _hit, miss, vids, vdirty = super().demand(
                 line_id, self._full, write
             )
             if vids is None:
-                return None, None, None
-            return miss, vids, vdirty
-        row = self._res[line_id]
+                return None, None, None, None
+            ml = self._lane_ids[miss]
+            return miss, ml, vids[miss], vdirty[miss]
         self._accesses += 1
+        count = self._res_count
+        if count is not None and count[line_id] == self.lanes:
+            # All lanes resident — one scalar compare decides the hit,
+            # and a write dirties the full row outright.
+            if write:
+                self._line_dirty[line_id] = True
+            return None, None, None, None
+        row = self._res[line_id]
         if write:
             dirty_row = self._line_dirty[line_id]
             np.logical_or(dirty_row, row, out=dirty_row)
-        if row.all():
-            return None, None, None
+        if count is None and row.all():
+            return None, None, None, None
         miss = ~row
         self.misses += miss
-        victim_ids, victim_dirty = self._miss_fill(line_id, miss, write)
-        return miss, victim_ids, victim_dirty
+        ml, vt, dirty_small = self._miss_fill(line_id, miss, write)
+        return miss, ml, vt, dirty_small
 
     def finalise_counters(self) -> None:
         """Materialise the deferred hit counters (EoM fast path)."""
@@ -540,7 +902,33 @@ class _KernelCache(_LaneCache):
         if resident.any():
             rl = self._lane_ids[resident]
             self._line_dirty[safe[resident], rl] = True
-            self.hits += resident
+            self.wb_hits += resident
+        return resident
+
+    def writeback_at(self, line_ids: np.ndarray,
+                     lane_ids: np.ndarray) -> np.ndarray:
+        """Compact posted write-back probe: one event per array slot.
+
+        The kernel op loop hands dirty L1 victims straight through in
+        the compact ``(lines, lanes)`` form :meth:`_miss_fill`
+        produced — at most one victim per lane per access, so the lane
+        ids are distinct and plain fancy-index updates suffice.
+        """
+        if self._res is None:
+            # LRU LLC: expand to lane width for the stamp-updating
+            # base-class probe (cold path; EoM is the fused regime).
+            full_ids = self._vid_buf
+            full_ids.fill(0)
+            full_ids[lane_ids] = line_ids
+            mask = self._vdirty_buf
+            mask.fill(False)
+            mask[lane_ids] = True
+            return super().writeback(full_ids, mask)[lane_ids]
+        resident = self._res[line_ids, lane_ids]
+        if resident.any():
+            rl = lane_ids[resident]
+            self._line_dirty[line_ids[resident], rl] = True
+            self.wb_hits[rl] += 1
         return resident
 
     def force_evict_events(self, ev_lanes: np.ndarray, ev_sets: np.ndarray,
@@ -558,9 +946,9 @@ class _KernelCache(_LaneCache):
         else:
             ways = np.zeros(ev_lanes.shape[0], dtype=np.int64)
         vt = self.tags[ev_lanes, ev_sets, ways]
-        valid = vt >= 0
-        if valid.any():
-            self._res[vt[valid], ev_lanes[valid]] = False
+        # Empty frames (tag -1) land the clear on the dummy residency
+        # row — see __init__ — so the drain skips validity filtering.
+        self._res[vt, ev_lanes] = False
         self.tags[ev_lanes, ev_sets, ways] = -1
 
 
@@ -605,36 +993,76 @@ class _KernelCRG:
         self.rng = rng
         self.num_sets = num_sets
         self.lanes = lanes
-        self._ids = np.arange(lanes)
+        self._ids = xp.arange(lanes)
         if randomise:
             first = rng.randint_inclusive(0, 2 * mid).astype(np.int64)
         else:
-            first = np.full(lanes, mid, dtype=np.int64)
-        self._sets = np.empty((0, lanes), dtype=np.int64)
+            first = xp.full(lanes, mid, dtype=np.int64)
+        self._sets = xp.empty((0, lanes), dtype=np.int64)
         self._times = first[None, :].copy()
-        self._fired = np.zeros(lanes, dtype=np.int64)
+        self._fired = xp.zeros(lanes, dtype=np.int64)
         self.next_time = first.copy()
         self._grow(8)
 
     def _grow(self, rows: int) -> None:
+        # Draws land directly in the grown blocks (typed int64 by the
+        # destination slice) and the timeline is computed in place —
+        # no concatenate copies, no post-hoc `+ current` pass over the
+        # freshly drawn rows.  Per-campaign presize is the dominant
+        # caller, so these whole-block passes are wall time.
         drawn = self._sets.shape[0]
-        sets_new = np.empty((rows, self.lanes), dtype=np.int64)
-        times_new = np.empty((rows, self.lanes), dtype=np.int64)
         current = self._times[drawn]
-        for rank in range(rows):
-            sets_new[rank] = self.rng.randrange_unmasked(self.num_sets)
-            if self.randomise:
-                gap = self.rng.randrange_unmasked(2 * self.mid + 1)
-                # A zero gap still advances time by one cycle (at most
-                # one forced eviction per cycle per core).
-                increment = np.maximum(gap.astype(np.int64), 1)
-            else:
-                increment = self.mid if self.mid > 0 else 1
-            current = current + increment
-            times_new[rank] = current
-        self._sets = np.concatenate([self._sets, sets_new], axis=0)
-        self._times = np.concatenate([self._times, times_new], axis=0)
+        grown_sets = xp.empty((drawn + rows, self.lanes), dtype=np.int64)
+        grown_sets[:drawn] = self._sets
+        grown_times = xp.empty((drawn + 1 + rows, self.lanes),
+                               dtype=np.int64)
+        grown_times[:drawn + 1] = self._times
+        times_new = grown_times[drawn + 1:]
+        if not self.randomise:
+            # Deterministic MID: the stream holds only set draws, so
+            # one block draw covers the whole extension and the
+            # timeline is an arithmetic ramp.
+            self.rng.randrange_block(
+                self.num_sets, rows, out=grown_sets[drawn:])
+            step = self.mid if self.mid > 0 else 1
+            ramp = np.arange(1, rows + 1, dtype=np.int64) * step
+            np.add(current[None, :], ramp[:, None], out=times_new)
+        else:
+            # The stream strictly alternates set draw / gap draw, which
+            # is exactly the pair-block contract: two in-place stepped
+            # blocks replace 2*rows full-width masked draws.
+            gaps = np.empty((rows, self.lanes), dtype=np.int64)
+            self.rng.randrange_block_pair(
+                self.num_sets, 2 * self.mid + 1, rows,
+                out_first=grown_sets[drawn:], out_second=gaps,
+            )
+            # A zero gap still advances time by one cycle (at most
+            # one forced eviction per cycle per core); the timeline is
+            # the running sum of the clamped gaps, anchored at the
+            # last already-drawn arrival by folding it into row 0.
+            np.maximum(gaps, 1, out=gaps)
+            gaps[0] += current
+            np.cumsum(gaps, axis=0, out=times_new)
+        self._sets = grown_sets
+        self._times = grown_times
         self._top_min = int(self._times[-1].min())
+
+    def presize(self, rows: int) -> None:
+        """Pre-draw the timeline to ``rows`` (one grow, no repeat copies)."""
+        have = self._sets.shape[0]
+        if rows > have:
+            self._grow(rows - have)
+
+    def hint_rows(self) -> int:
+        """Final timeline capacity — the next sweep's presize target.
+
+        Capacity, not fired ranks: the drain extends the timeline
+        until the *last drawn* arrival outruns ``now`` on every lane,
+        so a timeline presized to bare consumption re-grows mid-sweep.
+        The capacity the last sweep ended with reproduces a zero-grow
+        sweep exactly.
+        """
+        return int(self._sets.shape[0])
 
     def fire_until(self, now: np.ndarray, mask: np.ndarray, llc) -> None:
         pending = mask & (self.next_time <= now)
@@ -682,8 +1110,7 @@ class _KernelCRG:
         if total:
             ev_lanes = np.repeat(ids, delta)
             starts = np.cumsum(delta) - delta
-            offsets = np.arange(total) - np.repeat(starts, delta)
-            ev_ranks = np.repeat(fired, delta) + offsets
+            ev_ranks = np.arange(total) + np.repeat(fired - starts, delta)
             ev_sets = self._sets[ev_ranks, ev_lanes]
             llc.force_evict_events(ev_lanes, ev_sets, delta)
             self._fired = new_fired
@@ -735,7 +1162,7 @@ class _KernelCRGBank(_KernelCRG):
         self.num_sets = first.num_sets
         self._rlanes = first.lanes
         self.lanes = first.lanes * k  # virtual lanes, for _grow
-        self._ids = np.arange(self.lanes)
+        self._ids = xp.arange(self.lanes)
         self._real = np.repeat(np.arange(first.lanes), k)
         # Interleave the private streams and the already-drawn
         # timeline prefixes; per-stream draw sequences are untouched.
@@ -759,48 +1186,109 @@ class _KernelCRGBank(_KernelCRG):
         if now_max < self._next_min:
             return
         k = self.k
-        now_v = np.repeat(now, k)
-        mask_v = np.repeat(mask, k)
-        pending = mask_v & (self.next_time <= now_v)
+        rl = self._rlanes
+        # Virtual-lane comparisons run as [real, k] broadcast views —
+        # the interleave is lane-major, so a reshape of any fresh flat
+        # vector lines real lanes up with `now`/`mask` columns without
+        # materialising their k-fold repeats.
+        nowc = now[:, None]
+        maskc = mask[:, None]
+        pending = ((self.next_time.reshape(rl, k) <= nowc) & maskc)
         if not pending.any():
             return
         fired = self._fired
-        ids = self._ids
         if self._top_min <= now_max:
-            while (mask_v & (self._times[-1] <= now_v)).any():
+            while ((self._times[-1].reshape(rl, k) <= nowc) & maskc).any():
                 self._grow(self._sets.shape[0])
-        new_fired = fired + pending
-        step = mask_v & (self._times[new_fired, ids] <= now_v)
-        if step.any():
-            # Deep backlogs are sparse: advance only those lanes, on
-            # compacted arrays, instead of dragging every lane through
-            # more full-width rounds.
-            times = self._times
-            act = np.nonzero(step)[0]
-            sub = new_fired[act] + 1
-            sub_now = now_v[act]
-            more = times[sub, act] <= sub_now
-            while more.any():
-                sub += more
-                more = times[sub, act] <= sub_now
-            new_fired[act] = sub
-        delta = new_fired - fired
-        total = int(delta.sum())
-        if total:
+        # Compact to the pending virtual lanes up front: the advance
+        # loop, rank gathers and event build all run on the (usually
+        # much narrower) active set, full-width work stays at the two
+        # comparisons above plus the scatter updates below.
+        times = self._times
+        act = np.nonzero(pending.reshape(-1))[0]
+        act_fired = fired[act]
+        real_act = self._real[act]
+        sub = act_fired + 1
+        sub_now = now[real_act]
+        more = times[sub, act] <= sub_now
+        if more.any():
+            # Most active lanes owe exactly one event; compact again to
+            # the deep-backlog minority so the advance loop's per-round
+            # gathers shrink with the survivors instead of dragging the
+            # whole active set through every round.
+            idx = np.nonzero(more)[0]
+            deep = act[idx]
+            deep_now = sub_now[idx]
+            deep_sub = sub[idx] + 1
+            deep_more = times[deep_sub, deep] <= deep_now
+            while deep_more.any():
+                deep_sub += deep_more
+                deep_more = times[deep_sub, deep] <= deep_now
+            sub[idx] = deep_sub
             # Events sorted by virtual lane = sorted by real lane with
             # per-lane CRG order preserved; the LLC consumes one flat
             # batch with per-REAL-lane event counts.
-            ev_v = np.repeat(ids, delta)
+            delta_act = sub - act_fired
+            ev_v = np.repeat(act, delta_act)
             ev_lanes = self._real[ev_v]
-            starts = np.cumsum(delta) - delta
-            offsets = np.arange(total) - np.repeat(starts, delta)
-            ev_ranks = np.repeat(fired, delta) + offsets
-            ev_sets = self._sets[ev_ranks, ev_v]
-            delta_real = delta.reshape(self._rlanes, k).sum(axis=1)
-            llc.force_evict_events(ev_lanes, ev_sets, delta_real)
-            self._fired = new_fired
-            self.next_time = self._times[new_fired, ids]
-            self._next_min = int(self.next_time.min())
+            starts = np.cumsum(delta_act) - delta_act
+            total = int(delta_act.sum())
+            ev_ranks = np.arange(total) + np.repeat(act_fired - starts,
+                                                    delta_act)
+        else:
+            # Every active lane owes exactly one event (the usual
+            # drain): the event list IS the active set and the ranks
+            # ARE the fired cursors — skip the repeat/cumsum build.
+            ev_v = act
+            ev_lanes = real_act
+            ev_ranks = act_fired
+        ev_sets = self._sets[ev_ranks, ev_v]
+        delta_real = np.bincount(ev_lanes, minlength=rl)
+        llc.force_evict_events(ev_lanes, ev_sets, delta_real)
+        fired[act] = sub
+        self.next_time[act] = times[sub, act]
+        self._next_min = int(self.next_time.min())
+
+
+def _tiny_chain_apply(op: ChainOp, a: np.ndarray, b: np.ndarray):
+    """An unrolled applier for small two-term chains, or ``None``.
+
+    The compile pool collapses a plan's chains to a handful of
+    distinct ops, and the most frequent ones are tiny — one or two
+    output rows of exactly two terms each (the ALU/write-back
+    recurrences between accesses).  For those, the generic dense apply
+    (fancy gather, broadcast add, reshape, axis reduction, scatter)
+    costs several allocations to combine four numbers per lane; an
+    unrolled ``add, add, maximum`` triple per row on two shared
+    scratch vectors is both fewer calls and allocation-free.
+
+    Returns ``None`` — caller falls back to the dense path — for wider
+    shapes, and for the (never emitted today) case where a later row
+    reads an earlier row's output: the unrolled writes go directly
+    into the state matrix, so only each row's *own* aliasing is
+    protected by the scratch vectors.
+    """
+    bounds = np.append(op.starts, op.src.shape[0])
+    if op.rows_n > 2 or not (bounds[1:] - bounds[:-1] == 2).all():
+        return None
+    plan = []
+    written: set = set()
+    for i in range(op.rows_n):
+        lo = int(bounds[i])
+        s0, s1 = int(op.src[lo]), int(op.src[lo + 1])
+        if written & {s0, s1}:
+            return None
+        plan.append((int(op.out_rows[i]), s0, int(op.weights[lo]),
+                     s1, int(op.weights[lo + 1])))
+        written.add(plan[-1][0])
+
+    def apply(state: np.ndarray) -> None:
+        for out, s0, w0, s1, w1 in plan:
+            np.add(state[s0], w0, out=a)
+            np.add(state[s1], w1, out=b)
+            np.maximum(a, b, out=state[out])
+
+    return apply
 
 
 # ----------------------------------------------------------------------
@@ -848,58 +1336,176 @@ class KernelTemplatePlan(_TemplatePlan):
         il1, dl1, llc = env.il1, env.dl1, env.llc
         if len(env.crgs) > 1 and llc._res is not None:
             env.crgs = [_KernelCRGBank(env.crgs)]
+        # Warm repeats pre-draw every linearised stream to the last
+        # sweep's high-water mark: one block draw replaces the
+        # doubling ladder's repeated grow-and-copy passes.  Recorded
+        # per (core, scenario) on the cached plan; rows are per-lane
+        # consumption so the hint is lane-width-agnostic.
+        growers = [
+            (name, cursor)
+            for name, cursor in (
+                ("il1", il1._draws), ("dl1", dl1._draws),
+                ("llc", llc._draws),
+                ("acu", env.acu._draws if env.acu is not None else None),
+            )
+            if cursor is not None
+        ]
+        growers.extend(
+            (f"crg{i}", crg) for i, crg in enumerate(env.crgs)
+        )
+        hint_key = (self.core, self.scenario)
+        hints = self.kernel.hints.get(hint_key)
+        if hints:
+            for name, stream in growers:
+                rows = hints.get(name)
+                if rows:
+                    stream.presize(rows)
         fill = env.fill
         memory_writes = env.memory_writes
         l1_hit = self.l1_hit
 
-        state = np.zeros((N_STATE, lanes), dtype=np.int64)
-        port_free = np.zeros(lanes, dtype=np.int64)
-        scratch = np.empty(lanes, dtype=np.int64)
+        state = xp.zeros((N_STATE, lanes), dtype=np.int64)
+        port_free = xp.zeros(lanes, dtype=np.int64)
+        scratch = xp.empty(lanes, dtype=np.int64)
         chain_scratch = (
-            np.empty((N_STATE, lanes), dtype=np.int64)
+            xp.empty((N_STATE, lanes), dtype=np.int64)
             if _NUMBA_CHAIN is not None else None
         )
-
-        for op in self.kernel.ops:
-            kind = op.kind
-            if kind == "chain":
-                if chain_scratch is not None:  # pragma: no cover — numba
-                    _NUMBA_CHAIN(state, op.out_rows, op.src, op.weights,
-                                 op.starts, chain_scratch)
+        # The compile pool collapses the plan's chains to a handful of
+        # distinct ops, each applied thousands of times per sweep.
+        # Tiny two-term ops get an unrolled allocation-free applier;
+        # the rest get a full-width weight matrix turning the
+        # broadcast ``[t, 1] + [t, lanes]`` add — the dominant dense
+        # apply cost — into a flat elementwise add.  Per-sweep (lanes
+        # varies).
+        wide = {}
+        fast_apply = {}
+        if chain_scratch is None:
+            tiny_a = xp.empty(lanes, dtype=np.int64)
+            tiny_b = xp.empty(lanes, dtype=np.int64)
+            for op in self.kernel.chains():
+                oid = id(op)
+                if oid in wide or oid in fast_apply:
+                    continue
+                fn = _tiny_chain_apply(op, tiny_a, tiny_b)
+                if fn is not None:
+                    fast_apply[oid] = fn
                 else:
+                    wide[oid] = xp.tile(op.pad_wcol, (1, lanes))
+        # The LLC is never probed all-lanes and its forced-eviction
+        # drain would pay scatter-subtract upkeep per event, so it
+        # drops its residency tally; the L1 tallies back the segment
+        # guard below as two tiny gathers.
+        llc._res_count = None
+        il1_count = il1._res_count
+        dl1_count = dl1._res_count
+
+        for segment, ops_run in self.kernel.schedule:
+            if segment is not None and (
+                    int(il1_count[segment.il1_lines].sum())
+                    + int(dl1_count[segment.dl1_lines].sum())
+                    == lanes * segment.n_lines):
+                # Every touched line resident in every lane (tallies
+                # cap at the lane count, so the summed tallies hit the
+                # ceiling only when each line does): the whole window
+                # is fast hits.  Apply the composed chain and settle
+                # the deferred bookkeeping; nothing else (tags,
+                # residency, draws, CRG arrivals) would have moved.
+                op = segment.chain
+                if op is not None:
+                    if chain_scratch is not None:  # pragma: no cover
+                        _NUMBA_CHAIN(state, op.out_rows, op.src, op.weights,
+                                     op.starts, chain_scratch)
+                    else:
+                        fn = fast_apply.get(id(op))
+                        if fn is not None:
+                            fn(state)
+                        else:
+                            gathered = state[op.pad_src]
+                            gathered += wide[id(op)]
+                            state[op.out_rows] = gathered.reshape(
+                                op.rows_n, op.width, lanes
+                            ).max(axis=1)
+                il1._accesses += segment.il1_accesses
+                dl1._accesses += segment.dl1_accesses
+                if segment.store_lines.size:
+                    dl1._line_dirty[segment.store_lines] = True
+                continue
+            for op in ops_run:
+                kind = op.kind
+                if kind == "chain":
+                    if chain_scratch is not None:  # pragma: no cover — numba
+                        _NUMBA_CHAIN(state, op.out_rows, op.src, op.weights,
+                                     op.starts, chain_scratch)
+                        continue
+                    fn = fast_apply.get(id(op))
+                    if fn is not None:
+                        fn(state)
+                        continue
                     gathered = state[op.pad_src]
-                    gathered += op.pad_wcol
+                    gathered += wide[id(op)]
                     state[op.out_rows] = gathered.reshape(
                         op.rows_n, op.width, lanes
                     ).max(axis=1)
-            elif kind == "fetch":
-                # Fetch (latch frees when the previous instruction
-                # decoded) — the interpreter's step, on state rows.
-                np.maximum(state[EF], state[SD], out=scratch)
-                miss, vids, _d = il1.demand_full(op.line, False)
-                np.add(scratch, l1_hit, out=state[EF])
-                if miss is not None:
-                    issue = np.maximum(scratch, port_free)
-                    done = fill(op.line, issue, miss)
-                    np.copyto(port_free, done, where=miss)
-                    np.copyto(state[EF], done, where=miss)
-            else:
-                # Full DL1 access; decode already composed into the
-                # preceding chain, write-back into the following one.
-                np.add(state[SD], 1, out=scratch)
-                np.maximum(scratch, state[SW], out=state[SM])
-                miss, vids, vdirty = dl1.demand_full(op.line, op.store)
-                np.add(state[SM], l1_hit, out=state[EM])
-                if miss is not None:
-                    issue = np.maximum(state[SM], port_free)
-                    done = fill(op.line, issue, miss)
-                    np.copyto(port_free, done, where=miss)
-                    np.copyto(state[EM], done, where=miss)
-                    dirty_victims = miss & vdirty
-                    if dirty_victims.any():
-                        resident = llc.writeback(vids, dirty_victims)
-                        memory_writes += dirty_victims & ~resident
+                elif kind == "fetch":
+                    # Fetch (latch frees when the previous instruction
+                    # decoded) — the interpreter's step, on state rows.
+                    np.maximum(state[EF], state[SD], out=scratch)
+                    if il1_count is not None and \
+                            il1_count[op.line] == lanes:
+                        # demand_full's all-resident fast path,
+                        # inlined: the scalar tally compare and the
+                        # deferred access count.
+                        il1._accesses += 1
+                        np.add(scratch, l1_hit, out=state[EF])
+                        continue
+                    miss, _vl, _vt, _vd = il1.demand_full(op.line, False)
+                    np.add(scratch, l1_hit, out=state[EF])
+                    if miss is not None:
+                        issue = np.maximum(scratch, port_free)
+                        done = fill(op.line, issue, miss)
+                        np.copyto(port_free, done, where=miss)
+                        np.copyto(state[EF], done, where=miss)
+                else:
+                    # Full DL1 access; decode already composed into the
+                    # preceding chain, write-back into the following one.
+                    np.add(state[SD], 1, out=scratch)
+                    np.maximum(scratch, state[SW], out=state[SM])
+                    if dl1_count is not None and \
+                            dl1_count[op.line] == lanes:
+                        # Inlined all-resident fast path; a store
+                        # dirties the full row outright.
+                        dl1._accesses += 1
+                        if op.store:
+                            dl1._line_dirty[op.line] = True
+                        np.add(state[SM], l1_hit, out=state[EM])
+                        continue
+                    miss, vml, vlines, vdirty = dl1.demand_full(
+                        op.line, op.store
+                    )
+                    np.add(state[SM], l1_hit, out=state[EM])
+                    if miss is not None:
+                        issue = np.maximum(state[SM], port_free)
+                        done = fill(op.line, issue, miss)
+                        np.copyto(port_free, done, where=miss)
+                        np.copyto(state[EM], done, where=miss)
+                        if vdirty.any():
+                            # Dirty victims post compact write-backs:
+                            # at most one per lane, so lane ids are
+                            # distinct and fancy updates suffice.
+                            wb_lanes = vml[vdirty]
+                            resident = llc.writeback_at(
+                                vlines[vdirty], wb_lanes
+                            )
+                            mem_lanes = wb_lanes[~resident]
+                            if mem_lanes.size:
+                                memory_writes[mem_lanes] += 1
 
         il1.finalise_counters()
         dl1.finalise_counters()
+        recorded = self.kernel.hints.setdefault(hint_key, {})
+        for name, stream in growers:
+            rows = stream.hint_rows()
+            if rows > recorded.get(name, 0):
+                recorded[name] = rows
         return self._finalise(triples, env, state[EW], started)

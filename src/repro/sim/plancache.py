@@ -345,6 +345,19 @@ class PlanCache:
         entry.kernel = compiler(program, config)
         return program, entry.kernel
 
+    def peek_kernel_stats(self, trace, config) -> Optional[dict]:
+        """Compile stats of the cached kernel plan, or ``None``.
+
+        A read-only peek for observability surfaces: no hit/miss
+        counters move, the LRU order does not change and nothing
+        compiles — reporting must not perturb the compile-once
+        accounting the sweeps assert on.
+        """
+        entry = self._entries.get(self._key(trace, config))
+        if entry is None or entry.trace is not trace or entry.kernel is None:
+            return None
+        return dict(entry.kernel.stats)
+
     # -- pinning -------------------------------------------------------
     def pin(self, trace, config) -> None:
         """Protect ``(trace, config)`` from eviction until unpinned."""

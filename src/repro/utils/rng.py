@@ -20,6 +20,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.utils.xp import xp
 
 _MASK32 = 0xFFFFFFFF
 _MASK64 = 0xFFFFFFFFFFFFFFFF
@@ -152,7 +153,7 @@ def splitmix64_mix(z: np.ndarray) -> np.ndarray:
     :func:`repro.utils.hashing._mix64`): ``uint64`` arithmetic wraps
     modulo 2**64 exactly like the masked Python-int version.
     """
-    z = np.asarray(z, dtype=np.uint64)
+    z = xp.asarray(z, dtype=np.uint64)
     z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
     z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
     return z ^ (z >> np.uint64(31))
@@ -171,7 +172,7 @@ def splitmix64_draw(seeds: np.ndarray, k: int) -> np.ndarray:
     """
     if k < 1:
         raise ConfigurationError(f"SplitMix64 draws are 1-based, got draw {k}")
-    seeds = np.asarray(seeds, dtype=np.uint64)
+    seeds = xp.asarray(seeds, dtype=np.uint64)
     return splitmix64_mix(seeds + np.uint64((k * SplitMix64.GOLDEN_GAMMA) & _MASK64))
 
 
@@ -191,7 +192,7 @@ class MWCArray:
     __slots__ = ("_x", "_c")
 
     def __init__(self, seeds: np.ndarray) -> None:
-        seeds = np.asarray(seeds, dtype=np.uint64)
+        seeds = xp.asarray(seeds, dtype=np.uint64)
         x = splitmix64_draw(seeds, 1) & np.uint64(_MASK32)
         c = splitmix64_draw(seeds, 2) % np.uint64(MWC_MULTIPLIER - 1)
         x[(x == np.uint64(0)) & (c == np.uint64(0))] = np.uint64(1)
@@ -230,8 +231,8 @@ class MWCArray:
             raise ConfigurationError(f"randrange() bound must be positive, got {n}")
         limit = np.uint64((0x100000000 // n) * n)
         nn = np.uint64(n)
-        out = np.zeros(self._x.shape, dtype=np.uint64)
-        pending = np.ones(self._x.shape, dtype=bool) if mask is None else mask.copy()
+        out = xp.zeros(self._x.shape, dtype=np.uint64)
+        pending = xp.ones(self._x.shape, dtype=bool) if mask is None else mask.copy()
         while pending.any():
             v = self.next_u32(pending)
             accepted = pending & (v < limit)
@@ -264,6 +265,117 @@ class MWCArray:
         if n & (n - 1) == 0:
             return v & np.uint64(n - 1)
         return v % np.uint64(n)
+
+    def _block_step(self, x, c, t, lim, rejected) -> None:
+        """One in-place full-width MWC step with rejection repair."""
+        np.multiply(np.uint64(MWC_MULTIPLIER), x, out=t)
+        np.add(t, c, out=t)
+        np.bitwise_and(t, np.uint64(_MASK32), out=x)
+        np.right_shift(t, np.uint64(32), out=c)
+        if rejected is not None:
+            np.greater_equal(x, lim, out=rejected)
+            while rejected.any():
+                # next_u32 repairs rejected lanes in place; ``x``
+                # aliases the state vector, so it sees the redraws.
+                self.next_u32(rejected)
+                rejected &= x >= lim
+
+    @staticmethod
+    def _block_reduce(out, n: int) -> np.ndarray:
+        """In-place ``[0, n)`` range reduction of a full-draw block."""
+        kind = out.dtype.type
+        if n & (n - 1) == 0:
+            np.bitwise_and(out, kind(n - 1), out=out)
+        else:
+            np.remainder(out, kind(n), out=out)
+        return out
+
+    def randrange_block(
+        self, n: int, rows: int, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """``rows`` consecutive full-width ``randrange(n)`` draws, stacked.
+
+        Row ``r`` of the returned ``[rows, lanes]`` array is
+        bit-identical to the ``r``-th successive call to
+        :meth:`randrange_unmasked` — same step, same per-lane rejection
+        repair, same final range reduction — but the whole block runs
+        on in-place array steps with one output allocation, which is
+        the regime the kernel engine's CRG timeline precompute needs
+        (thousands of rows per sweep).  ``out`` lets the caller supply
+        (and type) the destination block; integer dtypes are safe, the
+        draws fit 32 bits.
+        """
+        if n <= 0:
+            raise ConfigurationError(f"randrange() bound must be positive, got {n}")
+        if rows < 0:
+            raise ConfigurationError(f"randrange_block() rows must be non-negative, got {rows}")
+        limit = (0x100000000 // n) * n
+        if out is None:
+            out = xp.empty((rows, self.lanes), dtype=np.uint64)
+        x, c = self._x, self._c
+        t = xp.empty(self.lanes, dtype=np.uint64)
+        lim = np.uint64(limit)
+        rejected = (
+            xp.empty(self.lanes, dtype=bool) if limit != 0x100000000 else None
+        )
+        for row in range(rows):
+            self._block_step(x, c, t, lim, rejected)
+            out[row] = x
+        return self._block_reduce(out, n)
+
+    def randrange_block_pair(
+        self,
+        n_first: int,
+        n_second: int,
+        rows: int,
+        out_first: Optional[np.ndarray] = None,
+        out_second: Optional[np.ndarray] = None,
+    ) -> tuple:
+        """``rows`` interleaved ``(randrange(n_first), randrange(n_second))``
+        draw pairs, as two stacked blocks.
+
+        The per-lane draw order is strictly alternating — first draw,
+        second draw, first draw, ... — exactly the order a CRG's
+        private stream consumes its set and gap draws, so row ``r`` of
+        the two blocks is bit-identical to the ``r``-th scalar
+        ``(set, gap)`` pair.
+        """
+        if n_first <= 0 or n_second <= 0:
+            raise ConfigurationError(
+                f"randrange() bounds must be positive, got "
+                f"({n_first}, {n_second})"
+            )
+        if rows < 0:
+            raise ConfigurationError(
+                f"randrange_block_pair() rows must be non-negative, got {rows}"
+            )
+        limit_first = (0x100000000 // n_first) * n_first
+        limit_second = (0x100000000 // n_second) * n_second
+        if out_first is None:
+            out_first = xp.empty((rows, self.lanes), dtype=np.uint64)
+        if out_second is None:
+            out_second = xp.empty((rows, self.lanes), dtype=np.uint64)
+        x, c = self._x, self._c
+        t = xp.empty(self.lanes, dtype=np.uint64)
+        lim_first = np.uint64(limit_first)
+        lim_second = np.uint64(limit_second)
+        rej_first = (
+            xp.empty(self.lanes, dtype=bool)
+            if limit_first != 0x100000000 else None
+        )
+        rej_second = (
+            xp.empty(self.lanes, dtype=bool)
+            if limit_second != 0x100000000 else None
+        )
+        for row in range(rows):
+            self._block_step(x, c, t, lim_first, rej_first)
+            out_first[row] = x
+            self._block_step(x, c, t, lim_second, rej_second)
+            out_second[row] = x
+        return (
+            self._block_reduce(out_first, n_first),
+            self._block_reduce(out_second, n_second),
+        )
 
     def randint_inclusive(
         self, lo: int, hi: int, mask: Optional[np.ndarray] = None

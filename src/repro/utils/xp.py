@@ -1,0 +1,151 @@
+"""Array-backend seam: one switchable namespace for lane-state arrays.
+
+The batch and kernel engines keep every lane's state in
+struct-of-arrays form (cache tag planes, pipeline time vectors, PRNG
+state vectors).  All of that state is *allocated* through the ``xp``
+namespace exported here instead of ``numpy`` directly, which is the
+whole seam a GPU lane backend needs:
+
+* **Allocation** goes through ``xp`` — ``xp.zeros`` / ``xp.empty`` /
+  ``xp.arange`` / ... resolve to the active backend (NumPy by default,
+  CuPy when selected and importable).
+* **Compute** stays written against the ``numpy`` API.  CuPy arrays
+  implement the NEP-13/NEP-18 dispatch protocols
+  (``__array_ufunc__`` / ``__array_function__``), so ``np.maximum(a,
+  b, out=c)``, ``np.add``, fancy indexing and reductions on
+  CuPy-allocated state execute on the device without the call sites
+  changing.  Routing allocation is therefore sufficient to move the
+  whole SoA sweep.
+
+Backend selection is process-global and explicit
+(:func:`set_array_backend`, the CLI's ``--array-backend`` flag):
+
+* ``numpy`` — always available, the default.
+* ``cupy`` — demanded; a labelled
+  :class:`~repro.errors.ConfigurationError` if CuPy is missing or has
+  no usable device.
+* ``auto`` — CuPy when the probe succeeds, NumPy otherwise (the same
+  silent-degrade contract as the numba kernel probe).
+
+The bit-identity contract is unchanged by the seam: both backends
+implement identical integer arithmetic, and every test asserting
+engine equivalence runs against whatever backend is active.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy
+
+from repro.errors import ConfigurationError
+
+#: Backend names accepted by :func:`set_array_backend` and the CLI's
+#: ``--array-backend`` flag.
+ARRAY_BACKEND_NAMES = ("auto", "numpy", "cupy")
+
+_CUPY_PROBED = False
+_CUPY_MODULE = None
+
+
+def _probe_cupy():
+    """The CuPy module if importable with a usable device, else None.
+
+    Mirrors the numba probe in :mod:`repro.sim.kernels`: any failure —
+    missing package, no device, broken runtime — degrades silently to
+    NumPy; the probe result is cached for the process lifetime.
+    """
+    global _CUPY_PROBED, _CUPY_MODULE
+    if not _CUPY_PROBED:
+        _CUPY_PROBED = True
+        try:  # pragma: no cover — cupy not installed in CI
+            import cupy  # type: ignore
+
+            cupy.zeros(1)  # forces a device allocation; raises without one
+            _CUPY_MODULE = cupy
+        except Exception:
+            _CUPY_MODULE = None
+    return _CUPY_MODULE
+
+
+def cupy_available() -> bool:
+    """Whether the optional CuPy backend probes successfully."""
+    return _probe_cupy() is not None
+
+
+class _ArrayNamespace:
+    """Attribute proxy over the active array module.
+
+    ``xp.zeros`` / ``xp.empty`` / ... resolve through one indirection
+    to the selected backend module.  Hot paths that allocate in a loop
+    can bind ``xp.module`` once and use it directly — the proxy and
+    the module expose the same names.
+    """
+
+    __slots__ = ("_module", "_name")
+
+    def __init__(self) -> None:
+        self._module = numpy
+        self._name = "numpy"
+
+    def __getattr__(self, name: str):
+        return getattr(self._module, name)
+
+    @property
+    def module(self):
+        """The active backend module itself (``numpy`` or ``cupy``)."""
+        return self._module
+
+    @property
+    def name(self) -> str:
+        """Active backend name: ``"numpy"`` or ``"cupy"``."""
+        return self._name
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return f"<xp backend={self._name}>"
+
+
+#: The process-global array namespace every lane-state allocation uses.
+xp = _ArrayNamespace()
+
+
+def set_array_backend(name: str) -> str:
+    """Select the array backend; returns the name actually active.
+
+    ``auto`` probes CuPy and falls back to NumPy silently; ``cupy``
+    demands it and raises a labelled
+    :class:`~repro.errors.ConfigurationError` when unavailable, so a
+    GPU campaign never silently runs on the CPU.
+    """
+    if name not in ARRAY_BACKEND_NAMES:
+        names = ", ".join(ARRAY_BACKEND_NAMES)
+        raise ConfigurationError(
+            f"unknown array backend {name!r}; expected one of {names}"
+        )
+    if name == "numpy":
+        xp._module = numpy
+        xp._name = "numpy"
+    elif name == "cupy":
+        module = _probe_cupy()
+        if module is None:
+            raise ConfigurationError(
+                "array backend 'cupy' requested but CuPy is not importable "
+                "(or has no usable device); install cupy or use "
+                "--array-backend auto to fall back to numpy"
+            )
+        xp._module = module  # pragma: no cover — cupy not installed in CI
+        xp._name = "cupy"  # pragma: no cover
+    else:  # auto
+        module = _probe_cupy()
+        if module is None:
+            xp._module = numpy
+            xp._name = "numpy"
+        else:  # pragma: no cover — cupy not installed in CI
+            xp._module = module
+            xp._name = "cupy"
+    return xp._name
+
+
+def array_backend_name() -> str:
+    """Name of the active array backend (``"numpy"`` / ``"cupy"``)."""
+    return xp._name

@@ -33,6 +33,7 @@ from repro.observability import Telemetry
 from repro.pta.adaptive import (
     ConvergencePolicy,
     StreamingGumbelEstimator,
+    WaveScheduler,
 )
 from repro.pta.evt import (
     block_maxima,
@@ -323,6 +324,179 @@ class TestAdaptiveCampaign:
         assert metrics.value("campaigns_converged") == 1
         assert metrics.value("runs_saved_converged") == result.runs_saved
         assert metrics.value("runs_simulated") == result.runs_executed
+
+
+# ----------------------------------------------------------------------
+# speculative wave scheduling
+# ----------------------------------------------------------------------
+class TestWaveScheduler:
+    def test_growth_validated(self):
+        for bad in (0.5, 0.0, -1.0, math.inf, math.nan, True, "fast"):
+            with pytest.raises(ConfigurationError, match="growth"):
+                WaveScheduler(POLICY, growth=bad)
+
+    def test_schedule_validated(self):
+        for bad in ((), (8, 0), (-4,), (8.5,), (True,)):
+            with pytest.raises(ConfigurationError, match="schedule"):
+                WaveScheduler(POLICY, schedule=bad)
+
+    def test_unit_growth_is_wave_by_wave(self):
+        blocks = list(WaveScheduler(POLICY, growth=1.0).blocks(MAX_RUNS))
+        assert blocks == [(i, i + 8) for i in range(0, MAX_RUNS, 8)]
+
+    def test_geometric_blocks_partition_the_budget(self):
+        blocks = list(WaveScheduler(POLICY, growth=4.0).blocks(MAX_RUNS))
+        assert [end - start for start, end in blocks] == [8, 32, 24]
+        assert blocks[0][0] == 0 and blocks[-1][1] == MAX_RUNS
+        for (_, end), (start, _) in zip(blocks, blocks[1:]):
+            assert end == start
+
+    def test_explicit_schedule_repeats_its_last_block(self):
+        scheduler = WaveScheduler(POLICY, schedule=(8, 16))
+        blocks = list(scheduler.blocks(MAX_RUNS))
+        assert [end - start for start, end in blocks] == [8, 16, 16, 16, 8]
+
+
+class TestSpeculativeCampaign:
+    def test_speculative_sample_is_prefix_with_reconciled_waste(self, trace):
+        fixed = run(trace)
+        reference = run(trace, adaptive=POLICY)
+        # Dispatch the whole budget in one block: everything past the
+        # stopping point is waste, the sample is untouched.
+        greedy = collect_execution_times(
+            trace, CONFIG, SCENARIO, runs=MAX_RUNS, master_seed=SEED,
+            engine="kernel", adaptive=POLICY,
+            scheduler=WaveScheduler(POLICY, schedule=(MAX_RUNS,)),
+        )
+        assert greedy.converged
+        assert greedy.runs_executed == reference.runs_executed
+        assert greedy.execution_times == reference.execution_times
+        assert greedy.runs_speculated_waste == \
+            MAX_RUNS - greedy.runs_executed
+        assert greedy.runs_saved == 0
+        assert greedy.runs_executed + greedy.runs_saved \
+            + greedy.runs_speculated_waste == MAX_RUNS
+        assert greedy.execution_times == \
+            fixed.execution_times[:greedy.runs_executed]
+
+    def test_amortised_backends_speculate_by_default(self, trace):
+        result = run(trace, adaptive=POLICY, engine="kernel")
+        # The default geometric schedule reproduces the wave-by-wave
+        # stopping decision whether or not overshoot occurred.
+        reference = run(trace, adaptive=POLICY)
+        assert result.runs_executed == reference.runs_executed
+        assert result.execution_times == reference.execution_times
+        assert result.runs_executed + result.runs_saved \
+            + result.runs_speculated_waste == MAX_RUNS
+
+    def test_per_run_backends_never_speculate(self, trace):
+        result = run(trace, adaptive=POLICY, engine="scalar")
+        assert result.runs_speculated_waste == 0
+        assert result.runs_saved == MAX_RUNS - result.runs_executed
+
+    def test_scheduler_requires_adaptive(self, trace):
+        with pytest.raises(ConfigurationError, match="adaptive"):
+            collect_execution_times(
+                trace, CONFIG, SCENARIO, runs=MAX_RUNS, master_seed=SEED,
+                scheduler=WaveScheduler(POLICY),
+            )
+
+    def test_scheduler_policy_must_match_campaign(self, trace):
+        with pytest.raises(ConfigurationError, match="ConvergencePolicy"):
+            collect_execution_times(
+                trace, CONFIG, SCENARIO, runs=MAX_RUNS, master_seed=SEED,
+                adaptive=NEVER, scheduler=WaveScheduler(POLICY),
+            )
+
+    def test_waste_counts_on_simulated_not_saved(self, trace):
+        telemetry = Telemetry()
+        result = collect_execution_times(
+            trace, CONFIG, SCENARIO, runs=MAX_RUNS, master_seed=SEED,
+            engine="kernel", adaptive=POLICY, telemetry=telemetry,
+            scheduler=WaveScheduler(POLICY, schedule=(MAX_RUNS,)),
+        )
+        metrics = telemetry.metrics
+        assert result.runs_speculated_waste > 0
+        assert metrics.value("runs_simulated") == \
+            result.runs_executed + result.runs_speculated_waste
+        assert metrics.value("runs_speculated_waste") == \
+            result.runs_speculated_waste
+        assert metrics.value("runs_saved_converged") == result.runs_saved
+
+    def test_report_and_wire_format_carry_waste(self, trace):
+        result = collect_execution_times(
+            trace, CONFIG, SCENARIO, runs=MAX_RUNS, master_seed=SEED,
+            engine="kernel", adaptive=POLICY,
+            scheduler=WaveScheduler(POLICY, schedule=(MAX_RUNS,)),
+        )
+        text = render_campaign(result)
+        assert "speculated past stop" in text
+        assert f"of {MAX_RUNS} runs" in text
+        clone = CampaignResult.from_dict(json.loads(result.to_json()))
+        assert clone.runs_speculated_waste == result.runs_speculated_waste
+
+
+#: Arbitrary dispatch schedules, including degenerate single-run blocks
+#: and blocks far larger than the budget.
+schedules = st.lists(
+    st.integers(min_value=1, max_value=2 * MAX_RUNS), min_size=1, max_size=6
+).map(tuple)
+
+
+class TestScheduleInvariance:
+    """Dispatch grouping is unobservable in the sample (property)."""
+
+    _reference = None
+
+    def reference(self):
+        if TestScheduleInvariance._reference is None:
+            trace = make_stream_trace("adapt", words=32, sweeps=2)
+            TestScheduleInvariance._reference = run(trace, adaptive=POLICY)
+        return TestScheduleInvariance._reference
+
+    @given(schedule=schedules, engine=st.sampled_from(["batch", "kernel"]))
+    @settings(max_examples=12, deadline=None)
+    def test_any_schedule_reproduces_wave_by_wave(self, schedule, engine):
+        reference = self.reference()
+        trace = make_stream_trace("adapt", words=32, sweeps=2)
+        result = collect_execution_times(
+            trace, CONFIG, SCENARIO, runs=MAX_RUNS, master_seed=SEED,
+            engine=engine, adaptive=POLICY,
+            scheduler=WaveScheduler(POLICY, schedule=schedule),
+        )
+        assert result.converged == reference.converged
+        assert result.runs_executed == reference.runs_executed
+        assert result.execution_times == reference.execution_times
+        assert result.pwcet_rtol_achieved == reference.pwcet_rtol_achieved
+        assert result.runs_executed + result.runs_saved \
+            + result.runs_speculated_waste == MAX_RUNS
+
+    @given(schedule=schedules, kill_after=st.integers(min_value=1,
+                                                      max_value=30))
+    @settings(max_examples=8, deadline=None)
+    def test_kill_and_resume_under_any_schedule(self, tmp_path_factory,
+                                                schedule, kill_after):
+        reference = self.reference()
+        trace = make_stream_trace("adapt", words=32, sweeps=2)
+        journal = tmp_path_factory.mktemp("spec") / "journal.jsonl"
+        first = collect_execution_times(
+            trace, CONFIG, SCENARIO, runs=MAX_RUNS, master_seed=SEED,
+            engine="kernel", adaptive=POLICY,
+            scheduler=WaveScheduler(POLICY, schedule=schedule),
+            checkpoint=CampaignCheckpoint(journal),
+        )
+        assert first.execution_times == reference.execution_times
+        # SIGKILL mid-campaign: truncate the journal, then resume with
+        # plain wave-by-wave dispatch — journalled speculative overshoot
+        # must replay harmlessly and the stopping decision must hold.
+        lines = journal.read_text().splitlines()
+        journal.write_text(
+            "\n".join(lines[:1 + min(kill_after, len(lines) - 1)]) + "\n"
+        )
+        resumed = run(trace, adaptive=POLICY, journal=journal)
+        assert resumed.converged == reference.converged
+        assert resumed.runs_executed == reference.runs_executed
+        assert resumed.execution_times == reference.execution_times
 
 
 # ----------------------------------------------------------------------

@@ -374,3 +374,18 @@ class TestSubmitStatus:
     def test_status_empty_store(self, tmp_path, capsys):
         assert main(["status", "--store", str(tmp_path / "empty")]) == 0
         assert "empty" in capsys.readouterr().out
+
+    def test_status_json_surfaces_kernel_stats(self, tmp_path, capsys):
+        import json as json_mod
+
+        store = str(tmp_path / "store")
+        assert main(["--scale", "tiny", "--seed", "3",
+                     "--engine", "kernel", "submit",
+                     "--store", store, "--bench", "RS",
+                     "--scenario", "EFL100", "--runs", "4"]) == 0
+        capsys.readouterr()
+        assert main(["status", "--store", store, "--json"]) == 0
+        summary = json_mod.loads(capsys.readouterr().out)
+        kernel = summary["entries"][0]["kernel"]
+        assert kernel["chains"] >= 1
+        assert 0.0 <= kernel["fusion_ratio"] <= 1.0

@@ -475,6 +475,55 @@ class TestPlanCache:
         assert (result.plan_cache_hits, result.plan_cache_misses) == (0, 0)
         assert "plan cache" not in render_campaign(result)
 
+    def test_kernel_campaign_surfaces_compile_stats(self, trace):
+        from repro.analysis.reporting import render_campaign
+        from repro.sim.campaign import CampaignResult
+
+        result = collect_execution_times(
+            trace, CONFIG, SCENARIO, runs=4, master_seed=1,
+            engine="kernel", plan_cache=PlanCache(),
+        )
+        stats = result.kernel_stats
+        assert stats is not None
+        # The conservation keys the fusion pass maintains.
+        for key in ("chains", "segments", "fused_accesses",
+                    "fusion_ratio", "ifetch", "dmem"):
+            assert key in stats, key
+        rendered = render_campaign(result)
+        assert "kernel plan:" in rendered
+        assert "megakernel segments" in rendered
+        # The stats survive the wire format round-trip.
+        clone = CampaignResult.from_dict(result.to_dict())
+        assert clone.kernel_stats == stats
+
+    def test_non_kernel_campaigns_have_no_kernel_stats(self, trace):
+        from repro.analysis.reporting import render_campaign
+
+        for engine in ("scalar", "batch"):
+            result = collect_execution_times(
+                trace, CONFIG, SCENARIO, runs=4, master_seed=1,
+                engine=engine,
+                plan_cache=PlanCache() if engine == "batch" else None,
+            )
+            assert result.kernel_stats is None, engine
+            assert "kernel plan" not in render_campaign(result)
+
+    def test_warm_plan_cache_repeat_is_bit_identical(self, trace):
+        """Two campaigns through one plan cache: the second reuses the
+        compiled plan AND the recorded presize hints, and must still
+        reproduce the first sample exactly."""
+        cache = PlanCache()
+        first = collect_execution_times(
+            trace, CONFIG, SCENARIO, runs=8, master_seed=9,
+            engine="kernel", plan_cache=cache,
+        )
+        second = collect_execution_times(
+            trace, CONFIG, SCENARIO, runs=8, master_seed=9,
+            engine="kernel", plan_cache=cache,
+        )
+        assert first.execution_times == second.execution_times
+        assert second.plan_cache_hits > 0
+
 
 class TestShardedCheckpoint:
     def test_resume_is_bit_identical(self, trace, tmp_path):

@@ -1,0 +1,95 @@
+"""Array-backend seam: the switchable ``xp`` allocation namespace.
+
+The guarantees under test:
+
+* the default and the ``auto`` fallback resolve to NumPy on a host
+  without CuPy, and ``numpy`` pins it explicitly;
+* demanding ``cupy`` on a host without it is a labelled
+  :class:`~repro.errors.ConfigurationError`, never a silent CPU run;
+* unknown names are rejected by name;
+* the engines allocate lane state through the seam, so a campaign run
+  after an explicit backend switch is bit-identical to the default
+  (both backends implement the same integer arithmetic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.campaign import collect_execution_times
+from repro.sim.config import Scenario, SystemConfig
+from repro.utils.xp import (
+    ARRAY_BACKEND_NAMES,
+    array_backend_name,
+    cupy_available,
+    set_array_backend,
+    xp,
+)
+
+from .conftest import make_stream_trace
+
+CONFIG = SystemConfig(l1_size=256, llc_size=2048)
+SCENARIO = Scenario.efl(100)
+
+
+@pytest.fixture(autouse=True)
+def restore_backend():
+    """Leave the process-global backend as the suite found it."""
+    yield
+    set_array_backend("auto")
+
+
+def test_names_are_the_cli_choices():
+    assert ARRAY_BACKEND_NAMES == ("auto", "numpy", "cupy")
+
+
+def test_default_backend_is_numpy():
+    assert xp.module is np or cupy_available()
+    assert array_backend_name() in ("numpy", "cupy")
+
+
+def test_numpy_pins_the_cpu_path():
+    assert set_array_backend("numpy") == "numpy"
+    assert xp.module is np
+    assert array_backend_name() == "numpy"
+    # The proxy resolves allocation calls on the active module.
+    block = xp.zeros((2, 3), dtype=np.int64)
+    assert isinstance(block, np.ndarray)
+
+
+def test_auto_degrades_silently_without_cupy():
+    resolved = set_array_backend("auto")
+    if cupy_available():  # pragma: no cover — cupy not installed in CI
+        assert resolved == "cupy"
+    else:
+        assert resolved == "numpy"
+        assert xp.module is np
+
+
+def test_unknown_backend_rejected_by_name():
+    with pytest.raises(ConfigurationError, match="unknown array backend"):
+        set_array_backend("torch")
+
+
+@pytest.mark.skipif(cupy_available(), reason="host has a working CuPy")
+def test_demanding_cupy_without_it_is_an_error():
+    with pytest.raises(ConfigurationError, match="cupy"):
+        set_array_backend("cupy")
+    # The failed demand must not corrupt the active namespace.
+    assert array_backend_name() == "numpy"
+    assert xp.module is np
+
+
+def test_campaign_bit_identical_across_backend_switch():
+    trace = make_stream_trace("xp", words=32, sweeps=2)
+    set_array_backend("numpy")
+    pinned = collect_execution_times(
+        trace, CONFIG, SCENARIO, runs=16, master_seed=3, engine="kernel"
+    )
+    set_array_backend("auto")
+    auto = collect_execution_times(
+        trace, CONFIG, SCENARIO, runs=16, master_seed=3, engine="kernel"
+    )
+    assert pinned.execution_times == auto.execution_times
